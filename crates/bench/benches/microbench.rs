@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks of the core mechanisms: the RBQ conveyor,
+//! the RPT, the compiler passes, and raw simulator throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use flame_compiler::pipeline::{build, BuildOptions};
+use flame_core::rbq::Rbq;
+use flame_core::rpt::Rpt;
+use gpu_sim::builder::KernelBuilder;
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::Gpu;
+use gpu_sim::isa::{MemSpace, Special};
+use gpu_sim::scheduler::SchedulerKind;
+use gpu_sim::sm::LaunchDims;
+use gpu_sim::warp::{RecoveryPoint, SimtStack};
+
+fn sample_kernel() -> gpu_sim::Kernel {
+    let mut b = KernelBuilder::new("bench");
+    let tid = b.special(Special::TidX);
+    let a = b.imul(tid, 8);
+    let v = b.ld_arr(MemSpace::Global, 0, a, 0);
+    let mut acc = v;
+    for i in 0..24 {
+        acc = b.iadd(acc, i);
+    }
+    b.st_arr(MemSpace::Global, 0, a, acc, 0);
+    b.exit();
+    b.finish()
+}
+
+fn point(pc: u32) -> RecoveryPoint {
+    RecoveryPoint {
+        stack: SimtStack::new(pc, u32::MAX).snapshot(),
+        barrier_phase: 0,
+        restores: Vec::new(),
+    }
+}
+
+fn bench_rbq(c: &mut Criterion) {
+    c.bench_function("rbq_push_pop_1k", |b| {
+        b.iter_batched(
+            || Rbq::new(20),
+            |mut q| {
+                for i in 0..1000u64 {
+                    q.push(i, (i % 24) as usize);
+                    let _ = q.pop(i + 20);
+                }
+                q
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_rpt(c: &mut Criterion) {
+    c.bench_function("rpt_update_1k", |b| {
+        b.iter_batched(
+            || Rpt::new(48),
+            |mut t| {
+                for i in 0..1000u32 {
+                    t.set((i % 48) as usize, point(i));
+                }
+                t.all_live()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let k = sample_kernel();
+    c.bench_function("compile_baseline", |b| {
+        b.iter(|| build(&k, &BuildOptions::baseline(63)).unwrap());
+    });
+    c.bench_function("compile_flame", |b| {
+        b.iter(|| build(&k, &BuildOptions::flame(63, 20)).unwrap());
+    });
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let flat = build(&sample_kernel(), &BuildOptions::baseline(63))
+        .unwrap()
+        .flat;
+    c.bench_function("simulate_64_ctas", |b| {
+        b.iter_batched(
+            || {
+                Gpu::launch(
+                    GpuConfig::gtx480(),
+                    flat.clone(),
+                    LaunchDims::linear(64, 128),
+                    SchedulerKind::Gto,
+                )
+                .unwrap()
+            },
+            |mut gpu| gpu.run(10_000_000).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_rbq, bench_rpt, bench_compile, bench_sim
+}
+criterion_main!(benches);

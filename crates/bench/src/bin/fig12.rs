@@ -1,0 +1,24 @@
+//! Figure 12: WCDL (cycles) as the number of acoustic sensors per SM
+//! varies from 50 to 300, for the four evaluated GPU architectures.
+
+use flame_sensors::mesh::SensorMesh;
+use gpu_sim::config::GpuConfig;
+
+fn main() {
+    println!("Figure 12 — WCDL vs. sensors per SM\n");
+    let archs = GpuConfig::paper_architectures();
+    print!("{:>8}", "sensors");
+    for a in &archs {
+        print!(" {:>9}", a.name);
+    }
+    println!();
+    for n in (50..=300).step_by(25) {
+        print!("{n:>8}");
+        for a in &archs {
+            let w = SensorMesh::new(n, a.sm_area_mm2).wcdl_cycles(a.core_clock_mhz);
+            print!(" {w:>9}");
+        }
+        println!();
+    }
+    println!("\n(paper anchor: 200 sensors on GTX480 -> 20 cycles)");
+}

@@ -1,0 +1,29 @@
+//! Figure 17: Flame's overhead as WCDL varies from 10 to 50 cycles
+//! (GTO, GTX480).
+
+use flame_bench::{print_table, run_suite, series_geomean};
+use flame_core::experiment::ExperimentConfig;
+use flame_core::scheme::Scheme;
+
+fn main() {
+    let suite = flame_workloads::all();
+    println!("Figure 17 — Flame overhead vs. WCDL (GTO, GTX480)\n");
+    let wcdls = [10u32, 20, 30, 40, 50];
+    let mut series = Vec::new();
+    for w in wcdls {
+        eprintln!("running WCDL={w}...");
+        let cfg = ExperimentConfig {
+            wcdl: w,
+            ..ExperimentConfig::default()
+        };
+        series.push(run_suite(&suite, Scheme::SensorRenaming, &cfg));
+    }
+    let names: Vec<String> = wcdls.iter().map(|w| format!("WCDL={w}")).collect();
+    let names_ref: Vec<&str> = names.iter().map(String::as_str).collect();
+    print_table(&names_ref, &series);
+    println!("\ngeomean overheads:");
+    for (w, s) in wcdls.iter().zip(&series) {
+        println!("  WCDL={w}: {:+.2}%", (series_geomean(s) - 1.0) * 100.0);
+    }
+    println!("(paper: 0.13% at WCDL=10 rising to 2.1% at WCDL=50)");
+}

@@ -1,0 +1,29 @@
+//! Figure 19: Flame's overhead on the four GPU architectures (each
+//! normalized to the same architecture's no-resilience baseline).
+
+use flame_bench::{print_table, run_suite, series_geomean};
+use flame_core::experiment::ExperimentConfig;
+use flame_core::scheme::Scheme;
+use gpu_sim::config::GpuConfig;
+
+fn main() {
+    let suite = flame_workloads::all();
+    println!("Figure 19 — Flame overhead per GPU architecture (WCDL=20, GTO)\n");
+    let archs = GpuConfig::paper_architectures();
+    let mut series = Vec::new();
+    for gpu in &archs {
+        eprintln!("running {}...", gpu.name);
+        let cfg = ExperimentConfig {
+            gpu: gpu.clone(),
+            ..ExperimentConfig::default()
+        };
+        series.push(run_suite(&suite, Scheme::SensorRenaming, &cfg));
+    }
+    let names: Vec<&str> = archs.iter().map(|a| a.name).collect();
+    print_table(&names, &series);
+    println!("\ngeomean overheads:");
+    for (gpu, s) in archs.iter().zip(&series) {
+        println!("  {}: {:+.2}%", gpu.name, (series_geomean(s) - 1.0) * 100.0);
+    }
+    println!("(paper: all four under 1%, TITAN X highest at 0.97%)");
+}

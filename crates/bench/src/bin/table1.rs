@@ -1,0 +1,20 @@
+//! Table I: the 34 benchmark applications, their suites and launch sizes.
+
+fn main() {
+    println!("Table I — benchmarks used for simulation (34 applications)\n");
+    println!(
+        "{:<10} {:<44} {:<9} {:>8} {:>9} {:>7}",
+        "abbr", "application", "suite", "CTAs", "thr/CTA", "insts"
+    );
+    for w in flame_workloads::all() {
+        println!(
+            "{:<10} {:<44} {:<9} {:>8} {:>9} {:>7}",
+            w.abbr,
+            w.name,
+            w.suite,
+            w.dims.num_ctas(),
+            w.dims.threads_per_cta(),
+            w.kernel.len()
+        );
+    }
+}

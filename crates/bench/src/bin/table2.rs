@@ -1,0 +1,28 @@
+//! Table II: sensors per SM required for a 20-cycle WCDL and the
+//! resulting area overhead, for the four GPU architectures; plus the RBQ
+//! and RPT hardware costs (§VI-A2).
+
+use flame_core::report::hardware_cost;
+use gpu_sim::config::GpuConfig;
+
+fn main() {
+    println!("Table II — sensors required for 20 cycles of WCDL\n");
+    println!(
+        "{:<10} {:>10} {:>6} {:>12} {:>12} {:>11} {:>11}",
+        "GPU", "clock MHz", "SMs", "sensors/SM", "area ovh", "RBQ bits", "RPT bits"
+    );
+    for g in GpuConfig::paper_architectures() {
+        let c = hardware_cost(&g, 20);
+        println!(
+            "{:<10} {:>10} {:>6} {:>12} {:>11.4}% {:>11} {:>11}",
+            g.name,
+            g.core_clock_mhz,
+            g.num_sms,
+            c.sensors_per_sm,
+            c.sensor_area_overhead * 100.0,
+            c.rbq_bits_per_scheduler,
+            c.rpt_bits_per_scheduler,
+        );
+    }
+    println!("\n(paper: 200 / 260 / 128 / 248 sensors; < 0.1% area; RBQ 120 bits; RPT 1024 bits)");
+}

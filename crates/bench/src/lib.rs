@@ -1,0 +1,107 @@
+//! # flame-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (run them with
+//! `cargo run --release -p flame-bench --bin <name>`):
+//!
+//! | binary         | reproduces                                        |
+//! |----------------|---------------------------------------------------|
+//! | `table1`       | Table I — the benchmark inventory                 |
+//! | `fig12`        | Figure 12 — WCDL vs. sensors/SM, 4 GPUs           |
+//! | `table2`       | Table II — sensors for 20-cycle WCDL              |
+//! | `fig13_14`     | Figures 13/14/15 — all schemes × all workloads    |
+//! | `fig16`        | Figure 16 — region-extension optimization impact  |
+//! | `fig17`        | Figure 17 — WCDL sensitivity (10–50 cycles)       |
+//! | `fig18`        | Figure 18 — scheduler sensitivity                 |
+//! | `fig19`        | Figure 19 — GPU architecture sensitivity          |
+//! | `region_stats` | §IV — region sizes, false positives, §VI-A costs  |
+//! | `fig4_naive`   | Figure 4 — the naive-verification motivation      |
+//!
+//! The shared code here runs `(workload, scheme, config)` matrices and
+//! prints aligned tables with per-app normalized execution times and the
+//! geometric mean, matching the figures' structure.
+
+use flame_core::experiment::{geomean, run_scheme, ExperimentConfig, RunResult, WorkloadSpec};
+use flame_core::scheme::Scheme;
+
+/// A single matrix cell: normalized time of `scheme` on one workload.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Workload abbreviation.
+    pub abbr: &'static str,
+    /// Normalized execution time (scheme cycles / baseline cycles).
+    pub normalized: f64,
+    /// The raw run.
+    pub run: RunResult,
+}
+
+/// Runs `scheme` over every workload in `suite`, normalizing to a
+/// baseline run under the same `cfg`. Panics on simulation errors or
+/// output mismatches — a figure regenerated from wrong outputs would be
+/// meaningless.
+pub fn run_suite(suite: &[WorkloadSpec], scheme: Scheme, cfg: &ExperimentConfig) -> Vec<Cell> {
+    suite
+        .iter()
+        .map(|w| {
+            let base = run_scheme(w, Scheme::Baseline, cfg)
+                .unwrap_or_else(|e| panic!("{} baseline: {e}", w.abbr));
+            assert!(base.output_ok, "{} baseline output wrong", w.abbr);
+            let run = run_scheme(w, scheme, cfg)
+                .unwrap_or_else(|e| panic!("{} {scheme}: {e}", w.abbr));
+            assert!(run.output_ok, "{} {scheme} output wrong", w.abbr);
+            Cell {
+                abbr: w.abbr,
+                normalized: run.stats.cycles as f64 / base.stats.cycles as f64,
+                run,
+            }
+        })
+        .collect()
+}
+
+/// Prints a per-app table: one row per workload, one column per series.
+pub fn print_table(series_names: &[&str], series: &[Vec<Cell>]) {
+    assert_eq!(series_names.len(), series.len());
+    print!("{:<12}", "app");
+    for name in series_names {
+        print!(" {name:>22}");
+    }
+    println!();
+    let napps = series[0].len();
+    for i in 0..napps {
+        print!("{:<12}", series[0][i].abbr);
+        for s in series {
+            print!(" {:>22.4}", s[i].normalized);
+        }
+        println!();
+    }
+    print!("{:<12}", "GEOMEAN");
+    for s in series {
+        let g = geomean(&s.iter().map(|c| c.normalized).collect::<Vec<_>>());
+        print!(" {g:>22.4}");
+    }
+    println!();
+}
+
+/// Geometric mean of a series' normalized times.
+pub fn series_geomean(cells: &[Cell]) -> f64 {
+    geomean(&cells.iter().map(|c| c.normalized).collect::<Vec<_>>())
+}
+
+/// The default experiment configuration of the paper's evaluation
+/// (GTX 480, GTO, WCDL = 20).
+pub fn paper_default() -> ExperimentConfig {
+    ExperimentConfig::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_suite_on_one_workload() {
+        let suite = vec![flame_workloads::by_abbr("Triad").unwrap()];
+        let cells = run_suite(&suite, Scheme::Renaming, &paper_default());
+        assert_eq!(cells.len(), 1);
+        assert!(cells[0].normalized > 0.5 && cells[0].normalized < 2.0);
+        assert!((series_geomean(&cells) - cells[0].normalized).abs() < 1e-12);
+    }
+}

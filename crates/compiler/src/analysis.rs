@@ -1,0 +1,350 @@
+//! Dataflow analyses on kernels: linear positions, predecessors, liveness
+//! and live intervals.
+//!
+//! These back the register allocator ([`crate::regalloc`]) and the
+//! anti-dependence handling passes ([`crate::renaming`],
+//! [`crate::checkpoint`]).
+
+use gpu_sim::isa::{BlockId, Reg};
+use gpu_sim::program::Kernel;
+use std::collections::{HashMap, HashSet};
+
+/// A linear program position: the index of an instruction in block order.
+pub type Pos = usize;
+
+/// Linearization of a kernel: maps `(block, index)` to [`Pos`] and back.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    /// First position of each block.
+    pub block_start: Vec<Pos>,
+    /// Number of instructions in each block.
+    pub block_len: Vec<usize>,
+    /// Total instructions.
+    pub len: usize,
+}
+
+impl Layout {
+    /// Computes the layout of `k`.
+    pub fn of(k: &Kernel) -> Layout {
+        let mut block_start = Vec::with_capacity(k.blocks.len());
+        let mut block_len = Vec::with_capacity(k.blocks.len());
+        let mut pos = 0;
+        for b in &k.blocks {
+            block_start.push(pos);
+            block_len.push(b.insts.len());
+            pos += b.insts.len();
+        }
+        Layout {
+            block_start,
+            block_len,
+            len: pos,
+        }
+    }
+
+    /// Position of instruction `idx` of `block`.
+    pub fn pos(&self, block: BlockId, idx: usize) -> Pos {
+        self.block_start[block.index()] + idx
+    }
+
+    /// Block and in-block index of `pos`.
+    pub fn locate(&self, pos: Pos) -> (BlockId, usize) {
+        let b = match self.block_start.binary_search(&pos) {
+            Ok(i) => {
+                // Could be the start of an empty block run; take the last
+                // block starting here that is nonempty, or walk forward.
+                let mut i = i;
+                while self.block_len[i] == 0 && i + 1 < self.block_start.len() {
+                    i += 1;
+                }
+                i
+            }
+            Err(i) => i - 1,
+        };
+        (BlockId(b as u32), pos - self.block_start[b])
+    }
+
+    /// Last position of `block` (its end, exclusive).
+    pub fn block_end(&self, block: BlockId) -> Pos {
+        self.block_start[block.index()] + self.block_len[block.index()]
+    }
+}
+
+/// Predecessor lists of every block.
+pub fn predecessors(k: &Kernel) -> Vec<Vec<BlockId>> {
+    let mut preds = vec![Vec::new(); k.blocks.len()];
+    for b in 0..k.blocks.len() {
+        for s in k.successors(BlockId(b as u32)) {
+            preds[s.index()].push(BlockId(b as u32));
+        }
+    }
+    preds
+}
+
+/// Whether `block`'s only predecessor is the linearly preceding block via
+/// fall-through — the condition under which linear order equals execution
+/// order and no region-entry boundary is required.
+pub fn is_linear_continuation(k: &Kernel, preds: &[Vec<BlockId>], block: BlockId) -> bool {
+    let b = block.index();
+    if b == 0 {
+        return preds[0].is_empty();
+    }
+    if preds[b].len() != 1 || preds[b][0].index() != b - 1 {
+        return false;
+    }
+    // The predecessor must actually fall through (its terminator is a
+    // conditional branch or absent).
+    let prev = &k.blocks[b - 1];
+    match prev.terminator() {
+        None => true,
+        Some(t) if t.op == gpu_sim::isa::Opcode::Bra && t.pred.is_some() => true,
+        _ => false,
+    }
+}
+
+/// Per-block liveness sets.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Registers live at the entry of each block.
+    pub live_in: Vec<HashSet<Reg>>,
+    /// Registers live at the exit of each block.
+    pub live_out: Vec<HashSet<Reg>>,
+}
+
+impl Liveness {
+    /// Computes liveness by the standard backward fixpoint.
+    pub fn of(k: &Kernel) -> Liveness {
+        let n = k.blocks.len();
+        // use[b]: read before written in b; def[b]: written in b.
+        let mut use_b = vec![HashSet::new(); n];
+        let mut def_b = vec![HashSet::new(); n];
+        for (b, blk) in k.blocks.iter().enumerate() {
+            for inst in &blk.insts {
+                for r in inst.reads() {
+                    if !def_b[b].contains(&r) {
+                        use_b[b].insert(r);
+                    }
+                }
+                if let Some(d) = inst.writes() {
+                    def_b[b].insert(d);
+                }
+            }
+        }
+        let mut live_in = vec![HashSet::new(); n];
+        let mut live_out = vec![HashSet::new(); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in (0..n).rev() {
+                let mut out: HashSet<Reg> = HashSet::new();
+                for s in k.successors(BlockId(b as u32)) {
+                    out.extend(live_in[s.index()].iter().copied());
+                }
+                let mut inn: HashSet<Reg> = use_b[b].clone();
+                for &r in &out {
+                    if !def_b[b].contains(&r) {
+                        inn.insert(r);
+                    }
+                }
+                if out != live_out[b] || inn != live_in[b] {
+                    live_out[b] = out;
+                    live_in[b] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Whether `r` is live immediately *after* position `pos` (used by the
+    /// renaming pass to decide whether a rename scan can stop safely).
+    ///
+    /// Computed by a backward scan of the remainder of the block plus the
+    /// block's live-out set.
+    pub fn live_after(&self, k: &Kernel, layout: &Layout, pos: Pos, r: Reg) -> bool {
+        let (block, idx) = layout.locate(pos);
+        let blk = &k.blocks[block.index()];
+        for inst in &blk.insts[idx + 1..] {
+            if inst.reads().any(|x| x == r) {
+                return true;
+            }
+            if inst.writes() == Some(r) {
+                return false;
+            }
+        }
+        self.live_out[block.index()].contains(&r)
+    }
+}
+
+/// The live interval of a register: a conservative `[start, end]` span of
+/// linear positions within which the register must keep its value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// The register.
+    pub reg: Reg,
+    /// First position where the register is defined or live.
+    pub start: Pos,
+    /// Last position where the register is used or live.
+    pub end: Pos,
+}
+
+/// Computes conservative live intervals for every register: instruction
+/// defs/uses extended by block-boundary liveness (so loop-carried values
+/// span their whole loop).
+pub fn intervals(k: &Kernel, layout: &Layout, live: &Liveness) -> Vec<Interval> {
+    let mut span: HashMap<Reg, (Pos, Pos)> = HashMap::new();
+    let touch = |r: Reg, p: Pos, span: &mut HashMap<Reg, (Pos, Pos)>| {
+        let e = span.entry(r).or_insert((p, p));
+        e.0 = e.0.min(p);
+        e.1 = e.1.max(p);
+    };
+    for (b, blk) in k.blocks.iter().enumerate() {
+        let start = layout.block_start[b];
+        let end = layout.block_end(BlockId(b as u32)).saturating_sub(1);
+        for &r in &live.live_in[b] {
+            touch(r, start, &mut span);
+        }
+        for &r in &live.live_out[b] {
+            touch(r, end, &mut span);
+        }
+        for (i, inst) in blk.insts.iter().enumerate() {
+            let p = start + i;
+            for r in inst.reads() {
+                touch(r, p, &mut span);
+            }
+            if let Some(d) = inst.writes() {
+                touch(d, p, &mut span);
+            }
+        }
+    }
+    let mut out: Vec<Interval> = span
+        .into_iter()
+        .map(|(reg, (start, end))| Interval { reg, start, end })
+        .collect();
+    out.sort_by_key(|iv| (iv.start, iv.reg));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::builder::KernelBuilder;
+    use gpu_sim::isa::Cmp;
+
+    fn loop_kernel() -> Kernel {
+        // r_acc and r_i live across the loop; r_t is loop-local.
+        let mut b = KernelBuilder::new("k");
+        let acc = b.mov(0i64); // r0
+        let i = b.mov(0i64); // r1
+        b.label("head");
+        let t = b.imul(i, 2); // r2
+        let acc2 = b.iadd(acc, t); // r3
+        b.mov_to(acc, acc2);
+        let i2 = b.iadd(i, 1); // r4
+        b.mov_to(i, i2);
+        let p = b.setp(Cmp::Lt, i, 10i64); // r5
+        b.bra_if(p, true, "head");
+        b.st_global(0i64, acc, 0);
+        b.exit();
+        b.finish()
+    }
+
+    #[test]
+    fn layout_roundtrip() {
+        let k = loop_kernel();
+        let layout = Layout::of(&k);
+        assert_eq!(layout.len, k.len());
+        for (b, i, _) in k.iter() {
+            let p = layout.pos(b, i);
+            assert_eq!(layout.locate(p), (b, i));
+        }
+    }
+
+    #[test]
+    fn predecessors_of_loop() {
+        let k = loop_kernel();
+        let preds = predecessors(&k);
+        // The loop head has two predecessors: entry and the backedge.
+        let head = k
+            .blocks
+            .iter()
+            .position(|b| b.label == "head")
+            .expect("head block");
+        assert_eq!(preds[head].len(), 2);
+    }
+
+    #[test]
+    fn linear_continuation_detection() {
+        let k = loop_kernel();
+        let preds = predecessors(&k);
+        let head = k.blocks.iter().position(|b| b.label == "head").unwrap();
+        // Loop head: two preds -> not a linear continuation.
+        assert!(!is_linear_continuation(&k, &preds, BlockId(head as u32)));
+        // Block after the conditional backedge: single fall-through pred.
+        assert!(is_linear_continuation(
+            &k,
+            &preds,
+            BlockId(head as u32 + 1)
+        ));
+        // Entry block with no preds is a linear continuation.
+        assert!(is_linear_continuation(&k, &preds, BlockId(0)));
+    }
+
+    #[test]
+    fn liveness_tracks_loop_carried_values() {
+        let k = loop_kernel();
+        let live = Liveness::of(&k);
+        let head = k.blocks.iter().position(|b| b.label == "head").unwrap();
+        // acc (r0) and i (r1) are live into the loop head.
+        assert!(live.live_in[head].contains(&Reg(0)));
+        assert!(live.live_in[head].contains(&Reg(1)));
+        // The loop-local temporary r2 is not.
+        assert!(!live.live_in[head].contains(&Reg(2)));
+    }
+
+    #[test]
+    fn intervals_span_loops() {
+        let k = loop_kernel();
+        let layout = Layout::of(&k);
+        let live = Liveness::of(&k);
+        let ivs = intervals(&k, &layout, &live);
+        let find = |r: Reg| ivs.iter().find(|iv| iv.reg == r).copied().unwrap();
+        let head = k.blocks.iter().position(|b| b.label == "head").unwrap();
+        let loop_end = layout.block_end(BlockId(head as u32)) - 1;
+        // acc's interval covers the whole loop and its use in the store.
+        let acc = find(Reg(0));
+        assert!(acc.start <= layout.block_start[head]);
+        assert!(acc.end > loop_end);
+        // The loop-local temp is contained within the loop body.
+        let t = find(Reg(2));
+        assert!(t.start >= layout.block_start[head]);
+        assert!(t.end <= loop_end);
+    }
+
+    #[test]
+    fn intervals_sorted_by_start() {
+        let k = loop_kernel();
+        let layout = Layout::of(&k);
+        let live = Liveness::of(&k);
+        let ivs = intervals(&k, &layout, &live);
+        for w in ivs.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+    }
+
+    #[test]
+    fn live_after_respects_redefinition() {
+        let mut b = KernelBuilder::new("k");
+        let x = b.mov(1i64); // r0
+        let _y = b.iadd(x, 2); // r1 reads r0
+        b.mov_to(x, 5i64); // redefines r0
+        b.st_global(0i64, x, 0);
+        b.exit();
+        let k = b.finish();
+        let layout = Layout::of(&k);
+        let live = Liveness::of(&k);
+        // After pos 0 (mov r0), r0 is live (read at pos 1).
+        assert!(live.live_after(&k, &layout, 0, Reg(0)));
+        // After pos 1 (iadd), r0 is redefined before any use: dead.
+        assert!(!live.live_after(&k, &layout, 1, Reg(0)));
+    }
+}

@@ -1,0 +1,347 @@
+//! Live-out register checkpointing (paper §II-C2, Figure 3b — the
+//! Penny-style alternative to renaming).
+//!
+//! For every idempotent region whose execution overwrites one of its own
+//! register inputs (an uncovered WAR), this pass stores that input's value
+//! to a dedicated checkpoint slot in per-thread local memory *immediately
+//! before the boundary that starts the region* — i.e. at the end of the
+//! preceding region, so by the time the region can roll back, the
+//! checkpoint is covered by region-level verification (the paper's
+//! footnote 4 argument). Recovery restores the checkpointed registers and
+//! re-executes the region; the restore lists are returned per boundary so
+//! the runtime (flame-core's RPT) can attach them to recovery points.
+//!
+//! Only the actually anti-dependent registers are checkpointed — the
+//! effect of Penny's "optimal checkpoint pruning".
+
+use crate::analysis::{Layout, Pos};
+use crate::region::regions_of;
+use gpu_sim::isa::{Instruction, MemSpace, Opcode, Operand, Reg};
+use gpu_sim::program::Kernel;
+use std::collections::{HashMap, HashSet};
+
+/// A checkpointed register and the local-memory slot its value is stored
+/// to at the end of the preceding region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointSlot {
+    /// The anti-dependent region input being checkpointed.
+    pub reg: Reg,
+    /// Byte offset of the checkpoint slot in per-thread local memory.
+    pub local_offset: u32,
+}
+
+/// Outcome of the checkpointing pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckpointResult {
+    /// The rewritten kernel.
+    pub kernel: Kernel,
+    /// Restore list for each region, indexed by *boundary ordinal* (the
+    /// i-th `RegionBoundary` in linear order starts region i+1 and has
+    /// restore list `restores[i]`).
+    pub restores: Vec<Vec<CheckpointSlot>>,
+    /// Static checkpoint stores inserted.
+    pub checkpoints: usize,
+    /// Boundaries added to fix entry-region WARs.
+    pub boundaries_added: usize,
+}
+
+/// Registers of `region` that are read before being overwritten within it
+/// (its anti-dependent inputs).
+fn antidep_inputs(k: &Kernel, layout: &Layout, region: &crate::region::Region) -> Vec<Reg> {
+    let mut first_read: HashMap<Reg, Pos> = HashMap::new();
+    let mut written: HashSet<Reg> = HashSet::new();
+    let mut out = Vec::new();
+    for &p in &region.insts {
+        let (b, i) = layout.locate(p);
+        let inst = &k.blocks[b.index()].insts[i];
+        for r in inst.reads().collect::<Vec<_>>() {
+            if !written.contains(&r) {
+                first_read.entry(r).or_insert(p);
+            }
+        }
+        if let Some(d) = inst.writes() {
+            if first_read.contains_key(&d) && !written.contains(&d) && !out.contains(&d) {
+                out.push(d);
+            }
+            // Predicated writes are partial: not WARAW covers.
+            if inst.pred.is_none() || inst.op == Opcode::Bra {
+                written.insert(d);
+            }
+        }
+    }
+    out
+}
+
+/// First position in `region` whose instruction overwrites a previously
+/// read register (used to split the entry region).
+fn first_war_write(k: &Kernel, layout: &Layout, region: &crate::region::Region) -> Option<Pos> {
+    let mut first_read: HashMap<Reg, Pos> = HashMap::new();
+    let mut written: HashSet<Reg> = HashSet::new();
+    for &p in &region.insts {
+        let (b, i) = layout.locate(p);
+        let inst = &k.blocks[b.index()].insts[i];
+        for r in inst.reads().collect::<Vec<_>>() {
+            if !written.contains(&r) {
+                first_read.entry(r).or_insert(p);
+            }
+        }
+        if let Some(d) = inst.writes() {
+            if first_read.contains_key(&d) && !written.contains(&d) {
+                return Some(p);
+            }
+            if inst.pred.is_none() || inst.op == Opcode::Bra {
+                written.insert(d);
+            }
+        }
+    }
+    None
+}
+
+/// Runs the checkpointing pass on a kernel with region boundaries.
+pub fn checkpoint(kernel: &Kernel) -> CheckpointResult {
+    let mut k = kernel.clone();
+    let mut boundaries_added = 0;
+
+    // The entry region has no preceding boundary to host checkpoints: cut
+    // it at its first WAR write until it is WAR-free.
+    loop {
+        let layout = Layout::of(&k);
+        let regions = regions_of(&k);
+        let entry = &regions[0];
+        match first_war_write(&k, &layout, entry) {
+            Some(p) => {
+                let (b, i) = layout.locate(p);
+                k.blocks[b.index()]
+                    .insts
+                    .insert(i, Instruction::new(Opcode::RegionBoundary, None, vec![]));
+                boundaries_added += 1;
+            }
+            None => break,
+        }
+    }
+
+    // Checkpoint each region's anti-dependent inputs before its boundary.
+    let layout = Layout::of(&k);
+    let regions = regions_of(&k);
+    let mut local_top = i64::from(k.local_mem_bytes);
+    let mut restores: Vec<Vec<CheckpointSlot>> = Vec::with_capacity(regions.len() - 1);
+    // (position of boundary, checkpoint stores to insert before it)
+    let mut insertions: Vec<(Pos, Vec<Instruction>)> = Vec::new();
+    let mut checkpoints = 0;
+    for region in &regions[1..] {
+        let bp = region.boundary.expect("non-entry region has a boundary");
+        let inputs = antidep_inputs(&k, &layout, region);
+        let mut list = Vec::with_capacity(inputs.len());
+        let mut stores = Vec::with_capacity(inputs.len());
+        for r in inputs {
+            let slot = local_top;
+            local_top += 8;
+            let mut st = Instruction::new(
+                Opcode::St(MemSpace::Local),
+                None,
+                vec![Operand::Imm(0), Operand::Reg(r)],
+            );
+            st.offset = slot;
+            stores.push(st);
+            list.push(CheckpointSlot {
+                reg: r,
+                local_offset: slot as u32,
+            });
+            checkpoints += 1;
+        }
+        restores.push(list);
+        if !stores.is_empty() {
+            insertions.push((bp, stores));
+        }
+    }
+    k.local_mem_bytes = local_top as u32;
+    // Apply insertions back-to-front so earlier positions stay valid.
+    insertions.sort_by_key(|(p, _)| std::cmp::Reverse(*p));
+    for (p, stores) in insertions {
+        let (b, i) = layout.locate(p);
+        let blk = &mut k.blocks[b.index()].insts;
+        for st in stores.into_iter().rev() {
+            blk.insert(i, st);
+        }
+    }
+    k.recount_regs();
+    CheckpointResult {
+        kernel: k,
+        restores,
+        checkpoints,
+        boundaries_added,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regalloc::allocate;
+    use crate::region::{form_regions, Exemptions};
+    use gpu_sim::builder::KernelBuilder;
+    use gpu_sim::config::GpuConfig;
+    use gpu_sim::gpu::Gpu;
+    use gpu_sim::isa::{Cmp, Special};
+    use gpu_sim::scheduler::SchedulerKind;
+    use gpu_sim::sm::LaunchDims;
+
+    fn run_output(kernel: &Kernel, threads: u32, words: u64) -> Vec<u64> {
+        let mut gpu = Gpu::launch(
+            GpuConfig::gtx480(),
+            kernel.flatten(),
+            LaunchDims::linear(1, threads),
+            SchedulerKind::Gto,
+        )
+        .unwrap();
+        gpu.run(10_000_000).unwrap();
+        (0..words).map(|t| gpu.global().read(t * 8)).collect()
+    }
+
+    fn loop_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("loop");
+        let tid = b.special(Special::TidX);
+        let i = b.mov(0i64);
+        let acc = b.mov(0i64);
+        b.label("head");
+        let acc2 = b.iadd(acc, i);
+        b.mov_to(acc, acc2);
+        let i2 = b.iadd(i, 1);
+        b.mov_to(i, i2);
+        let p = b.setp(Cmp::Lt, i, 10i64);
+        b.bra_if(p, true, "head");
+        let a = b.imul(tid, 8);
+        b.st_arr(gpu_sim::isa::MemSpace::Global, 0, a, acc, 0);
+        b.exit();
+        b.finish()
+    }
+
+    #[test]
+    fn checkpointing_preserves_semantics() {
+        let k = loop_kernel();
+        let alloc = allocate(&k, 8).unwrap();
+        let regioned = form_regions(&alloc.kernel, &Exemptions::none());
+        let before = run_output(&regioned, 32, 32);
+        let res = checkpoint(&regioned);
+        let after = run_output(&res.kernel, 32, 32);
+        assert_eq!(before, after);
+        assert_eq!(after[0], 45);
+        // Loop-carried acc and i are anti-dependent inputs: checkpoints
+        // must exist.
+        assert!(res.checkpoints > 0);
+    }
+
+    #[test]
+    fn restores_align_with_boundaries() {
+        let k = loop_kernel();
+        let alloc = allocate(&k, 8).unwrap();
+        let regioned = form_regions(&alloc.kernel, &Exemptions::none());
+        let res = checkpoint(&regioned);
+        let n_boundaries = res
+            .kernel
+            .iter()
+            .filter(|(_, _, i)| i.op == Opcode::RegionBoundary)
+            .count();
+        assert_eq!(res.restores.len(), n_boundaries);
+        // The loop-body region restores at least one register.
+        assert!(res.restores.iter().any(|l| !l.is_empty()));
+        // Restore slots are within the kernel's local memory.
+        for list in &res.restores {
+            for r in list {
+                assert!(r.local_offset < res.kernel.local_mem_bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_slots_are_distinct() {
+        let k = loop_kernel();
+        let alloc = allocate(&k, 8).unwrap();
+        let regioned = form_regions(&alloc.kernel, &Exemptions::none());
+        let res = checkpoint(&regioned);
+        let mut seen = std::collections::HashSet::new();
+        for list in &res.restores {
+            for r in list {
+                assert!(seen.insert(r.local_offset), "slot reused");
+            }
+        }
+    }
+
+    #[test]
+    fn war_free_region_needs_no_checkpoints() {
+        let mut b = KernelBuilder::new("pure");
+        let tid = b.special(Special::TidX);
+        let a = b.imul(tid, 8);
+        let v = b.ld_arr(gpu_sim::isa::MemSpace::Global, 0, a, 0);
+        let w = b.iadd(v, 1);
+        b.st_arr(gpu_sim::isa::MemSpace::Global, 1, a, w, 65536);
+        b.exit();
+        let k = b.finish();
+        let alloc = allocate(&k, 63).unwrap();
+        let regioned = form_regions(&alloc.kernel, &Exemptions::none());
+        let res = checkpoint(&regioned);
+        assert_eq!(res.checkpoints, 0);
+        assert_eq!(res.boundaries_added, 0);
+    }
+
+    #[test]
+    fn entry_region_war_gets_boundary() {
+        // In well-formed kernels the entry region's inputs are undefined
+        // (allocator-created reuse there is always WARAW-covered), so the
+        // entry-region safety net only triggers on hand-built code that
+        // reads an uninitialized register and later overwrites it.
+        use gpu_sim::isa::{Instruction, Operand, Reg};
+        use gpu_sim::program::BasicBlock;
+        let mut k = Kernel::new("entry-war");
+        let mut blk = BasicBlock::new("entry");
+        // r1 = r0 + 1   (reads uninitialized r0)
+        blk.insts.push(Instruction::new(
+            Opcode::IAdd,
+            Some(Reg(1)),
+            vec![Operand::Reg(Reg(0)), Operand::Imm(1)],
+        ));
+        // r0 = 7        (overwrites the region input)
+        blk.insts.push(Instruction::new(
+            Opcode::Mov,
+            Some(Reg(0)),
+            vec![Operand::Imm(7)],
+        ));
+        blk.insts.push(Instruction::new(Opcode::Exit, None, vec![]));
+        k.blocks.push(blk);
+        k.recount_regs();
+        let res = checkpoint(&k);
+        assert!(res.boundaries_added > 0);
+        // A second run finds nothing left to fix.
+        let res2 = checkpoint(&res.kernel);
+        assert_eq!(res2.boundaries_added, 0);
+        assert_eq!(res2.checkpoints, 0);
+    }
+
+    #[test]
+    fn checkpoint_stores_precede_their_boundary() {
+        let k = loop_kernel();
+        let alloc = allocate(&k, 8).unwrap();
+        let regioned = form_regions(&alloc.kernel, &Exemptions::none());
+        let res = checkpoint(&regioned);
+        // Every boundary with a nonempty restore list must be directly
+        // preceded by that many local stores.
+        let flat: Vec<_> = res
+            .kernel
+            .iter()
+            .map(|(_, _, i)| i.clone())
+            .collect();
+        let mut ord = 0;
+        for (i, inst) in flat.iter().enumerate() {
+            if inst.op == Opcode::RegionBoundary {
+                let need = res.restores[ord].len();
+                for j in 0..need {
+                    let st = &flat[i - 1 - j];
+                    assert!(
+                        matches!(st.op, Opcode::St(MemSpace::Local)),
+                        "boundary {ord} missing checkpoint store"
+                    );
+                }
+                ord += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! # flame-compiler — the Flame compiler passes
+//!
+//! The software half of the Flame hardware/software co-design
+//! (*Featherweight Soft Error Resilience for GPUs*, MICRO 2022): this
+//! crate partitions GPU kernels into idempotent regions and prepares them
+//! for one of the paper's resilience schemes.
+//!
+//! * [`regalloc`] — linear-scan register allocation (the paper hacks
+//!   PTX-level allocation for the same purpose, §V-A);
+//! * [`region`] — idempotent region formation: cutting memory
+//!   anti-dependences and synchronization points with region boundaries;
+//! * [`renaming`] — anti-dependent register renaming (Flame's choice);
+//! * [`checkpoint`] — live-out register checkpointing (the Penny-style
+//!   alternative);
+//! * [`region_opt`] — the §III-E barrier-transparency optimization that
+//!   extends region sizes;
+//! * [`swapcodes`] / [`taildmr`] — SwapCodes instruction duplication and
+//!   the tail-DMR hybrid, the competing detection schemes of §V-B;
+//! * [`pipeline`] — per-scheme pass sequencing producing a
+//!   [`pipeline::CompiledKernel`] ready to run on `gpu-sim`.
+//!
+//! ```
+//! use flame_compiler::pipeline::{build, BuildOptions};
+//! use gpu_sim::builder::KernelBuilder;
+//! use gpu_sim::isa::{MemSpace, Special};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = KernelBuilder::new("axpy");
+//! let tid = b.special(Special::TidX);
+//! let a = b.imul(tid, 8);
+//! let v = b.ld_arr(MemSpace::Global, 0, a, 0);
+//! let w = b.iadd(v, 1);
+//! b.st_arr(MemSpace::Global, 0, a, w, 0); // same array: WAR
+//! b.exit();
+//! let kernel = b.finish();
+//!
+//! let flame = build(&kernel, &BuildOptions::flame(63, 20))?;
+//! assert!(flame.stats.regions >= 2); // the WAR was cut
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod checkpoint;
+pub mod pipeline;
+pub mod regalloc;
+pub mod region;
+pub mod region_opt;
+pub mod renaming;
+pub mod swapcodes;
+pub mod taildmr;
+
+pub use pipeline::{build, BuildOptions, CompiledKernel, Detection, Recovery};

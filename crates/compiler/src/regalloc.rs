@@ -1,0 +1,374 @@
+//! Linear-scan register allocation.
+//!
+//! Kernels are authored with unbounded virtual registers (crate
+//! `gpu-sim`'s builder); this pass maps them onto the architectural
+//! register budget, spilling to per-thread local memory when necessary.
+//!
+//! Register allocation is what *creates* register anti-dependences
+//! (physical register reuse), which the paper's renaming/checkpointing
+//! schemes must then resolve — exactly the situation of its PTX-level
+//! register-allocation methodology (§V-A).
+
+use crate::analysis::{intervals, Interval, Layout, Liveness};
+use gpu_sim::isa::{Instruction, MemSpace, Opcode, Operand, Reg};
+use gpu_sim::program::Kernel;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Result of register allocation.
+#[derive(Debug, Clone)]
+pub struct AllocResult {
+    /// The rewritten kernel (physical registers, spill code inserted).
+    pub kernel: Kernel,
+    /// Physical registers used per thread.
+    pub regs_used: u32,
+    /// Number of virtual registers spilled to local memory.
+    pub spilled: usize,
+}
+
+/// Error returned when a kernel cannot be allocated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocError {
+    /// The register budget that proved insufficient.
+    pub budget: u32,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot allocate kernel within {} registers per thread",
+            self.budget
+        )
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Number of registers reserved for spill-code scratch values (an
+/// instruction can need up to three source reloads plus a predicate).
+const SCRATCH_REGS: u32 = 4;
+
+/// Allocates `kernel` (virtual registers) onto at most `max_regs`
+/// physical registers per thread.
+///
+/// # Errors
+///
+/// Returns [`AllocError`] if even with spilling the kernel cannot fit
+/// (fewer than `SCRATCH_REGS + 1` registers available).
+pub fn allocate(kernel: &Kernel, max_regs: u32) -> Result<AllocResult, AllocError> {
+    // First try without reserving scratch registers; if anything spills,
+    // redo with scratch registers reserved at the top of the budget.
+    match try_allocate(kernel, max_regs, false) {
+        Some(r) => Ok(r),
+        None => {
+            if max_regs <= SCRATCH_REGS + 1 {
+                return Err(AllocError { budget: max_regs });
+            }
+            try_allocate(kernel, max_regs, true).ok_or(AllocError { budget: max_regs })
+        }
+    }
+}
+
+fn try_allocate(kernel: &Kernel, max_regs: u32, with_spills: bool) -> Option<AllocResult> {
+    let layout = Layout::of(kernel);
+    let live = Liveness::of(kernel);
+    let ivs = intervals(kernel, &layout, &live);
+    let budget = if with_spills {
+        max_regs - SCRATCH_REGS
+    } else {
+        max_regs
+    };
+
+    let mut free: Vec<u16> = (0..budget as u16).rev().collect();
+    let mut active: Vec<Interval> = Vec::new(); // sorted by end asc
+    let mut assign: HashMap<Reg, u16> = HashMap::new();
+    let mut spills: Vec<Reg> = Vec::new();
+
+    for iv in &ivs {
+        // Expire intervals that ended strictly before this start.
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].end < iv.start {
+                let done = active.remove(i);
+                free.push(assign[&done.reg]);
+            } else {
+                i += 1;
+            }
+        }
+        if let Some(r) = free.pop() {
+            assign.insert(iv.reg, r);
+            let at = active.partition_point(|a| a.end <= iv.end);
+            active.insert(at, *iv);
+        } else if !with_spills {
+            return None;
+        } else {
+            // Spill the interval with the furthest end (classic
+            // linear-scan heuristic).
+            let last = active.last().copied();
+            match last {
+                Some(victim) if victim.end > iv.end => {
+                    active.pop();
+                    let r = assign.remove(&victim.reg).expect("victim was assigned");
+                    spills.push(victim.reg);
+                    assign.insert(iv.reg, r);
+                    let at = active.partition_point(|a| a.end <= iv.end);
+                    active.insert(at, *iv);
+                }
+                _ => spills.push(iv.reg),
+            }
+        }
+    }
+
+    let spilled = spills.len();
+    let mut k = rewrite(kernel, &assign, &spills, budget);
+    k.recount_regs();
+    Some(AllocResult {
+        regs_used: k.regs_per_thread,
+        spilled,
+        kernel: k,
+    })
+}
+
+/// Rewrites the kernel: applies the virtual→physical map and inserts
+/// spill loads/stores around uses/defs of spilled registers.
+fn rewrite(kernel: &Kernel, assign: &HashMap<Reg, u16>, spills: &[Reg], budget: u32) -> Kernel {
+    let mut slot_of: HashMap<Reg, i64> = HashMap::new();
+    let mut local_top = i64::from(kernel.local_mem_bytes);
+    for &r in spills {
+        slot_of.insert(r, local_top);
+        local_top += 8;
+    }
+    let scratch = [
+        Reg(budget as u16),
+        Reg(budget as u16 + 1),
+        Reg(budget as u16 + 2),
+        Reg(budget as u16 + 3),
+    ];
+
+    let mut out = kernel.clone();
+    out.local_mem_bytes = local_top as u32;
+    for blk in &mut out.blocks {
+        let mut insts: Vec<Instruction> = Vec::with_capacity(blk.insts.len());
+        for inst in &blk.insts {
+            let mut inst = inst.clone();
+            let mut next_scratch = 0usize;
+            let mut loaded: HashMap<Reg, Reg> = HashMap::new();
+            // Reload spilled sources (and predicate) into scratch regs.
+            let reload = |r: Reg,
+                              insts: &mut Vec<Instruction>,
+                              next_scratch: &mut usize,
+                              loaded: &mut HashMap<Reg, Reg>|
+             -> Reg {
+                if let Some(&s) = loaded.get(&r) {
+                    return s;
+                }
+                let s = scratch[*next_scratch % scratch.len()];
+                *next_scratch += 1;
+                let mut ld =
+                    Instruction::new(Opcode::Ld(MemSpace::Local), Some(s), vec![Operand::Imm(0)]);
+                ld.offset = slot_of[&r];
+                insts.push(ld);
+                loaded.insert(r, s);
+                s
+            };
+            for o in &mut inst.srcs {
+                if let Operand::Reg(r) = *o {
+                    if slot_of.contains_key(&r) {
+                        let s = reload(r, &mut insts, &mut next_scratch, &mut loaded);
+                        *o = Operand::Reg(s);
+                    } else {
+                        *o = Operand::Reg(Reg(u16::from(assign[&r])));
+                    }
+                }
+            }
+            if let Some((p, sense)) = inst.pred {
+                if slot_of.contains_key(&p) {
+                    let s = reload(p, &mut insts, &mut next_scratch, &mut loaded);
+                    inst.pred = Some((s, sense));
+                } else {
+                    inst.pred = Some((Reg(u16::from(assign[&p])), sense));
+                }
+            }
+            // Spilled destination: write a scratch register, then store it.
+            let mut post: Option<Instruction> = None;
+            if let Some(d) = inst.dst {
+                if let Some(&slot) = slot_of.get(&d) {
+                    let s = scratch[0];
+                    inst.dst = Some(s);
+                    let mut st = Instruction::new(
+                        Opcode::St(MemSpace::Local),
+                        None,
+                        vec![Operand::Imm(0), Operand::Reg(s)],
+                    );
+                    st.offset = slot;
+                    st.pred = inst.pred;
+                    post = Some(st);
+                } else {
+                    inst.dst = Some(Reg(u16::from(assign[&d])));
+                }
+            }
+            insts.push(inst);
+            if let Some(st) = post {
+                insts.push(st);
+            }
+        }
+        blk.insts = insts;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::builder::KernelBuilder;
+    use gpu_sim::config::GpuConfig;
+    use gpu_sim::gpu::Gpu;
+    use gpu_sim::isa::{Cmp, Special};
+    use gpu_sim::scheduler::SchedulerKind;
+    use gpu_sim::sm::LaunchDims;
+
+    /// A kernel with many simultaneously live values: t[j] = tid + j all
+    /// summed at the end, forcing `n` live registers.
+    fn wide_kernel(n: usize) -> Kernel {
+        let mut b = KernelBuilder::new("wide");
+        let tid = b.special(Special::TidX);
+        let vals: Vec<_> = (0..n).map(|j| b.iadd(tid, j as i64)).collect();
+        let mut acc = b.mov(0i64);
+        for v in vals {
+            acc = b.iadd(acc, v);
+        }
+        let addr = b.imul(tid, 8);
+        b.st_global(addr, acc, 0);
+        b.exit();
+        b.finish()
+    }
+
+    fn run_output(kernel: &Kernel, threads: u32) -> Vec<u64> {
+        let mut gpu = Gpu::launch(
+            GpuConfig::gtx480(),
+            kernel.flatten(),
+            LaunchDims::linear(1, threads),
+            SchedulerKind::Gto,
+        )
+        .unwrap();
+        gpu.run(10_000_000).unwrap();
+        (0..u64::from(threads))
+            .map(|t| gpu.global().read(t * 8))
+            .collect()
+    }
+
+    #[test]
+    fn allocation_preserves_semantics_without_spills() {
+        let k = wide_kernel(10);
+        let before = run_output(&k, 32);
+        let alloc = allocate(&k, 63).unwrap();
+        assert_eq!(alloc.spilled, 0);
+        assert!(alloc.regs_used <= 63);
+        assert!(alloc.regs_used < k.regs_per_thread);
+        let after = run_output(&alloc.kernel, 32);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn allocation_with_spills_preserves_semantics() {
+        let k = wide_kernel(40);
+        // The raw kernel exceeds the GTX480 register limit; use a roomy
+        // allocation as the reference output.
+        let reference = allocate(&k, 63).unwrap();
+        assert_eq!(reference.spilled, 0);
+        let before = run_output(&reference.kernel, 32);
+        // Budget far below the 40+ simultaneously-live values.
+        let alloc = allocate(&k, 16).unwrap();
+        assert!(alloc.spilled > 0, "expected spills");
+        assert!(alloc.regs_used <= 16);
+        let after = run_output(&alloc.kernel, 32);
+        assert_eq!(before, after);
+        // Spill slots were allocated in local memory.
+        assert!(alloc.kernel.local_mem_bytes >= 8 * alloc.spilled as u32);
+    }
+
+    #[test]
+    fn loop_kernel_allocates_correctly() {
+        let mut b = KernelBuilder::new("loop");
+        let tid = b.special(Special::TidX);
+        let acc = b.mov(0i64);
+        let i = b.mov(0i64);
+        b.label("head");
+        let t = b.imul(i, 3);
+        let acc2 = b.iadd(acc, t);
+        b.mov_to(acc, acc2);
+        let i2 = b.iadd(i, 1);
+        b.mov_to(i, i2);
+        let p = b.setp(Cmp::Lt, i, 8i64);
+        b.bra_if(p, true, "head");
+        let addr = b.imul(tid, 8);
+        b.st_global(addr, acc, 0);
+        b.exit();
+        let k = b.finish();
+        let before = run_output(&k, 32);
+        assert_eq!(before[0], (0..8).map(|i| i * 3).sum::<u64>());
+        for budget in [63u32, 8, 6] {
+            let alloc = allocate(&k, budget).unwrap();
+            let after = run_output(&alloc.kernel, 32);
+            assert_eq!(before, after, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn allocation_reuses_registers() {
+        // Sequential dependent computation: temporaries die immediately,
+        // so very few physical registers are needed.
+        let mut b = KernelBuilder::new("chain");
+        let tid = b.special(Special::TidX);
+        let mut v = b.mov(1i64);
+        for _ in 0..30 {
+            v = b.iadd(v, 1);
+        }
+        let addr = b.imul(tid, 8);
+        b.st_global(addr, v, 0);
+        b.exit();
+        let k = b.finish();
+        let alloc = allocate(&k, 63).unwrap();
+        assert!(
+            alloc.regs_used <= 6,
+            "chain should reuse registers, used {}",
+            alloc.regs_used
+        );
+        assert_eq!(run_output(&alloc.kernel, 32)[5], 31);
+    }
+
+    #[test]
+    fn impossible_budget_errors() {
+        let k = wide_kernel(8);
+        let err = allocate(&k, 3).unwrap_err();
+        assert_eq!(err.budget, 3);
+    }
+
+    #[test]
+    fn predicated_code_with_spills() {
+        // Predicated store via divergent branch, with a tiny budget so the
+        // predicate register itself may spill.
+        let mut b = KernelBuilder::new("pred");
+        let tid = b.special(Special::TidX);
+        let extra: Vec<_> = (0..10).map(|j| b.iadd(tid, j)).collect();
+        let p = b.setp(Cmp::Lt, tid, 16i64);
+        b.bra_if(p, false, "skip");
+        let addr0 = b.imul(tid, 8);
+        b.st_global(addr0, 7i64, 0);
+        b.label("skip");
+        let mut acc = b.mov(0i64);
+        for v in extra {
+            acc = b.iadd(acc, v);
+        }
+        let addr = b.imul(tid, 8);
+        b.st_global(addr, acc, 8192);
+        b.exit();
+        let k = b.finish();
+        let before = run_output(&k, 32);
+        let alloc = allocate(&k, 8).unwrap();
+        assert!(alloc.spilled > 0);
+        let after = run_output(&alloc.kernel, 32);
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,578 @@
+//! Idempotent region formation (paper §II-C, §III-A).
+//!
+//! A region of code is idempotent if re-executing it with its inputs
+//! preserved produces the same result — which holds exactly when the
+//! region contains no uncovered anti-dependence (WAR) on memory. This
+//! pass partitions a register-allocated kernel into regions by inserting
+//! [`Opcode::RegionBoundary`] pseudo-instructions:
+//!
+//! * at every block entry where linear order does not equal execution
+//!   order (joins, loop headers, branch targets) — so that each region is
+//!   a straight-line chain entered only at its top;
+//! * before every barrier and around every atomic (synchronization-level
+//!   error containment, §III-E1) — unless the barrier was proven
+//!   *transparent* by the region-extension optimization (§III-E2);
+//! * before any store that may alias an earlier in-region load without a
+//!   covering earlier write (the WAR / WARAW analysis of Figure 2).
+//!
+//! Register anti-dependences are left to the renaming
+//! ([`crate::renaming`]) or checkpointing ([`crate::checkpoint`]) passes.
+
+use crate::analysis::{is_linear_continuation, predecessors, Layout, Pos};
+use gpu_sim::isa::{Instruction, MemSpace, Opcode, Operand, Reg};
+use gpu_sim::program::Kernel;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::ops::Range;
+
+/// Exemptions produced by the region-extension optimization
+/// ([`crate::region_opt`]): barriers that need no boundary and alias
+/// classes whose WARs are WARAW-covered within a section.
+#[derive(Debug, Clone, Default)]
+pub struct Exemptions {
+    /// Linear positions (in the pre-boundary kernel) of `Bar` instructions
+    /// that do not induce a region boundary.
+    pub transparent_barriers: HashSet<Pos>,
+    /// `(section, class)`: within `section`, WARs on alias class `class`
+    /// are covered by the section's initializing writes.
+    pub covered: Vec<(Range<Pos>, u16)>,
+}
+
+impl Exemptions {
+    /// No exemptions (the unoptimized region formation).
+    pub fn none() -> Exemptions {
+        Exemptions::default()
+    }
+
+    fn covers(&self, pos: Pos, class: Option<u16>) -> bool {
+        let Some(c) = class else { return false };
+        self.covered
+            .iter()
+            .any(|(r, rc)| *rc == c && r.contains(&pos))
+    }
+}
+
+/// The memory-address key used by the conservative alias analysis: a base
+/// (register + SSA-ish version, or constant) plus a byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct AddrKey {
+    base: BaseKey,
+    offset: i64,
+    space: MemSpace,
+    class: Option<u16>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum BaseKey {
+    /// Base register and its definition version at the access.
+    Reg(Reg, u32),
+    /// Constant base address.
+    Const(i64),
+    /// Unanalyzable base (special register operand).
+    Unknown,
+}
+
+/// May the two accesses touch the same location?
+///
+/// Idempotence must hold at *warp* granularity (recovery re-executes whole
+/// warps), so two accesses through the same lane-varying base register
+/// with different offsets may still collide across lanes — lane `i`'s
+/// store to `A[tid+1]` hits lane `i+1`'s load of `A[tid]` (the paper's
+/// Figure 2(a)). Only distinct alias classes or distinct constant
+/// (warp-uniform) addresses are provably disjoint.
+fn may_alias(a: &AddrKey, b: &AddrKey) -> bool {
+    if a.space != b.space {
+        return false;
+    }
+    if let (Some(ca), Some(cb)) = (a.class, b.class) {
+        if ca != cb {
+            return false;
+        }
+    }
+    match (a.base, b.base) {
+        (BaseKey::Const(c1), BaseKey::Const(c2)) => c1 + a.offset == c2 + b.offset,
+        _ => true,
+    }
+}
+
+/// Do the two accesses *definitely* touch the same location?
+fn must_alias(a: &AddrKey, b: &AddrKey) -> bool {
+    if a.space != b.space {
+        return false;
+    }
+    match (a.base, b.base) {
+        (BaseKey::Reg(r1, v1), BaseKey::Reg(r2, v2)) => {
+            r1 == r2 && v1 == v2 && a.offset == b.offset
+        }
+        (BaseKey::Const(c1), BaseKey::Const(c2)) => c1 + a.offset == c2 + b.offset,
+        _ => false,
+    }
+}
+
+fn addr_key(inst: &Instruction, versions: &HashMap<Reg, u32>) -> AddrKey {
+    let space = match inst.op {
+        Opcode::Ld(s) | Opcode::St(s) | Opcode::Atom(s, _) => s,
+        _ => unreachable!("addr_key on non-memory instruction"),
+    };
+    let base = match inst.srcs.first() {
+        Some(Operand::Reg(r)) => BaseKey::Reg(*r, *versions.get(r).unwrap_or(&0)),
+        Some(Operand::Imm(v)) => BaseKey::Const(*v),
+        _ => BaseKey::Unknown,
+    };
+    AddrKey {
+        base,
+        offset: inst.offset,
+        space,
+        class: inst.alias_class,
+    }
+}
+
+/// Inserts idempotent region boundaries into an allocated kernel.
+///
+/// The input must be register-allocated (physical registers); the output
+/// contains [`Opcode::RegionBoundary`] instructions and is otherwise
+/// semantically identical.
+pub fn form_regions(kernel: &Kernel, ex: &Exemptions) -> Kernel {
+    let layout = Layout::of(kernel);
+    let preds = predecessors(kernel);
+
+    // Positions (in the original kernel) before which a boundary goes.
+    let mut boundaries: BTreeSet<Pos> = BTreeSet::new();
+
+    // 1. Region-entry boundaries at non-linear block entries.
+    for b in 0..kernel.blocks.len() {
+        let id = gpu_sim::isa::BlockId(b as u32);
+        if !is_linear_continuation(kernel, &preds, id) && layout.block_len[b] > 0 {
+            boundaries.insert(layout.block_start[b]);
+        }
+    }
+
+    // 2. Synchronization boundaries: before every barrier (unless
+    //    transparent) and around every atomic.
+    for (b, i, inst) in kernel.iter() {
+        let p = layout.pos(b, i);
+        match inst.op {
+            Opcode::Bar => {
+                if !ex.transparent_barriers.contains(&p) {
+                    boundaries.insert(p);
+                }
+            }
+            Opcode::Atom(..) => {
+                boundaries.insert(p);
+                if p + 1 < layout.len {
+                    boundaries.insert(p + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // 3. Memory anti-dependence scan: a single forward pass over the
+    //    linear program, resetting tracked reads at each boundary.
+    let mut versions: HashMap<Reg, u32> = HashMap::new();
+    let mut reads: Vec<(AddrKey, Pos)> = Vec::new();
+    let mut writes: Vec<AddrKey> = Vec::new();
+    for (b, i, inst) in kernel.iter() {
+        let p = layout.pos(b, i);
+        if boundaries.contains(&p) {
+            reads.clear();
+            writes.clear();
+        }
+        match inst.op {
+            Opcode::Ld(_) => {
+                reads.push((addr_key(inst, &versions), p));
+            }
+            Opcode::St(_) => {
+                let key = addr_key(inst, &versions);
+                let war = reads.iter().any(|(rk, rp)| {
+                    may_alias(&key, rk)
+                        && !(ex.covers(p, key.class) && ex.covers(*rp, rk.class))
+                        && !writes.iter().any(|wk| must_alias(wk, rk))
+                });
+                if war {
+                    boundaries.insert(p);
+                    reads.clear();
+                    writes.clear();
+                }
+                // A predicated store writes only some lanes and cannot
+                // serve as a WARAW cover.
+                if inst.pred.is_none() {
+                    writes.push(addr_key(inst, &versions));
+                }
+            }
+            // Atomics are isolated by boundaries already.
+            _ => {}
+        }
+        if let Some(d) = inst.writes() {
+            *versions.entry(d).or_insert(0) += 1;
+        }
+    }
+
+    insert_boundaries(kernel, &layout, &boundaries)
+}
+
+/// Materializes `RegionBoundary` instructions before the given positions.
+fn insert_boundaries(kernel: &Kernel, layout: &Layout, boundaries: &BTreeSet<Pos>) -> Kernel {
+    let mut out = kernel.clone();
+    for &p in boundaries.iter().rev() {
+        let (b, i) = layout.locate(p);
+        out.blocks[b.index()]
+            .insts
+            .insert(i, Instruction::new(Opcode::RegionBoundary, None, vec![]));
+    }
+    out
+}
+
+/// A region: the linear positions of its instructions (boundary
+/// pseudo-instructions excluded), in execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Index of the region in linear order.
+    pub index: usize,
+    /// Linear position of the `RegionBoundary` instruction that starts
+    /// this region, or `None` for the kernel-entry region.
+    pub boundary: Option<Pos>,
+    /// Positions of the region's instructions.
+    pub insts: Vec<Pos>,
+}
+
+/// Enumerates the regions of a kernel that already contains boundary
+/// instructions.
+pub fn regions_of(kernel: &Kernel) -> Vec<Region> {
+    let layout = Layout::of(kernel);
+    let mut out = Vec::new();
+    let mut cur = Region {
+        index: 0,
+        boundary: None,
+        insts: Vec::new(),
+    };
+    for (b, i, inst) in kernel.iter() {
+        let p = layout.pos(b, i);
+        if inst.op == Opcode::RegionBoundary {
+            out.push(cur);
+            cur = Region {
+                index: out.len(),
+                boundary: Some(p),
+                insts: Vec::new(),
+            };
+        } else {
+            cur.insts.push(p);
+        }
+    }
+    out.push(cur);
+    out
+}
+
+/// Summary statistics of a region partitioning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionStats {
+    /// Number of regions (boundaries + 1).
+    pub regions: usize,
+    /// Number of boundary instructions.
+    pub boundaries: usize,
+    /// Mean region size in (static) instructions.
+    pub mean_size: f64,
+    /// Largest region size.
+    pub max_size: usize,
+}
+
+/// Computes [`RegionStats`] for a kernel with boundaries.
+pub fn region_stats(kernel: &Kernel) -> RegionStats {
+    let regs = regions_of(kernel);
+    let sizes: Vec<usize> = regs.iter().map(|r| r.insts.len()).collect();
+    let total: usize = sizes.iter().sum();
+    RegionStats {
+        regions: regs.len(),
+        boundaries: regs.len() - 1,
+        mean_size: if regs.is_empty() {
+            0.0
+        } else {
+            total as f64 / regs.len() as f64
+        },
+        max_size: sizes.iter().copied().max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::builder::KernelBuilder;
+    use gpu_sim::isa::{AtomOp, Cmp, Special};
+
+    fn count_boundaries(k: &Kernel) -> usize {
+        k.iter()
+            .filter(|(_, _, i)| i.op == Opcode::RegionBoundary)
+            .count()
+    }
+
+    #[test]
+    fn straight_line_no_war_has_no_boundaries() {
+        let mut b = KernelBuilder::new("k");
+        let tid = b.special(Special::TidX);
+        let a = b.imul(tid, 8);
+        let v = b.ld_arr(MemSpace::Global, 0, a, 0);
+        let w = b.iadd(v, 1);
+        b.st_arr(MemSpace::Global, 1, a, w, 4096);
+        b.exit();
+        let k = form_regions(&b.finish(), &Exemptions::none());
+        assert_eq!(count_boundaries(&k), 0);
+    }
+
+    #[test]
+    fn store_after_load_same_array_gets_boundary() {
+        // Figure 2(a): ld A[tid]; st A[tid+1] — same class, may alias.
+        let mut b = KernelBuilder::new("k");
+        let tid = b.special(Special::TidX);
+        let a = b.imul(tid, 8);
+        let v = b.ld_arr(MemSpace::Global, 0, a, 0);
+        let w = b.iadd(v, 1);
+        b.st_arr(MemSpace::Global, 0, a, w, 8);
+        b.exit();
+        let k = form_regions(&b.finish(), &Exemptions::none());
+        assert_eq!(count_boundaries(&k), 1);
+        // The boundary sits immediately before the store.
+        let insts = &k.blocks[0].insts;
+        let bpos = insts
+            .iter()
+            .position(|i| i.op == Opcode::RegionBoundary)
+            .unwrap();
+        assert!(matches!(insts[bpos + 1].op, Opcode::St(_)));
+    }
+
+    #[test]
+    fn store_to_same_address_is_waraw_covered() {
+        // st A[tid]; ld A[tid]; st A[tid] — the WAR (ld, 2nd st) is
+        // covered by the first write (WARAW): idempotent, no boundary.
+        let mut b = KernelBuilder::new("k");
+        let tid = b.special(Special::TidX);
+        let a = b.imul(tid, 8);
+        b.st_arr(MemSpace::Global, 0, a, 5i64, 0);
+        let v = b.ld_arr(MemSpace::Global, 0, a, 0);
+        let w = b.iadd(v, 1);
+        b.st_arr(MemSpace::Global, 0, a, w, 0);
+        b.exit();
+        let k = form_regions(&b.finish(), &Exemptions::none());
+        assert_eq!(count_boundaries(&k), 0);
+    }
+
+    #[test]
+    fn cross_lane_offsets_on_same_base_alias() {
+        // ld A[tid]; st A[tid+8B]: lane i's store hits lane i+1's loaded
+        // address — a warp-level WAR, so a boundary is required even
+        // though per-thread addresses differ.
+        let mut b2 = KernelBuilder::new("k2");
+        let tid = b2.special(Special::TidX);
+        let a = b2.imul(tid, 8);
+        let v = b2.ld_arr(MemSpace::Global, 0, a, 0);
+        b2.st_arr(MemSpace::Global, 0, a, v, 8);
+        b2.exit();
+        let k2 = form_regions(&b2.finish(), &Exemptions::none());
+        assert_eq!(count_boundaries(&k2), 1);
+    }
+
+    #[test]
+    fn distinct_constant_addresses_do_not_alias() {
+        let mut b = KernelBuilder::new("k");
+        let v = b.ld_arr(MemSpace::Global, 0, 64i64, 0);
+        b.st_arr(MemSpace::Global, 0, 128i64, v, 0);
+        b.exit();
+        let k = form_regions(&b.finish(), &Exemptions::none());
+        assert_eq!(count_boundaries(&k), 0);
+        // Same constant address: WAR.
+        let mut b2 = KernelBuilder::new("k2");
+        let v = b2.ld_arr(MemSpace::Global, 0, 64i64, 0);
+        let w = b2.iadd(v, 1);
+        b2.st_arr(MemSpace::Global, 0, 64i64, w, 0);
+        b2.exit();
+        let k2 = form_regions(&b2.finish(), &Exemptions::none());
+        assert_eq!(count_boundaries(&k2), 1);
+    }
+
+    #[test]
+    fn different_classes_never_alias() {
+        let mut b = KernelBuilder::new("k");
+        let tid = b.special(Special::TidX);
+        let a = b.imul(tid, 8);
+        let v = b.ld_arr(MemSpace::Global, 0, a, 0);
+        // Unknown-base store, but distinct class: no alias.
+        let other = b.iadd(a, 1024i64);
+        b.st_arr(MemSpace::Global, 1, other, v, 0);
+        b.exit();
+        let k = form_regions(&b.finish(), &Exemptions::none());
+        assert_eq!(count_boundaries(&k), 0);
+    }
+
+    #[test]
+    fn unclassified_store_conservatively_aliases() {
+        let mut b = KernelBuilder::new("k");
+        let tid = b.special(Special::TidX);
+        let a = b.imul(tid, 8);
+        let v = b.ld_global(a, 0); // no class
+        let other = b.iadd(a, 1024i64);
+        b.st_global(other, v, 0); // no class, different base
+        b.exit();
+        let k = form_regions(&b.finish(), &Exemptions::none());
+        assert_eq!(count_boundaries(&k), 1);
+    }
+
+    #[test]
+    fn barriers_and_loop_headers_get_boundaries() {
+        let mut b = KernelBuilder::new("k");
+        let sh = b.alloc_shared(256);
+        let tid = b.special(Special::TidX);
+        let sa = b.imul(tid, 8);
+        b.st_arr(MemSpace::Shared, 0, sa, tid, sh);
+        b.barrier();
+        let i = b.mov(0i64);
+        b.label("head");
+        let i2 = b.iadd(i, 1);
+        b.mov_to(i, i2);
+        let p = b.setp(Cmp::Lt, i, 4i64);
+        b.bra_if(p, true, "head");
+        b.exit();
+        let k = form_regions(&b.finish(), &Exemptions::none());
+        // One boundary before the barrier, one at the loop head.
+        assert!(count_boundaries(&k) >= 2);
+        let regs = regions_of(&k);
+        assert!(regs.len() >= 3);
+    }
+
+    #[test]
+    fn atomics_are_isolated() {
+        let mut b = KernelBuilder::new("k");
+        let tid = b.special(Special::TidX);
+        let _old = b.atom(MemSpace::Global, AtomOp::Add, 0i64, tid, 0);
+        let _x = b.iadd(tid, 1);
+        b.exit();
+        let k = form_regions(&b.finish(), &Exemptions::none());
+        // Boundary before and after the atomic.
+        assert_eq!(count_boundaries(&k), 2);
+        let regs = regions_of(&k);
+        // Region 1 holds exactly the atomic.
+        let atom_region = &regs[1];
+        assert_eq!(atom_region.insts.len(), 1);
+    }
+
+    #[test]
+    fn transparent_barrier_is_skipped() {
+        let mut b = KernelBuilder::new("k");
+        let sh = b.alloc_shared(256);
+        let tid = b.special(Special::TidX);
+        let sa = b.imul(tid, 8);
+        b.st_arr(MemSpace::Shared, 7, sa, tid, sh);
+        b.barrier();
+        let v = b.ld_arr(MemSpace::Shared, 7, sa, sh + 8);
+        b.st_arr(MemSpace::Shared, 7, sa, v, sh);
+        b.exit();
+        let plain = form_regions(&b.finish(), &Exemptions::none());
+        // Without the optimization: boundary at Bar + WAR boundary.
+        assert_eq!(count_boundaries(&plain), 2);
+
+        // With the barrier transparent and class 7 covered: none.
+        let mut b2 = KernelBuilder::new("k");
+        let sh = b2.alloc_shared(256);
+        let tid = b2.special(Special::TidX);
+        let sa = b2.imul(tid, 8);
+        b2.st_arr(MemSpace::Shared, 7, sa, tid, sh);
+        b2.barrier();
+        let v = b2.ld_arr(MemSpace::Shared, 7, sa, sh + 8);
+        b2.st_arr(MemSpace::Shared, 7, sa, v, sh);
+        b2.exit();
+        let k2 = b2.finish();
+        let bar_pos = {
+            let layout = Layout::of(&k2);
+            k2.iter()
+                .find(|(_, _, i)| i.op == Opcode::Bar)
+                .map(|(b, i, _)| layout.pos(b, i))
+                .unwrap()
+        };
+        let ex = Exemptions {
+            transparent_barriers: [bar_pos].into_iter().collect(),
+            covered: vec![(0..k2.len(), 7)],
+        };
+        let opt = form_regions(&k2, &ex);
+        assert_eq!(count_boundaries(&opt), 0);
+    }
+
+    #[test]
+    fn spill_slot_war_is_cut() {
+        use gpu_sim::isa::{Instruction, Opcode, Operand, Reg};
+        // Hand-build: ld.local r0, [0]; st.local [0], r1 — WAR on the
+        // spill slot must be cut.
+        let mut k = Kernel::new("spill");
+        let mut blk = gpu_sim::program::BasicBlock::new("entry");
+        let mut ld = Instruction::new(
+            Opcode::Ld(MemSpace::Local),
+            Some(Reg(0)),
+            vec![Operand::Imm(0)],
+        );
+        ld.offset = 0;
+        blk.insts.push(ld);
+        let mut st = Instruction::new(
+            Opcode::St(MemSpace::Local),
+            None,
+            vec![Operand::Imm(0), Operand::Reg(Reg(1))],
+        );
+        st.offset = 0;
+        blk.insts.push(st);
+        blk.insts.push(Instruction::new(Opcode::Exit, None, vec![]));
+        k.blocks.push(blk);
+        k.recount_regs();
+        let out = form_regions(&k, &Exemptions::none());
+        assert_eq!(count_boundaries(&out), 1);
+        // Different slots: no WAR.
+        let mut k2 = k.clone();
+        k2.blocks[0].insts[1].offset = 8;
+        let out2 = form_regions(&k2, &Exemptions::none());
+        assert_eq!(count_boundaries(&out2), 0);
+    }
+
+    #[test]
+    fn base_register_redefinition_invalidates_must_alias() {
+        // a = tid*8; ld A[a]; a = a + 8; st A[a] — after redefinition the
+        // analysis cannot prove distinctness: boundary expected.
+        let mut b = KernelBuilder::new("k");
+        let tid = b.special(Special::TidX);
+        let a = b.imul(tid, 8);
+        let v = b.ld_arr(MemSpace::Global, 0, a, 0);
+        let a2 = b.iadd(a, 8);
+        b.mov_to(a, a2);
+        b.st_arr(MemSpace::Global, 0, a, v, 0);
+        b.exit();
+        let k = form_regions(&b.finish(), &Exemptions::none());
+        assert_eq!(count_boundaries(&k), 1);
+    }
+
+    #[test]
+    fn region_stats_reports_sizes() {
+        let mut b = KernelBuilder::new("k");
+        let tid = b.special(Special::TidX);
+        let a = b.imul(tid, 8);
+        let v = b.ld_arr(MemSpace::Global, 0, a, 0);
+        b.st_arr(MemSpace::Global, 0, a, v, 0);
+        b.exit();
+        let k = form_regions(&b.finish(), &Exemptions::none());
+        let st = region_stats(&k);
+        assert_eq!(st.boundaries, 1);
+        assert_eq!(st.regions, 2);
+        assert!(st.mean_size > 0.0);
+        assert!(st.max_size >= 2);
+    }
+
+    #[test]
+    fn regions_of_enumerates_in_order() {
+        let mut b = KernelBuilder::new("k");
+        let x = b.mov(1i64);
+        b.region_boundary();
+        let _y = b.iadd(x, 1);
+        b.region_boundary();
+        b.exit();
+        let k = b.finish();
+        let regs = regions_of(&k);
+        assert_eq!(regs.len(), 3);
+        assert_eq!(regs[0].boundary, None);
+        assert_eq!(regs[0].insts.len(), 1);
+        assert_eq!(regs[1].insts.len(), 1);
+        assert_eq!(regs[2].insts.len(), 1); // exit
+        assert_eq!(regs[1].boundary, Some(1));
+    }
+}

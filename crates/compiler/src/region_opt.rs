@@ -1,0 +1,317 @@
+//! The idempotent-region-size extension optimization (paper §III-E).
+//!
+//! Barrier-induced region boundaries sometimes hide WARAW dependences and
+//! shatter code into many small regions (the paper's LUD example, >10 %
+//! overhead without the optimization). This pass conservatively detects
+//! the paper's qualifying pattern within a straight-line code section:
+//!
+//! 1. a piece of shared memory (one alias class) is initialized before
+//!    the barrier, and every following memory anti-dependence in the
+//!    section is on that class;
+//! 2. the section writes no other memory location.
+//!
+//! For such sections the barriers need no boundary and the class's WARs
+//! are WARAW-covered by the initialization, so the whole section can form
+//! a single extended idempotent region. Error propagation across the
+//! transparent barrier stays within the thread block (shared memory is
+//! CTA-private) and Flame's recovery rolls back all warps of the SM, so
+//! recovery remains correct (§III-E3).
+
+use crate::analysis::{is_linear_continuation, predecessors, Layout, Pos};
+use crate::region::Exemptions;
+use gpu_sim::isa::{BlockId, MemSpace, Opcode};
+use gpu_sim::program::Kernel;
+
+/// Statistics of the optimization detection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionOptStats {
+    /// Barriers made transparent.
+    pub transparent_barriers: usize,
+    /// Qualifying sections found.
+    pub sections: usize,
+}
+
+/// Detects qualifying sections and returns the corresponding exemptions
+/// for [`crate::region::form_regions`].
+pub fn detect(kernel: &Kernel) -> (Exemptions, RegionOptStats) {
+    let layout = Layout::of(kernel);
+    let preds = predecessors(kernel);
+    let mut ex = Exemptions::none();
+    let mut stats = RegionOptStats::default();
+
+    // Maximal straight-line chains of blocks (linear continuations).
+    let mut chains: Vec<(usize, usize)> = Vec::new(); // block index ranges
+    let mut start = 0usize;
+    for b in 1..=kernel.blocks.len() {
+        let is_cont = b < kernel.blocks.len()
+            && is_linear_continuation(kernel, &preds, BlockId(b as u32))
+            && b != 0;
+        if !is_cont {
+            chains.push((start, b));
+            start = b;
+        }
+    }
+
+    for (b0, b1) in chains {
+        let lo = layout.block_start[b0];
+        let hi = if b1 < kernel.blocks.len() {
+            layout.block_start[b1]
+        } else {
+            layout.len
+        };
+        let section: Vec<Pos> = (lo..hi).collect();
+        if section.is_empty() {
+            continue;
+        }
+        // Gather the section's barriers and memory accesses.
+        let mut bars: Vec<Pos> = Vec::new();
+        let mut store_class: Option<u16> = None;
+        let mut loaded: std::collections::HashSet<u16> = std::collections::HashSet::new();
+        let mut other_stores: Vec<u16> = Vec::new();
+        let mut qualifies = true;
+        let mut init_seen_before_bar = false;
+        for &p in &section {
+            let (bb, i) = layout.locate(p);
+            let inst = &kernel.blocks[bb.index()].insts[i];
+            match inst.op {
+                Opcode::Bar => bars.push(p),
+                Opcode::Atom(..) => {
+                    qualifies = false;
+                    break;
+                }
+                Opcode::Ld(_) => {
+                    match inst.alias_class {
+                        Some(c) => {
+                            loaded.insert(c);
+                        }
+                        None => {
+                            // An unclassified load may alias anything.
+                            qualifies = false;
+                            break;
+                        }
+                    }
+                }
+                Opcode::St(space) => {
+                    if space == MemSpace::Shared {
+                        match (store_class, inst.alias_class) {
+                            (_, None) => {
+                                qualifies = false;
+                                break;
+                            }
+                            (None, Some(c)) => store_class = Some(c),
+                            (Some(c0), Some(c)) if c0 != c => {
+                                qualifies = false;
+                                break;
+                            }
+                            _ => {}
+                        }
+                        if bars.is_empty() && inst.pred.is_none() {
+                            init_seen_before_bar = true;
+                        }
+                    } else {
+                        // Stores to other spaces are tolerated only when
+                        // they are pure outputs: a class never loaded in
+                        // the section (checked after the scan), so they
+                        // create no anti-dependence.
+                        match inst.alias_class {
+                            Some(c) => other_stores.push(c),
+                            None => {
+                                qualifies = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !qualifies || bars.is_empty() || !init_seen_before_bar {
+            continue;
+        }
+        let Some(class) = store_class else { continue };
+        // Output-only stores must not read back in this section, and the
+        // covered shared class must not also be written through another
+        // class name.
+        if other_stores.iter().any(|c| loaded.contains(c) || *c == class) {
+            continue;
+        }
+        stats.sections += 1;
+        stats.transparent_barriers += bars.len();
+        ex.transparent_barriers.extend(bars);
+        ex.covered.push((lo..hi, class));
+    }
+    (ex, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{form_regions, region_stats};
+    use gpu_sim::builder::KernelBuilder;
+    use gpu_sim::isa::{AtomOp, Cmp, Special};
+
+    /// The paper's Figure 10 pattern: init shared A[id]; barrier; compute
+    /// from neighbours; store back to A.
+    fn figure10(extra_global_store: bool, with_atomic: bool) -> Kernel {
+        let mut b = KernelBuilder::new("fig10");
+        let sh = b.alloc_shared(64 * 8);
+        let tid = b.special(Special::TidX);
+        let sa = b.imul(tid, 8);
+        b.st_arr(MemSpace::Shared, 3, sa, tid, sh); // A[id] = init
+        b.barrier();
+        let n = b.iadd(tid, 1);
+        let nw = b.irem(n, 64);
+        let na = b.imul(nw, 8);
+        let v = b.ld_arr(MemSpace::Shared, 3, na, sh); // A[neighbour]
+        let w = b.iadd(v, 1);
+        if with_atomic {
+            let _ = b.atom(MemSpace::Shared, AtomOp::Add, sa, 1i64, sh);
+        }
+        if extra_global_store {
+            let ga = b.imul(tid, 8);
+            b.st_arr(MemSpace::Global, 9, ga, w, 0);
+        }
+        b.st_arr(MemSpace::Shared, 3, sa, w, sh); // A[id] = result (WAR)
+        b.exit();
+        b.finish()
+    }
+
+    #[test]
+    fn qualifying_pattern_detected() {
+        let k = figure10(false, false);
+        let (ex, stats) = detect(&k);
+        assert_eq!(stats.sections, 1);
+        assert_eq!(stats.transparent_barriers, 1);
+        assert_eq!(ex.covered.len(), 1);
+    }
+
+    #[test]
+    fn optimization_removes_boundaries() {
+        let k = figure10(false, false);
+        let (ex, _) = detect(&k);
+        let plain = form_regions(&k, &Exemptions::none());
+        let opt = form_regions(&k, &ex);
+        let sp = region_stats(&plain);
+        let so = region_stats(&opt);
+        assert!(so.boundaries < sp.boundaries);
+        assert!(so.mean_size > sp.mean_size);
+        // The fully qualifying kernel collapses to a single region.
+        assert_eq!(so.boundaries, 0);
+    }
+
+    #[test]
+    fn write_only_output_store_is_tolerated() {
+        // A global store to a class never loaded in the section is a pure
+        // output: no anti-dependence, so the section still qualifies.
+        let k = figure10(true, false);
+        let (_, stats) = detect(&k);
+        assert_eq!(stats.sections, 1);
+    }
+
+    #[test]
+    fn global_store_to_loaded_class_disqualifies() {
+        // Reading the stored class back creates a non-shared WAR: the
+        // section must not be extended.
+        let mut b = KernelBuilder::new("rw");
+        let sh = b.alloc_shared(64 * 8);
+        let tid = b.special(Special::TidX);
+        let sa = b.imul(tid, 8);
+        b.st_arr(MemSpace::Shared, 3, sa, tid, sh);
+        b.barrier();
+        let v = b.ld_arr(MemSpace::Shared, 3, sa, sh);
+        let ga = b.imul(tid, 8);
+        let g = b.ld_arr(MemSpace::Global, 9, ga, 0);
+        let w = b.iadd(v, g);
+        b.st_arr(MemSpace::Global, 9, ga, w, 0);
+        b.exit();
+        let (_, stats) = detect(&b.finish());
+        assert_eq!(stats.sections, 0);
+    }
+
+    #[test]
+    fn predicated_init_does_not_count() {
+        // The initializing store must dominate (be unpredicated).
+        let mut b = KernelBuilder::new("pred-init");
+        let sh = b.alloc_shared(64 * 8);
+        let tid = b.special(Special::TidX);
+        let sa = b.imul(tid, 8);
+        let p = b.setp(Cmp::Lt, tid, 32i64);
+        b.st_arr(MemSpace::Shared, 3, sa, tid, sh);
+        b.pred_last(p, true);
+        b.barrier();
+        let v = b.ld_arr(MemSpace::Shared, 3, sa, sh);
+        b.st_arr(MemSpace::Shared, 3, sa, v, sh);
+        b.exit();
+        let (_, stats) = detect(&b.finish());
+        assert_eq!(stats.sections, 0);
+    }
+
+    #[test]
+    fn atomic_disqualifies() {
+        let k = figure10(false, true);
+        let (_, stats) = detect(&k);
+        assert_eq!(stats.sections, 0);
+    }
+
+    #[test]
+    fn barrier_without_init_disqualifies() {
+        // Barrier first, then stores: no initialization before the bar.
+        let mut b = KernelBuilder::new("noinit");
+        let sh = b.alloc_shared(64 * 8);
+        let tid = b.special(Special::TidX);
+        let sa = b.imul(tid, 8);
+        b.barrier();
+        b.st_arr(MemSpace::Shared, 3, sa, tid, sh);
+        b.exit();
+        let (_, stats) = detect(&b.finish());
+        assert_eq!(stats.sections, 0);
+    }
+
+    #[test]
+    fn mixed_shared_classes_disqualify() {
+        let mut b = KernelBuilder::new("mixed");
+        let sh = b.alloc_shared(64 * 8);
+        let sh2 = b.alloc_shared(64 * 8);
+        let tid = b.special(Special::TidX);
+        let sa = b.imul(tid, 8);
+        b.st_arr(MemSpace::Shared, 3, sa, tid, sh);
+        b.barrier();
+        b.st_arr(MemSpace::Shared, 4, sa, tid, sh2);
+        b.exit();
+        let (_, stats) = detect(&b.finish());
+        assert_eq!(stats.sections, 0);
+    }
+
+    #[test]
+    fn section_inside_loop_detected_per_iteration() {
+        // The LUD shape: the init/bar/compute pattern inside a loop. The
+        // loop header cuts the chain, but the body qualifies.
+        let mut b = KernelBuilder::new("lud");
+        let sh = b.alloc_shared(64 * 8);
+        let tid = b.special(Special::TidX);
+        let i = b.mov(0i64);
+        b.label("head");
+        let sa = b.imul(tid, 8);
+        b.st_arr(MemSpace::Shared, 3, sa, i, sh);
+        b.barrier();
+        let n = b.iadd(tid, 1);
+        let nw = b.irem(n, 64);
+        let na = b.imul(nw, 8);
+        let v = b.ld_arr(MemSpace::Shared, 3, na, sh);
+        let w = b.iadd(v, 1);
+        b.st_arr(MemSpace::Shared, 3, sa, w, sh);
+        let i2 = b.iadd(i, 1);
+        b.mov_to(i, i2);
+        let p = b.setp(Cmp::Lt, i, 4i64);
+        b.bra_if(p, true, "head");
+        b.exit();
+        let k = b.finish();
+        let (ex, stats) = detect(&k);
+        assert_eq!(stats.sections, 1);
+        let plain = region_stats(&form_regions(&k, &Exemptions::none()));
+        let opt = region_stats(&form_regions(&k, &ex));
+        assert!(opt.boundaries < plain.boundaries);
+        // The loop-header boundary must remain.
+        assert!(opt.boundaries >= 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! SwapCodes-style instruction duplication (paper §V-B1).
+//!
+//! SwapCodes detects soft errors by executing a replica of every
+//! computational instruction into a *shadow* register that is paired with
+//! the original's ECC code — mismatches surface through the existing ECC
+//! check logic, so no explicit compare instructions are needed. The cost
+//! that remains (and that the paper measures at ~34–45 %) is the doubled
+//! issue bandwidth and the extra register pressure, which is exactly what
+//! this pass models: one replica per computational instruction, a shadow
+//! seed `mov` per load, and a shadow register map drawn from the spare
+//! architectural registers.
+//!
+//! Shadow values never feed the architectural results, so when the spare
+//! register pool is smaller than the number of shadowed registers,
+//! shadows share registers round-robin — harmless for simulation
+//! fidelity, mirroring how a real implementation would spill or rotate
+//! ECC-pair registers.
+
+use gpu_sim::isa::{Instruction, Opcode, Operand, Reg};
+use gpu_sim::program::Kernel;
+use std::collections::HashMap;
+
+/// Outcome of a duplication pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DupStats {
+    /// Replica instructions inserted.
+    pub duplicated: usize,
+    /// Shadow-seed moves inserted after loads.
+    pub seeds: usize,
+    /// Shadow registers allocated.
+    pub shadow_regs: usize,
+}
+
+/// Duplicates every computational instruction in the kernel (full
+/// SwapCodes protection). `max_regs` bounds the register budget from
+/// which shadow registers are drawn.
+pub fn duplicate(kernel: &Kernel, max_regs: u32) -> (Kernel, DupStats) {
+    duplicate_where(kernel, max_regs, |_, _| true)
+}
+
+/// Duplicates the computational instructions selected by `select`, which
+/// receives `(linear_position, instruction)`. Used both for full
+/// duplication and for tail-DMR's per-region tails.
+pub fn duplicate_where(
+    kernel: &Kernel,
+    max_regs: u32,
+    mut select: impl FnMut(usize, &Instruction) -> bool,
+) -> (Kernel, DupStats) {
+    let base = kernel
+        .max_reg()
+        .map_or(0, |r| u32::from(r.0) + 1)
+        .max(kernel.regs_per_thread);
+    let spare = max_regs.saturating_sub(base).max(1);
+    let mut shadow_map: HashMap<Reg, Reg> = HashMap::new();
+    let mut next_shadow = 0u32;
+    let mut stats = DupStats::default();
+
+    let shadow_of = |r: Reg, map: &mut HashMap<Reg, Reg>, next: &mut u32| -> Reg {
+        *map.entry(r).or_insert_with(|| {
+            let s = Reg((base + (*next % spare)) as u16);
+            *next += 1;
+            s
+        })
+    };
+
+    let mut out = kernel.clone();
+    let mut pos = 0usize;
+    for blk in &mut out.blocks {
+        let mut insts = Vec::with_capacity(blk.insts.len() * 2);
+        for inst in &blk.insts {
+            let selected = select(pos, inst);
+            pos += 1;
+            insts.push(inst.clone());
+            if !selected {
+                continue;
+            }
+            match inst.op {
+                op if op.is_compute() => {
+                    let Some(d) = inst.dst else { continue };
+                    let mut replica = inst.clone();
+                    replica.dst = Some(shadow_of(d, &mut shadow_map, &mut next_shadow));
+                    for o in &mut replica.srcs {
+                        if let Operand::Reg(r) = *o {
+                            if let Some(&s) = shadow_map.get(&r) {
+                                *o = Operand::Reg(s);
+                            }
+                        }
+                    }
+                    insts.push(replica);
+                    stats.duplicated += 1;
+                }
+                Opcode::Ld(_) | Opcode::Atom(..) => {
+                    // Loads (ECC-protected) are not duplicated; seed the
+                    // shadow copy of the loaded value with a move.
+                    let Some(d) = inst.dst else { continue };
+                    let s = shadow_of(d, &mut shadow_map, &mut next_shadow);
+                    let mut mv = Instruction::new(Opcode::Mov, Some(s), vec![Operand::Reg(d)]);
+                    mv.pred = inst.pred;
+                    insts.push(mv);
+                    stats.seeds += 1;
+                }
+                _ => {}
+            }
+        }
+        blk.insts = insts;
+    }
+    stats.shadow_regs = shadow_map.len().min(spare as usize);
+    out.recount_regs();
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::builder::KernelBuilder;
+    use gpu_sim::config::GpuConfig;
+    use gpu_sim::gpu::Gpu;
+    use gpu_sim::isa::{MemSpace, Special};
+    use gpu_sim::scheduler::SchedulerKind;
+    use gpu_sim::sm::LaunchDims;
+
+    fn sample() -> Kernel {
+        let mut b = KernelBuilder::new("s");
+        let tid = b.special(Special::TidX);
+        let a = b.imul(tid, 8);
+        let v = b.ld_arr(MemSpace::Global, 0, a, 0);
+        let w = b.iadd(v, 5);
+        let x = b.imul(w, 3);
+        b.st_arr(MemSpace::Global, 1, a, x, 65536);
+        b.exit();
+        b.finish()
+    }
+
+    #[test]
+    fn duplication_preserves_semantics() {
+        let k = sample();
+        let (dup, stats) = duplicate(&k, 63);
+        assert!(stats.duplicated >= 4); // tid-mov, imul, iadd, imul
+        assert_eq!(stats.seeds, 1);
+        let run = |k: &Kernel| {
+            let mut gpu = Gpu::launch(
+                GpuConfig::gtx480(),
+                k.flatten(),
+                LaunchDims::linear(1, 32),
+                SchedulerKind::Gto,
+            )
+            .unwrap();
+            for i in 0..32u64 {
+                gpu.global_mut().write(i * 8, i);
+            }
+            gpu.run(1_000_000).unwrap();
+            (0..32u64)
+                .map(|t| gpu.global().read(65536 + t * 8))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(&k), run(&dup));
+    }
+
+    #[test]
+    fn duplication_roughly_doubles_compute() {
+        let k = sample();
+        let compute_before = k.iter().filter(|(_, _, i)| i.op.is_compute()).count();
+        let (dup, _) = duplicate(&k, 63);
+        let compute_after = dup.iter().filter(|(_, _, i)| i.op.is_compute()).count();
+        // Each compute instruction is replicated, plus one seed mov.
+        assert_eq!(compute_after, compute_before * 2 + 1);
+    }
+
+    #[test]
+    fn stores_and_branches_not_duplicated() {
+        let k = sample();
+        let (dup, _) = duplicate(&k, 63);
+        let stores = |k: &Kernel| {
+            k.iter()
+                .filter(|(_, _, i)| matches!(i.op, Opcode::St(_)))
+                .count()
+        };
+        assert_eq!(stores(&k), stores(&dup));
+    }
+
+    #[test]
+    fn shadow_regs_fit_budget() {
+        let k = sample();
+        let (dup, _) = duplicate(&k, 63);
+        assert!(dup.regs_per_thread <= 63);
+        // Tight budget: shadows share registers but never exceed it.
+        let (dup2, _) = duplicate(&k, k.regs_per_thread + 2);
+        assert!(dup2.regs_per_thread <= k.regs_per_thread + 2);
+    }
+
+    #[test]
+    fn selective_duplication_respects_predicate() {
+        let k = sample();
+        let (dup, stats) = duplicate_where(&k, 63, |pos, _| pos < 2);
+        assert!(stats.duplicated <= 2);
+        assert!(dup.len() < duplicate(&k, 63).0.len());
+    }
+
+    #[test]
+    fn replica_reads_shadow_sources() {
+        // w = v + 5; replica must read shadow(v) once v has a shadow.
+        let k = sample();
+        let (dup, _) = duplicate(&k, 63);
+        // Find the replica of iadd (the instruction after the original).
+        let insts: Vec<_> = dup.iter().map(|(_, _, i)| i.clone()).collect();
+        let orig_idx = insts
+            .iter()
+            .position(|i| i.op == Opcode::IAdd && i.srcs.contains(&Operand::Imm(5)))
+            .unwrap();
+        let replica = &insts[orig_idx + 1];
+        assert_eq!(replica.op, Opcode::IAdd);
+        assert_ne!(replica.dst, insts[orig_idx].dst);
+        assert_ne!(replica.srcs[0], insts[orig_idx].srcs[0]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Tail-DMR hybrid detection (paper §V-B2, Figure 11).
+//!
+//! Tail-DMR avoids the WCDL verification delay differently from Flame: it
+//! makes each idempotent region *self-verifying*. The head of the region
+//! is covered by acoustic sensors (any error there is detected before the
+//! region ends, because the tail lasts at least WCDL cycles); the tail is
+//! covered by instruction duplication, which detects its errors
+//! immediately. The price is the duplicated tail of every region.
+//!
+//! This pass selects, per region, the trailing instructions whose
+//! duplicated execution spans roughly WCDL cycles and duplicates them via
+//! the SwapCodes machinery.
+
+use crate::analysis::Layout;
+use crate::region::regions_of;
+use crate::swapcodes::{duplicate_where, DupStats};
+use gpu_sim::program::Kernel;
+use std::collections::HashSet;
+
+/// Applies tail-DMR to a kernel with region boundaries: the last
+/// `ceil(wcdl / 2)` instructions of every region are duplicated, so the
+/// post-DMR tail time is at least WCDL cycles (at ~1 instruction issued
+/// per cycle, duplication doubles the tail's issue time).
+pub fn tail_dmr(kernel: &Kernel, wcdl: u32, max_regs: u32) -> (Kernel, DupStats) {
+    let tail_len = (wcdl as usize).div_ceil(2).max(1);
+    let layout = Layout::of(kernel);
+    let mut selected: HashSet<usize> = HashSet::new();
+    for region in regions_of(kernel) {
+        for &p in region.insts.iter().rev().take(tail_len) {
+            selected.insert(p);
+        }
+    }
+    // Positions are over the current kernel, matching duplicate_where's
+    // linear counter.
+    let _ = layout;
+    duplicate_where(kernel, max_regs, |pos, _| selected.contains(&pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regalloc::allocate;
+    use crate::region::{form_regions, Exemptions};
+    use gpu_sim::builder::KernelBuilder;
+    use gpu_sim::config::GpuConfig;
+    use gpu_sim::gpu::Gpu;
+    use gpu_sim::isa::{MemSpace, Special};
+    use gpu_sim::scheduler::SchedulerKind;
+    use gpu_sim::sm::LaunchDims;
+
+    fn long_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("long");
+        let tid = b.special(Special::TidX);
+        let a = b.imul(tid, 8);
+        let mut v = b.ld_arr(MemSpace::Global, 0, a, 0);
+        for i in 0..30 {
+            v = b.iadd(v, i);
+        }
+        // Same-class store forces a mid-kernel boundary.
+        b.st_arr(MemSpace::Global, 0, a, v, 0);
+        let mut w = b.imul(v, 2);
+        for i in 0..30 {
+            w = b.iadd(w, i);
+        }
+        b.st_arr(MemSpace::Global, 1, a, w, 65536);
+        b.exit();
+        b.finish()
+    }
+
+    #[test]
+    fn tail_dmr_duplicates_less_than_full_dmr() {
+        let k = long_kernel();
+        let alloc = allocate(&k, 63).unwrap();
+        let regioned = form_regions(&alloc.kernel, &Exemptions::none());
+        let (tail, tstats) = tail_dmr(&regioned, 20, 63);
+        let (full, fstats) = crate::swapcodes::duplicate(&regioned, 63);
+        assert!(tstats.duplicated > 0);
+        assert!(tstats.duplicated + tstats.seeds < fstats.duplicated + fstats.seeds);
+        assert!(tail.len() < full.len());
+    }
+
+    #[test]
+    fn tail_scales_with_wcdl() {
+        let k = long_kernel();
+        let alloc = allocate(&k, 63).unwrap();
+        let regioned = form_regions(&alloc.kernel, &Exemptions::none());
+        let (_, s10) = tail_dmr(&regioned, 10, 63);
+        let (_, s40) = tail_dmr(&regioned, 40, 63);
+        assert!(
+            s40.duplicated + s40.seeds > s10.duplicated + s10.seeds,
+            "larger WCDL duplicates a longer tail"
+        );
+    }
+
+    #[test]
+    fn tail_dmr_preserves_semantics() {
+        let k = long_kernel();
+        let alloc = allocate(&k, 63).unwrap();
+        let regioned = form_regions(&alloc.kernel, &Exemptions::none());
+        let run = |k: &Kernel| {
+            let mut gpu = Gpu::launch(
+                GpuConfig::gtx480(),
+                k.flatten(),
+                LaunchDims::linear(1, 64),
+                SchedulerKind::Gto,
+            )
+            .unwrap();
+            for i in 0..64u64 {
+                gpu.global_mut().write(i * 8, i * 7);
+            }
+            gpu.run(1_000_000).unwrap();
+            (0..64u64)
+                .map(|t| gpu.global().read(65536 + t * 8))
+                .collect::<Vec<_>>()
+        };
+        let (tail, _) = tail_dmr(&regioned, 20, 63);
+        assert_eq!(run(&regioned), run(&tail));
+    }
+
+    #[test]
+    fn short_regions_fully_duplicated() {
+        // A kernel whose regions are shorter than the tail window: every
+        // compute instruction gets duplicated.
+        let mut b = KernelBuilder::new("short");
+        let tid = b.special(Special::TidX);
+        let a = b.imul(tid, 8);
+        let v = b.ld_arr(MemSpace::Global, 0, a, 0);
+        b.st_arr(MemSpace::Global, 0, a, v, 0); // boundary before store
+        b.exit();
+        let k = b.finish();
+        let alloc = allocate(&k, 63).unwrap();
+        let regioned = form_regions(&alloc.kernel, &Exemptions::none());
+        let (tail, ts) = tail_dmr(&regioned, 40, 63);
+        let (_, fs) = crate::swapcodes::duplicate(&regioned, 63);
+        assert_eq!(ts.duplicated + ts.seeds, fs.duplicated + fs.seeds);
+        assert!(tail.len() > regioned.len());
+    }
+}

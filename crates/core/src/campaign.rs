@@ -1,0 +1,178 @@
+//! Realistic fault campaigns: mapping the paper's §IV field-study rates
+//! (strikes per GPU per *day*) onto simulation cycles, and summarizing
+//! the resilience outcome of a campaign.
+
+use crate::experiment::{run_with_faults, ExperimentConfig, ExperimentError, WorkloadSpec};
+use crate::scheme::Scheme;
+use flame_sensors::fault::{FaultRates, Strike, StrikeGenerator};
+
+/// A strike campaign scaled from real-world rates.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// The strikes, sorted by cycle.
+    pub strikes: Vec<Strike>,
+    /// Horizon in cycles the strikes were spread over.
+    pub horizon: u64,
+    /// Effective accelerated rate: how many wall-clock days of strikes
+    /// the campaign compresses into the horizon.
+    pub accelerated_days: f64,
+}
+
+impl Campaign {
+    /// Builds a campaign of `n` strikes over `horizon` cycles with the
+    /// given seed, reporting how many days of real operation that
+    /// bombardment corresponds to at the §IV rates (raw strikes, before
+    /// masking) on a GPU clocked at `clock_mhz`.
+    pub fn accelerated(
+        seed: u64,
+        n: usize,
+        horizon: u64,
+        wcdl: u32,
+        num_sms: usize,
+        clock_mhz: u32,
+        rates: &FaultRates,
+    ) -> Campaign {
+        let mut gen = StrikeGenerator::new(seed, wcdl, num_sms);
+        let strikes = gen.schedule(n, horizon.max(1));
+        let cycles_per_day = f64::from(clock_mhz) * 1e6 * 86_400.0;
+        let natural = rates.raw_errors_per_day() * horizon as f64 / cycles_per_day;
+        Campaign {
+            strikes,
+            horizon,
+            accelerated_days: if natural > 0.0 {
+                n as f64 / rates.raw_errors_per_day()
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Number of strikes.
+    pub fn len(&self) -> usize {
+        self.strikes.len()
+    }
+
+    /// Whether the campaign has no strikes.
+    pub fn is_empty(&self) -> bool {
+        self.strikes.is_empty()
+    }
+}
+
+/// Outcome summary of a campaign run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Strikes injected.
+    pub strikes: usize,
+    /// Strikes whose bit flip landed on an in-flight write.
+    pub corrupted: usize,
+    /// Sensor detections delivered (always equals `strikes`: the mesh
+    /// hears everything).
+    pub detections: usize,
+    /// All-warp rollbacks performed.
+    pub recoveries: usize,
+    /// Warps rolled back in total.
+    pub warps_rolled_back: u64,
+    /// Final output correct?
+    pub output_ok: bool,
+    /// Cycles relative to a fault-free run of the same scheme.
+    pub slowdown_vs_clean: f64,
+}
+
+/// Runs `campaign` against `w` under `scheme` and summarizes the outcome.
+///
+/// # Errors
+///
+/// Propagates [`ExperimentError`] from the underlying runs.
+pub fn run_campaign(
+    w: &WorkloadSpec,
+    scheme: Scheme,
+    cfg: &ExperimentConfig,
+    campaign: &Campaign,
+) -> Result<CampaignReport, ExperimentError> {
+    let clean = crate::experiment::run_scheme(w, scheme, cfg)?;
+    let r = run_with_faults(w, scheme, cfg, &campaign.strikes)?;
+    Ok(CampaignReport {
+        strikes: campaign.len(),
+        corrupted: r.corrupted,
+        detections: r.detections,
+        recoveries: r.recoveries,
+        warps_rolled_back: r.run.stats.resilience.warps_rolled_back,
+        output_ok: r.run.output_ok,
+        slowdown_vs_clean: r.run.stats.cycles as f64 / clean.stats.cycles as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::builder::KernelBuilder;
+    use gpu_sim::isa::{MemSpace, Special};
+    use gpu_sim::sm::LaunchDims;
+    use std::sync::Arc;
+
+    fn tiny_workload() -> WorkloadSpec {
+        let mut b = KernelBuilder::new("tiny");
+        let tid = b.special(Special::TidX);
+        let cta = b.special(Special::CtaIdX);
+        let ntid = b.special(Special::NTidX);
+        let gid = b.imad(cta, ntid, tid);
+        let a = b.imul(gid, 8);
+        let v = b.ld_arr(MemSpace::Global, 0, a, 0);
+        let mut acc = v;
+        for i in 0..12 {
+            acc = b.iadd(acc, i);
+        }
+        b.st_arr(MemSpace::Global, 0, a, acc, 0);
+        b.exit();
+        WorkloadSpec {
+            name: "tiny",
+            abbr: "TINY",
+            suite: "test",
+            kernel: b.finish(),
+            dims: LaunchDims::linear(64, 128),
+            init: Arc::new(|m| {
+                for i in 0..8192u64 {
+                    m.write(i * 8, i);
+                }
+            }),
+            check: Arc::new(|m| (0..8192u64).all(|i| m.read(i * 8) == i + 66)),
+        }
+    }
+
+    #[test]
+    fn accelerated_campaign_accounting() {
+        let rates = FaultRates::default();
+        let c = Campaign::accelerated(1, 10, 100_000, 20, 16, 700, &rates);
+        assert_eq!(c.len(), 10);
+        assert!(!c.is_empty());
+        // 10 strikes at ~1.37/day is ~7.3 days of operation.
+        assert!((c.accelerated_days - 10.0 / rates.raw_errors_per_day()).abs() < 1e-9);
+        for s in &c.strikes {
+            assert!(s.cycle < 100_000);
+        }
+    }
+
+    #[test]
+    fn campaign_report_end_to_end() {
+        let w = tiny_workload();
+        let cfg = ExperimentConfig {
+            max_cycles: 10_000_000,
+            ..ExperimentConfig::default()
+        };
+        let clean = crate::experiment::run_scheme(&w, Scheme::SensorRenaming, &cfg).unwrap();
+        let c = Campaign::accelerated(
+            7,
+            5,
+            clean.stats.cycles * 3 / 4,
+            cfg.wcdl,
+            cfg.gpu.num_sms,
+            cfg.gpu.core_clock_mhz,
+            &FaultRates::default(),
+        );
+        let report = run_campaign(&w, Scheme::SensorRenaming, &cfg, &c).unwrap();
+        assert_eq!(report.detections, 5);
+        assert!(report.output_ok, "recovery failed under campaign");
+        assert!(report.slowdown_vs_clean < 2.0);
+        assert!(report.recoveries >= 1);
+    }
+}

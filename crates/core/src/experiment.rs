@@ -1,0 +1,442 @@
+//! The experiment driver: run a workload under a resilience scheme on a
+//! GPU configuration, fault-free or under a particle-strike campaign.
+
+use crate::runtime::FlameUnit;
+use crate::scheme::Scheme;
+use flame_compiler::pipeline::{build, CompileStats};
+use flame_compiler::regalloc::AllocError;
+use flame_sensors::fault::{Strike, StrikeTarget};
+use gpu_sim::config::GpuConfig;
+use gpu_sim::gpu::{Gpu, LaunchError, TimeoutError};
+use gpu_sim::memory::GlobalMemory;
+use gpu_sim::program::Kernel;
+use gpu_sim::scheduler::SchedulerKind;
+use gpu_sim::sm::LaunchDims;
+use gpu_sim::stats::SimStats;
+use std::fmt;
+use std::sync::Arc;
+
+/// A benchmark workload: a kernel, its launch geometry, input seeding and
+/// an output check.
+#[derive(Clone)]
+pub struct WorkloadSpec {
+    /// Full application name (paper Table I).
+    pub name: &'static str,
+    /// Paper abbreviation (e.g. "LUD").
+    pub abbr: &'static str,
+    /// Benchmark suite of origin.
+    pub suite: &'static str,
+    /// The kernel, in virtual registers.
+    pub kernel: Kernel,
+    /// Launch geometry.
+    pub dims: LaunchDims,
+    /// Seeds device memory before the launch.
+    pub init: Arc<dyn Fn(&mut GlobalMemory) + Send + Sync>,
+    /// Validates device memory after the launch.
+    pub check: Arc<dyn Fn(&GlobalMemory) -> bool + Send + Sync>,
+}
+
+impl fmt::Debug for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkloadSpec")
+            .field("abbr", &self.abbr)
+            .field("kernel", &self.kernel.name)
+            .field("dims", &self.dims)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Fixed parameters of an experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// GPU model.
+    pub gpu: GpuConfig,
+    /// Warp scheduling policy.
+    pub sched: SchedulerKind,
+    /// Worst-case detection latency in cycles.
+    pub wcdl: u32,
+    /// Cycle budget (deadlock guard).
+    pub max_cycles: u64,
+}
+
+impl Default for ExperimentConfig {
+    /// The paper's default platform: GTX 480, GTO scheduler, 20-cycle
+    /// WCDL.
+    fn default() -> ExperimentConfig {
+        ExperimentConfig {
+            gpu: GpuConfig::gtx480(),
+            sched: SchedulerKind::Gto,
+            wcdl: 20,
+            max_cycles: 500_000_000,
+        }
+    }
+}
+
+/// Outcome of a single run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Simulator statistics (cycles, stalls, memory, resilience).
+    pub stats: SimStats,
+    /// Compiler statistics (regions, renames, checkpoints, replicas).
+    pub compile: CompileStats,
+    /// Whether the workload's output check passed.
+    pub output_ok: bool,
+}
+
+/// Outcome of a fault-injection run.
+#[derive(Debug, Clone)]
+pub struct FaultRunResult {
+    /// The underlying run.
+    pub run: RunResult,
+    /// Strikes whose bit-flip landed on an in-flight write.
+    pub corrupted: usize,
+    /// Strikes delivered as detections (all of them — sensors hear every
+    /// strike).
+    pub detections: usize,
+    /// All-warp rollbacks performed.
+    pub recoveries: usize,
+}
+
+/// Errors from the experiment driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// Register allocation failed.
+    Alloc(AllocError),
+    /// The kernel could not be launched.
+    Launch(LaunchError),
+    /// The simulation exceeded its cycle budget.
+    Timeout(TimeoutError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Alloc(e) => write!(f, "allocation failed: {e}"),
+            ExperimentError::Launch(e) => write!(f, "launch failed: {e}"),
+            ExperimentError::Timeout(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<AllocError> for ExperimentError {
+    fn from(e: AllocError) -> ExperimentError {
+        ExperimentError::Alloc(e)
+    }
+}
+
+impl From<LaunchError> for ExperimentError {
+    fn from(e: LaunchError) -> ExperimentError {
+        ExperimentError::Launch(e)
+    }
+}
+
+impl From<TimeoutError> for ExperimentError {
+    fn from(e: TimeoutError) -> ExperimentError {
+        ExperimentError::Timeout(e)
+    }
+}
+
+fn prepare(
+    w: &WorkloadSpec,
+    scheme: Scheme,
+    cfg: &ExperimentConfig,
+) -> Result<(Gpu, CompileStats), ExperimentError> {
+    let built = build(
+        &w.kernel,
+        &scheme.build_options(cfg.gpu.max_regs_per_thread, cfg.wcdl),
+    )?;
+    let mode = scheme.verification_mode(cfg.wcdl);
+    let slots = cfg.gpu.max_warps_per_sm;
+    let nsched = cfg.gpu.schedulers_per_sm;
+    let restores = built.restores_by_pc.clone();
+    let mut gpu = Gpu::launch_with(cfg.gpu.clone(), built.flat, w.dims, cfg.sched, |_| {
+        Box::new(FlameUnit::new(mode, slots, nsched, restores.clone()))
+    })?;
+    (w.init)(gpu.global_mut());
+    Ok((gpu, built.stats))
+}
+
+/// Runs `w` under `scheme`, fault-free.
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] on allocation/launch failure or cycle
+/// budget exhaustion.
+pub fn run_scheme(
+    w: &WorkloadSpec,
+    scheme: Scheme,
+    cfg: &ExperimentConfig,
+) -> Result<RunResult, ExperimentError> {
+    let (mut gpu, compile) = prepare(w, scheme, cfg)?;
+    let stats = gpu.run(cfg.max_cycles)?;
+    let output_ok = (w.check)(gpu.global());
+    Ok(RunResult {
+        stats,
+        compile,
+        output_ok,
+    })
+}
+
+/// Normalized execution time of `scheme` on `w`: `cycles(scheme) /
+/// cycles(baseline)` — the y-axis of the paper's Figures 13–19.
+///
+/// # Errors
+///
+/// Propagates [`ExperimentError`] from either run.
+pub fn normalized_time(
+    w: &WorkloadSpec,
+    scheme: Scheme,
+    cfg: &ExperimentConfig,
+) -> Result<f64, ExperimentError> {
+    let base = run_scheme(w, Scheme::Baseline, cfg)?;
+    let run = run_scheme(w, scheme, cfg)?;
+    Ok(run.stats.cycles as f64 / base.stats.cycles as f64)
+}
+
+/// Runs `w` under `scheme` while injecting the given particle strikes and
+/// driving the detection/recovery protocol end to end.
+///
+/// Every strike is "heard" by the sensor mesh and triggers a recovery of
+/// the struck SM `detection_latency` cycles later; pipeline strikes also
+/// corrupt an in-flight register write at injection time.
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] on allocation/launch failure or cycle
+/// budget exhaustion.
+pub fn run_with_faults(
+    w: &WorkloadSpec,
+    scheme: Scheme,
+    cfg: &ExperimentConfig,
+    strikes: &[Strike],
+) -> Result<FaultRunResult, ExperimentError> {
+    let (mut gpu, compile) = prepare(w, scheme, cfg)?;
+    let mut corrupted = 0usize;
+    let mut detections = 0usize;
+    let mut recoveries = 0usize;
+    let mut pending: Vec<(u64, usize)> = Vec::new(); // (detect cycle, sm)
+    let mut next = 0usize;
+    while gpu.running() {
+        if gpu.cycle() >= cfg.max_cycles {
+            return Err(TimeoutError {
+                max_cycles: cfg.max_cycles,
+            }
+            .into());
+        }
+        gpu.step();
+        let now = gpu.cycle();
+        // Strikes land during the tick that just completed (cycle now-1).
+        while next < strikes.len() && strikes[next].cycle < now {
+            let s = strikes[next];
+            next += 1;
+            if s.sm >= gpu.num_sms() {
+                continue;
+            }
+            if s.target == StrikeTarget::Pipeline {
+                // Corrupt a value written by the pipeline this cycle.
+                for slot in gpu.live_warps(s.sm) {
+                    if gpu.corrupt_recent_write(s.sm, slot, s.lane as usize, 1u64 << s.bit) {
+                        corrupted += 1;
+                        break;
+                    }
+                }
+            }
+            // The mesh hears every strike; detection fires WCDL-bounded
+            // cycles later.
+            pending.push((now + u64::from(s.detection_latency), s.sm));
+        }
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].0 <= now {
+                let (_, sm) = pending.swap_remove(i);
+                gpu.recover_sm(sm);
+                detections += 1;
+                recoveries += 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    let stats = gpu.stats();
+    let output_ok = (w.check)(gpu.global());
+    Ok(FaultRunResult {
+        run: RunResult {
+            stats,
+            compile,
+            output_ok,
+        },
+        corrupted,
+        detections,
+        recoveries,
+    })
+}
+
+/// Geometric mean helper for the Figure 15/17/18/19 aggregates.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = values.iter().map(|v| v.max(f64::MIN_POSITIVE).ln()).sum();
+    (s / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::builder::KernelBuilder;
+    use gpu_sim::isa::{Cmp, MemSpace, Special};
+
+    /// A small but representative workload: per-thread loop accumulating
+    /// shared-memory values across a barrier, launched at high occupancy
+    /// (WCDL hiding needs warp-level parallelism, §III-C).
+    fn test_workload() -> WorkloadSpec {
+        let mut b = KernelBuilder::new("testwl");
+        let sh = b.alloc_shared(128 * 8);
+        let tid = b.special(Special::TidX);
+        let sa = b.imul(tid, 8);
+        let t3 = b.imul(tid, 3);
+        b.st_arr(MemSpace::Shared, 0, sa, t3, sh);
+        b.barrier();
+        let i = b.mov(0i64);
+        let acc = b.mov(0i64);
+        b.label("head");
+        let n = b.iadd(tid, i);
+        let nw = b.irem(n, 128);
+        let na = b.imul(nw, 8);
+        let v = b.ld_arr(MemSpace::Shared, 0, na, sh);
+        let acc2 = b.iadd(acc, v);
+        b.mov_to(acc, acc2);
+        let i2 = b.iadd(i, 1);
+        b.mov_to(i, i2);
+        let p = b.setp(Cmp::Lt, i, 16i64);
+        b.bra_if(p, true, "head");
+        let ga = b.imul(tid, 8);
+        let cta = b.special(Special::CtaIdX);
+        let go = b.imul(cta, 1024);
+        let gaddr = b.iadd(ga, go);
+        b.st_arr(MemSpace::Global, 1, gaddr, acc, 0);
+        b.exit();
+        let kernel = b.finish();
+        WorkloadSpec {
+            name: "test workload",
+            abbr: "TW",
+            suite: "test",
+            kernel,
+            dims: LaunchDims::linear(96, 128),
+            init: Arc::new(|_m| {}),
+            check: Arc::new(|m| {
+                // Each thread sums A[(tid + i) % 128] = 3 * ((tid+i)%128)
+                // for i in 0..16.
+                for cta in 0..96u64 {
+                    for t in 0..128u64 {
+                        let expect: u64 = (0..16).map(|i| 3 * ((t + i) % 128)).sum();
+                        if m.read(cta * 1024 + t * 8) != expect {
+                            return false;
+                        }
+                    }
+                }
+                true
+            }),
+        }
+    }
+
+    fn quick_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            max_cycles: 5_000_000,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn baseline_run_is_correct() {
+        let w = test_workload();
+        let r = run_scheme(&w, Scheme::Baseline, &quick_cfg()).unwrap();
+        assert!(r.output_ok, "baseline output check failed");
+        assert!(r.stats.cycles > 0);
+    }
+
+    #[test]
+    fn every_scheme_is_functionally_correct() {
+        let w = test_workload();
+        let cfg = quick_cfg();
+        for scheme in Scheme::paper_schemes() {
+            let r = run_scheme(&w, scheme, &cfg).unwrap();
+            assert!(r.output_ok, "{scheme} output check failed");
+        }
+        let r = run_scheme(&w, Scheme::NaiveSensorRenaming, &cfg).unwrap();
+        assert!(r.output_ok);
+    }
+
+    #[test]
+    fn flame_overhead_is_small_and_naive_is_larger() {
+        let w = test_workload();
+        let cfg = quick_cfg();
+        let flame = normalized_time(&w, Scheme::SensorRenaming, &cfg).unwrap();
+        let naive = normalized_time(&w, Scheme::NaiveSensorRenaming, &cfg).unwrap();
+        assert!(flame < naive, "flame {flame} !< naive {naive}");
+        assert!(flame < 1.25, "flame overhead too large: {flame}");
+    }
+
+    #[test]
+    fn duplication_costs_more_than_flame() {
+        let w = test_workload();
+        let cfg = quick_cfg();
+        let flame = normalized_time(&w, Scheme::SensorRenaming, &cfg).unwrap();
+        let dup = normalized_time(&w, Scheme::DuplicationRenaming, &cfg).unwrap();
+        assert!(dup > flame, "dup {dup} !> flame {flame}");
+    }
+
+    #[test]
+    fn flame_recovers_from_injected_faults() {
+        use flame_sensors::fault::StrikeGenerator;
+        let w = test_workload();
+        let cfg = quick_cfg();
+        // Learn the fault-free runtime to place strikes inside it.
+        let base = run_scheme(&w, Scheme::SensorRenaming, &cfg).unwrap();
+        let horizon = base.stats.cycles * 3 / 4;
+        let mut gen = StrikeGenerator::new(0xF1A3, cfg.wcdl, cfg.gpu.num_sms)
+            .with_ecc_fraction(0.0);
+        let strikes = gen.schedule(6, horizon.max(10));
+        let r = run_with_faults(&w, Scheme::SensorRenaming, &cfg, &strikes).unwrap();
+        assert_eq!(r.detections, 6, "every strike must be detected");
+        assert!(r.run.output_ok, "output corrupted despite recovery");
+        assert!(r.run.stats.resilience.recoveries >= 1);
+    }
+
+    #[test]
+    fn false_positive_strikes_recover_harmlessly() {
+        use flame_sensors::fault::StrikeGenerator;
+        let w = test_workload();
+        let cfg = quick_cfg();
+        let base = run_scheme(&w, Scheme::SensorRenaming, &cfg).unwrap();
+        let mut gen = StrikeGenerator::new(7, cfg.wcdl, cfg.gpu.num_sms)
+            .with_ecc_fraction(1.0); // all strikes masked by ECC
+        let strikes = gen.schedule(4, base.stats.cycles / 2);
+        let r = run_with_faults(&w, Scheme::SensorRenaming, &cfg, &strikes).unwrap();
+        assert_eq!(r.corrupted, 0);
+        assert_eq!(r.detections, 4);
+        assert!(r.run.output_ok);
+    }
+
+    #[test]
+    fn checkpointing_recovers_from_injected_faults() {
+        use flame_sensors::fault::StrikeGenerator;
+        let w = test_workload();
+        let cfg = quick_cfg();
+        let base = run_scheme(&w, Scheme::SensorCheckpointing, &cfg).unwrap();
+        let mut gen = StrikeGenerator::new(0xC4E, cfg.wcdl, cfg.gpu.num_sms)
+            .with_ecc_fraction(0.0);
+        let strikes = gen.schedule(6, base.stats.cycles * 3 / 4);
+        let r = run_with_faults(&w, Scheme::SensorCheckpointing, &cfg, &strikes).unwrap();
+        assert!(r.run.output_ok, "checkpoint recovery failed");
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+}

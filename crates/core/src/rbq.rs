@@ -1,0 +1,181 @@
+//! The Region Boundary Queue — Flame's *verification conveyor* (paper
+//! §III-D2, Figure 8).
+//!
+//! When a warp hits an idempotent region boundary, it is placed on the
+//! conveyor; the conveyor advances one slot per cycle and is WCDL slots
+//! long, so a warp emerges exactly WCDL cycles later — *verified*,
+//! provided no error was detected meanwhile. One queue tracks every warp
+//! of a scheduler with a single structure (the paper's 20 × 6-bit RBQ)
+//! instead of a per-warp counter.
+
+use std::collections::VecDeque;
+
+/// One conveyor entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    slot: usize,
+    /// Cycle at which the entry completes verification.
+    ready: u64,
+}
+
+/// The region boundary queue: a conveyor of fixed traversal time (WCDL)
+/// and unit throughput (one verification completes per cycle).
+///
+/// The hardware structure is a WCDL-entry ring of `(warp id, valid)`
+/// pairs; this model is timing-equivalent: an entry enqueued at cycle `c`
+/// pops at `max(c + WCDL, previous pop + 1)`.
+#[derive(Debug, Clone)]
+pub struct Rbq {
+    wcdl: u32,
+    entries: VecDeque<Entry>,
+    last_pop: u64,
+}
+
+impl Rbq {
+    /// Creates a conveyor of length `wcdl` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wcdl` is zero.
+    pub fn new(wcdl: u32) -> Rbq {
+        assert!(wcdl > 0, "WCDL must be at least one cycle");
+        Rbq {
+            wcdl,
+            entries: VecDeque::new(),
+            last_pop: 0,
+        }
+    }
+
+    /// The conveyor length (WCDL in cycles).
+    pub fn wcdl(&self) -> u32 {
+        self.wcdl
+    }
+
+    /// Number of warps currently under verification.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no warp is being verified.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hardware cost of the structure in bits: WCDL entries of
+    /// `ceil(log2(warps)) + 1` bits (paper §VI-A2: 20 × 6 = 120 bits for
+    /// 32 warps per scheduler).
+    pub fn size_bits(&self, warps_per_scheduler: usize) -> u64 {
+        let id_bits = usize::BITS - (warps_per_scheduler.max(2) - 1).leading_zeros();
+        u64::from(self.wcdl) * (u64::from(id_bits) + 1)
+    }
+
+    /// Puts the warp in `slot` on the conveyor at cycle `now`.
+    pub fn push(&mut self, now: u64, slot: usize) {
+        let ready = (now + u64::from(self.wcdl)).max(self.last_pop + 1);
+        // Keep pops unique even for same-cycle pushes.
+        let ready = self
+            .entries
+            .back()
+            .map_or(ready, |b| ready.max(b.ready + 1));
+        self.entries.push_back(Entry { slot, ready });
+    }
+
+    /// Pops the warp (if any) whose verification completes at `now`.
+    /// At most one warp verifies per cycle (conveyor throughput).
+    pub fn pop(&mut self, now: u64) -> Option<usize> {
+        match self.entries.front() {
+            Some(e) if e.ready <= now => {
+                self.last_pop = now;
+                self.entries.pop_front().map(|e| e.slot)
+            }
+            _ => None,
+        }
+    }
+
+    /// Discards all entries (an error was detected: every in-flight
+    /// verification is void, the warps re-execute from their RPT entries).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warp_verifies_exactly_wcdl_cycles_later() {
+        let mut q = Rbq::new(20);
+        q.push(100, 3);
+        for now in 101..120 {
+            assert_eq!(q.pop(now), None, "cycle {now}");
+        }
+        assert_eq!(q.pop(120), Some(3));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_order_and_unit_throughput() {
+        let mut q = Rbq::new(10);
+        q.push(0, 1);
+        q.push(0, 2); // same cycle: serialized behind warp 1
+        q.push(3, 5);
+        assert_eq!(q.pop(10), Some(1));
+        assert_eq!(q.pop(10), None, "one pop per cycle");
+        assert_eq!(q.pop(11), Some(2));
+        // Warp 5 entered at cycle 3: ready at max(3 + 10, 12) = 13.
+        assert_eq!(q.pop(12), None);
+        assert_eq!(q.pop(13), Some(5));
+        let mut q = Rbq::new(10);
+        q.push(3, 5);
+        assert_eq!(q.pop(12), None);
+        assert_eq!(q.pop(13), Some(5));
+    }
+
+    #[test]
+    fn pop_is_never_early_under_congestion() {
+        let mut q = Rbq::new(4);
+        for s in 0..8 {
+            q.push(0, s);
+        }
+        let mut pops = Vec::new();
+        for now in 1..30 {
+            if let Some(s) = q.pop(now) {
+                pops.push((now, s));
+            }
+        }
+        // First pop at WCDL, then one per cycle, FIFO.
+        assert_eq!(pops[0], (4, 0));
+        for (i, &(now, s)) in pops.iter().enumerate() {
+            assert_eq!(s, i);
+            assert_eq!(now, 4 + i as u64);
+        }
+        assert_eq!(pops.len(), 8);
+    }
+
+    #[test]
+    fn flush_discards_everything() {
+        let mut q = Rbq::new(5);
+        q.push(0, 1);
+        q.push(1, 2);
+        assert_eq!(q.len(), 2);
+        q.flush();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(100), None);
+    }
+
+    #[test]
+    fn paper_size_is_120_bits() {
+        // 20-cycle WCDL, 32 warps per scheduler: 20 × (5 + 1) = 120 bits.
+        let q = Rbq::new(20);
+        assert_eq!(q.size_bits(32), 120);
+        // 64-warp schedulers need 7 bits per entry.
+        assert_eq!(q.size_bits(64), 140);
+    }
+
+    #[test]
+    #[should_panic(expected = "WCDL must be at least one cycle")]
+    fn zero_wcdl_panics() {
+        let _ = Rbq::new(0);
+    }
+}

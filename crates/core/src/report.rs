@@ -1,0 +1,79 @@
+//! Hardware-cost and region-statistics reporting (paper §VI-A and §IV).
+
+use flame_sensors::mesh::{sensors_for_wcdl, SensorMesh};
+use gpu_sim::config::GpuConfig;
+use gpu_sim::stats::SimStats;
+
+/// Hardware cost of a Flame deployment on one GPU (paper §VI-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardwareCost {
+    /// Acoustic sensors per SM for the target WCDL.
+    pub sensors_per_sm: u32,
+    /// Sensor-mesh area overhead (fraction of SM area).
+    pub sensor_area_overhead: f64,
+    /// RBQ size in bits per warp scheduler (paper: 20 × 6 = 120).
+    pub rbq_bits_per_scheduler: u64,
+    /// RPT size in bits per warp scheduler (paper: 32 × 32 = 1024).
+    pub rpt_bits_per_scheduler: u64,
+    /// Target WCDL in cycles.
+    pub wcdl: u32,
+}
+
+/// Computes the hardware cost of deploying Flame on `gpu` with a
+/// `wcdl`-cycle verification window.
+pub fn hardware_cost(gpu: &GpuConfig, wcdl: u32) -> HardwareCost {
+    let sensors = sensors_for_wcdl(gpu.sm_area_mm2, gpu.core_clock_mhz, wcdl);
+    let mesh = SensorMesh::new(sensors, gpu.sm_area_mm2);
+    let warps_per_sched = gpu.max_warps_per_sm / gpu.schedulers_per_sm;
+    let id_bits = u64::from(usize::BITS - (warps_per_sched.max(2) - 1).leading_zeros());
+    HardwareCost {
+        sensors_per_sm: sensors,
+        sensor_area_overhead: mesh.area_overhead(),
+        rbq_bits_per_scheduler: u64::from(wcdl) * (id_bits + 1),
+        rpt_bits_per_scheduler: warps_per_sched as u64 * 32,
+        wcdl,
+    }
+}
+
+/// Average dynamic region size in warp-instructions: issued instructions
+/// per region boundary crossed (the paper's §IV figure of 50.23
+/// instructions is the same ratio over its benchmark set).
+pub fn dynamic_region_size(stats: &SimStats) -> f64 {
+    if stats.resilience.boundaries == 0 {
+        0.0
+    } else {
+        stats.instructions as f64 / stats.resilience.boundaries as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gtx480_cost_matches_paper_section6a() {
+        let c = hardware_cost(&GpuConfig::gtx480(), 20);
+        assert_eq!(c.sensors_per_sm, 200);
+        assert!(c.sensor_area_overhead < 0.001);
+        // 48 warps / 2 schedulers = 24 warps => 5 id bits + valid.
+        assert_eq!(c.rbq_bits_per_scheduler, 20 * 6);
+        assert_eq!(c.rpt_bits_per_scheduler, 24 * 32);
+    }
+
+    #[test]
+    fn cost_scales_with_wcdl() {
+        let short = hardware_cost(&GpuConfig::gtx480(), 10);
+        let long = hardware_cost(&GpuConfig::gtx480(), 50);
+        assert!(short.sensors_per_sm > long.sensors_per_sm);
+        assert!(short.rbq_bits_per_scheduler < long.rbq_bits_per_scheduler);
+    }
+
+    #[test]
+    fn dynamic_region_size_ratio() {
+        let mut s = SimStats::default();
+        assert_eq!(dynamic_region_size(&s), 0.0);
+        s.instructions = 5000;
+        s.resilience.boundaries = 100;
+        assert_eq!(dynamic_region_size(&s), 50.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! The Recovery PC Table (paper §III-D1, Figure 7).
+//!
+//! One entry per warp slot, holding the point the warp must re-execute
+//! from if an error is detected: the beginning of its youngest *verified*
+//! region boundary. On a SIMT machine the architectural "recovery PC"
+//! also carries the reconvergence-stack snapshot, the warp's barrier
+//! phase, and (under checkpointing-based recovery) the registers to
+//! restore — see [`RecoveryPoint`].
+
+use gpu_sim::warp::RecoveryPoint;
+
+/// The recovery PC table of one SM.
+#[derive(Debug, Clone, Default)]
+pub struct Rpt {
+    entries: Vec<Option<RecoveryPoint>>,
+}
+
+impl Rpt {
+    /// Creates a table with `slots` warp slots.
+    pub fn new(slots: usize) -> Rpt {
+        Rpt {
+            entries: vec![None; slots],
+        }
+    }
+
+    /// Number of warp slots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sets the recovery point of `slot` (warp launched or a region
+    /// verified).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn set(&mut self, slot: usize, point: RecoveryPoint) {
+        self.entries[slot] = Some(point);
+    }
+
+    /// The recovery point of `slot`, if the slot holds a live warp.
+    pub fn get(&self, slot: usize) -> Option<&RecoveryPoint> {
+        self.entries.get(slot).and_then(Option::as_ref)
+    }
+
+    /// Clears `slot` (warp retired).
+    pub fn clear(&mut self, slot: usize) {
+        self.entries[slot] = None;
+    }
+
+    /// Snapshot of all live entries — what recovery hands the SM so every
+    /// warp rolls back (paper: "Flame sets the PC of all warps to their
+    /// recovery PC").
+    pub fn all_live(&self) -> Vec<(usize, RecoveryPoint)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.clone().map(|p| (i, p)))
+            .collect()
+    }
+
+    /// Hardware cost in bits: `slots × pc_bits` (paper §VI-A2: 32 × 32 =
+    /// 1024 bits per scheduler).
+    pub fn size_bits(&self, pc_bits: u32) -> u64 {
+        self.entries.len() as u64 * u64::from(pc_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::warp::SimtStack;
+
+    fn point(pc: u32) -> RecoveryPoint {
+        RecoveryPoint {
+            stack: SimtStack::new(pc, u32::MAX).snapshot(),
+            barrier_phase: 0,
+            restores: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut t = Rpt::new(4);
+        assert!(t.get(0).is_none());
+        t.set(2, point(10));
+        assert_eq!(t.get(2).unwrap().stack.pc(), Some(10));
+        t.clear(2);
+        assert!(t.get(2).is_none());
+    }
+
+    #[test]
+    fn all_live_lists_only_live_slots() {
+        let mut t = Rpt::new(4);
+        t.set(1, point(5));
+        t.set(3, point(9));
+        let live = t.all_live();
+        assert_eq!(live.len(), 2);
+        assert_eq!(live[0].0, 1);
+        assert_eq!(live[1].0, 3);
+    }
+
+    #[test]
+    fn update_overwrites_previous_point() {
+        let mut t = Rpt::new(2);
+        t.set(0, point(5));
+        t.set(0, point(50));
+        assert_eq!(t.get(0).unwrap().stack.pc(), Some(50));
+    }
+
+    #[test]
+    fn paper_size_is_1024_bits() {
+        let t = Rpt::new(32);
+        assert_eq!(t.size_bits(32), 1024);
+    }
+
+    #[test]
+    fn out_of_range_get_is_none() {
+        let t = Rpt::new(2);
+        assert!(t.get(99).is_none());
+    }
+}

@@ -1,0 +1,328 @@
+//! The Flame per-SM runtime: the [`SmAttachment`] gluing the RBQ and RPT
+//! into the simulator's warp scheduler (paper §III-C, §III-D).
+//!
+//! Three verification modes cover the paper's design space:
+//!
+//! * [`VerificationMode::Immediate`] — boundaries are pure metadata and
+//!   the RPT advances as soon as a boundary is crossed. Used by
+//!   recovery-only schemes and by duplication/tail-DMR detection (their
+//!   errors are detected in-region, so a finished region is already
+//!   verified).
+//! * [`VerificationMode::Conveyor`] — Flame's WCDL-aware warp scheduling:
+//!   the warp is descheduled into the RBQ at each boundary, exactly as if
+//!   the boundary were a long-latency instruction, and the RPT advances
+//!   when it pops out WCDL cycles later.
+//! * [`VerificationMode::SchedulerStall`] — the naive design of Figure 4:
+//!   the issuing scheduler blocks for WCDL at every boundary (the
+//!   motivation ablation; not part of Flame proper).
+
+use crate::rbq::Rbq;
+use crate::rpt::Rpt;
+use flame_compiler::checkpoint::CheckpointSlot;
+use gpu_sim::regfile::WarpRegFile;
+use gpu_sim::resilience::{BoundaryAction, SmAttachment};
+use gpu_sim::warp::{RecoveryPoint, RegRestore};
+use gpu_sim::warp::WARP_SIZE;
+use std::collections::HashMap;
+
+/// How region verification is enforced at boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerificationMode {
+    /// No verification delay; the RPT advances at the boundary.
+    Immediate,
+    /// WCDL-aware warp scheduling through the region boundary queue.
+    Conveyor {
+        /// Worst-case detection latency in cycles.
+        wcdl: u32,
+    },
+    /// Naive verification: the scheduler stalls WCDL cycles per boundary.
+    SchedulerStall {
+        /// Worst-case detection latency in cycles.
+        wcdl: u32,
+    },
+}
+
+/// The Flame hardware attached to one SM: per-scheduler RBQs and the RPT.
+#[derive(Debug)]
+pub struct FlameUnit {
+    mode: VerificationMode,
+    rbqs: Vec<Rbq>,
+    nsched: usize,
+    rpt: Rpt,
+    /// Recovery point a warp will assume once its in-flight verification
+    /// completes (parked while the warp sits in the RBQ).
+    pending: Vec<Option<RecoveryPoint>>,
+    /// Per region-start PC, the registers to restore on rollback
+    /// (nonempty only under checkpointing-based recovery). The values are
+    /// captured from the register file when the boundary is crossed —
+    /// the functional equivalent of Penny's double-buffered ("colored")
+    /// checkpoint slots, whose store instructions the compiled kernel
+    /// still executes for timing fidelity.
+    restores: HashMap<u32, Vec<CheckpointSlot>>,
+}
+
+impl FlameUnit {
+    /// Creates the unit for an SM with `slots` warp slots and `nsched`
+    /// schedulers (warp slot `s` belongs to scheduler `s % nsched`).
+    pub fn new(
+        mode: VerificationMode,
+        slots: usize,
+        nsched: usize,
+        restores: HashMap<u32, Vec<CheckpointSlot>>,
+    ) -> FlameUnit {
+        let wcdl = match mode {
+            VerificationMode::Conveyor { wcdl } => wcdl,
+            _ => 1,
+        };
+        FlameUnit {
+            mode,
+            rbqs: (0..nsched.max(1)).map(|_| Rbq::new(wcdl.max(1))).collect(),
+            nsched: nsched.max(1),
+            rpt: Rpt::new(slots),
+            pending: vec![None; slots],
+            restores,
+        }
+    }
+
+    /// The verification mode.
+    pub fn mode(&self) -> VerificationMode {
+        self.mode
+    }
+
+    /// The RPT (for inspection in tests and the recovery protocol).
+    pub fn rpt(&self) -> &Rpt {
+        &self.rpt
+    }
+
+    /// Warps currently under verification across all RBQs.
+    pub fn in_flight(&self) -> usize {
+        self.rbqs.iter().map(Rbq::len).sum()
+    }
+
+    fn with_restores(&self, mut point: RecoveryPoint, regs: Option<&WarpRegFile>) -> RecoveryPoint {
+        let Some(pc) = point.stack.pc() else {
+            return point;
+        };
+        let (Some(list), Some(regs)) = (self.restores.get(&pc), regs) else {
+            return point;
+        };
+        point.restores = list
+            .iter()
+            .map(|cs| RegRestore {
+                reg: cs.reg,
+                lanes: (0..WARP_SIZE).map(|l| regs.read(cs.reg, l)).collect(),
+            })
+            .collect();
+        point
+    }
+}
+
+impl SmAttachment for FlameUnit {
+    fn on_warp_launch(&mut self, slot: usize, entry: RecoveryPoint) {
+        self.pending[slot] = None;
+        // The entry region has no checkpointed inputs to capture.
+        self.rpt.set(slot, entry);
+    }
+
+    fn on_warp_exit(&mut self, slot: usize) {
+        self.rpt.clear(slot);
+        self.pending[slot] = None;
+    }
+
+    fn on_boundary(
+        &mut self,
+        now: u64,
+        slot: usize,
+        resume: RecoveryPoint,
+        regs: &WarpRegFile,
+    ) -> BoundaryAction {
+        let point = self.with_restores(resume, Some(regs));
+        match self.mode {
+            VerificationMode::Immediate => {
+                self.rpt.set(slot, point);
+                BoundaryAction::Continue
+            }
+            VerificationMode::Conveyor { .. } => {
+                self.pending[slot] = Some(point);
+                self.rbqs[slot % self.nsched].push(now, slot);
+                BoundaryAction::Deschedule
+            }
+            VerificationMode::SchedulerStall { wcdl } => {
+                // The warp waits in place; by the time the stall ends the
+                // region is verified.
+                self.rpt.set(slot, point);
+                BoundaryAction::BlockScheduler(wcdl)
+            }
+        }
+    }
+
+    fn tick(&mut self, now: u64, wake: &mut Vec<usize>) {
+        for q in &mut self.rbqs {
+            if let Some(slot) = q.pop(now) {
+                if let Some(point) = self.pending[slot].take() {
+                    self.rpt.set(slot, point);
+                }
+                wake.push(slot);
+            }
+        }
+    }
+
+    fn on_error(&mut self, _now: u64) -> Vec<(usize, RecoveryPoint)> {
+        // All in-flight verifications are void: their warps keep their
+        // current (older) RPT entries and re-execute the unverified
+        // region — the paper's Figure 9 Example B.
+        for q in &mut self.rbqs {
+            q.flush();
+        }
+        self.pending.fill(None);
+        self.rpt.all_live()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::warp::SimtStack;
+
+    fn point(pc: u32) -> RecoveryPoint {
+        RecoveryPoint {
+            stack: SimtStack::new(pc, u32::MAX).snapshot(),
+            barrier_phase: 0,
+            restores: Vec::new(),
+        }
+    }
+
+    fn unit(mode: VerificationMode) -> FlameUnit {
+        FlameUnit::new(mode, 8, 2, HashMap::new())
+    }
+
+    fn regs() -> WarpRegFile {
+        WarpRegFile::new(8)
+    }
+
+    #[test]
+    fn immediate_mode_updates_rpt_and_continues() {
+        let mut u = unit(VerificationMode::Immediate);
+        u.on_warp_launch(0, point(0));
+        let a = u.on_boundary(5, 0, point(10), &regs());
+        assert_eq!(a, BoundaryAction::Continue);
+        assert_eq!(u.rpt().get(0).unwrap().stack.pc(), Some(10));
+    }
+
+    #[test]
+    fn conveyor_descheduled_then_verified() {
+        let mut u = unit(VerificationMode::Conveyor { wcdl: 20 });
+        u.on_warp_launch(0, point(0));
+        let a = u.on_boundary(100, 0, point(10), &regs());
+        assert_eq!(a, BoundaryAction::Deschedule);
+        // RPT unchanged until verification completes.
+        assert_eq!(u.rpt().get(0).unwrap().stack.pc(), Some(0));
+        assert_eq!(u.in_flight(), 1);
+        let mut wake = Vec::new();
+        for now in 101..120 {
+            u.tick(now, &mut wake);
+            assert!(wake.is_empty(), "cycle {now}");
+        }
+        u.tick(120, &mut wake);
+        assert_eq!(wake, vec![0]);
+        assert_eq!(u.rpt().get(0).unwrap().stack.pc(), Some(10));
+        assert_eq!(u.in_flight(), 0);
+    }
+
+    #[test]
+    fn error_discards_in_flight_verification() {
+        // Paper Figure 9 Example B: W3 is waiting for verification when
+        // the error hits; it must re-execute its finished-but-unverified
+        // region from the older RPT entry.
+        let mut u = unit(VerificationMode::Conveyor { wcdl: 20 });
+        u.on_warp_launch(0, point(0)); // W1
+        u.on_warp_launch(1, point(0)); // W3
+        // W1 verified its first region already.
+        u.on_boundary(10, 0, point(40), &regs());
+        let mut wake = Vec::new();
+        u.tick(30, &mut wake);
+        assert_eq!(wake, vec![0]);
+        // W3 hits its boundary, still unverified when the error arrives.
+        u.on_boundary(35, 1, point(40), &regs());
+        let recov = u.on_error(40);
+        let m: HashMap<usize, u32> = recov
+            .into_iter()
+            .map(|(s, p)| (s, p.stack.pc().unwrap()))
+            .collect();
+        assert_eq!(m[&0], 40, "W1's region was verified");
+        assert_eq!(m[&1], 0, "W3 re-executes the unverified region");
+        assert_eq!(u.in_flight(), 0);
+    }
+
+    #[test]
+    fn scheduler_stall_mode_blocks() {
+        let mut u = unit(VerificationMode::SchedulerStall { wcdl: 20 });
+        u.on_warp_launch(0, point(0));
+        let a = u.on_boundary(5, 0, point(9), &regs());
+        assert_eq!(a, BoundaryAction::BlockScheduler(20));
+        assert_eq!(u.rpt().get(0).unwrap().stack.pc(), Some(9));
+    }
+
+    #[test]
+    fn restores_capture_register_values_at_the_boundary() {
+        use gpu_sim::isa::Reg;
+        let mut restores = HashMap::new();
+        restores.insert(
+            10u32,
+            vec![CheckpointSlot {
+                reg: Reg(3),
+                local_offset: 16,
+            }],
+        );
+        let mut u = FlameUnit::new(VerificationMode::Immediate, 4, 1, restores);
+        u.on_warp_launch(0, point(0));
+        let mut rf = regs();
+        rf.write(Reg(3), 5, 0xABCD);
+        u.on_boundary(1, 0, point(10), &rf);
+        let p = u.rpt().get(0).unwrap();
+        assert_eq!(p.restores.len(), 1);
+        assert_eq!(p.restores[0].reg, Reg(3));
+        assert_eq!(p.restores[0].lanes[5], 0xABCD);
+        assert_eq!(p.restores[0].lanes[4], 0);
+        // Later boundary-time values are captured, not earlier ones.
+        rf.write(Reg(3), 5, 0x1111);
+        u.on_boundary(2, 0, point(10), &rf);
+        assert_eq!(u.rpt().get(0).unwrap().restores[0].lanes[5], 0x1111);
+        // A region with no checkpointed inputs has no restores.
+        u.on_boundary(3, 0, point(20), &rf);
+        assert!(u.rpt().get(0).unwrap().restores.is_empty());
+    }
+
+    #[test]
+    fn warps_map_to_per_scheduler_rbqs() {
+        let mut u = unit(VerificationMode::Conveyor { wcdl: 4 });
+        for s in 0..4 {
+            u.on_warp_launch(s, point(0));
+        }
+        // Slots 0 and 2 belong to scheduler 0; both can verify in
+        // parallel with slots 1 and 3 (scheduler 1).
+        u.on_boundary(0, 0, point(1), &regs());
+        u.on_boundary(0, 1, point(1), &regs());
+        u.on_boundary(0, 2, point(1), &regs());
+        u.on_boundary(0, 3, point(1), &regs());
+        let mut wake = Vec::new();
+        u.tick(4, &mut wake);
+        wake.sort_unstable();
+        assert_eq!(wake, vec![0, 1], "one pop per RBQ per cycle");
+        wake.clear();
+        u.tick(5, &mut wake);
+        wake.sort_unstable();
+        assert_eq!(wake, vec![2, 3]);
+    }
+
+    #[test]
+    fn exit_clears_state() {
+        let mut u = unit(VerificationMode::Conveyor { wcdl: 4 });
+        u.on_warp_launch(0, point(0));
+        u.on_boundary(0, 0, point(1), &regs());
+        u.on_warp_exit(0);
+        assert!(u.rpt().get(0).is_none());
+        let recov = u.on_error(10);
+        assert!(recov.is_empty());
+    }
+}

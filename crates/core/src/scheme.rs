@@ -1,0 +1,207 @@
+//! The resilience-scheme taxonomy of the paper's evaluation (§VI-B1).
+//!
+//! Each scheme pairs a detection mechanism with a recovery mechanism;
+//! [`Scheme::build_options`] yields the compiler pipeline and
+//! [`Scheme::verification_mode`] the runtime behaviour at region
+//! boundaries.
+
+use crate::runtime::VerificationMode;
+use flame_compiler::pipeline::BuildOptions;
+use flame_compiler::{Detection, Recovery};
+use std::fmt;
+
+/// A complete resilience scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// No resilience support (the normalization baseline).
+    Baseline,
+    /// Recovery-only: idempotent regions + register renaming.
+    Renaming,
+    /// Recovery-only: idempotent regions + live-out checkpointing.
+    Checkpointing,
+    /// **Flame**: acoustic sensors + renaming + WCDL-aware warp
+    /// scheduling + the §III-E region-size optimization.
+    SensorRenaming,
+    /// Flame without the §III-E optimization (Figure 16's "before" bar).
+    SensorRenamingNoOpt,
+    /// Acoustic sensors + checkpointing recovery (WCDL-aware scheduling).
+    SensorCheckpointing,
+    /// SwapCodes instruction duplication + renaming recovery.
+    DuplicationRenaming,
+    /// SwapCodes instruction duplication + checkpointing recovery.
+    DuplicationCheckpointing,
+    /// Tail-DMR hybrid detection + renaming recovery.
+    HybridRenaming,
+    /// Tail-DMR hybrid detection + checkpointing recovery.
+    HybridCheckpointing,
+    /// Sensors + renaming with *naive* verification that stalls the
+    /// scheduler WCDL cycles per boundary — the Figure 4 motivation
+    /// ablation showing why WCDL-aware scheduling matters.
+    NaiveSensorRenaming,
+}
+
+impl Scheme {
+    /// The eight evaluated schemes of Figures 13–15 (baseline excluded),
+    /// in the paper's listing order.
+    pub fn paper_schemes() -> [Scheme; 8] {
+        [
+            Scheme::SensorRenaming,
+            Scheme::SensorCheckpointing,
+            Scheme::Renaming,
+            Scheme::Checkpointing,
+            Scheme::DuplicationRenaming,
+            Scheme::DuplicationCheckpointing,
+            Scheme::HybridRenaming,
+            Scheme::HybridCheckpointing,
+        ]
+    }
+
+    /// Display name following the paper's legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Baseline => "Baseline",
+            Scheme::Renaming => "Renaming",
+            Scheme::Checkpointing => "Checkpointing",
+            Scheme::SensorRenaming => "Sensor+Renaming (Flame)",
+            Scheme::SensorRenamingNoOpt => "Sensor+Renaming (no region opt)",
+            Scheme::SensorCheckpointing => "Sensor+Checkpointing",
+            Scheme::DuplicationRenaming => "Duplication+Renaming",
+            Scheme::DuplicationCheckpointing => "Duplication+Checkpointing",
+            Scheme::HybridRenaming => "Hybrid+Renaming",
+            Scheme::HybridCheckpointing => "Hybrid+Checkpointing",
+            Scheme::NaiveSensorRenaming => "Naive Sensor+Renaming",
+        }
+    }
+
+    /// Compiler pipeline options for this scheme.
+    pub fn build_options(self, max_regs: u32, wcdl: u32) -> BuildOptions {
+        let (recovery, detection, region_opt) = match self {
+            Scheme::Baseline => (Recovery::None, Detection::None, false),
+            Scheme::Renaming => (Recovery::Renaming, Detection::None, false),
+            Scheme::Checkpointing => (Recovery::Checkpointing, Detection::None, false),
+            Scheme::SensorRenaming => (Recovery::Renaming, Detection::Sensor, true),
+            Scheme::SensorRenamingNoOpt => (Recovery::Renaming, Detection::Sensor, false),
+            Scheme::SensorCheckpointing => (Recovery::Checkpointing, Detection::Sensor, false),
+            Scheme::DuplicationRenaming => (Recovery::Renaming, Detection::Duplication, false),
+            Scheme::DuplicationCheckpointing => {
+                (Recovery::Checkpointing, Detection::Duplication, false)
+            }
+            Scheme::HybridRenaming => (Recovery::Renaming, Detection::Hybrid, false),
+            Scheme::HybridCheckpointing => (Recovery::Checkpointing, Detection::Hybrid, false),
+            Scheme::NaiveSensorRenaming => (Recovery::Renaming, Detection::Sensor, true),
+        };
+        BuildOptions {
+            recovery,
+            detection,
+            wcdl,
+            max_regs,
+            region_opt,
+            alloc_headroom: 8,
+        }
+    }
+
+    /// Runtime behaviour at region boundaries.
+    pub fn verification_mode(self, wcdl: u32) -> VerificationMode {
+        match self {
+            // Sensor-based detection requires region verification, hidden
+            // by WCDL-aware warp scheduling.
+            Scheme::SensorRenaming | Scheme::SensorRenamingNoOpt | Scheme::SensorCheckpointing => {
+                VerificationMode::Conveyor { wcdl }
+            }
+            // The naive ablation serializes verification at the scheduler.
+            Scheme::NaiveSensorRenaming => VerificationMode::SchedulerStall { wcdl },
+            // Duplication and tail-DMR detect errors in-region; finished
+            // regions are already verified. Recovery-only schemes have no
+            // detection to wait for.
+            _ => VerificationMode::Immediate,
+        }
+    }
+
+    /// Whether this scheme provides both detection and recovery (a "full
+    /// resilience solution" in the paper's terms).
+    pub fn is_full_solution(self) -> bool {
+        !matches!(
+            self,
+            Scheme::Baseline | Scheme::Renaming | Scheme::Checkpointing
+        )
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schemes_are_eight_full_or_recovery() {
+        let s = Scheme::paper_schemes();
+        assert_eq!(s.len(), 8);
+        assert!(s.contains(&Scheme::SensorRenaming));
+        assert!(!s.contains(&Scheme::Baseline));
+    }
+
+    #[test]
+    fn flame_uses_conveyor_and_region_opt() {
+        let opts = Scheme::SensorRenaming.build_options(63, 20);
+        assert!(opts.region_opt);
+        assert_eq!(opts.recovery, Recovery::Renaming);
+        assert_eq!(opts.detection, Detection::Sensor);
+        assert_eq!(
+            Scheme::SensorRenaming.verification_mode(20),
+            VerificationMode::Conveyor { wcdl: 20 }
+        );
+    }
+
+    #[test]
+    fn duplication_needs_no_verification_delay() {
+        assert_eq!(
+            Scheme::DuplicationRenaming.verification_mode(20),
+            VerificationMode::Immediate
+        );
+        assert_eq!(
+            Scheme::HybridCheckpointing.verification_mode(20),
+            VerificationMode::Immediate
+        );
+    }
+
+    #[test]
+    fn naive_stalls_scheduler() {
+        assert_eq!(
+            Scheme::NaiveSensorRenaming.verification_mode(20),
+            VerificationMode::SchedulerStall { wcdl: 20 }
+        );
+    }
+
+    #[test]
+    fn full_solution_classification() {
+        assert!(Scheme::SensorRenaming.is_full_solution());
+        assert!(Scheme::DuplicationCheckpointing.is_full_solution());
+        assert!(!Scheme::Renaming.is_full_solution());
+        assert!(!Scheme::Baseline.is_full_solution());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut all = vec![
+            Scheme::Baseline,
+            Scheme::Renaming,
+            Scheme::Checkpointing,
+            Scheme::SensorRenaming,
+            Scheme::SensorRenamingNoOpt,
+            Scheme::SensorCheckpointing,
+            Scheme::DuplicationRenaming,
+            Scheme::DuplicationCheckpointing,
+            Scheme::HybridRenaming,
+            Scheme::HybridCheckpointing,
+            Scheme::NaiveSensorRenaming,
+        ];
+        let names: std::collections::HashSet<_> = all.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), all.len());
+        all.dedup();
+    }
+}

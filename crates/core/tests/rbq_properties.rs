@@ -1,0 +1,73 @@
+//! Property tests of the region boundary queue (verification conveyor):
+//! FIFO order, exact-WCDL latency lower bound, and unit throughput.
+
+use flame_core::rbq::Rbq;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Warps come out in FIFO order; every warp waits at least WCDL
+    /// cycles; at most one verification completes per cycle; nothing is
+    /// lost.
+    #[test]
+    fn conveyor_invariants(
+        wcdl in 1u32..64,
+        gaps in proptest::collection::vec(0u64..8, 1..40),
+    ) {
+        let mut q = Rbq::new(wcdl);
+        let mut now = 0u64;
+        let mut pushed = Vec::new();
+        for (slot, gap) in gaps.iter().enumerate() {
+            now += gap;
+            q.push(now, slot);
+            pushed.push((slot, now));
+        }
+        let mut popped = Vec::new();
+        let mut last_pop_cycle = None;
+        let deadline = now + u64::from(wcdl) * (pushed.len() as u64 + 2) + 10;
+        while popped.len() < pushed.len() {
+            now += 1;
+            prop_assert!(now <= deadline, "conveyor starved");
+            if let Some(slot) = q.pop(now) {
+                if let Some(prev) = last_pop_cycle {
+                    prop_assert!(now > prev, "two pops in one cycle");
+                }
+                last_pop_cycle = Some(now);
+                popped.push((slot, now));
+            }
+        }
+        prop_assert!(q.is_empty());
+        // FIFO and latency.
+        for (i, &(slot, pop_cycle)) in popped.iter().enumerate() {
+            let (pushed_slot, push_cycle) = pushed[i];
+            prop_assert_eq!(slot, pushed_slot, "FIFO violated");
+            prop_assert!(
+                pop_cycle >= push_cycle + u64::from(wcdl),
+                "verified early: pushed {push_cycle}, popped {pop_cycle}, wcdl {wcdl}"
+            );
+        }
+    }
+
+    /// Flush drops everything, and the conveyor keeps working afterwards.
+    #[test]
+    fn flush_then_reuse(wcdl in 1u32..32, n in 1usize..20) {
+        let mut q = Rbq::new(wcdl);
+        for s in 0..n {
+            q.push(0, s);
+        }
+        q.flush();
+        prop_assert!(q.is_empty());
+        q.push(100, 7);
+        let mut now = 100;
+        loop {
+            now += 1;
+            if let Some(s) = q.pop(now) {
+                prop_assert_eq!(s, 7);
+                prop_assert!(now >= 100 + u64::from(wcdl));
+                break;
+            }
+            prop_assert!(now < 100 + u64::from(wcdl) * 2 + 4);
+        }
+    }
+}

@@ -1,0 +1,542 @@
+//! A small DSL for constructing kernels programmatically.
+//!
+//! [`KernelBuilder`] is how the workload suite (crate `flame-workloads`)
+//! and tests author kernels: it allocates fresh virtual registers, manages
+//! basic-block creation around labels and branches, resolves forward label
+//! references, and allocates shared/local memory.
+//!
+//! ```
+//! use gpu_sim::builder::KernelBuilder;
+//! use gpu_sim::isa::Special;
+//!
+//! let mut b = KernelBuilder::new("saxpy");
+//! let tid = b.special(Special::TidX);
+//! let addr = b.imul(tid, 8); // byte address of element `tid`
+//! let x = b.ld_global(addr, 0);
+//! let y = b.fmul(x, 2.0f32.to_bits() as i64);
+//! b.st_global(addr, y, 4096);
+//! b.exit();
+//! let kernel = b.finish();
+//! assert!(kernel.validate().is_ok());
+//! ```
+
+use crate::isa::{
+    AtomOp, BlockId, Cmp, Instruction, MemSpace, Opcode, Operand, Reg, Special,
+};
+use crate::program::{BasicBlock, Kernel};
+use std::collections::HashMap;
+
+/// Incremental kernel constructor. See the [module docs](self).
+#[derive(Debug)]
+pub struct KernelBuilder {
+    kernel: Kernel,
+    next_reg: u16,
+    labels: HashMap<String, BlockId>,
+    pending: Vec<(BlockId, usize, String)>,
+    shared_top: u32,
+    local_top: u32,
+    sealed: bool,
+}
+
+impl KernelBuilder {
+    /// Starts building a kernel with the given name.
+    pub fn new(name: impl Into<String>) -> KernelBuilder {
+        let mut kernel = Kernel::new(name);
+        kernel.blocks.push(BasicBlock::new("entry"));
+        KernelBuilder {
+            kernel,
+            next_reg: 0,
+            labels: HashMap::new(),
+            pending: Vec::new(),
+            shared_top: 0,
+            local_top: 0,
+            sealed: false,
+        }
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn fresh(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg = self
+            .next_reg
+            .checked_add(1)
+            .expect("virtual register space exhausted");
+        r
+    }
+
+    /// Reserves `bytes` of shared memory, returning its base byte offset
+    /// (8-byte aligned).
+    pub fn alloc_shared(&mut self, bytes: u32) -> i64 {
+        let base = self.shared_top;
+        self.shared_top += bytes.div_ceil(8) * 8;
+        i64::from(base)
+    }
+
+    /// Reserves `bytes` of per-thread local memory, returning its base byte
+    /// offset (8-byte aligned).
+    pub fn alloc_local(&mut self, bytes: u32) -> i64 {
+        let base = self.local_top;
+        self.local_top += bytes.div_ceil(8) * 8;
+        i64::from(base)
+    }
+
+    fn cur_block(&mut self) -> &mut BasicBlock {
+        // A branch always ends a block; if the last block was terminated,
+        // start a new anonymous one (fall-through is impossible after an
+        // unconditional branch/exit, but the builder keeps emission linear
+        // and validation catches dangling blocks).
+        let needs_new = self
+            .kernel
+            .blocks
+            .last()
+            .and_then(|b| b.terminator())
+            .is_some();
+        if needs_new {
+            self.kernel.blocks.push(BasicBlock::new("anon"));
+        }
+        self.kernel.blocks.last_mut().expect("builder has a block")
+    }
+
+    /// Starts (or continues into) the block named `name`. Subsequent
+    /// branches may reference the name before or after this call.
+    pub fn label(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        // Start a new block unless the current one is still empty.
+        let start_new = !self
+            .kernel
+            .blocks
+            .last()
+            .is_some_and(|b| b.insts.is_empty());
+        if start_new {
+            self.kernel.blocks.push(BasicBlock::new(name.clone()));
+        } else if let Some(b) = self.kernel.blocks.last_mut() {
+            b.label = name.clone();
+        }
+        let id = BlockId(self.kernel.blocks.len() as u32 - 1);
+        let prev = self.labels.insert(name.clone(), id);
+        assert!(prev.is_none(), "duplicate label `{name}`");
+    }
+
+    fn push(&mut self, inst: Instruction) {
+        self.cur_block().insts.push(inst);
+    }
+
+    fn emit3(&mut self, op: Opcode, srcs: Vec<Operand>) -> Reg {
+        let d = self.fresh();
+        self.push(Instruction::new(op, Some(d), srcs));
+        d
+    }
+
+    /// Emits `op` writing to an existing register `dst` (for loop-carried
+    /// variables).
+    pub fn emit_to(&mut self, dst: Reg, op: Opcode, srcs: Vec<Operand>) {
+        assert!(op.has_dst(), "{op} has no destination");
+        self.push(Instruction::new(op, Some(dst), srcs));
+    }
+
+    /// Reads a special register into a fresh register.
+    pub fn special(&mut self, s: Special) -> Reg {
+        self.emit3(Opcode::Mov, vec![Operand::Special(s)])
+    }
+
+    /// `dst = src` into a fresh register.
+    pub fn mov(&mut self, src: impl Into<Operand>) -> Reg {
+        self.emit3(Opcode::Mov, vec![src.into()])
+    }
+
+    /// `dst = src` into an existing register.
+    pub fn mov_to(&mut self, dst: Reg, src: impl Into<Operand>) {
+        self.emit_to(dst, Opcode::Mov, vec![src.into()]);
+    }
+
+    /// Immediate holding an `f32` bit pattern.
+    pub fn fconst(&mut self, v: f32) -> Reg {
+        self.mov(Operand::fimm(v))
+    }
+
+    /// CTA-wide barrier.
+    pub fn barrier(&mut self) {
+        self.push(Instruction::new(Opcode::Bar, None, vec![]));
+    }
+
+    /// Thread exit.
+    pub fn exit(&mut self) {
+        self.push(Instruction::new(Opcode::Exit, None, vec![]));
+    }
+
+    /// Explicit idempotent region boundary (normally inserted by the Flame
+    /// compiler, exposed for tests).
+    pub fn region_boundary(&mut self) {
+        self.push(Instruction::new(Opcode::RegionBoundary, None, vec![]));
+    }
+
+    /// Unconditional branch to `label`.
+    pub fn bra(&mut self, label: impl Into<String>) {
+        let mut i = Instruction::new(Opcode::Bra, None, vec![]);
+        let name = label.into();
+        i.target = Some(BlockId(u32::MAX));
+        self.push(i);
+        self.note_pending(name);
+    }
+
+    /// Branch to `label` if `pred` is truthy (`sense == true`) or falsy.
+    pub fn bra_if(&mut self, pred: Reg, sense: bool, label: impl Into<String>) {
+        let mut i = Instruction::new(Opcode::Bra, None, vec![]);
+        i.pred = Some((pred, sense));
+        i.target = Some(BlockId(u32::MAX));
+        let name = label.into();
+        self.push(i);
+        self.note_pending(name);
+    }
+
+    fn note_pending(&mut self, name: String) {
+        let b = BlockId(self.kernel.blocks.len() as u32 - 1);
+        let idx = self.kernel.blocks[b.index()].insts.len() - 1;
+        self.pending.push((b, idx, name));
+    }
+
+    /// Load from `space` at `base + offset` bytes.
+    pub fn ld(&mut self, space: MemSpace, base: impl Into<Operand>, offset: i64) -> Reg {
+        let d = self.fresh();
+        let mut i = Instruction::new(Opcode::Ld(space), Some(d), vec![base.into()]);
+        i.offset = offset;
+        self.push(i);
+        d
+    }
+
+    /// Store `val` to `space` at `base + offset` bytes.
+    pub fn st(
+        &mut self,
+        space: MemSpace,
+        base: impl Into<Operand>,
+        val: impl Into<Operand>,
+        offset: i64,
+    ) {
+        let mut i = Instruction::new(Opcode::St(space), None, vec![base.into(), val.into()]);
+        i.offset = offset;
+        self.push(i);
+    }
+
+    /// Global load at `base + offset`.
+    pub fn ld_global(&mut self, base: impl Into<Operand>, offset: i64) -> Reg {
+        self.ld(MemSpace::Global, base, offset)
+    }
+
+    /// Global store at `base + offset`.
+    pub fn st_global(&mut self, base: impl Into<Operand>, val: impl Into<Operand>, offset: i64) {
+        self.st(MemSpace::Global, base, val, offset);
+    }
+
+    /// Shared-memory load at `base + offset`.
+    pub fn ld_shared(&mut self, base: impl Into<Operand>, offset: i64) -> Reg {
+        self.ld(MemSpace::Shared, base, offset)
+    }
+
+    /// Shared-memory store at `base + offset`.
+    pub fn st_shared(&mut self, base: impl Into<Operand>, val: impl Into<Operand>, offset: i64) {
+        self.st(MemSpace::Shared, base, val, offset);
+    }
+
+    /// Atomic `op` in `space` at `base + offset` with operand `val`;
+    /// returns the old value.
+    pub fn atom(
+        &mut self,
+        space: MemSpace,
+        op: AtomOp,
+        base: impl Into<Operand>,
+        val: impl Into<Operand>,
+        offset: i64,
+    ) -> Reg {
+        let d = self.fresh();
+        let mut i = Instruction::new(
+            Opcode::Atom(space, op),
+            Some(d),
+            vec![base.into(), val.into()],
+        );
+        i.offset = offset;
+        self.push(i);
+        d
+    }
+
+    /// Load from `space` at `base + offset`, tagged with an alias class
+    /// (accesses with different classes are guaranteed disjoint — the
+    /// information the region-formation analysis uses to separate arrays).
+    pub fn ld_arr(
+        &mut self,
+        space: MemSpace,
+        class: u16,
+        base: impl Into<Operand>,
+        offset: i64,
+    ) -> Reg {
+        let d = self.ld(space, base, offset);
+        self.last_inst_mut().alias_class = Some(class);
+        d
+    }
+
+    /// Store to `space` at `base + offset`, tagged with an alias class.
+    pub fn st_arr(
+        &mut self,
+        space: MemSpace,
+        class: u16,
+        base: impl Into<Operand>,
+        val: impl Into<Operand>,
+        offset: i64,
+    ) {
+        self.st(space, base, val, offset);
+        self.last_inst_mut().alias_class = Some(class);
+    }
+
+    /// Predicates the most recently emitted instruction on `(pred,
+    /// sense)`: it executes only in lanes where `(pred != 0) == sense`.
+    /// Used to express short conditional updates without branches, the
+    /// way GPU compilers if-convert them.
+    pub fn pred_last(&mut self, pred: Reg, sense: bool) {
+        self.last_inst_mut().pred = Some((pred, sense));
+    }
+
+    fn last_inst_mut(&mut self) -> &mut Instruction {
+        self.kernel
+            .blocks
+            .last_mut()
+            .and_then(|b| b.insts.last_mut())
+            .expect("an instruction was just emitted")
+    }
+
+    /// Compare producing 0/1: `(a <cmp> b)`.
+    pub fn setp(&mut self, cmp: Cmp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.emit3(Opcode::SetP(cmp), vec![a.into(), b.into()])
+    }
+
+    /// Select: `cond != 0 ? a : b`.
+    pub fn sel(
+        &mut self,
+        cond: impl Into<Operand>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> Reg {
+        self.emit3(Opcode::Sel, vec![cond.into(), a.into(), b.into()])
+    }
+
+    /// Finalizes the kernel: resolves labels, counts registers, records
+    /// memory sizes, and validates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unresolved labels or an invalid kernel (these are
+    /// programming errors in the kernel author's code).
+    pub fn finish(mut self) -> Kernel {
+        assert!(!self.sealed, "finish called twice");
+        self.sealed = true;
+        for (b, idx, name) in std::mem::take(&mut self.pending) {
+            let target = *self
+                .labels
+                .get(&name)
+                .unwrap_or_else(|| panic!("unresolved label `{name}`"));
+            self.kernel.blocks[b.index()].insts[idx].target = Some(target);
+        }
+        self.kernel.recount_regs();
+        self.kernel.shared_mem_bytes = self.shared_top;
+        self.kernel.local_mem_bytes = self.local_top;
+        if let Err(e) = self.kernel.validate() {
+            panic!(
+                "kernel `{}` is invalid: {e}\n{}",
+                self.kernel.name,
+                self.kernel.disassemble()
+            );
+        }
+        self.kernel
+    }
+}
+
+macro_rules! binop {
+    ($(#[$doc:meta] $name:ident => $op:expr;)*) => {
+        impl KernelBuilder {
+            $(
+                #[$doc]
+                pub fn $name(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+                    self.emit3($op, vec![a.into(), b.into()])
+                }
+            )*
+        }
+    };
+}
+
+binop! {
+    /// Integer add.
+    iadd => Opcode::IAdd;
+    /// Integer subtract.
+    isub => Opcode::ISub;
+    /// Integer multiply.
+    imul => Opcode::IMul;
+    /// Integer divide (0 on division by zero).
+    idiv => Opcode::IDiv;
+    /// Integer remainder (0 on modulo by zero).
+    irem => Opcode::IRem;
+    /// Integer minimum.
+    imin => Opcode::IMin;
+    /// Integer maximum.
+    imax => Opcode::IMax;
+    /// Bitwise and.
+    and => Opcode::And;
+    /// Bitwise or.
+    or => Opcode::Or;
+    /// Bitwise xor.
+    xor => Opcode::Xor;
+    /// Shift left.
+    shl => Opcode::Shl;
+    /// Logical shift right.
+    shr => Opcode::Shr;
+    /// `f32` add.
+    fadd => Opcode::FAdd;
+    /// `f32` subtract.
+    fsub => Opcode::FSub;
+    /// `f32` multiply.
+    fmul => Opcode::FMul;
+    /// `f32` divide.
+    fdiv => Opcode::FDiv;
+    /// `f32` minimum.
+    fmin => Opcode::FMin;
+    /// `f32` maximum.
+    fmax => Opcode::FMax;
+}
+
+impl KernelBuilder {
+    /// Integer multiply-add: `a * b + c`.
+    pub fn imad(
+        &mut self,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        c: impl Into<Operand>,
+    ) -> Reg {
+        self.emit3(Opcode::IMad, vec![a.into(), b.into(), c.into()])
+    }
+
+    /// `f32` fused multiply-add: `a * b + c`.
+    pub fn ffma(
+        &mut self,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        c: impl Into<Operand>,
+    ) -> Reg {
+        self.emit3(Opcode::FFma, vec![a.into(), b.into(), c.into()])
+    }
+
+    /// `f32` square root.
+    pub fn fsqrt(&mut self, a: impl Into<Operand>) -> Reg {
+        self.emit3(Opcode::FSqrt, vec![a.into()])
+    }
+
+    /// `f32` exponential.
+    pub fn fexp(&mut self, a: impl Into<Operand>) -> Reg {
+        self.emit3(Opcode::FExp, vec![a.into()])
+    }
+
+    /// Convert integer to `f32`.
+    pub fn i2f(&mut self, a: impl Into<Operand>) -> Reg {
+        self.emit3(Opcode::I2F, vec![a.into()])
+    }
+
+    /// Convert `f32` to integer (truncating).
+    pub fn f2i(&mut self, a: impl Into<Operand>) -> Reg {
+        self.emit3(Opcode::F2I, vec![a.into()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_kernel() {
+        let mut b = KernelBuilder::new("k");
+        let t = b.special(Special::TidX);
+        let a = b.imul(t, 8);
+        let v = b.ld_global(a, 0);
+        let w = b.iadd(v, 1);
+        b.st_global(a, w, 1 << 16);
+        b.exit();
+        let k = b.finish();
+        assert_eq!(k.blocks.len(), 1);
+        assert_eq!(k.len(), 6);
+        assert_eq!(k.regs_per_thread, 4);
+    }
+
+    #[test]
+    fn loop_kernel_resolves_backward_label() {
+        let mut b = KernelBuilder::new("loop");
+        let i = b.mov(0i64);
+        b.label("head");
+        let ni = b.iadd(i, 1);
+        b.mov_to(i, ni);
+        let p = b.setp(Cmp::Lt, i, 10i64);
+        b.bra_if(p, true, "head");
+        b.exit();
+        let k = b.finish();
+        assert!(k.validate().is_ok());
+        // The back-edge target must be the "head" block.
+        let (bra_block, _, bra) = k
+            .iter()
+            .find(|(_, _, i)| i.op == Opcode::Bra)
+            .expect("has branch");
+        assert_eq!(k.blocks[bra.target.unwrap().index()].label, "head");
+        assert!(bra_block.0 >= 1);
+    }
+
+    #[test]
+    fn forward_label_resolution() {
+        let mut b = KernelBuilder::new("fwd");
+        let p = b.mov(1i64);
+        b.bra_if(p, true, "out");
+        let _x = b.mov(2i64);
+        b.label("out");
+        b.exit();
+        let k = b.finish();
+        assert!(k.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "unresolved label")]
+    fn unresolved_label_panics() {
+        let mut b = KernelBuilder::new("bad");
+        b.bra("nowhere");
+        b.exit();
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_label_panics() {
+        let mut b = KernelBuilder::new("dup");
+        b.label("x");
+        b.exit();
+        b.label("x");
+    }
+
+    #[test]
+    fn shared_and_local_allocation_align() {
+        let mut b = KernelBuilder::new("alloc");
+        assert_eq!(b.alloc_shared(100), 0);
+        assert_eq!(b.alloc_shared(8), 104);
+        assert_eq!(b.alloc_local(4), 0);
+        assert_eq!(b.alloc_local(4), 8);
+        b.exit();
+        let k = b.finish();
+        assert_eq!(k.shared_mem_bytes, 112);
+        assert_eq!(k.local_mem_bytes, 16);
+    }
+
+    #[test]
+    fn barrier_and_atomics_emit() {
+        let mut b = KernelBuilder::new("sync");
+        let base = b.mov(0i64);
+        b.barrier();
+        let old = b.atom(MemSpace::Shared, AtomOp::Add, base, 1i64, 0);
+        let _ = b.iadd(old, 1);
+        b.exit();
+        let k = b.finish();
+        assert!(k.iter().any(|(_, _, i)| i.op == Opcode::Bar));
+        assert!(k
+            .iter()
+            .any(|(_, _, i)| matches!(i.op, Opcode::Atom(MemSpace::Shared, AtomOp::Add))));
+    }
+}

@@ -1,0 +1,215 @@
+//! Functional (per-lane) evaluation of ALU opcodes.
+//!
+//! Integer opcodes operate on values as `i64` (wrapping); floating-point
+//! opcodes operate on the low 32 bits as `f32`. Division by zero yields
+//! zero — GPU kernels must not abort the simulator.
+
+use crate::isa::{Cmp, Opcode};
+use crate::regfile::Value;
+
+#[inline]
+fn f(v: Value) -> f32 {
+    f32::from_bits(v as u32)
+}
+
+#[inline]
+fn fb(v: f32) -> Value {
+    Value::from(v.to_bits())
+}
+
+/// Evaluates a computational opcode on up to three source values.
+///
+/// # Panics
+///
+/// Panics if `op` is not a computational opcode (memory, control and
+/// pseudo-instructions are executed by the pipeline, not here).
+pub fn eval(op: Opcode, s: [Value; 3]) -> Value {
+    let (a, b, c) = (s[0] as i64, s[1] as i64, s[2] as i64);
+    match op {
+        Opcode::IAdd => a.wrapping_add(b) as Value,
+        Opcode::ISub => a.wrapping_sub(b) as Value,
+        Opcode::IMul => a.wrapping_mul(b) as Value,
+        Opcode::IMad => a.wrapping_mul(b).wrapping_add(c) as Value,
+        Opcode::IDiv => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b) as Value
+            }
+        }
+        Opcode::IRem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b) as Value
+            }
+        }
+        Opcode::IMin => a.min(b) as Value,
+        Opcode::IMax => a.max(b) as Value,
+        Opcode::And => s[0] & s[1],
+        Opcode::Or => s[0] | s[1],
+        Opcode::Xor => s[0] ^ s[1],
+        Opcode::Shl => s[0] << (s[1] & 63),
+        Opcode::Shr => s[0] >> (s[1] & 63),
+        Opcode::FAdd => fb(f(s[0]) + f(s[1])),
+        Opcode::FSub => fb(f(s[0]) - f(s[1])),
+        Opcode::FMul => fb(f(s[0]) * f(s[1])),
+        Opcode::FFma => fb(f(s[0]).mul_add(f(s[1]), f(s[2]))),
+        Opcode::FDiv => {
+            let d = f(s[1]);
+            fb(if d == 0.0 { 0.0 } else { f(s[0]) / d })
+        }
+        Opcode::FSqrt => fb(f(s[0]).max(0.0).sqrt()),
+        Opcode::FExp => fb(f(s[0]).exp()),
+        Opcode::FMin => fb(f(s[0]).min(f(s[1]))),
+        Opcode::FMax => fb(f(s[0]).max(f(s[1]))),
+        Opcode::I2F => fb(a as f32),
+        Opcode::F2I => (f(s[0]) as i64) as Value,
+        Opcode::Mov => s[0],
+        Opcode::Sel => {
+            if s[0] != 0 {
+                s[1]
+            } else {
+                s[2]
+            }
+        }
+        Opcode::SetP(cmp) => {
+            let r = match cmp {
+                Cmp::Eq => a == b,
+                Cmp::Ne => a != b,
+                Cmp::Lt => a < b,
+                Cmp::Le => a <= b,
+                Cmp::Gt => a > b,
+                Cmp::Ge => a >= b,
+                Cmp::FLt => f(s[0]) < f(s[1]),
+                Cmp::FGt => f(s[0]) > f(s[1]),
+            };
+            Value::from(r)
+        }
+        other => panic!("eval called on non-computational opcode {other}"),
+    }
+}
+
+/// Applies an atomic read-modify-write, returning `(old, new)`.
+pub fn eval_atom(op: crate::isa::AtomOp, old: Value, operand: Value, operand2: Value) -> (Value, Value) {
+    use crate::isa::AtomOp;
+    let new = match op {
+        AtomOp::Add => (old as i64).wrapping_add(operand as i64) as Value,
+        AtomOp::Max => (old as i64).max(operand as i64) as Value,
+        AtomOp::Min => (old as i64).min(operand as i64) as Value,
+        AtomOp::Exch => operand,
+        AtomOp::Cas => {
+            if old == operand {
+                operand2
+            } else {
+                old
+            }
+        }
+    };
+    (old, new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::AtomOp;
+
+    fn e(op: Opcode, a: i64, b: i64) -> i64 {
+        eval(op, [a as Value, b as Value, 0]) as i64
+    }
+
+    fn ef(op: Opcode, a: f32, b: f32) -> f32 {
+        f32::from_bits(eval(op, [fb(a), fb(b), 0]) as u32)
+    }
+
+    #[test]
+    fn integer_arithmetic() {
+        assert_eq!(e(Opcode::IAdd, 2, 3), 5);
+        assert_eq!(e(Opcode::ISub, 2, 3), -1);
+        assert_eq!(e(Opcode::IMul, -4, 3), -12);
+        assert_eq!(eval(Opcode::IMad, [2, 3, 4]), 10);
+        assert_eq!(e(Opcode::IDiv, 7, 2), 3);
+        assert_eq!(e(Opcode::IDiv, 7, 0), 0);
+        assert_eq!(e(Opcode::IRem, 7, 3), 1);
+        assert_eq!(e(Opcode::IRem, 7, 0), 0);
+        assert_eq!(e(Opcode::IMin, -1, 1), -1);
+        assert_eq!(e(Opcode::IMax, -1, 1), 1);
+    }
+
+    #[test]
+    fn integer_overflow_wraps() {
+        assert_eq!(e(Opcode::IAdd, i64::MAX, 1), i64::MIN);
+        assert_eq!(e(Opcode::IMul, i64::MAX, 2), -2);
+    }
+
+    #[test]
+    fn bitwise_and_shifts() {
+        assert_eq!(eval(Opcode::And, [0b1100, 0b1010, 0]), 0b1000);
+        assert_eq!(eval(Opcode::Or, [0b1100, 0b1010, 0]), 0b1110);
+        assert_eq!(eval(Opcode::Xor, [0b1100, 0b1010, 0]), 0b0110);
+        assert_eq!(eval(Opcode::Shl, [1, 4, 0]), 16);
+        assert_eq!(eval(Opcode::Shr, [16, 4, 0]), 1);
+        // Shift counts are masked to 6 bits.
+        assert_eq!(eval(Opcode::Shl, [1, 64, 0]), 1);
+    }
+
+    #[test]
+    fn float_arithmetic() {
+        assert_eq!(ef(Opcode::FAdd, 1.5, 2.0), 3.5);
+        assert_eq!(ef(Opcode::FSub, 1.5, 2.0), -0.5);
+        assert_eq!(ef(Opcode::FMul, 1.5, 2.0), 3.0);
+        assert_eq!(ef(Opcode::FDiv, 3.0, 2.0), 1.5);
+        assert_eq!(ef(Opcode::FDiv, 3.0, 0.0), 0.0);
+        assert_eq!(ef(Opcode::FMin, 1.0, 2.0), 1.0);
+        assert_eq!(ef(Opcode::FMax, 1.0, 2.0), 2.0);
+        let fma = eval(Opcode::FFma, [fb(2.0), fb(3.0), fb(1.0)]);
+        assert_eq!(f32::from_bits(fma as u32), 7.0);
+        let sq = eval(Opcode::FSqrt, [fb(9.0), 0, 0]);
+        assert_eq!(f32::from_bits(sq as u32), 3.0);
+        // Negative sqrt clamps to zero rather than NaN.
+        let sqn = eval(Opcode::FSqrt, [fb(-1.0), 0, 0]);
+        assert_eq!(f32::from_bits(sqn as u32), 0.0);
+    }
+
+    #[test]
+    fn conversions() {
+        let v = eval(Opcode::I2F, [7, 0, 0]);
+        assert_eq!(f32::from_bits(v as u32), 7.0);
+        assert_eq!(eval(Opcode::F2I, [fb(7.9), 0, 0]) as i64, 7);
+        assert_eq!(eval(Opcode::F2I, [fb(-7.9), 0, 0]) as i64, -7);
+    }
+
+    #[test]
+    fn comparisons_and_select() {
+        assert_eq!(eval(Opcode::SetP(Cmp::Lt), [1, 2, 0]), 1);
+        assert_eq!(eval(Opcode::SetP(Cmp::Lt), [2, 1, 0]), 0);
+        assert_eq!(eval(Opcode::SetP(Cmp::Eq), [5, 5, 0]), 1);
+        assert_eq!(eval(Opcode::SetP(Cmp::Ne), [5, 5, 0]), 0);
+        assert_eq!(eval(Opcode::SetP(Cmp::Ge), [5, 5, 0]), 1);
+        assert_eq!(eval(Opcode::SetP(Cmp::FLt), [fb(1.0), fb(2.0), 0]), 1);
+        assert_eq!(eval(Opcode::SetP(Cmp::FGt), [fb(1.0), fb(2.0), 0]), 0);
+        assert_eq!(eval(Opcode::Sel, [1, 10, 20]), 10);
+        assert_eq!(eval(Opcode::Sel, [0, 10, 20]), 20);
+    }
+
+    #[test]
+    fn negative_comparison_uses_signed_order() {
+        assert_eq!(eval(Opcode::SetP(Cmp::Lt), [(-1i64) as Value, 0, 0]), 1);
+    }
+
+    #[test]
+    fn atomics() {
+        assert_eq!(eval_atom(AtomOp::Add, 5, 3, 0), (5, 8));
+        assert_eq!(eval_atom(AtomOp::Max, 5, 3, 0), (5, 5));
+        assert_eq!(eval_atom(AtomOp::Min, 5, 3, 0), (5, 3));
+        assert_eq!(eval_atom(AtomOp::Exch, 5, 3, 0), (5, 3));
+        assert_eq!(eval_atom(AtomOp::Cas, 5, 5, 9), (5, 9));
+        assert_eq!(eval_atom(AtomOp::Cas, 5, 4, 9), (5, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-computational")]
+    fn eval_rejects_memory_ops() {
+        let _ = eval(Opcode::Bar, [0, 0, 0]);
+    }
+}

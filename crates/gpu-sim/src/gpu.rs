@@ -1,0 +1,603 @@
+//! The whole-GPU simulator: SMs, shared L2, device memory and the CTA
+//! dispatcher.
+
+use crate::config::GpuConfig;
+use crate::isa::Reg;
+use crate::memory::{Cache, GlobalMemory};
+use crate::program::FlatKernel;
+use crate::resilience::{NullAttachment, SmAttachment};
+use crate::scheduler::SchedulerKind;
+use crate::sm::{LaunchDims, Sm};
+use crate::stats::SimStats;
+use crate::warp::WARP_SIZE;
+use std::fmt;
+
+/// Error returned when a kernel cannot be launched on a GPU configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// The kernel needs more registers per thread than the architecture
+    /// allows.
+    TooManyRegisters {
+        /// Registers the kernel requires.
+        required: u32,
+        /// Architectural limit.
+        limit: u32,
+    },
+    /// The CTA does not fit on an SM (warps, registers or shared memory).
+    CtaTooLarge,
+    /// The grid is empty.
+    EmptyGrid,
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchError::TooManyRegisters { required, limit } => {
+                write!(f, "kernel needs {required} registers/thread, limit is {limit}")
+            }
+            LaunchError::CtaTooLarge => write!(f, "CTA does not fit on an SM"),
+            LaunchError::EmptyGrid => write!(f, "launch grid is empty"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Error returned when a simulation exceeds its cycle budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeoutError {
+    /// The budget that was exhausted.
+    pub max_cycles: u64,
+}
+
+impl fmt::Display for TimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation did not finish within {} cycles", self.max_cycles)
+    }
+}
+
+impl std::error::Error for TimeoutError {}
+
+/// A GPU running one kernel launch.
+///
+/// Construct with [`Gpu::launch`], seed device memory through
+/// [`Gpu::global_mut`], then either [`Gpu::run`] to completion or drive
+/// cycle by cycle with [`Gpu::step`] (the fault-injection harness does the
+/// latter, corrupting registers and triggering recovery between cycles).
+pub struct Gpu {
+    config: GpuConfig,
+    kernel: FlatKernel,
+    dims: LaunchDims,
+    sms: Vec<Sm>,
+    l2: Cache,
+    global: GlobalMemory,
+    next_cta: u32,
+    cycle: u64,
+    ctas_per_sm: u32,
+}
+
+impl fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Gpu")
+            .field("config", &self.config.name)
+            .field("kernel", &self.kernel.name)
+            .field("cycle", &self.cycle)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Gpu {
+    /// Prepares a launch with per-SM resilience attachments supplied by
+    /// `attach` (called once per SM).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LaunchError`] if the kernel violates architectural
+    /// limits or no CTA fits on an SM.
+    pub fn launch_with(
+        config: GpuConfig,
+        kernel: FlatKernel,
+        dims: LaunchDims,
+        sched: SchedulerKind,
+        mut attach: impl FnMut(usize) -> Box<dyn SmAttachment>,
+    ) -> Result<Gpu, LaunchError> {
+        if dims.num_ctas() == 0 || dims.threads_per_cta() == 0 {
+            return Err(LaunchError::EmptyGrid);
+        }
+        if kernel.regs_per_thread > config.max_regs_per_thread {
+            return Err(LaunchError::TooManyRegisters {
+                required: kernel.regs_per_thread,
+                limit: config.max_regs_per_thread,
+            });
+        }
+        let ctas_per_sm = occupancy(&config, &kernel, &dims);
+        if ctas_per_sm == 0 {
+            return Err(LaunchError::CtaTooLarge);
+        }
+        let sms = (0..config.num_sms)
+            .map(|i| Sm::new(i, &config, sched, ctas_per_sm as usize, attach(i)))
+            .collect();
+        let l2 = Cache::new(config.l2_bytes, config.l2_ways);
+        let global = GlobalMemory::new(config.device_mem_bytes);
+        Ok(Gpu {
+            config,
+            kernel,
+            dims,
+            sms,
+            l2,
+            global,
+            next_cta: 0,
+            cycle: 0,
+            ctas_per_sm,
+        })
+    }
+
+    /// Prepares a launch with no resilience attachment (baseline).
+    ///
+    /// # Errors
+    ///
+    /// See [`Gpu::launch_with`].
+    pub fn launch(
+        config: GpuConfig,
+        kernel: FlatKernel,
+        dims: LaunchDims,
+        sched: SchedulerKind,
+    ) -> Result<Gpu, LaunchError> {
+        Gpu::launch_with(config, kernel, dims, sched, |_| {
+            Box::new(NullAttachment::new())
+        })
+    }
+
+    /// CTAs resident per SM at full occupancy (for occupancy studies).
+    pub fn ctas_per_sm(&self) -> u32 {
+        self.ctas_per_sm
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The GPU configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// The kernel being executed.
+    pub fn kernel(&self) -> &FlatKernel {
+        &self.kernel
+    }
+
+    /// Device memory (read access for output checking).
+    pub fn global(&self) -> &GlobalMemory {
+        &self.global
+    }
+
+    /// Device memory (write access for input seeding).
+    pub fn global_mut(&mut self) -> &mut GlobalMemory {
+        &mut self.global
+    }
+
+    /// Whether any work remains (CTAs to dispatch or in flight).
+    pub fn running(&self) -> bool {
+        self.next_cta < self.dims.num_ctas() || self.sms.iter().any(Sm::busy)
+    }
+
+    /// Advances the GPU by one cycle; returns whether work remains.
+    pub fn step(&mut self) -> bool {
+        // Dispatch CTAs to SMs with capacity (round-robin over SMs).
+        let warps = self.dims.warps_per_cta();
+        for sm in &mut self.sms {
+            while self.next_cta < self.dims.num_ctas() && sm.can_accept(warps) {
+                sm.launch_cta(self.next_cta, self.cycle, &self.kernel, &self.dims);
+                self.next_cta += 1;
+            }
+        }
+        for sm in &mut self.sms {
+            sm.tick(
+                self.cycle,
+                &self.kernel,
+                &self.dims,
+                &mut self.global,
+                &mut self.l2,
+            );
+        }
+        self.cycle += 1;
+        self.running()
+    }
+
+    /// Runs to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeoutError`] if the kernel does not finish within
+    /// `max_cycles` (a deadlock guard for tests and experiments).
+    pub fn run(&mut self, max_cycles: u64) -> Result<SimStats, TimeoutError> {
+        while self.running() {
+            if self.cycle >= max_cycles {
+                return Err(TimeoutError { max_cycles });
+            }
+            self.step();
+        }
+        Ok(self.stats())
+    }
+
+    /// Aggregated statistics across SMs.
+    pub fn stats(&self) -> SimStats {
+        let mut total = SimStats {
+            cycles: self.cycle,
+            ..SimStats::default()
+        };
+        for sm in &self.sms {
+            let mut s = *sm.stats();
+            s.cycles = 0;
+            total += s;
+        }
+        total
+    }
+
+    /// Live warp slots on SM `sm` (victim selection for fault injection).
+    pub fn live_warps(&self, sm: usize) -> Vec<usize> {
+        self.sms[sm].live_slots()
+    }
+
+    /// Number of SMs.
+    pub fn num_sms(&self) -> usize {
+        self.sms.len()
+    }
+
+    /// Injects a bit-flip into a destination register of a live warp
+    /// (models a particle strike in the pipeline corrupting a value).
+    /// Returns whether the injection landed.
+    pub fn corrupt_register(
+        &mut self,
+        sm: usize,
+        slot: usize,
+        reg: Reg,
+        lane: usize,
+        xor_mask: u64,
+    ) -> bool {
+        if lane >= WARP_SIZE || sm >= self.sms.len() {
+            return false;
+        }
+        self.sms[sm].corrupt_register(slot, reg, lane, xor_mask)
+    }
+
+    /// Injects a bit-flip into the value most recently written by a warp
+    /// on SM `sm`, but only if that write issued in the current cycle —
+    /// the physically consistent injection point (strikes corrupt
+    /// in-flight pipeline writes; the register file is ECC-protected).
+    /// Returns whether the injection landed.
+    pub fn corrupt_recent_write(
+        &mut self,
+        sm: usize,
+        slot: usize,
+        lane: usize,
+        xor_mask: u64,
+    ) -> bool {
+        if lane >= WARP_SIZE || sm >= self.sms.len() || self.cycle == 0 {
+            return false;
+        }
+        // `step` increments the cycle after ticking; the writes of the
+        // just-completed tick carry `cycle - 1`.
+        let now = self.cycle - 1;
+        self.sms[sm].corrupt_recent_write(slot, now, lane, xor_mask)
+    }
+
+    /// Triggers error recovery on SM `sm`: every live warp rolls back to
+    /// its recovery PC (the Flame protocol). Returns the number of warps
+    /// rolled back.
+    pub fn recover_sm(&mut self, sm: usize) -> usize {
+        let now = self.cycle;
+        self.sms[sm].recover(now)
+    }
+}
+
+/// CTAs that fit per SM given register file, shared memory, warp-slot and
+/// CTA-slot limits.
+fn occupancy(config: &GpuConfig, kernel: &FlatKernel, dims: &LaunchDims) -> u32 {
+    let warps = dims.warps_per_cta();
+    if warps == 0 || warps as usize > config.max_warps_per_sm {
+        return 0;
+    }
+    let by_warps = config.max_warps_per_sm as u32 / warps;
+    let regs_per_cta = kernel.regs_per_thread * warps * WARP_SIZE as u32;
+    let by_regs = if regs_per_cta == 0 {
+        u32::MAX
+    } else {
+        config.regfile_per_sm / regs_per_cta
+    };
+    let by_shared = if kernel.shared_mem_bytes == 0 {
+        u32::MAX
+    } else {
+        config.shared_per_sm / kernel.shared_mem_bytes
+    };
+    (config.max_ctas_per_sm as u32)
+        .min(by_warps)
+        .min(by_regs)
+        .min(by_shared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::isa::{Cmp, Special};
+
+    /// out[i] = in[i] + 1 over one CTA of 64 threads.
+    fn incr_kernel() -> FlatKernel {
+        let mut b = KernelBuilder::new("incr");
+        let tid = b.special(Special::TidX);
+        let addr = b.imul(tid, 8);
+        let v = b.ld_global(addr, 0);
+        let w = b.iadd(v, 1);
+        b.st_global(addr, w, 4096);
+        b.exit();
+        b.finish().flatten()
+    }
+
+    #[test]
+    fn runs_simple_kernel_to_completion() {
+        let mut gpu = Gpu::launch(
+            GpuConfig::gtx480(),
+            incr_kernel(),
+            LaunchDims::linear(1, 64),
+            SchedulerKind::Gto,
+        )
+        .unwrap();
+        for i in 0..64u64 {
+            gpu.global_mut().write(i * 8, i * 10);
+        }
+        let stats = gpu.run(100_000).unwrap();
+        for i in 0..64u64 {
+            assert_eq!(gpu.global().read(4096 + i * 8), i * 10 + 1, "thread {i}");
+        }
+        assert!(stats.cycles > 0);
+        assert!(stats.instructions >= 2 * 6); // 2 warps x 6 instructions
+        assert_eq!(stats.ctas, 1);
+    }
+
+    #[test]
+    fn multi_cta_grid_completes_on_many_sms() {
+        let mut gpu = Gpu::launch(
+            GpuConfig::gtx480(),
+            incr_kernel(),
+            LaunchDims::linear(64, 64),
+            SchedulerKind::Gto,
+        )
+        .unwrap();
+        let stats = gpu.run(1_000_000).unwrap();
+        assert_eq!(stats.ctas, 64);
+    }
+
+    #[test]
+    fn loop_kernel_computes_sum() {
+        // Each thread sums 0..10 and stores it.
+        let mut b = KernelBuilder::new("sum");
+        let tid = b.special(Special::TidX);
+        let addr = b.imul(tid, 8);
+        let acc = b.mov(0i64);
+        let i = b.mov(0i64);
+        b.label("head");
+        let acc2 = b.iadd(acc, i);
+        b.mov_to(acc, acc2);
+        let i2 = b.iadd(i, 1);
+        b.mov_to(i, i2);
+        let p = b.setp(Cmp::Lt, i, 10i64);
+        b.bra_if(p, true, "head");
+        b.st_global(addr, acc, 0);
+        b.exit();
+        let k = b.finish().flatten();
+        let mut gpu = Gpu::launch(
+            GpuConfig::gtx480(),
+            k,
+            LaunchDims::linear(1, 32),
+            SchedulerKind::Gto,
+        )
+        .unwrap();
+        gpu.run(1_000_000).unwrap();
+        for t in 0..32u64 {
+            assert_eq!(gpu.global().read(t * 8), 45, "thread {t}");
+        }
+    }
+
+    #[test]
+    fn divergent_kernel_reconverges() {
+        // Threads with tid < 16 store 1, others store 2; all store tid
+        // afterwards (post-reconvergence).
+        let mut b = KernelBuilder::new("div");
+        let tid = b.special(Special::TidX);
+        let addr = b.imul(tid, 8);
+        let p = b.setp(Cmp::Lt, tid, 16i64);
+        b.bra_if(p, false, "else");
+        b.st_global(addr, 1i64, 0);
+        b.bra("join");
+        b.label("else");
+        b.st_global(addr, 2i64, 0);
+        b.label("join");
+        b.st_global(addr, tid, 4096);
+        b.exit();
+        let k = b.finish().flatten();
+        let mut gpu = Gpu::launch(
+            GpuConfig::gtx480(),
+            k,
+            LaunchDims::linear(1, 32),
+            SchedulerKind::Gto,
+        )
+        .unwrap();
+        gpu.run(1_000_000).unwrap();
+        for t in 0..32u64 {
+            let expect = if t < 16 { 1 } else { 2 };
+            assert_eq!(gpu.global().read(t * 8), expect, "thread {t}");
+            assert_eq!(gpu.global().read(4096 + t * 8), t, "thread {t} join");
+        }
+    }
+
+    #[test]
+    fn barrier_orders_shared_memory() {
+        // Warp-crossing communication: thread t writes shared[t], after
+        // the barrier reads shared[(t + 37) % 64].
+        let mut b = KernelBuilder::new("bar");
+        let sh = b.alloc_shared(64 * 8);
+        let tid = b.special(Special::TidX);
+        let saddr = b.imul(tid, 8);
+        let v = b.imul(tid, 3);
+        b.st_shared(saddr, v, sh);
+        b.barrier();
+        let other = b.iadd(tid, 37);
+        let wrapped = b.irem(other, 64);
+        let oaddr = b.imul(wrapped, 8);
+        let got = b.ld_shared(oaddr, sh);
+        let gaddr = b.imul(tid, 8);
+        b.st_global(gaddr, got, 0);
+        b.exit();
+        let k = b.finish().flatten();
+        let mut gpu = Gpu::launch(
+            GpuConfig::gtx480(),
+            k,
+            LaunchDims::linear(2, 64),
+            SchedulerKind::Gto,
+        )
+        .unwrap();
+        gpu.run(1_000_000).unwrap();
+        for t in 0..64u64 {
+            assert_eq!(gpu.global().read(t * 8), (t + 37) % 64 * 3, "thread {t}");
+        }
+    }
+
+    #[test]
+    fn atomics_accumulate_across_ctas() {
+        use crate::isa::{AtomOp, MemSpace};
+        // Every thread atomically adds 1 to global[0].
+        let mut b = KernelBuilder::new("atom");
+        let base = b.mov(0i64);
+        let _old = b.atom(MemSpace::Global, AtomOp::Add, base, 1i64, 0);
+        b.exit();
+        let k = b.finish().flatten();
+        let mut gpu = Gpu::launch(
+            GpuConfig::gtx480(),
+            k,
+            LaunchDims::linear(4, 64),
+            SchedulerKind::Gto,
+        )
+        .unwrap();
+        gpu.run(1_000_000).unwrap();
+        assert_eq!(gpu.global().read(0), 4 * 64);
+    }
+
+    #[test]
+    fn occupancy_respects_limits() {
+        let k = incr_kernel();
+        let cfg = GpuConfig::gtx480();
+        // 64-thread CTAs, tiny kernel: bounded by max CTAs per SM.
+        assert_eq!(occupancy(&cfg, &k, &LaunchDims::linear(1, 64)), 8);
+        // 1024-thread CTAs: 32 warps each; 48 warps/SM allows 1.
+        assert_eq!(occupancy(&cfg, &k, &LaunchDims::linear(1, 1024)), 1);
+        // Shared memory bound.
+        let mut k2 = incr_kernel();
+        k2.shared_mem_bytes = 20 * 1024;
+        assert_eq!(occupancy(&cfg, &k2, &LaunchDims::linear(1, 64)), 2);
+        // Register bound: 63 regs * 256 threads = 16128; 32768/16128 = 2.
+        let mut k3 = incr_kernel();
+        k3.regs_per_thread = 63;
+        assert_eq!(occupancy(&cfg, &k3, &LaunchDims::linear(1, 256)), 2);
+    }
+
+    #[test]
+    fn launch_rejects_bad_configs() {
+        let mut k = incr_kernel();
+        k.regs_per_thread = 100;
+        let err = Gpu::launch(
+            GpuConfig::gtx480(),
+            k,
+            LaunchDims::linear(1, 64),
+            SchedulerKind::Gto,
+        )
+        .unwrap_err();
+        assert!(matches!(err, LaunchError::TooManyRegisters { .. }));
+
+        let err = Gpu::launch(
+            GpuConfig::gtx480(),
+            incr_kernel(),
+            LaunchDims::linear(0, 64),
+            SchedulerKind::Gto,
+        )
+        .unwrap_err();
+        assert_eq!(err, LaunchError::EmptyGrid);
+    }
+
+    #[test]
+    fn timeout_is_reported() {
+        // Infinite loop kernel.
+        let mut b = KernelBuilder::new("inf");
+        b.label("spin");
+        let _ = b.mov(1i64);
+        b.bra("spin");
+        b.exit();
+        let k = b.finish().flatten();
+        let mut gpu = Gpu::launch(
+            GpuConfig::gtx480(),
+            k,
+            LaunchDims::linear(1, 32),
+            SchedulerKind::Gto,
+        )
+        .unwrap();
+        let err = gpu.run(1000).unwrap_err();
+        assert_eq!(err.max_cycles, 1000);
+    }
+
+    #[test]
+    fn all_schedulers_produce_correct_output() {
+        for sched in SchedulerKind::all() {
+            let mut gpu = Gpu::launch(
+                GpuConfig::gtx480(),
+                incr_kernel(),
+                LaunchDims::linear(4, 64),
+                sched,
+            )
+            .unwrap();
+            for i in 0..64u64 {
+                gpu.global_mut().write(i * 8, 100 + i);
+            }
+            gpu.run(1_000_000).unwrap();
+            for i in 0..64u64 {
+                assert_eq!(gpu.global().read(4096 + i * 8), 101 + i, "{sched}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut gpu = Gpu::launch(
+                GpuConfig::gtx480(),
+                incr_kernel(),
+                LaunchDims::linear(8, 128),
+                SchedulerKind::Gto,
+            )
+            .unwrap();
+            gpu.run(1_000_000).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corrupt_register_and_recover_noop_on_null_attachment() {
+        let mut gpu = Gpu::launch(
+            GpuConfig::gtx480(),
+            incr_kernel(),
+            LaunchDims::linear(1, 64),
+            SchedulerKind::Gto,
+        )
+        .unwrap();
+        gpu.step();
+        let live = gpu.live_warps(0);
+        assert!(!live.is_empty());
+        assert!(gpu.corrupt_register(0, live[0], Reg(0), 0, 1));
+        assert!(!gpu.corrupt_register(0, 999, Reg(0), 0, 1));
+        // Null attachment: recovery rolls back nothing.
+        assert_eq!(gpu.recover_sm(0), 0);
+    }
+}

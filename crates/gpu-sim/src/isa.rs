@@ -1,0 +1,587 @@
+//! The PTX-like instruction set executed by the simulator.
+//!
+//! The ISA is deliberately close to a register-allocated subset of PTX: a
+//! flat register file of 64-bit registers per thread, explicit memory
+//! spaces (global / shared / local), predicated instructions, block-level
+//! branches and CTA-wide barriers. The Flame compiler (crate
+//! `flame-compiler`) rewrites programs in this ISA; the simulator executes
+//! them cycle by cycle.
+//!
+//! Values are raw 64-bit words. Integer opcodes interpret them as `i64`;
+//! floating-point opcodes interpret the low 32 bits as an `f32` (the
+//! dominant GPU datatype). The interpretation is a property of the opcode,
+//! never of the register.
+
+use std::fmt;
+
+/// A register index within a thread's register file.
+///
+/// Before register allocation these are *virtual* registers (any index up
+/// to [`Reg::MAX_VIRTUAL`]); after allocation they are *physical* registers
+/// densely numbered from zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u16);
+
+impl Reg {
+    /// Upper bound (exclusive) on register indices.
+    pub const MAX_VIRTUAL: u16 = u16::MAX;
+
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Built-in special values readable by any thread (the PTX `%tid`,
+/// `%ctaid`, ... special registers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Special {
+    /// Thread index within the CTA, x dimension.
+    TidX,
+    /// Thread index within the CTA, y dimension.
+    TidY,
+    /// CTA index within the grid, x dimension.
+    CtaIdX,
+    /// CTA index within the grid, y dimension.
+    CtaIdY,
+    /// CTA size (threads per CTA), x dimension.
+    NTidX,
+    /// CTA size (threads per CTA), y dimension.
+    NTidY,
+    /// Grid size (CTAs per grid), x dimension.
+    NCtaIdX,
+    /// Grid size (CTAs per grid), y dimension.
+    NCtaIdY,
+    /// Lane index within the warp (0..32).
+    LaneId,
+}
+
+impl fmt::Display for Special {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Special::TidX => "%tid.x",
+            Special::TidY => "%tid.y",
+            Special::CtaIdX => "%ctaid.x",
+            Special::CtaIdY => "%ctaid.y",
+            Special::NTidX => "%ntid.x",
+            Special::NTidY => "%ntid.y",
+            Special::NCtaIdX => "%nctaid.x",
+            Special::NCtaIdY => "%nctaid.y",
+            Special::LaneId => "%laneid",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An instruction source operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A register read.
+    Reg(Reg),
+    /// A 64-bit immediate (also used to carry `f32` bit patterns).
+    Imm(i64),
+    /// A special (hardware-provided) value.
+    Special(Special),
+}
+
+impl Operand {
+    /// Immediate operand carrying an `f32` bit pattern, for use with the
+    /// floating-point opcodes.
+    pub fn fimm(v: f32) -> Operand {
+        Operand::Imm(v.to_bits() as i64)
+    }
+
+    /// Returns the register read by this operand, if any.
+    pub fn as_reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Operand {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+            Operand::Special(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Memory spaces addressable by loads and stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Device (global) memory, shared by the whole grid, backed by the
+    /// L1/L2/DRAM hierarchy.
+    Global,
+    /// Per-CTA scratchpad memory with banked access.
+    Shared,
+    /// Per-thread private memory (register spills, checkpoint storage).
+    Local,
+}
+
+impl fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemSpace::Global => "global",
+            MemSpace::Shared => "shared",
+            MemSpace::Local => "local",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Comparison conditions for [`Opcode::SetP`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cmp {
+    /// Equal (integer).
+    Eq,
+    /// Not equal (integer).
+    Ne,
+    /// Signed less-than (integer).
+    Lt,
+    /// Signed less-than-or-equal (integer).
+    Le,
+    /// Signed greater-than (integer).
+    Gt,
+    /// Signed greater-than-or-equal (integer).
+    Ge,
+    /// Less-than on `f32` values.
+    FLt,
+    /// Greater-than on `f32` values.
+    FGt,
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cmp::Eq => "eq",
+            Cmp::Ne => "ne",
+            Cmp::Lt => "lt",
+            Cmp::Le => "le",
+            Cmp::Gt => "gt",
+            Cmp::Ge => "ge",
+            Cmp::FLt => "flt",
+            Cmp::FGt => "fgt",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Atomic read-modify-write operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomOp {
+    /// Atomic integer add.
+    Add,
+    /// Atomic integer max.
+    Max,
+    /// Atomic integer min.
+    Min,
+    /// Atomic exchange.
+    Exch,
+    /// Atomic compare-and-swap (`srcs[1]` = compare, `srcs[2]` = new).
+    Cas,
+}
+
+impl fmt::Display for AtomOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AtomOp::Add => "add",
+            AtomOp::Max => "max",
+            AtomOp::Min => "min",
+            AtomOp::Exch => "exch",
+            AtomOp::Cas => "cas",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The operation performed by an [`Instruction`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    // ---- integer ALU ----
+    /// `dst = src0 + src1` (wrapping `i64`).
+    IAdd,
+    /// `dst = src0 - src1`.
+    ISub,
+    /// `dst = src0 * src1`.
+    IMul,
+    /// `dst = src0 * src1 + src2` (multiply-add).
+    IMad,
+    /// `dst = src0 / src1` (signed; division by zero yields zero).
+    IDiv,
+    /// `dst = src0 % src1` (signed; modulo by zero yields zero).
+    IRem,
+    /// `dst = min(src0, src1)` (signed).
+    IMin,
+    /// `dst = max(src0, src1)` (signed).
+    IMax,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// `dst = src0 << (src1 & 63)`.
+    Shl,
+    /// `dst = src0 >> (src1 & 63)` (logical).
+    Shr,
+    // ---- f32 ALU ----
+    /// `dst = src0 + src1` on `f32`.
+    FAdd,
+    /// `dst = src0 - src1` on `f32`.
+    FSub,
+    /// `dst = src0 * src1` on `f32`.
+    FMul,
+    /// `dst = src0 * src1 + src2` on `f32` (fused multiply-add).
+    FFma,
+    /// `dst = src0 / src1` on `f32` (SFU latency class).
+    FDiv,
+    /// `dst = sqrt(src0)` on `f32` (SFU latency class).
+    FSqrt,
+    /// `dst = exp(src0)` on `f32` (SFU latency class).
+    FExp,
+    /// `dst = min(src0, src1)` on `f32`.
+    FMin,
+    /// `dst = max(src0, src1)` on `f32`.
+    FMax,
+    /// Convert `i64` to `f32`: `dst = src0 as f32`.
+    I2F,
+    /// Convert `f32` to `i64` (truncating): `dst = src0 as i64`.
+    F2I,
+    // ---- data movement ----
+    /// `dst = src0`.
+    Mov,
+    /// `dst = if src0 != 0 { src1 } else { src2 }` (select).
+    Sel,
+    /// Compare: `dst = (src0 <cmp> src1) as i64` (0 or 1).
+    SetP(Cmp),
+    // ---- memory ----
+    /// Load from `space`: `dst = mem[src0 + offset]`.
+    Ld(MemSpace),
+    /// Store to `space`: `mem[src0 + offset] = src1`.
+    St(MemSpace),
+    /// Atomic RMW in `space` (Global or Shared):
+    /// `dst = old mem[src0 + offset]; mem[...] = op(old, src1)`.
+    Atom(MemSpace, AtomOp),
+    // ---- control ----
+    /// Branch to `target` if the predicate holds (unconditional when the
+    /// instruction has no predicate). May diverge.
+    Bra,
+    /// CTA-wide barrier (`bar.sync`).
+    Bar,
+    /// Thread exit. The warp retires once every lane has exited.
+    Exit,
+    /// No operation (single-cycle).
+    Nop,
+    // ---- resilience pseudo-instructions ----
+    /// Idempotent region boundary. Free in the baseline; under Flame the
+    /// warp is descheduled into the region boundary queue for WCDL cycles.
+    RegionBoundary,
+}
+
+impl Opcode {
+    /// Whether this opcode writes a destination register.
+    pub fn has_dst(self) -> bool {
+        !matches!(
+            self,
+            Opcode::St(_)
+                | Opcode::Bra
+                | Opcode::Bar
+                | Opcode::Exit
+                | Opcode::Nop
+                | Opcode::RegionBoundary
+        )
+    }
+
+    /// Whether this is a plain computational (ALU/SFU) opcode — the class
+    /// of instructions that SwapCodes-style duplication replicates.
+    pub fn is_compute(self) -> bool {
+        matches!(
+            self,
+            Opcode::IAdd
+                | Opcode::ISub
+                | Opcode::IMul
+                | Opcode::IMad
+                | Opcode::IDiv
+                | Opcode::IRem
+                | Opcode::IMin
+                | Opcode::IMax
+                | Opcode::And
+                | Opcode::Or
+                | Opcode::Xor
+                | Opcode::Shl
+                | Opcode::Shr
+                | Opcode::FAdd
+                | Opcode::FSub
+                | Opcode::FMul
+                | Opcode::FFma
+                | Opcode::FDiv
+                | Opcode::FSqrt
+                | Opcode::FExp
+                | Opcode::FMin
+                | Opcode::FMax
+                | Opcode::I2F
+                | Opcode::F2I
+                | Opcode::Mov
+                | Opcode::Sel
+                | Opcode::SetP(_)
+        )
+    }
+
+    /// Whether this opcode accesses memory.
+    pub fn is_memory(self) -> bool {
+        matches!(self, Opcode::Ld(_) | Opcode::St(_) | Opcode::Atom(..))
+    }
+
+    /// Whether this opcode is a synchronization primitive (barrier or
+    /// atomic) — an initial idempotent region boundary in the paper's
+    /// region formation algorithm.
+    pub fn is_sync(self) -> bool {
+        matches!(self, Opcode::Bar | Opcode::Atom(..))
+    }
+
+    fn mnemonic(self) -> String {
+        match self {
+            Opcode::IAdd => "add.s64".into(),
+            Opcode::ISub => "sub.s64".into(),
+            Opcode::IMul => "mul.s64".into(),
+            Opcode::IMad => "mad.s64".into(),
+            Opcode::IDiv => "div.s64".into(),
+            Opcode::IRem => "rem.s64".into(),
+            Opcode::IMin => "min.s64".into(),
+            Opcode::IMax => "max.s64".into(),
+            Opcode::And => "and.b64".into(),
+            Opcode::Or => "or.b64".into(),
+            Opcode::Xor => "xor.b64".into(),
+            Opcode::Shl => "shl.b64".into(),
+            Opcode::Shr => "shr.b64".into(),
+            Opcode::FAdd => "add.f32".into(),
+            Opcode::FSub => "sub.f32".into(),
+            Opcode::FMul => "mul.f32".into(),
+            Opcode::FFma => "fma.f32".into(),
+            Opcode::FDiv => "div.f32".into(),
+            Opcode::FSqrt => "sqrt.f32".into(),
+            Opcode::FExp => "exp.f32".into(),
+            Opcode::FMin => "min.f32".into(),
+            Opcode::FMax => "max.f32".into(),
+            Opcode::I2F => "cvt.f32.s64".into(),
+            Opcode::F2I => "cvt.s64.f32".into(),
+            Opcode::Mov => "mov".into(),
+            Opcode::Sel => "selp".into(),
+            Opcode::SetP(c) => format!("setp.{c}"),
+            Opcode::Ld(s) => format!("ld.{s}"),
+            Opcode::St(s) => format!("st.{s}"),
+            Opcode::Atom(s, op) => format!("atom.{s}.{op}"),
+            Opcode::Bra => "bra".into(),
+            Opcode::Bar => "bar.sync".into(),
+            Opcode::Exit => "exit".into(),
+            Opcode::Nop => "nop".into(),
+            Opcode::RegionBoundary => "region.boundary".into(),
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.mnemonic())
+    }
+}
+
+/// Identifier of a basic block within a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// A single instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instruction {
+    /// The operation.
+    pub op: Opcode,
+    /// Destination register, if the opcode has one.
+    pub dst: Option<Reg>,
+    /// Source operands (opcode-specific arity).
+    pub srcs: Vec<Operand>,
+    /// Guard predicate: `(reg, sense)`. The instruction executes in a lane
+    /// only if `(reg != 0) == sense` there. On `Bra` this is the branch
+    /// condition.
+    pub pred: Option<(Reg, bool)>,
+    /// Constant byte offset added to the address register of memory ops.
+    pub offset: i64,
+    /// Branch target for [`Opcode::Bra`].
+    pub target: Option<BlockId>,
+    /// Alias class of a memory operand: accesses with *different* classes
+    /// are guaranteed disjoint (distinct arrays), the same class may
+    /// alias, and `None` may alias anything. Set by kernel authors (the
+    /// analogue of type-based alias information a real compiler has);
+    /// consumed by the idempotent region formation analysis.
+    pub alias_class: Option<u16>,
+}
+
+impl Instruction {
+    /// Creates a non-memory, non-branch instruction.
+    pub fn new(op: Opcode, dst: Option<Reg>, srcs: Vec<Operand>) -> Instruction {
+        Instruction {
+            op,
+            dst,
+            srcs,
+            pred: None,
+            offset: 0,
+            target: None,
+            alias_class: None,
+        }
+    }
+
+    /// Registers read by this instruction (operands and predicate).
+    pub fn reads(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.srcs
+            .iter()
+            .filter_map(|o| o.as_reg())
+            .chain(self.pred.map(|(r, _)| r))
+    }
+
+    /// The register written by this instruction, if any.
+    pub fn writes(&self) -> Option<Reg> {
+        self.dst
+    }
+
+    /// Rewrites every read of `from` (operands and predicate) to `to`.
+    pub fn rename_reads(&mut self, from: Reg, to: Reg) {
+        for o in &mut self.srcs {
+            if *o == Operand::Reg(from) {
+                *o = Operand::Reg(to);
+            }
+        }
+        if let Some((p, s)) = self.pred {
+            if p == from {
+                self.pred = Some((to, s));
+            }
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some((p, sense)) = self.pred {
+            write!(f, "@{}{} ", if sense { "" } else { "!" }, p)?;
+        }
+        write!(f, "{}", self.op)?;
+        let mut first = true;
+        if let Some(d) = self.dst {
+            write!(f, " {d}")?;
+            first = false;
+        }
+        for s in &self.srcs {
+            write!(f, "{} {s}", if first { "" } else { "," })?;
+            first = false;
+        }
+        if self.offset != 0 {
+            write!(f, " +{}", self.offset)?;
+        }
+        if let Some(t) = self.target {
+            write!(f, " -> {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(Reg(3)), Operand::Reg(Reg(3)));
+        assert_eq!(Operand::from(42i64), Operand::Imm(42));
+        assert_eq!(Operand::fimm(1.0), Operand::Imm(1.0f32.to_bits() as i64));
+        assert_eq!(Operand::Reg(Reg(7)).as_reg(), Some(Reg(7)));
+        assert_eq!(Operand::Imm(1).as_reg(), None);
+    }
+
+    #[test]
+    fn opcode_classification() {
+        assert!(Opcode::IAdd.is_compute());
+        assert!(Opcode::FFma.is_compute());
+        assert!(!Opcode::Ld(MemSpace::Global).is_compute());
+        assert!(Opcode::Ld(MemSpace::Global).is_memory());
+        assert!(Opcode::Atom(MemSpace::Shared, AtomOp::Add).is_memory());
+        assert!(Opcode::Bar.is_sync());
+        assert!(Opcode::Atom(MemSpace::Global, AtomOp::Add).is_sync());
+        assert!(!Opcode::St(MemSpace::Global).is_sync());
+        assert!(Opcode::IAdd.has_dst());
+        assert!(!Opcode::St(MemSpace::Local).has_dst());
+        assert!(!Opcode::RegionBoundary.has_dst());
+    }
+
+    #[test]
+    fn instruction_reads_and_writes() {
+        let mut i = Instruction::new(
+            Opcode::IAdd,
+            Some(Reg(2)),
+            vec![Reg(0).into(), Reg(1).into()],
+        );
+        i.pred = Some((Reg(5), true));
+        let reads: Vec<Reg> = i.reads().collect();
+        assert_eq!(reads, vec![Reg(0), Reg(1), Reg(5)]);
+        assert_eq!(i.writes(), Some(Reg(2)));
+    }
+
+    #[test]
+    fn rename_reads_rewrites_operands_and_pred() {
+        let mut i = Instruction::new(
+            Opcode::IAdd,
+            Some(Reg(2)),
+            vec![Reg(0).into(), Reg(0).into()],
+        );
+        i.pred = Some((Reg(0), false));
+        i.rename_reads(Reg(0), Reg(9));
+        assert_eq!(i.srcs, vec![Operand::Reg(Reg(9)), Operand::Reg(Reg(9))]);
+        assert_eq!(i.pred, Some((Reg(9), false)));
+    }
+
+    #[test]
+    fn display_is_nonempty_and_informative() {
+        let mut i = Instruction::new(
+            Opcode::Ld(MemSpace::Global),
+            Some(Reg(1)),
+            vec![Reg(0).into()],
+        );
+        i.offset = 8;
+        let s = format!("{i}");
+        assert!(s.contains("ld.global"));
+        assert!(s.contains("r1"));
+        assert!(s.contains("+8"));
+    }
+}

@@ -1,0 +1,72 @@
+//! # gpu-sim — a cycle-level SIMT GPU simulator
+//!
+//! The execution substrate of the `flame-rs` reproduction of
+//! *Featherweight Soft Error Resilience for GPUs* (MICRO 2022). The paper
+//! evaluates on GPGPU-Sim v4.0; this crate provides an equivalent-role,
+//! from-scratch simulator: SMs with warp slots and SIMT reconvergence
+//! stacks, four warp-scheduling policies (GTO/OLD/LRR/2-Level), a
+//! scoreboarded issue model, an L1/L2/DRAM latency hierarchy with memory
+//! coalescing and MSHR tracking, banked shared memory, CTA dispatch with
+//! occupancy limits — and, crucially for Flame, a [`resilience`]
+//! attachment interface through which a resilience scheme can observe
+//! idempotent region boundaries, deschedule warps for verification, and
+//! roll all warps of an SM back to their recovery points.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use gpu_sim::builder::KernelBuilder;
+//! use gpu_sim::config::GpuConfig;
+//! use gpu_sim::gpu::Gpu;
+//! use gpu_sim::isa::Special;
+//! use gpu_sim::scheduler::SchedulerKind;
+//! use gpu_sim::sm::LaunchDims;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // out[tid] = in[tid] * 2
+//! let mut b = KernelBuilder::new("double");
+//! let tid = b.special(Special::TidX);
+//! let addr = b.imul(tid, 8);
+//! let v = b.ld_global(addr, 0);
+//! let w = b.imul(v, 2);
+//! b.st_global(addr, w, 4096);
+//! b.exit();
+//! let kernel = b.finish().flatten();
+//!
+//! let mut gpu = Gpu::launch(
+//!     GpuConfig::gtx480(),
+//!     kernel,
+//!     LaunchDims::linear(1, 64),
+//!     SchedulerKind::Gto,
+//! )?;
+//! gpu.global_mut().write(0, 21);
+//! let stats = gpu.run(1_000_000)?;
+//! assert_eq!(gpu.global().read(4096), 42);
+//! assert!(stats.cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod builder;
+pub mod config;
+pub mod exec;
+pub mod gpu;
+pub mod isa;
+pub mod memory;
+pub mod program;
+pub mod regfile;
+pub mod resilience;
+pub mod scheduler;
+pub mod sm;
+pub mod stats;
+pub mod warp;
+
+pub use config::GpuConfig;
+pub use gpu::{Gpu, LaunchError, TimeoutError};
+pub use program::{FlatKernel, Kernel};
+pub use scheduler::SchedulerKind;
+pub use sm::LaunchDims;
+pub use stats::SimStats;

@@ -1,0 +1,380 @@
+//! The memory hierarchy: device (global) memory, set-associative caches,
+//! per-CTA shared memory with bank conflicts, coalescing and MSHR
+//! tracking.
+//!
+//! Functional state and timing state are deliberately separate: stores
+//! update functional memory immediately at issue (GPUs have no store
+//! buffer — the premise of the paper's recovery design), while the timing
+//! model charges latencies via cache lookups and MSHR occupancy.
+
+use crate::regfile::Value;
+use crate::warp::WARP_SIZE;
+
+/// Width of a memory word in bytes (all accesses are word-granular).
+pub const WORD_BYTES: u64 = 8;
+/// Cache line size in bytes (also the coalescing segment size).
+pub const LINE_BYTES: u64 = 128;
+/// Number of shared-memory banks.
+pub const SHARED_BANKS: u64 = 32;
+
+/// Byte-addressed device memory backed by 8-byte words.
+///
+/// Addresses wrap modulo the memory size: the simulator models a bounded
+/// physical address space, so wild addresses produced by corrupted values
+/// land somewhere in memory rather than aborting the simulation.
+#[derive(Debug, Clone)]
+pub struct GlobalMemory {
+    words: Vec<Value>,
+}
+
+impl GlobalMemory {
+    /// Allocates `bytes` of zeroed device memory (rounded up to a word).
+    pub fn new(bytes: u64) -> GlobalMemory {
+        let words = (bytes.div_ceil(WORD_BYTES)).max(1) as usize;
+        GlobalMemory {
+            words: vec![0; words],
+        }
+    }
+
+    /// Size in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.words.len() as u64 * WORD_BYTES
+    }
+
+    #[inline]
+    fn index(&self, addr: u64) -> usize {
+        ((addr / WORD_BYTES) as usize) % self.words.len()
+    }
+
+    /// Reads the word containing byte address `addr`.
+    #[inline]
+    pub fn read(&self, addr: u64) -> Value {
+        self.words[self.index(addr)]
+    }
+
+    /// Writes the word containing byte address `addr`.
+    #[inline]
+    pub fn write(&mut self, addr: u64, v: Value) {
+        let i = self.index(addr);
+        self.words[i] = v;
+    }
+
+    /// Reads an `f32` stored by the workloads' convention (bit pattern in
+    /// the low half of the word).
+    pub fn read_f32(&self, addr: u64) -> f32 {
+        f32::from_bits(self.read(addr) as u32)
+    }
+
+    /// Writes an `f32` by the same convention.
+    pub fn write_f32(&mut self, addr: u64, v: f32) {
+        self.write(addr, u64::from(v.to_bits()));
+    }
+
+    /// Copies the words in `[addr, addr + 8 * values.len())` out of memory.
+    pub fn read_block(&self, addr: u64, n: usize) -> Vec<Value> {
+        (0..n)
+            .map(|i| self.read(addr + i as u64 * WORD_BYTES))
+            .collect()
+    }
+
+    /// Writes consecutive words starting at `addr`.
+    pub fn write_block(&mut self, addr: u64, values: &[Value]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write(addr + i as u64 * WORD_BYTES, v);
+        }
+    }
+}
+
+/// Result of a cache probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent (and has been filled for loads).
+    Miss,
+}
+
+/// A set-associative cache tag array with LRU replacement.
+///
+/// Only tags are modelled — data always comes from functional memory.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    /// `tags[set * ways + way]`; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU timestamps, same layout.
+    lru: Vec<u64>,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates a cache of `bytes` capacity with `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not yield at least one set.
+    pub fn new(bytes: u64, ways: usize) -> Cache {
+        let lines = (bytes / LINE_BYTES) as usize;
+        assert!(lines >= ways && ways > 0, "cache too small: {bytes}B/{ways}w");
+        let sets = lines / ways;
+        Cache {
+            sets,
+            ways,
+            tags: vec![u64::MAX; sets * ways],
+            lru: vec![0; sets * ways],
+            tick: 0,
+        }
+    }
+
+    /// Probes (and on a load miss, fills) the line containing `addr`.
+    pub fn access(&mut self, addr: u64, allocate_on_miss: bool) -> CacheOutcome {
+        self.tick += 1;
+        let line = addr / LINE_BYTES;
+        let set = (line as usize) % self.sets;
+        let base = set * self.ways;
+        for w in 0..self.ways {
+            if self.tags[base + w] == line {
+                self.lru[base + w] = self.tick;
+                return CacheOutcome::Hit;
+            }
+        }
+        if allocate_on_miss {
+            // Fill into the LRU way.
+            let victim = (0..self.ways)
+                .min_by_key(|&w| self.lru[base + w])
+                .expect("ways > 0");
+            self.tags[base + victim] = line;
+            self.lru[base + victim] = self.tick;
+        }
+        CacheOutcome::Miss
+    }
+
+    /// Invalidates all lines.
+    pub fn flush(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.lru.fill(0);
+    }
+}
+
+/// Per-CTA scratchpad memory.
+#[derive(Debug, Clone)]
+pub struct SharedMemory {
+    words: Vec<Value>,
+}
+
+impl SharedMemory {
+    /// Allocates `bytes` of zeroed shared memory.
+    pub fn new(bytes: u32) -> SharedMemory {
+        SharedMemory {
+            words: vec![0; (u64::from(bytes).div_ceil(WORD_BYTES)).max(1) as usize],
+        }
+    }
+
+    #[inline]
+    fn index(&self, addr: u64) -> usize {
+        ((addr / WORD_BYTES) as usize) % self.words.len()
+    }
+
+    /// Reads the word at byte address `addr` (wrapping).
+    #[inline]
+    pub fn read(&self, addr: u64) -> Value {
+        self.words[self.index(addr)]
+    }
+
+    /// Writes the word at byte address `addr` (wrapping).
+    #[inline]
+    pub fn write(&mut self, addr: u64, v: Value) {
+        let i = self.index(addr);
+        self.words[i] = v;
+    }
+
+    /// Zeroes the scratchpad (CTA slot reuse).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+/// Computes the shared-memory bank-conflict degree of a set of lane
+/// addresses: the maximum number of *distinct* addresses mapping to one
+/// bank (accesses to the same address broadcast and do not conflict).
+/// A degree of `d` serializes the access into `d` passes.
+pub fn bank_conflict_degree(addrs: &[u64]) -> u64 {
+    let mut per_bank: [Vec<u64>; SHARED_BANKS as usize] = Default::default();
+    for &a in addrs {
+        let word = a / WORD_BYTES;
+        let bank = (word % SHARED_BANKS) as usize;
+        if !per_bank[bank].contains(&word) {
+            per_bank[bank].push(word);
+        }
+    }
+    per_bank.iter().map(|v| v.len() as u64).max().unwrap_or(0).max(1)
+}
+
+/// Coalesces the active lanes' global addresses into 128-byte segments,
+/// returning the distinct segment base addresses (each becomes one memory
+/// transaction).
+pub fn coalesce(addrs: &[u64]) -> Vec<u64> {
+    let mut segs: Vec<u64> = addrs.iter().map(|a| (a / LINE_BYTES) * LINE_BYTES).collect();
+    segs.sort_unstable();
+    segs.dedup();
+    segs
+}
+
+/// Collects the byte addresses of the active lanes for a memory
+/// instruction: `base[lane] + offset`.
+pub fn lane_addresses(
+    mask: u32,
+    base: impl Fn(usize) -> u64,
+    offset: i64,
+) -> Vec<u64> {
+    (0..WARP_SIZE)
+        .filter(|&l| mask & (1 << l) != 0)
+        .map(|l| base(l).wrapping_add(offset as u64))
+        .collect()
+}
+
+/// MSHR-style tracker of in-flight memory transactions for one SM.
+#[derive(Debug, Clone)]
+pub struct MemPort {
+    capacity: usize,
+    inflight: Vec<u64>, // finish cycles
+}
+
+impl MemPort {
+    /// Creates a port with `capacity` MSHRs.
+    pub fn new(capacity: usize) -> MemPort {
+        MemPort {
+            capacity,
+            inflight: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Retires transactions that completed by `now`.
+    pub fn tick(&mut self, now: u64) {
+        self.inflight.retain(|&f| f > now);
+    }
+
+    /// Free MSHR slots.
+    pub fn free(&self) -> usize {
+        self.capacity - self.inflight.len()
+    }
+
+    /// Reserves a slot until `finish`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no slot is free; check [`MemPort::free`] first.
+    pub fn reserve(&mut self, finish: u64) {
+        assert!(self.inflight.len() < self.capacity, "MSHRs exhausted");
+        self.inflight.push(finish);
+    }
+
+    /// Drops all in-flight transactions (error-recovery pipeline flush).
+    pub fn flush(&mut self) {
+        self.inflight.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_memory_roundtrip_and_wrap() {
+        let mut m = GlobalMemory::new(1024);
+        m.write(8, 42);
+        assert_eq!(m.read(8), 42);
+        // Wraps modulo size.
+        assert_eq!(m.read(8 + 1024), 42);
+        m.write_f32(16, 1.5);
+        assert_eq!(m.read_f32(16), 1.5);
+        m.write_block(0, &[1, 2, 3]);
+        assert_eq!(m.read_block(0, 3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cache_hit_after_fill() {
+        let mut c = Cache::new(1024, 2);
+        assert_eq!(c.access(0, true), CacheOutcome::Miss);
+        assert_eq!(c.access(64, true), CacheOutcome::Hit); // same 128B line
+        assert_eq!(c.access(128, true), CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn cache_lru_evicts_oldest() {
+        // 2 ways, 256B => 1 set of 2 ways... use 4 lines = 2 sets.
+        let mut c = Cache::new(512, 2);
+        // Lines 0 and 2 map to set 0; line 4 also maps to set 0.
+        assert_eq!(c.access(0, true), CacheOutcome::Miss);
+        assert_eq!(c.access(2 * 128, true), CacheOutcome::Miss);
+        assert_eq!(c.access(0, true), CacheOutcome::Hit);
+        // Fill line 4: evicts line 2 (LRU), not line 0.
+        assert_eq!(c.access(4 * 128, true), CacheOutcome::Miss);
+        assert_eq!(c.access(0, true), CacheOutcome::Hit);
+        assert_eq!(c.access(2 * 128, true), CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn cache_no_allocate_leaves_state() {
+        let mut c = Cache::new(512, 2);
+        assert_eq!(c.access(0, false), CacheOutcome::Miss);
+        assert_eq!(c.access(0, false), CacheOutcome::Miss);
+        c.flush();
+        assert_eq!(c.access(0, true), CacheOutcome::Miss);
+        assert_eq!(c.access(0, false), CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn bank_conflicts_counted_on_distinct_addresses() {
+        // All lanes hit different banks: degree 1.
+        let stride8: Vec<u64> = (0..32u64).map(|i| i * 8).collect();
+        assert_eq!(bank_conflict_degree(&stride8), 1);
+        // Stride of 32 words: all in bank 0 -> degree 32.
+        let stride256: Vec<u64> = (0..32u64).map(|i| i * 256).collect();
+        assert_eq!(bank_conflict_degree(&stride256), 32);
+        // Same address broadcast: degree 1.
+        let bcast = vec![64u64; 32];
+        assert_eq!(bank_conflict_degree(&bcast), 1);
+        assert_eq!(bank_conflict_degree(&[]), 1);
+    }
+
+    #[test]
+    fn coalescing_merges_within_segment() {
+        // 32 consecutive words = 256 bytes = 2 segments.
+        let unit: Vec<u64> = (0..32u64).map(|i| i * 8).collect();
+        assert_eq!(coalesce(&unit).len(), 2);
+        // Strided by 128: every lane its own segment.
+        let strided: Vec<u64> = (0..32u64).map(|i| i * 128).collect();
+        assert_eq!(coalesce(&strided).len(), 32);
+        // Same address: one segment.
+        assert_eq!(coalesce(&[8, 8, 8]).len(), 1);
+    }
+
+    #[test]
+    fn lane_addresses_respect_mask_and_offset() {
+        let addrs = lane_addresses(0b101, |l| l as u64 * 100, 8);
+        assert_eq!(addrs, vec![8, 208]);
+    }
+
+    #[test]
+    fn mem_port_tracks_capacity() {
+        let mut p = MemPort::new(2);
+        assert_eq!(p.free(), 2);
+        p.reserve(10);
+        p.reserve(20);
+        assert_eq!(p.free(), 0);
+        p.tick(10);
+        assert_eq!(p.free(), 1);
+        p.flush();
+        assert_eq!(p.free(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "MSHRs exhausted")]
+    fn mem_port_overflow_panics() {
+        let mut p = MemPort::new(1);
+        p.reserve(10);
+        p.reserve(20);
+    }
+}

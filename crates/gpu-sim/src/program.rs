@@ -1,0 +1,622 @@
+//! Kernels, basic blocks, control-flow graphs and the flattened executable
+//! form used by the simulator.
+//!
+//! A [`Kernel`] is a CFG of [`BasicBlock`]s over the ISA in [`crate::isa`].
+//! Compiler passes (crate `flame-compiler`) transform kernels in this
+//! block-structured form. [`Kernel::flatten`] lowers a kernel to a
+//! [`FlatKernel`]: a linear instruction array with resolved branch targets
+//! and per-branch reconvergence PCs (immediate post-dominators), which is
+//! what the SIMT pipeline executes.
+
+use crate::isa::{BlockId, Instruction, Opcode, Reg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A straight-line sequence of instructions ending in (at most) one
+/// control-flow instruction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BasicBlock {
+    /// The instructions of the block, in program order.
+    pub insts: Vec<Instruction>,
+    /// Human-readable label (for disassembly and tests).
+    pub label: String,
+}
+
+impl BasicBlock {
+    /// Creates an empty block with the given label.
+    pub fn new(label: impl Into<String>) -> BasicBlock {
+        BasicBlock {
+            insts: Vec::new(),
+            label: label.into(),
+        }
+    }
+
+    /// The terminator of the block, if its last instruction is a branch or
+    /// exit.
+    pub fn terminator(&self) -> Option<&Instruction> {
+        self.insts
+            .last()
+            .filter(|i| matches!(i.op, Opcode::Bra | Opcode::Exit))
+    }
+}
+
+/// A GPU kernel: an entry block plus the rest of the CFG.
+///
+/// Block 0 is always the entry. Control flows from block `i` to block
+/// `i + 1` unless the block ends in an unconditional branch or exit
+/// (fall-through ordering is the vector ordering).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Kernel {
+    /// Kernel name.
+    pub name: String,
+    /// Basic blocks; index = [`BlockId`].
+    pub blocks: Vec<BasicBlock>,
+    /// Number of registers per thread used by the kernel (set by register
+    /// allocation; virtual-register kernels report the max used + 1).
+    pub regs_per_thread: u32,
+    /// Bytes of shared memory used per CTA.
+    pub shared_mem_bytes: u32,
+    /// Bytes of local (per-thread) memory used, e.g. for spills and
+    /// checkpoint storage.
+    pub local_mem_bytes: u32,
+}
+
+/// An error found by [`Kernel::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateKernelError {
+    /// The kernel has no blocks.
+    Empty,
+    /// A branch targets a block that does not exist.
+    BadTarget {
+        /// The block holding the branch.
+        block: BlockId,
+        /// The missing target.
+        target: BlockId,
+    },
+    /// The last block falls through past the end of the kernel.
+    FallsOffEnd,
+    /// A branch or exit appears before the end of a block.
+    MidBlockTerminator {
+        /// The offending block.
+        block: BlockId,
+        /// Index of the offending instruction within the block.
+        index: usize,
+    },
+    /// No block contains an `Exit`.
+    NoExit,
+}
+
+impl fmt::Display for ValidateKernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateKernelError::Empty => write!(f, "kernel has no blocks"),
+            ValidateKernelError::BadTarget { block, target } => {
+                write!(f, "branch in {block} targets nonexistent {target}")
+            }
+            ValidateKernelError::FallsOffEnd => {
+                write!(f, "last block falls through past the end of the kernel")
+            }
+            ValidateKernelError::MidBlockTerminator { block, index } => {
+                write!(f, "terminator in the middle of {block} at index {index}")
+            }
+            ValidateKernelError::NoExit => write!(f, "kernel has no exit instruction"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateKernelError {}
+
+impl Kernel {
+    /// Creates an empty kernel with the given name.
+    pub fn new(name: impl Into<String>) -> Kernel {
+        Kernel {
+            name: name.into(),
+            ..Kernel::default()
+        }
+    }
+
+    /// Total number of instructions across all blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Whether the kernel has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over all instructions with their `(block, index)` position.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, usize, &Instruction)> {
+        self.blocks.iter().enumerate().flat_map(|(b, blk)| {
+            blk.insts
+                .iter()
+                .enumerate()
+                .map(move |(i, inst)| (BlockId(b as u32), i, inst))
+        })
+    }
+
+    /// Successor blocks of `b` in the CFG.
+    pub fn successors(&self, b: BlockId) -> Vec<BlockId> {
+        let blk = &self.blocks[b.index()];
+        let mut out = Vec::new();
+        match blk.terminator() {
+            Some(t) if t.op == Opcode::Exit => {}
+            Some(t) if t.op == Opcode::Bra => {
+                if let Some(tgt) = t.target {
+                    out.push(tgt);
+                }
+                if t.pred.is_some() && b.index() + 1 < self.blocks.len() {
+                    // Conditional branch: fall-through successor as well.
+                    out.push(BlockId(b.0 + 1));
+                }
+            }
+            _ => {
+                if b.index() + 1 < self.blocks.len() {
+                    out.push(BlockId(b.0 + 1));
+                }
+            }
+        }
+        out
+    }
+
+    /// Highest register index used, or `None` if the kernel reads/writes no
+    /// registers.
+    pub fn max_reg(&self) -> Option<Reg> {
+        self.iter()
+            .flat_map(|(_, _, i)| i.reads().chain(i.writes()))
+            .max()
+    }
+
+    /// Recomputes `regs_per_thread` from the registers actually used.
+    pub fn recount_regs(&mut self) {
+        self.regs_per_thread = self.max_reg().map_or(0, |r| u32::from(r.0) + 1);
+    }
+
+    /// Checks structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateKernelError`] found: empty kernels,
+    /// out-of-range branch targets, mid-block terminators, fall-through off
+    /// the end of the kernel, or a missing `Exit`.
+    pub fn validate(&self) -> Result<(), ValidateKernelError> {
+        if self.blocks.is_empty() {
+            return Err(ValidateKernelError::Empty);
+        }
+        let n = self.blocks.len();
+        let mut has_exit = false;
+        for (b, blk) in self.blocks.iter().enumerate() {
+            for (i, inst) in blk.insts.iter().enumerate() {
+                let is_term = matches!(inst.op, Opcode::Bra | Opcode::Exit);
+                if is_term && i + 1 != blk.insts.len() {
+                    return Err(ValidateKernelError::MidBlockTerminator {
+                        block: BlockId(b as u32),
+                        index: i,
+                    });
+                }
+                if inst.op == Opcode::Exit {
+                    has_exit = true;
+                }
+                if inst.op == Opcode::Bra {
+                    match inst.target {
+                        Some(t) if t.index() < n => {}
+                        Some(t) => {
+                            return Err(ValidateKernelError::BadTarget {
+                                block: BlockId(b as u32),
+                                target: t,
+                            })
+                        }
+                        None => {
+                            return Err(ValidateKernelError::BadTarget {
+                                block: BlockId(b as u32),
+                                target: BlockId(u32::MAX),
+                            })
+                        }
+                    }
+                }
+            }
+            // Fall-through off the end?
+            let falls_through = match blk.terminator() {
+                Some(t) if t.op == Opcode::Exit => false,
+                Some(t) if t.op == Opcode::Bra && t.pred.is_none() => false,
+                _ => true,
+            };
+            if falls_through && b + 1 == n {
+                return Err(ValidateKernelError::FallsOffEnd);
+            }
+        }
+        if !has_exit {
+            return Err(ValidateKernelError::NoExit);
+        }
+        Ok(())
+    }
+
+    /// Lowers the kernel to its flat executable form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Kernel::validate`] fails; flatten only well-formed
+    /// kernels.
+    pub fn flatten(&self) -> FlatKernel {
+        if let Err(e) = self.validate() {
+            panic!("cannot flatten invalid kernel `{}`: {e}", self.name);
+        }
+        let mut block_start = Vec::with_capacity(self.blocks.len());
+        let mut insts = Vec::with_capacity(self.len());
+        let mut inst_block = Vec::with_capacity(self.len());
+        for (b, blk) in self.blocks.iter().enumerate() {
+            block_start.push(insts.len() as u32);
+            for inst in &blk.insts {
+                insts.push(inst.clone());
+                inst_block.push(BlockId(b as u32));
+            }
+        }
+        // An empty trailing block would break PC math; validation rules out
+        // fall-through off the end, so every block start is a valid PC.
+        let ipdom = ipdom_blocks(self);
+        let reconv_pc = ipdom
+            .iter()
+            .map(|d| d.map(|b| block_start[b.index()]))
+            .collect();
+        FlatKernel {
+            name: self.name.clone(),
+            insts,
+            inst_block,
+            block_start,
+            reconv_pc,
+            regs_per_thread: self.regs_per_thread.max(1),
+            shared_mem_bytes: self.shared_mem_bytes,
+            local_mem_bytes: self.local_mem_bytes,
+        }
+    }
+
+    /// Renders the kernel as pseudo-assembly (useful in tests and docs).
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, ".kernel {}", self.name);
+        for (b, blk) in self.blocks.iter().enumerate() {
+            let _ = writeln!(s, "B{b} ({}):", blk.label);
+            for inst in &blk.insts {
+                let _ = writeln!(s, "    {inst}");
+            }
+        }
+        s
+    }
+}
+
+/// Computes the immediate post-dominator of every block, treating exit
+/// blocks (and blocks with no successors) as post-dominated by a virtual
+/// exit node.
+///
+/// Used to place SIMT reconvergence points for divergent branches.
+fn ipdom_blocks(k: &Kernel) -> Vec<Option<BlockId>> {
+    let n = k.blocks.len();
+    let exit = n; // virtual exit node index
+    let succs: Vec<Vec<usize>> = (0..n)
+        .map(|b| {
+            let s = k.successors(BlockId(b as u32));
+            if s.is_empty() {
+                vec![exit]
+            } else {
+                s.into_iter().map(|t| t.index()).collect()
+            }
+        })
+        .collect();
+    // Iterative dataflow: pdom(b) = {b} ∪ ⋂ pdom(s). Represent as sorted
+    // Vec<usize> per block; n is small (kernels have tens of blocks).
+    let all: Vec<usize> = (0..=n).collect();
+    let mut pdom: Vec<Vec<usize>> = (0..n).map(|_| all.clone()).collect();
+    let exit_set = vec![exit];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..n).rev() {
+            let mut inter: Option<Vec<usize>> = None;
+            for &s in &succs[b] {
+                let sd: &Vec<usize> = if s == exit { &exit_set } else { &pdom[s] };
+                inter = Some(match inter {
+                    None => sd.clone(),
+                    Some(cur) => intersect_sorted(&cur, sd),
+                });
+            }
+            let mut new = inter.unwrap_or_default();
+            if !new.contains(&b) {
+                new.push(b);
+                new.sort_unstable();
+            }
+            if new != pdom[b] {
+                pdom[b] = new;
+                changed = true;
+            }
+        }
+    }
+    // ipdom(b) = the post-dominator (≠ b) that is post-dominated by every
+    // other post-dominator of b, i.e. the "closest" one.
+    (0..n)
+        .map(|b| {
+            let cands: Vec<usize> = pdom[b].iter().copied().filter(|&d| d != b).collect();
+            let mut best: Option<usize> = None;
+            for &c in &cands {
+                if c == exit {
+                    continue;
+                }
+                // c is the ipdom if every other candidate post-dominates c.
+                let ok = cands
+                    .iter()
+                    .all(|&d| d == c || d == exit || pdom[c].contains(&d));
+                if ok {
+                    best = Some(c);
+                    break;
+                }
+            }
+            best.map(|c| BlockId(c as u32))
+        })
+        .collect()
+}
+
+fn intersect_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// The flattened, executable form of a kernel.
+///
+/// PCs are indices into [`FlatKernel::insts`]. Branch targets remain
+/// [`BlockId`]s in the instructions; [`FlatKernel::target_pc`] resolves
+/// them.
+#[derive(Debug, Clone)]
+pub struct FlatKernel {
+    /// Kernel name.
+    pub name: String,
+    /// All instructions in block order.
+    pub insts: Vec<Instruction>,
+    /// Owning block of each instruction.
+    pub inst_block: Vec<BlockId>,
+    /// First PC of each block.
+    pub block_start: Vec<u32>,
+    /// Reconvergence PC (start of the immediate post-dominator block) for
+    /// branches *in* each block; `None` when control only reconverges at
+    /// exit.
+    pub reconv_pc: Vec<Option<u32>>,
+    /// Registers per thread (≥ 1).
+    pub regs_per_thread: u32,
+    /// Shared memory per CTA in bytes.
+    pub shared_mem_bytes: u32,
+    /// Local memory per thread in bytes.
+    pub local_mem_bytes: u32,
+}
+
+impl FlatKernel {
+    /// The instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    pub fn inst(&self, pc: u32) -> &Instruction {
+        &self.insts[pc as usize]
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the kernel has no instructions (never true for a flattened
+    /// valid kernel).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Resolves the branch target of the instruction at `pc` to a PC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction has no target.
+    pub fn target_pc(&self, pc: u32) -> u32 {
+        let t = self.insts[pc as usize]
+            .target
+            .expect("instruction has no branch target");
+        self.block_start[t.index()]
+    }
+
+    /// Reconvergence PC for a divergent branch at `pc` (the start of the
+    /// branch block's immediate post-dominator), or `None` if control only
+    /// reconverges at thread exit.
+    pub fn reconv_for(&self, pc: u32) -> Option<u32> {
+        self.reconv_pc[self.inst_block[pc as usize].index()]
+    }
+}
+
+/// Maps old block ids to new ones after a pass inserts blocks; helper used
+/// by compiler passes that split blocks.
+#[derive(Debug, Clone, Default)]
+pub struct BlockRemap {
+    map: HashMap<u32, u32>,
+}
+
+impl BlockRemap {
+    /// Creates an identity remap for `n` blocks.
+    pub fn identity(n: usize) -> BlockRemap {
+        BlockRemap {
+            map: (0..n as u32).map(|i| (i, i)).collect(),
+        }
+    }
+
+    /// Records that old block `from` is now block `to`.
+    pub fn set(&mut self, from: BlockId, to: BlockId) {
+        self.map.insert(from.0, to.0);
+    }
+
+    /// Looks up the new id of `b`.
+    pub fn get(&self, b: BlockId) -> BlockId {
+        BlockId(*self.map.get(&b.0).unwrap_or(&b.0))
+    }
+
+    /// Rewrites all branch targets in `k` through this remap.
+    pub fn apply(&self, k: &mut Kernel) {
+        for blk in &mut k.blocks {
+            for inst in &mut blk.insts {
+                if let Some(t) = inst.target {
+                    inst.target = Some(self.get(t));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Operand, Reg};
+
+    fn inst(op: Opcode) -> Instruction {
+        Instruction::new(op, None, vec![])
+    }
+
+    fn bra(target: u32, pred: Option<(Reg, bool)>) -> Instruction {
+        let mut i = Instruction::new(Opcode::Bra, None, vec![]);
+        i.target = Some(BlockId(target));
+        i.pred = pred;
+        i
+    }
+
+    /// B0: cond bra B2 / B1: fallthrough / B2: exit  — diamondless if.
+    fn simple_if() -> Kernel {
+        let mut k = Kernel::new("if");
+        let mut b0 = BasicBlock::new("entry");
+        b0.insts.push(Instruction::new(
+            Opcode::Mov,
+            Some(Reg(0)),
+            vec![Operand::Imm(1)],
+        ));
+        b0.insts.push(bra(2, Some((Reg(0), true))));
+        let mut b1 = BasicBlock::new("then");
+        b1.insts.push(inst(Opcode::Nop));
+        let mut b2 = BasicBlock::new("exit");
+        b2.insts.push(inst(Opcode::Exit));
+        k.blocks = vec![b0, b1, b2];
+        k
+    }
+
+    #[test]
+    fn successors_follow_fallthrough_and_targets() {
+        let k = simple_if();
+        assert_eq!(k.successors(BlockId(0)), vec![BlockId(2), BlockId(1)]);
+        assert_eq!(k.successors(BlockId(1)), vec![BlockId(2)]);
+        assert_eq!(k.successors(BlockId(2)), Vec::<BlockId>::new());
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert_eq!(simple_if().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        let k = Kernel::new("e");
+        assert_eq!(k.validate(), Err(ValidateKernelError::Empty));
+    }
+
+    #[test]
+    fn validate_rejects_bad_target() {
+        let mut k = simple_if();
+        k.blocks[0].insts[1].target = Some(BlockId(99));
+        assert!(matches!(
+            k.validate(),
+            Err(ValidateKernelError::BadTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_mid_block_terminator() {
+        let mut k = simple_if();
+        k.blocks[1].insts.insert(0, inst(Opcode::Exit));
+        assert!(matches!(
+            k.validate(),
+            Err(ValidateKernelError::MidBlockTerminator { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_fall_off_end() {
+        let mut k = simple_if();
+        k.blocks.push(BasicBlock::new("dangling"));
+        k.blocks[3].insts.push(inst(Opcode::Nop));
+        assert_eq!(k.validate(), Err(ValidateKernelError::FallsOffEnd));
+    }
+
+    #[test]
+    fn flatten_resolves_pcs() {
+        let k = simple_if();
+        let f = k.flatten();
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.block_start, vec![0, 2, 3]);
+        assert_eq!(f.target_pc(1), 3);
+        // Branch in B0 reconverges at B2 (the ipdom of B0).
+        assert_eq!(f.reconv_for(1), Some(3));
+    }
+
+    #[test]
+    fn ipdom_of_diamond() {
+        // B0 -(cond)-> B2, fall B1; B1 -> B3(uncond); B2 fall B3; B3 exit.
+        let mut k = Kernel::new("diamond");
+        let mut b0 = BasicBlock::new("entry");
+        b0.insts.push(bra(2, Some((Reg(0), true))));
+        let mut b1 = BasicBlock::new("left");
+        b1.insts.push(bra(3, None));
+        let mut b2 = BasicBlock::new("right");
+        b2.insts.push(inst(Opcode::Nop));
+        let mut b3 = BasicBlock::new("join");
+        b3.insts.push(inst(Opcode::Exit));
+        k.blocks = vec![b0, b1, b2, b3];
+        let ip = ipdom_blocks(&k);
+        assert_eq!(ip[0], Some(BlockId(3)));
+        assert_eq!(ip[1], Some(BlockId(3)));
+        assert_eq!(ip[2], Some(BlockId(3)));
+        assert_eq!(ip[3], None);
+    }
+
+    #[test]
+    fn ipdom_of_loop() {
+        // B0 fall B1; B1: cond bra B1 (self-loop), fall B2; B2 exit.
+        let mut k = Kernel::new("loop");
+        let mut b0 = BasicBlock::new("entry");
+        b0.insts.push(inst(Opcode::Nop));
+        let mut b1 = BasicBlock::new("body");
+        b1.insts.push(bra(1, Some((Reg(0), true))));
+        let mut b2 = BasicBlock::new("exit");
+        b2.insts.push(inst(Opcode::Exit));
+        k.blocks = vec![b0, b1, b2];
+        let ip = ipdom_blocks(&k);
+        assert_eq!(ip[1], Some(BlockId(2)));
+    }
+
+    #[test]
+    fn recount_regs_tracks_max() {
+        let mut k = simple_if();
+        assert_eq!(k.regs_per_thread, 0);
+        k.recount_regs();
+        assert_eq!(k.regs_per_thread, 1);
+    }
+
+    #[test]
+    fn disassemble_contains_labels() {
+        let d = simple_if().disassemble();
+        assert!(d.contains(".kernel if"));
+        assert!(d.contains("B0 (entry):"));
+        assert!(d.contains("exit"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Per-warp register files and the issue scoreboard.
+
+use crate::isa::Reg;
+use crate::warp::WARP_SIZE;
+
+/// Raw 64-bit register/memory value.
+pub type Value = u64;
+
+/// Register file for one warp: `regs_per_thread` registers × 32 lanes,
+/// plus a per-register scoreboard of ready cycles.
+#[derive(Debug, Clone)]
+pub struct WarpRegFile {
+    regs_per_thread: u32,
+    /// `values[reg * 32 + lane]`.
+    values: Vec<Value>,
+    /// Cycle at which each register's pending write completes;
+    /// `u64::MAX` marks an in-flight memory load with unknown completion.
+    ready_at: Vec<u64>,
+}
+
+impl WarpRegFile {
+    /// Creates a zeroed register file.
+    pub fn new(regs_per_thread: u32) -> WarpRegFile {
+        WarpRegFile {
+            regs_per_thread,
+            values: vec![0; regs_per_thread as usize * WARP_SIZE],
+            ready_at: vec![0; regs_per_thread as usize],
+        }
+    }
+
+    /// Number of registers per thread.
+    pub fn regs_per_thread(&self) -> u32 {
+        self.regs_per_thread
+    }
+
+    /// Reads `reg` in `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` or `lane` is out of range.
+    #[inline]
+    pub fn read(&self, reg: Reg, lane: usize) -> Value {
+        debug_assert!(lane < WARP_SIZE);
+        self.values[reg.index() * WARP_SIZE + lane]
+    }
+
+    /// Writes `reg` in `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` or `lane` is out of range.
+    #[inline]
+    pub fn write(&mut self, reg: Reg, lane: usize, v: Value) {
+        debug_assert!(lane < WARP_SIZE);
+        self.values[reg.index() * WARP_SIZE + lane] = v;
+    }
+
+    /// XORs `mask` into `reg` of `lane` — the fault injector's bit-flip
+    /// primitive (models a particle strike corrupting a pipeline write).
+    pub fn corrupt(&mut self, reg: Reg, lane: usize, mask: u64) {
+        self.values[reg.index() * WARP_SIZE + lane] ^= mask;
+    }
+
+    /// Whether `reg` is ready (no pending write) at `now`.
+    #[inline]
+    pub fn is_ready(&self, reg: Reg, now: u64) -> bool {
+        self.ready_at[reg.index()] <= now
+    }
+
+    /// Marks `reg` pending until `cycle` (use `u64::MAX` for in-flight
+    /// memory loads completed via [`WarpRegFile::complete`]).
+    #[inline]
+    pub fn set_pending(&mut self, reg: Reg, cycle: u64) {
+        self.ready_at[reg.index()] = cycle;
+    }
+
+    /// Completes an in-flight write to `reg` at `cycle`.
+    #[inline]
+    pub fn complete(&mut self, reg: Reg, cycle: u64) {
+        self.ready_at[reg.index()] = cycle;
+    }
+
+    /// Clears all pending writes (pipeline flush on error recovery).
+    pub fn flush_pending(&mut self) {
+        self.ready_at.fill(0);
+    }
+
+    /// Zeroes values and scoreboard (warp slot reuse).
+    pub fn reset(&mut self) {
+        self.values.fill(0);
+        self.ready_at.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut rf = WarpRegFile::new(8);
+        rf.write(Reg(3), 17, 0xDEAD);
+        assert_eq!(rf.read(Reg(3), 17), 0xDEAD);
+        assert_eq!(rf.read(Reg(3), 16), 0);
+        assert_eq!(rf.regs_per_thread(), 8);
+    }
+
+    #[test]
+    fn corrupt_flips_bits() {
+        let mut rf = WarpRegFile::new(2);
+        rf.write(Reg(1), 0, 0b1010);
+        rf.corrupt(Reg(1), 0, 0b0110);
+        assert_eq!(rf.read(Reg(1), 0), 0b1100);
+    }
+
+    #[test]
+    fn scoreboard_pending_and_complete() {
+        let mut rf = WarpRegFile::new(4);
+        assert!(rf.is_ready(Reg(0), 0));
+        rf.set_pending(Reg(0), 10);
+        assert!(!rf.is_ready(Reg(0), 9));
+        assert!(rf.is_ready(Reg(0), 10));
+        rf.set_pending(Reg(1), u64::MAX);
+        assert!(!rf.is_ready(Reg(1), 1_000_000));
+        rf.complete(Reg(1), 42);
+        assert!(rf.is_ready(Reg(1), 42));
+        rf.set_pending(Reg(2), u64::MAX);
+        rf.flush_pending();
+        assert!(rf.is_ready(Reg(2), 0));
+    }
+}

@@ -1,0 +1,119 @@
+//! The interface between the SM pipeline and a resilience mechanism.
+//!
+//! The simulator itself knows nothing about acoustic sensors or the RBQ:
+//! it reports region boundaries to an [`SmAttachment`] and obeys the
+//! returned [`BoundaryAction`]. Flame's hardware (region boundary queue +
+//! recovery PC table, in crate `flame-core`) implements this trait; the
+//! baseline uses [`NullAttachment`].
+
+use crate::regfile::WarpRegFile;
+use crate::warp::RecoveryPoint;
+use std::fmt;
+
+/// What the SM should do when a warp hits an idempotent region boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundaryAction {
+    /// Proceed immediately (boundary is pure metadata — recovery-only and
+    /// duplication-based schemes).
+    Continue,
+    /// Deschedule the warp until the attachment wakes it (Flame's
+    /// WCDL-aware warp scheduling: the warp sits in the RBQ for WCDL
+    /// cycles and is then verified).
+    Deschedule,
+    /// Stall the issuing scheduler for the given number of cycles while
+    /// the warp waits in place (the naive serialized-verification model of
+    /// the paper's Figure 4, used as an ablation).
+    BlockScheduler(u32),
+}
+
+/// Per-SM resilience hardware attached to the warp scheduler.
+///
+/// All methods are called from the SM's cycle loop; `slot` is the SM warp
+/// slot index. Implementations must be deterministic.
+pub trait SmAttachment: fmt::Debug {
+    /// A warp was installed in `slot`; `entry` is its initial recovery
+    /// point (the beginning of the warp).
+    fn on_warp_launch(&mut self, slot: usize, entry: RecoveryPoint);
+
+    /// The warp in `slot` retired.
+    fn on_warp_exit(&mut self, slot: usize);
+
+    /// The warp in `slot` reached a region boundary; `resume` is the state
+    /// at the start of the *next* region (what the RPT will hold once this
+    /// region verifies). `regs` is the warp's register file at the
+    /// boundary, from which checkpointing-based recovery captures the
+    /// next region's anti-dependent inputs.
+    fn on_boundary(
+        &mut self,
+        now: u64,
+        slot: usize,
+        resume: RecoveryPoint,
+        regs: &WarpRegFile,
+    ) -> BoundaryAction;
+
+    /// Advances the attachment by one cycle, pushing the slots of warps
+    /// whose verification completed (to be woken) into `wake`.
+    fn tick(&mut self, now: u64, wake: &mut Vec<usize>);
+
+    /// An error was detected on this SM: returns the recovery point of
+    /// every live warp and resets in-flight verification state (the RBQ is
+    /// flushed — its warps are among those rolled back).
+    fn on_error(&mut self, now: u64) -> Vec<(usize, RecoveryPoint)>;
+}
+
+/// Attachment used when no resilience scheme is active: boundaries are
+/// free and never verified; recovery is unsupported.
+#[derive(Debug, Clone, Default)]
+pub struct NullAttachment;
+
+impl NullAttachment {
+    /// Creates a null attachment.
+    pub fn new() -> NullAttachment {
+        NullAttachment
+    }
+}
+
+impl SmAttachment for NullAttachment {
+    fn on_warp_launch(&mut self, _slot: usize, _entry: RecoveryPoint) {}
+
+    fn on_warp_exit(&mut self, _slot: usize) {}
+
+    fn on_boundary(
+        &mut self,
+        _now: u64,
+        _slot: usize,
+        _resume: RecoveryPoint,
+        _regs: &WarpRegFile,
+    ) -> BoundaryAction {
+        BoundaryAction::Continue
+    }
+
+    fn tick(&mut self, _now: u64, _wake: &mut Vec<usize>) {}
+
+    fn on_error(&mut self, _now: u64) -> Vec<(usize, RecoveryPoint)> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::warp::{SimtStack, FULL_MASK};
+
+    #[test]
+    fn null_attachment_continues_and_never_wakes() {
+        let mut a = NullAttachment::new();
+        let point = RecoveryPoint {
+            stack: SimtStack::new(0, FULL_MASK).snapshot(),
+            barrier_phase: 0,
+            restores: Vec::new(),
+        };
+        a.on_warp_launch(0, point.clone());
+        let regs = WarpRegFile::new(4);
+        assert_eq!(a.on_boundary(5, 0, point, &regs), BoundaryAction::Continue);
+        let mut wake = Vec::new();
+        a.tick(6, &mut wake);
+        assert!(wake.is_empty());
+        assert!(a.on_error(7).is_empty());
+    }
+}

@@ -1,0 +1,1250 @@
+//! The streaming multiprocessor (SM) pipeline: warp slots, CTA residency,
+//! barrier phases, scoreboarding, issue, functional execution and the
+//! resilience attachment hooks.
+
+use crate::config::GpuConfig;
+use crate::exec::{eval, eval_atom};
+use crate::isa::{MemSpace, Opcode, Operand, Reg, Special};
+use crate::memory::{
+    bank_conflict_degree, coalesce, lane_addresses, Cache, CacheOutcome, GlobalMemory, MemPort,
+    SharedMemory, WORD_BYTES,
+};
+use crate::program::FlatKernel;
+use crate::regfile::{Value, WarpRegFile};
+use crate::resilience::{BoundaryAction, SmAttachment};
+use crate::scheduler::{Candidate, Scheduler, SchedulerKind};
+use crate::stats::SimStats;
+use crate::warp::{Warp, WarpState, WARP_SIZE};
+
+/// Grid and CTA dimensions of a kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchDims {
+    /// CTAs in the grid (x, y).
+    pub grid: (u32, u32),
+    /// Threads per CTA (x, y).
+    pub block: (u32, u32),
+}
+
+impl LaunchDims {
+    /// A one-dimensional launch.
+    pub fn linear(grid_x: u32, block_x: u32) -> LaunchDims {
+        LaunchDims {
+            grid: (grid_x, 1),
+            block: (block_x, 1),
+        }
+    }
+
+    /// Threads per CTA.
+    pub fn threads_per_cta(&self) -> u32 {
+        self.block.0 * self.block.1
+    }
+
+    /// Warps per CTA.
+    pub fn warps_per_cta(&self) -> u32 {
+        self.threads_per_cta().div_ceil(WARP_SIZE as u32)
+    }
+
+    /// Total CTAs in the grid.
+    pub fn num_ctas(&self) -> u32 {
+        self.grid.0 * self.grid.1
+    }
+
+    /// Grid coordinates of the CTA with the given linear index.
+    pub fn cta_coords(&self, linear: u32) -> (u32, u32) {
+        (linear % self.grid.0, linear / self.grid.0)
+    }
+}
+
+/// A resident CTA.
+#[derive(Debug)]
+struct CtaState {
+    coords: (u32, u32),
+    live_warps: usize,
+    /// Completed barrier releases.
+    phase: u64,
+    /// Warps currently blocked at the barrier of the current phase.
+    arrivals: usize,
+    shared: SharedMemory,
+    warp_slots: Vec<usize>,
+}
+
+/// One executed atomic operation, logged so that idempotent re-execution
+/// can *replay* its result instead of re-applying the read-modify-write.
+/// Atomics are inherently non-idempotent; region-level recovery must pair
+/// them with result logging (cleared once the enclosing region verifies),
+/// an elaboration the paper's single-instruction atomic regions imply.
+#[derive(Debug, Clone)]
+struct AtomicLogEntry {
+    pc: u32,
+    mask: u32,
+    old: Vec<Value>,
+}
+
+/// A warp slot: execution state, registers and local memory.
+#[derive(Debug)]
+struct Slot {
+    warp: Warp,
+    regs: WarpRegFile,
+    /// Per-thread local memory: `local[lane * words + word]`.
+    local: Vec<Value>,
+    local_words: usize,
+    /// Destination register of the most recently issued instruction and
+    /// the cycle it issued — the physically-consistent fault-injection
+    /// point (a particle strike corrupts a value as the pipeline writes
+    /// it; the register file itself is ECC-protected).
+    last_write: Option<(Reg, u64)>,
+    /// Unverified atomics executed since the warp's recovery point.
+    atomic_log: Vec<AtomicLogEntry>,
+    /// Replay position after a rollback (log entries before it are
+    /// replayed rather than re-applied).
+    replay_cursor: usize,
+}
+
+/// Cause that blocked a warp from issuing this cycle (for stall stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockCause {
+    Scoreboard,
+    MshrFull,
+    Barrier,
+    Rbq,
+}
+
+/// A streaming multiprocessor.
+pub struct Sm {
+    id: usize,
+    slots: Vec<Option<Slot>>,
+    ctas: Vec<Option<CtaState>>,
+    schedulers: Vec<Scheduler>,
+    sched_blocked_until: Vec<u64>,
+    port: MemPort,
+    l1: Cache,
+    attachment: Box<dyn SmAttachment>,
+    stats: SimStats,
+    wake_buf: Vec<usize>,
+    latency: crate::config::LatencyConfig,
+}
+
+impl std::fmt::Debug for Sm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sm")
+            .field("id", &self.id)
+            .field("live_warps", &self.live_slots().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Sm {
+    /// Creates an SM with `max_resident_ctas` CTA slots.
+    pub fn new(
+        id: usize,
+        cfg: &GpuConfig,
+        sched_kind: SchedulerKind,
+        max_resident_ctas: usize,
+        attachment: Box<dyn SmAttachment>,
+    ) -> Sm {
+        Sm {
+            id,
+            slots: (0..cfg.max_warps_per_sm).map(|_| None).collect(),
+            ctas: (0..max_resident_ctas).map(|_| None).collect(),
+            schedulers: (0..cfg.schedulers_per_sm)
+                .map(|_| Scheduler::new(sched_kind))
+                .collect(),
+            sched_blocked_until: vec![0; cfg.schedulers_per_sm],
+            port: MemPort::new(cfg.mshrs_per_sm),
+            l1: Cache::new(cfg.l1_bytes, cfg.l1_ways),
+            attachment,
+            stats: SimStats::default(),
+            wake_buf: Vec::new(),
+            latency: cfg.latency,
+        }
+    }
+
+    /// This SM's index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Whether any CTA is resident.
+    pub fn busy(&self) -> bool {
+        self.ctas.iter().any(Option::is_some)
+    }
+
+    /// Whether a new CTA (of `warps` warps) can be installed.
+    pub fn can_accept(&self, warps: u32) -> bool {
+        let free_cta = self.ctas.iter().any(Option::is_none);
+        let free_slots = self.slots.iter().filter(|s| s.is_none()).count();
+        free_cta && free_slots >= warps as usize
+    }
+
+    /// Warp slots currently holding a live (non-finished) warp.
+    pub fn live_slots(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                s.as_ref()
+                    .is_some_and(|s| s.warp.state != WarpState::Finished)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Installs a CTA, creating its warps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the SM cannot accept the CTA; check [`Sm::can_accept`].
+    pub fn launch_cta(
+        &mut self,
+        cta_linear: u32,
+        now: u64,
+        kernel: &FlatKernel,
+        dims: &LaunchDims,
+    ) {
+        let warps = dims.warps_per_cta();
+        assert!(self.can_accept(warps), "SM {} cannot accept CTA", self.id);
+        let cta_slot = self
+            .ctas
+            .iter()
+            .position(Option::is_none)
+            .expect("free CTA slot");
+        let threads = dims.threads_per_cta();
+        let local_words =
+            (u64::from(kernel.local_mem_bytes).div_ceil(WORD_BYTES) as usize).max(1);
+        let mut warp_slots = Vec::with_capacity(warps as usize);
+        for w in 0..warps {
+            let slot = self
+                .slots
+                .iter()
+                .position(Option::is_none)
+                .expect("free warp slot");
+            let first_thread = w * WARP_SIZE as u32;
+            let lanes = (threads - first_thread).min(WARP_SIZE as u32);
+            let mask = if lanes == 32 { u32::MAX } else { (1u32 << lanes) - 1 };
+            let warp = Warp::new(0, mask, cta_slot, w as usize, now);
+            self.attachment.on_warp_launch(slot, warp.recovery_point());
+            self.slots[slot] = Some(Slot {
+                warp,
+                regs: WarpRegFile::new(kernel.regs_per_thread),
+                local: vec![0; local_words * WARP_SIZE],
+                local_words,
+                last_write: None,
+                atomic_log: Vec::new(),
+                replay_cursor: 0,
+            });
+            warp_slots.push(slot);
+        }
+        self.ctas[cta_slot] = Some(CtaState {
+            coords: dims.cta_coords(cta_linear),
+            live_warps: warps as usize,
+            phase: 0,
+            arrivals: 0,
+            shared: SharedMemory::new(kernel.shared_mem_bytes.max(8)),
+            warp_slots,
+        });
+    }
+
+    /// Advances the SM by one cycle.
+    pub fn tick(
+        &mut self,
+        now: u64,
+        kernel: &FlatKernel,
+        dims: &LaunchDims,
+        global: &mut GlobalMemory,
+        l2: &mut Cache,
+    ) {
+        self.port.tick(now);
+        // Wake warps whose region verification completed.
+        let mut wake = std::mem::take(&mut self.wake_buf);
+        wake.clear();
+        self.attachment.tick(now, &mut wake);
+        for &slot in &wake {
+            if let Some(s) = self.slots[slot].as_mut() {
+                if s.warp.state == WarpState::InRbq {
+                    s.warp.state = WarpState::Ready;
+                    self.stats.resilience.verifications += 1;
+                    // Everything before the new recovery point is verified:
+                    // the logged atomics can never be replayed again.
+                    s.atomic_log.clear();
+                    s.replay_cursor = 0;
+                }
+            }
+        }
+        self.wake_buf = wake;
+
+        for sched in 0..self.schedulers.len() {
+            if self.sched_blocked_until[sched] > now {
+                self.stats.stalls.sched_blocked += 1;
+                continue;
+            }
+            let (eligible, causes, live) = self.scan(sched, now, kernel);
+            if let Some(slot) = self.schedulers[sched].pick(&eligible) {
+                self.issue(slot, now, kernel, dims, global, l2);
+            } else if live == 0 {
+                self.stats.stalls.no_warp += 1;
+            } else {
+                // Attribute the stall to the dominant blocking cause.
+                let (mut rbq, mut bar, mut mshr, mut sb) = (0, 0, 0, 0);
+                for c in causes {
+                    match c {
+                        BlockCause::Rbq => rbq += 1,
+                        BlockCause::Barrier => bar += 1,
+                        BlockCause::MshrFull => mshr += 1,
+                        BlockCause::Scoreboard => sb += 1,
+                    }
+                }
+                if rbq >= bar && rbq >= mshr && rbq >= sb {
+                    self.stats.stalls.rbq_wait += 1;
+                } else if bar >= mshr && bar >= sb {
+                    self.stats.stalls.barrier += 1;
+                } else if mshr >= sb {
+                    self.stats.stalls.mshr_full += 1;
+                } else {
+                    self.stats.stalls.scoreboard += 1;
+                }
+            }
+        }
+    }
+
+    /// Scans this scheduler's slots: processes region boundaries (a
+    /// zero-cost scheduler event), and classifies each live warp as
+    /// eligible or blocked.
+    fn scan(
+        &mut self,
+        sched: usize,
+        now: u64,
+        kernel: &FlatKernel,
+    ) -> (Vec<Candidate>, Vec<BlockCause>, usize) {
+        let nsched = self.schedulers.len();
+        let mut eligible = Vec::new();
+        let mut causes = Vec::new();
+        let mut live = 0usize;
+        for slot in (sched..self.slots.len()).step_by(nsched) {
+            // Region boundaries are consumed here, before issue: the
+            // scheduler recognizes them and (under Flame) swaps the warp
+            // out, exactly like a long-latency operation would.
+            loop {
+                let Some(s) = self.slots[slot].as_mut() else { break };
+                if s.warp.state != WarpState::Ready {
+                    break;
+                }
+                let Some(pc) = s.warp.stack.pc() else { break };
+                if kernel.inst(pc).op != Opcode::RegionBoundary {
+                    break;
+                }
+                s.warp.stack.advance(pc + 1);
+                let resume = s.warp.recovery_point();
+                self.stats.resilience.boundaries += 1;
+                match self.attachment.on_boundary(now, slot, resume, &s.regs) {
+                    BoundaryAction::Continue => {
+                        // The recovery point advanced past the region:
+                        // its atomics are committed.
+                        s.atomic_log.clear();
+                        s.replay_cursor = 0;
+                    }
+                    BoundaryAction::Deschedule => {
+                        s.warp.state = WarpState::InRbq;
+                        self.stats.resilience.deschedules += 1;
+                    }
+                    BoundaryAction::BlockScheduler(n) => {
+                        self.sched_blocked_until[sched] = now + u64::from(n);
+                        s.atomic_log.clear();
+                        s.replay_cursor = 0;
+                    }
+                }
+                if self.sched_blocked_until[sched] > now {
+                    break;
+                }
+            }
+            if self.sched_blocked_until[sched] > now {
+                // Naive verification blocked the whole scheduler.
+                break;
+            }
+            let Some(s) = self.slots[slot].as_ref() else { continue };
+            match s.warp.state {
+                WarpState::Finished => continue,
+                WarpState::AtBarrier => {
+                    live += 1;
+                    causes.push(BlockCause::Barrier);
+                    continue;
+                }
+                WarpState::InRbq => {
+                    live += 1;
+                    causes.push(BlockCause::Rbq);
+                    continue;
+                }
+                WarpState::Ready => {}
+            }
+            live += 1;
+            let Some(pc) = s.warp.stack.pc() else { continue };
+            let inst = kernel.inst(pc);
+            // Structural hazard: global memory ops need an MSHR.
+            let needs_mshr = matches!(
+                inst.op,
+                Opcode::Ld(MemSpace::Global)
+                    | Opcode::St(MemSpace::Global)
+                    | Opcode::Atom(MemSpace::Global, _)
+            );
+            if needs_mshr && self.port.free() == 0 {
+                causes.push(BlockCause::MshrFull);
+                continue;
+            }
+            // Scoreboard: all read and written registers must be ready.
+            let ready = inst
+                .reads()
+                .chain(inst.writes())
+                .all(|r| s.regs.is_ready(r, now));
+            if !ready {
+                causes.push(BlockCause::Scoreboard);
+                continue;
+            }
+            eligible.push(Candidate {
+                slot,
+                age: s.warp.launch_cycle,
+            });
+        }
+        (eligible, causes, live)
+    }
+
+    fn op_latency(l: &crate::config::LatencyConfig, op: Opcode) -> u64 {
+        match op {
+            Opcode::IMul | Opcode::IMad => l.imul,
+            Opcode::IDiv | Opcode::IRem => l.idiv,
+            Opcode::FDiv | Opcode::FSqrt | Opcode::FExp => l.fsfu,
+            Opcode::FAdd
+            | Opcode::FSub
+            | Opcode::FMul
+            | Opcode::FFma
+            | Opcode::FMin
+            | Opcode::FMax
+            | Opcode::I2F
+            | Opcode::F2I => l.falu,
+            _ => l.ialu,
+        }
+    }
+
+    /// Issues and functionally executes one instruction from `slot`.
+    #[allow(clippy::too_many_lines)]
+    fn issue(
+        &mut self,
+        slot: usize,
+        now: u64,
+        kernel: &FlatKernel,
+        dims: &LaunchDims,
+        global: &mut GlobalMemory,
+        l2: &mut Cache,
+    ) {
+        let lat_cfg = self.latency;
+        let s = self.slots[slot].as_mut().expect("issued slot is live");
+        let pc = s.warp.stack.pc().expect("issued warp has a pc");
+        let inst = kernel.inst(pc);
+        let active = s.warp.stack.active_mask();
+        if let Some(d) = inst.dst {
+            s.last_write = Some((d, now));
+        }
+        let cta = self.ctas[s.warp.cta_slot]
+            .as_mut()
+            .expect("warp's CTA is resident");
+
+        // Per-lane special values.
+        let block_x = dims.block.0 as u64;
+        let coords = cta.coords;
+        let base_thread = s.warp.base_thread as u64;
+        let special = |sp: Special, lane: usize| -> Value {
+            let lin = base_thread + lane as u64;
+            match sp {
+                Special::TidX => lin % block_x,
+                Special::TidY => lin / block_x,
+                Special::CtaIdX => u64::from(coords.0),
+                Special::CtaIdY => u64::from(coords.1),
+                Special::NTidX => u64::from(dims.block.0),
+                Special::NTidY => u64::from(dims.block.1),
+                Special::NCtaIdX => u64::from(dims.grid.0),
+                Special::NCtaIdY => u64::from(dims.grid.1),
+                Special::LaneId => lane as u64,
+            }
+        };
+        let read_op = |regs: &WarpRegFile, o: &Operand, lane: usize| -> Value {
+            match *o {
+                Operand::Reg(r) => regs.read(r, lane),
+                Operand::Imm(v) => v as Value,
+                Operand::Special(sp) => special(sp, lane),
+            }
+        };
+
+        // Guard predicate.
+        let mut mask = active;
+        if let Some((p, sense)) = inst.pred {
+            if inst.op != Opcode::Bra {
+                let mut m = 0u32;
+                for lane in 0..WARP_SIZE {
+                    if active & (1 << lane) != 0 {
+                        let v = s.regs.read(p, lane) != 0;
+                        if v == sense {
+                            m |= 1 << lane;
+                        }
+                    }
+                }
+                mask = m;
+            }
+        }
+
+        self.stats.instructions += 1;
+        self.stats.thread_instructions += u64::from(active.count_ones());
+
+        match inst.op {
+            Opcode::Bra => {
+                let target = kernel.target_pc(pc);
+                let reconv = kernel.reconv_for(pc);
+                let taken = match inst.pred {
+                    None => active,
+                    Some((p, sense)) => {
+                        let mut t = 0u32;
+                        for lane in 0..WARP_SIZE {
+                            if active & (1 << lane) != 0
+                                && (s.regs.read(p, lane) != 0) == sense
+                            {
+                                t |= 1 << lane;
+                            }
+                        }
+                        t
+                    }
+                };
+                s.warp.stack.branch(taken, target, pc + 1, reconv);
+            }
+            Opcode::Exit => {
+                s.warp.stack.exit_lanes(mask);
+                if !s.warp.stack.finished() {
+                    // Some lanes continue on other stack entries.
+                } else {
+                    s.warp.state = WarpState::Finished;
+                    self.attachment.on_warp_exit(slot);
+                    cta.live_warps -= 1;
+                    let cta_slot = s.warp.cta_slot;
+                    self.release_barrier_if_complete(cta_slot);
+                    if self.ctas[cta_slot]
+                        .as_ref()
+                        .is_some_and(|c| c.live_warps == 0)
+                    {
+                        self.retire_cta(cta_slot);
+                    }
+                    return;
+                }
+            }
+            Opcode::Bar => {
+                s.warp.stack.advance(pc + 1);
+                let cta_slot = s.warp.cta_slot;
+                if s.warp.barrier_phase < cta.phase {
+                    // Barrier instance already released (possible only
+                    // after rollback recovery): pass through.
+                    s.warp.barrier_phase += 1;
+                } else {
+                    cta.arrivals += 1;
+                    s.warp.state = WarpState::AtBarrier;
+                    self.release_barrier_if_complete(cta_slot);
+                }
+            }
+            Opcode::Ld(space) => {
+                let base_reg = &inst.srcs[0];
+                let addrs = lane_addresses(
+                    mask,
+                    |l| read_op(&s.regs, base_reg, l),
+                    inst.offset,
+                );
+                let dst = inst.dst.expect("load has a destination");
+                let finish = match space {
+                    MemSpace::Global => {
+                        let segs = coalesce(&addrs);
+                        let mut max_lat = self.latency.l1_hit;
+                        for &seg in &segs {
+                            let lat = match self.l1.access(seg, true) {
+                                CacheOutcome::Hit => {
+                                    self.stats.mem.l1_hits += 1;
+                                    self.latency.l1_hit
+                                }
+                                CacheOutcome::Miss => {
+                                    self.stats.mem.l1_misses += 1;
+                                    match l2.access(seg, true) {
+                                        CacheOutcome::Hit => {
+                                            self.stats.mem.l2_hits += 1;
+                                            self.latency.l2_hit
+                                        }
+                                        CacheOutcome::Miss => {
+                                            self.stats.mem.l2_misses += 1;
+                                            self.latency.dram
+                                        }
+                                    }
+                                }
+                            };
+                            max_lat = max_lat.max(lat);
+                        }
+                        self.stats.mem.transactions += segs.len() as u64;
+                        let finish = now + max_lat + segs.len() as u64 - 1;
+                        for _ in 0..segs.len().min(self.port.free()) {
+                            self.port.reserve(finish);
+                        }
+                        finish
+                    }
+                    MemSpace::Shared => {
+                        let degree = bank_conflict_degree(&addrs);
+                        self.stats.mem.shared_accesses += 1;
+                        self.stats.mem.bank_conflicts += degree - 1;
+                        now + self.latency.shared + degree - 1
+                    }
+                    MemSpace::Local => now + self.latency.l1_hit,
+                };
+                // Functional read.
+                for lane in 0..WARP_SIZE {
+                    if mask & (1 << lane) != 0 {
+                        let addr = read_op(&s.regs, base_reg, lane)
+                            .wrapping_add(inst.offset as u64);
+                        let v = match space {
+                            MemSpace::Global => global.read(addr),
+                            MemSpace::Shared => cta.shared.read(addr),
+                            MemSpace::Local => {
+                                let w = (addr / WORD_BYTES) as usize % s.local_words;
+                                s.local[lane * s.local_words + w]
+                            }
+                        };
+                        s.regs.write(dst, lane, v);
+                    }
+                }
+                s.regs.set_pending(dst, finish);
+                s.warp.stack.advance(pc + 1);
+            }
+            Opcode::St(space) => {
+                let base_reg = &inst.srcs[0];
+                let val_op = &inst.srcs[1];
+                let addrs = lane_addresses(
+                    mask,
+                    |l| read_op(&s.regs, base_reg, l),
+                    inst.offset,
+                );
+                match space {
+                    MemSpace::Global => {
+                        let segs = coalesce(&addrs);
+                        self.stats.mem.transactions += segs.len() as u64;
+                        // Write-through: charge L2 latency on MSHRs.
+                        let finish = now + self.latency.l2_hit + segs.len() as u64 - 1;
+                        for &seg in &segs {
+                            let _ = self.l1.access(seg, false);
+                            match l2.access(seg, true) {
+                                CacheOutcome::Hit => self.stats.mem.l2_hits += 1,
+                                CacheOutcome::Miss => self.stats.mem.l2_misses += 1,
+                            }
+                        }
+                        for _ in 0..segs.len().min(self.port.free()) {
+                            self.port.reserve(finish);
+                        }
+                    }
+                    MemSpace::Shared => {
+                        let degree = bank_conflict_degree(&addrs);
+                        self.stats.mem.shared_accesses += 1;
+                        self.stats.mem.bank_conflicts += degree - 1;
+                    }
+                    MemSpace::Local => {}
+                }
+                for lane in 0..WARP_SIZE {
+                    if mask & (1 << lane) != 0 {
+                        let addr = read_op(&s.regs, base_reg, lane)
+                            .wrapping_add(inst.offset as u64);
+                        let v = read_op(&s.regs, val_op, lane);
+                        match space {
+                            MemSpace::Global => global.write(addr, v),
+                            MemSpace::Shared => cta.shared.write(addr, v),
+                            MemSpace::Local => {
+                                let w = (addr / WORD_BYTES) as usize % s.local_words;
+                                s.local[lane * s.local_words + w] = v;
+                            }
+                        }
+                    }
+                }
+                s.warp.stack.advance(pc + 1);
+            }
+            Opcode::Atom(space, aop) => {
+                let base_reg = &inst.srcs[0];
+                let addrs = lane_addresses(
+                    mask,
+                    |l| read_op(&s.regs, base_reg, l),
+                    inst.offset,
+                );
+                // Serialization: the maximum number of lanes contending on
+                // one address.
+                let mut sorted = addrs.clone();
+                sorted.sort_unstable();
+                let mut max_mult: u64 = 1;
+                let mut run = 1;
+                for i in 1..sorted.len() {
+                    if sorted[i] == sorted[i - 1] {
+                        run += 1;
+                        max_mult = max_mult.max(run);
+                    } else {
+                        run = 1;
+                    }
+                }
+                self.stats.mem.atomics += 1;
+                let base_lat = match space {
+                    MemSpace::Shared => self.latency.atom_shared,
+                    _ => self.latency.atom_global,
+                };
+                let finish = now + base_lat + max_mult - 1;
+                if space == MemSpace::Global && self.port.free() > 0 {
+                    self.port.reserve(finish);
+                }
+                // Replay path: this atomic already executed before a
+                // rollback — return the logged result without touching
+                // memory (re-applying an RMW would break idempotence).
+                let replayed = if s.replay_cursor < s.atomic_log.len() {
+                    let e = &s.atomic_log[s.replay_cursor];
+                    if e.pc == pc && e.mask == mask {
+                        if let Some(d) = inst.dst {
+                            for lane in 0..WARP_SIZE {
+                                if mask & (1 << lane) != 0 {
+                                    s.regs.write(d, lane, e.old[lane]);
+                                }
+                            }
+                        }
+                        s.replay_cursor += 1;
+                        true
+                    } else {
+                        // Divergent re-execution (a corrupted value altered
+                        // control flow before detection): the log no longer
+                        // describes this path. Execute fresh; the stale
+                        // entries can never match again.
+                        s.atomic_log.truncate(s.replay_cursor);
+                        false
+                    }
+                } else {
+                    false
+                };
+                if !replayed {
+                    // Functional RMW in lane order, logged for replay.
+                    let mut entry = AtomicLogEntry {
+                        pc,
+                        mask,
+                        old: vec![0; WARP_SIZE],
+                    };
+                    for lane in 0..WARP_SIZE {
+                        if mask & (1 << lane) != 0 {
+                            let addr = read_op(&s.regs, base_reg, lane)
+                                .wrapping_add(inst.offset as u64);
+                            let operand = read_op(&s.regs, &inst.srcs[1], lane);
+                            let operand2 = inst
+                                .srcs
+                                .get(2)
+                                .map_or(0, |o| read_op(&s.regs, o, lane));
+                            let old = match space {
+                                MemSpace::Global => global.read(addr),
+                                MemSpace::Shared => cta.shared.read(addr),
+                                MemSpace::Local => {
+                                    let w = (addr / WORD_BYTES) as usize % s.local_words;
+                                    s.local[lane * s.local_words + w]
+                                }
+                            };
+                            let (old, new) = eval_atom(aop, old, operand, operand2);
+                            match space {
+                                MemSpace::Global => global.write(addr, new),
+                                MemSpace::Shared => cta.shared.write(addr, new),
+                                MemSpace::Local => {
+                                    let w = (addr / WORD_BYTES) as usize % s.local_words;
+                                    s.local[lane * s.local_words + w] = new;
+                                }
+                            }
+                            entry.old[lane] = old;
+                            if let Some(d) = inst.dst {
+                                s.regs.write(d, lane, old);
+                            }
+                        }
+                    }
+                    s.atomic_log.push(entry);
+                    s.replay_cursor = s.atomic_log.len();
+                }
+                if let Some(d) = inst.dst {
+                    s.regs.set_pending(d, finish);
+                }
+                s.warp.stack.advance(pc + 1);
+            }
+            Opcode::Nop => {
+                s.warp.stack.advance(pc + 1);
+            }
+            Opcode::RegionBoundary => {
+                unreachable!("region boundaries are consumed by the scheduler scan")
+            }
+            _ => {
+                // Computational opcode.
+                let lat = Sm::op_latency(&lat_cfg, inst.op);
+                let dst = inst.dst.expect("compute op has a destination");
+                for lane in 0..WARP_SIZE {
+                    if mask & (1 << lane) != 0 {
+                        let mut srcs = [0; 3];
+                        for (i, o) in inst.srcs.iter().enumerate().take(3) {
+                            srcs[i] = read_op(&s.regs, o, lane);
+                        }
+                        let v = eval(inst.op, srcs);
+                        s.regs.write(dst, lane, v);
+                    }
+                }
+                s.regs.set_pending(dst, now + lat);
+                s.warp.stack.advance(pc + 1);
+            }
+        }
+    }
+
+    /// Releases the CTA's barrier when all live warps have arrived.
+    fn release_barrier_if_complete(&mut self, cta_slot: usize) {
+        let Some(cta) = self.ctas[cta_slot].as_mut() else {
+            return;
+        };
+        if cta.arrivals == 0 || cta.arrivals < cta.live_warps {
+            return;
+        }
+        cta.phase += 1;
+        cta.arrivals = 0;
+        let phase = cta.phase;
+        let slots = cta.warp_slots.clone();
+        for slot in slots {
+            if let Some(s) = self.slots[slot].as_mut() {
+                if s.warp.state == WarpState::AtBarrier {
+                    s.warp.state = WarpState::Ready;
+                    s.warp.barrier_phase = phase;
+                }
+            }
+        }
+    }
+
+    fn retire_cta(&mut self, cta_slot: usize) {
+        let cta = self.ctas[cta_slot].take().expect("CTA resident");
+        for slot in cta.warp_slots {
+            self.slots[slot] = None;
+        }
+        self.stats.ctas += 1;
+    }
+
+    /// XORs `xor_mask` into the value most recently written by the warp
+    /// in `slot`, provided that write issued at `now` (strikes corrupt
+    /// in-flight pipeline writes; older values sit in the ECC-protected
+    /// register file). Returns whether the injection landed.
+    pub fn corrupt_recent_write(
+        &mut self,
+        slot: usize,
+        now: u64,
+        lane: usize,
+        xor_mask: u64,
+    ) -> bool {
+        match self.slots.get_mut(slot).and_then(Option::as_mut) {
+            Some(s) if s.warp.state != WarpState::Finished => match s.last_write {
+                Some((reg, cycle)) if cycle == now => {
+                    s.regs.corrupt(reg, lane, xor_mask);
+                    true
+                }
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// XORs `xor_mask` into `(reg, lane)` of the warp in `slot`, modelling
+    /// a particle strike corrupting a pipeline register write. Returns
+    /// whether the injection landed on a live warp.
+    pub fn corrupt_register(&mut self, slot: usize, reg: Reg, lane: usize, xor_mask: u64) -> bool {
+        match self.slots.get_mut(slot).and_then(Option::as_mut) {
+            Some(s)
+                if s.warp.state != WarpState::Finished
+                    && reg.index() < s.regs.regs_per_thread() as usize =>
+            {
+                s.regs.corrupt(reg, lane, xor_mask);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Rolls back every live warp to its recovery point (idempotent
+    /// re-execution after a detected error). Returns the number of warps
+    /// rolled back.
+    pub fn recover(&mut self, now: u64) -> usize {
+        let points = self.attachment.on_error(now);
+        let mut n = 0;
+        for (slot, point) in points {
+            if let Some(s) = self.slots.get_mut(slot).and_then(Option::as_mut) {
+                if s.warp.state == WarpState::Finished {
+                    continue;
+                }
+                s.warp.rollback(&point);
+                s.regs.flush_pending();
+                // Re-execution replays already-applied atomics from the log.
+                s.replay_cursor = 0;
+                // Checkpointing-based recovery: restore the region's
+                // anti-dependent inputs to their verified checkpoint
+                // values.
+                for r in &point.restores {
+                    for (lane, &v) in r.lanes.iter().enumerate().take(WARP_SIZE) {
+                        s.regs.write(r.reg, lane, v);
+                    }
+                }
+                n += 1;
+            }
+        }
+        for cta in self.ctas.iter_mut().flatten() {
+            cta.arrivals = 0;
+        }
+        self.port.flush();
+        self.sched_blocked_until.fill(0);
+        self.stats.resilience.recoveries += 1;
+        self.stats.resilience.warps_rolled_back += n as u64;
+        n
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::isa::{AtomOp, Cmp};
+    use crate::resilience::NullAttachment;
+    use crate::warp::RecoveryPoint;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::gtx480()
+    }
+
+    fn mk_sm(kernel: &FlatKernel, dims: &LaunchDims) -> (Sm, GlobalMemory, Cache) {
+        let c = cfg();
+        let mut sm = Sm::new(0, &c, SchedulerKind::Gto, 8, Box::new(NullAttachment::new()));
+        sm.launch_cta(0, 0, kernel, dims);
+        (sm, GlobalMemory::new(1 << 20), Cache::new(c.l2_bytes, c.l2_ways))
+    }
+
+    fn run_sm(sm: &mut Sm, kernel: &FlatKernel, dims: &LaunchDims, g: &mut GlobalMemory, l2: &mut Cache) {
+        let mut now = 0;
+        while sm.busy() {
+            sm.tick(now, kernel, dims, g, l2);
+            now += 1;
+            assert!(now < 1_000_000, "SM did not retire its CTA");
+        }
+    }
+
+    #[test]
+    fn launch_dims_math() {
+        let d = LaunchDims {
+            grid: (3, 2),
+            block: (16, 8),
+        };
+        assert_eq!(d.threads_per_cta(), 128);
+        assert_eq!(d.warps_per_cta(), 4);
+        assert_eq!(d.num_ctas(), 6);
+        assert_eq!(d.cta_coords(0), (0, 0));
+        assert_eq!(d.cta_coords(4), (1, 1));
+        // Partial warps round up.
+        assert_eq!(LaunchDims::linear(1, 33).warps_per_cta(), 2);
+    }
+
+    #[test]
+    fn can_accept_respects_slots() {
+        let mut b = KernelBuilder::new("k");
+        b.exit();
+        let k = b.finish().flatten();
+        let c = cfg();
+        let mut sm = Sm::new(0, &c, SchedulerKind::Gto, 2, Box::new(NullAttachment::new()));
+        let dims = LaunchDims::linear(4, 1024); // 32 warps per CTA
+        assert!(sm.can_accept(32));
+        sm.launch_cta(0, 0, &k, &dims);
+        // 48 slots - 32 used: a second 32-warp CTA no longer fits.
+        assert!(!sm.can_accept(32));
+        assert!(sm.can_accept(16));
+        assert_eq!(sm.live_slots().len(), 32);
+    }
+
+    #[test]
+    fn corrupt_recent_write_requires_same_cycle() {
+        let mut b = KernelBuilder::new("k");
+        let x = b.mov(7i64);
+        let y = b.iadd(x, 1);
+        let a = b.imul(y, 8);
+        b.st_global(a, y, 0);
+        b.exit();
+        let k = b.finish().flatten();
+        let dims = LaunchDims::linear(1, 32);
+        let (mut sm, mut g, mut l2) = mk_sm(&k, &dims);
+        sm.tick(0, &k, &dims, &mut g, &mut l2);
+        // The slot issued its first instruction at cycle 0.
+        assert!(sm.corrupt_recent_write(0, 0, 3, 1));
+        assert!(!sm.corrupt_recent_write(0, 5, 3, 1), "stale write is in the ECC-protected RF");
+        assert!(!sm.corrupt_recent_write(99, 0, 3, 1), "no such slot");
+    }
+
+    #[test]
+    fn barrier_phases_let_rolled_back_warps_pass_released_instances() {
+        // Two warps synchronize; after recovery one warp rolls back to
+        // before the barrier while the other is past it: the re-arrival
+        // must pass through instead of deadlocking.
+        let mut b = KernelBuilder::new("k");
+        let tid = b.special(Special::TidX);
+        let a = b.imul(tid, 8);
+        b.st_global(a, 1i64, 0);
+        b.barrier();
+        let v = b.ld_global(a, 0);
+        let w = b.iadd(v, 1);
+        b.st_global(a, w, 4096);
+        b.exit();
+        let k = b.finish().flatten();
+        let dims = LaunchDims::linear(1, 64);
+
+        // Attachment that records launch entry points so we can force a
+        // rollback of warp 0 to its entry (pre-barrier) mid-kernel.
+        #[derive(Debug, Default)]
+        struct Recorder {
+            entries: Rc<RefCell<Vec<(usize, RecoveryPoint)>>>,
+        }
+        impl SmAttachment for Recorder {
+            fn on_warp_launch(&mut self, slot: usize, entry: RecoveryPoint) {
+                self.entries.borrow_mut().push((slot, entry));
+            }
+            fn on_warp_exit(&mut self, _slot: usize) {}
+            fn on_boundary(
+                &mut self,
+                _now: u64,
+                _slot: usize,
+                _resume: RecoveryPoint,
+                _regs: &WarpRegFile,
+            ) -> BoundaryAction {
+                BoundaryAction::Continue
+            }
+            fn tick(&mut self, _now: u64, _wake: &mut Vec<usize>) {}
+            fn on_error(&mut self, _now: u64) -> Vec<(usize, RecoveryPoint)> {
+                // Roll back only warp slot 0 to its entry point.
+                self.entries
+                    .borrow()
+                    .iter()
+                    .filter(|(s, _)| *s == 0)
+                    .cloned()
+                    .collect()
+            }
+        }
+        let entries = Rc::new(RefCell::new(Vec::new()));
+        let c = cfg();
+        let mut sm = Sm::new(
+            0,
+            &c,
+            SchedulerKind::Gto,
+            2,
+            Box::new(Recorder {
+                entries: entries.clone(),
+            }),
+        );
+        sm.launch_cta(0, 0, &k, &dims);
+        let mut g = GlobalMemory::new(1 << 20);
+        let mut l2 = Cache::new(c.l2_bytes, c.l2_ways);
+        // Run until the barrier has certainly released (stores at 4096
+        // in flight), then roll warp 0 back to its entry.
+        let mut now = 0;
+        while g.read(0) == 0 || now < 60 {
+            sm.tick(now, &k, &dims, &mut g, &mut l2);
+            now += 1;
+            assert!(now < 100_000);
+        }
+        sm.recover(now);
+        // The CTA must still retire, and the outputs must be correct.
+        while sm.busy() {
+            sm.tick(now, &k, &dims, &mut g, &mut l2);
+            now += 1;
+            assert!(now < 100_000, "deadlock after rollback across a barrier");
+        }
+        for t in 0..64u64 {
+            assert_eq!(g.read(4096 + t * 8), 2, "thread {t}");
+        }
+    }
+
+    #[test]
+    fn atomic_log_replays_after_rollback() {
+        // One warp atomically increments a counter; rolling it back after
+        // the atomic must not double-count once it re-executes.
+        let mut b = KernelBuilder::new("k");
+        let zero = b.mov(0i64);
+        let old = b.atom(MemSpace::Global, AtomOp::Add, zero, 1i64, 0);
+        // Busy tail so the rollback lands after the atomic.
+        let mut acc = b.mov(old);
+        for _ in 0..20 {
+            acc = b.iadd(acc, 1);
+        }
+        let a = b.mov(64i64);
+        b.st_global(a, acc, 0);
+        b.exit();
+        let k = b.finish().flatten();
+        let dims = LaunchDims::linear(1, 32);
+
+        #[derive(Debug)]
+        struct EntryKeeper(Option<RecoveryPoint>);
+        impl SmAttachment for EntryKeeper {
+            fn on_warp_launch(&mut self, _slot: usize, entry: RecoveryPoint) {
+                self.0 = Some(entry);
+            }
+            fn on_warp_exit(&mut self, _slot: usize) {}
+            fn on_boundary(
+                &mut self,
+                _now: u64,
+                _slot: usize,
+                _resume: RecoveryPoint,
+                _regs: &WarpRegFile,
+            ) -> BoundaryAction {
+                BoundaryAction::Continue
+            }
+            fn tick(&mut self, _now: u64, _wake: &mut Vec<usize>) {}
+            fn on_error(&mut self, _now: u64) -> Vec<(usize, RecoveryPoint)> {
+                vec![(0, self.0.clone().expect("launched"))]
+            }
+        }
+        let c = cfg();
+        let mut sm = Sm::new(0, &c, SchedulerKind::Gto, 2, Box::new(EntryKeeper(None)));
+        sm.launch_cta(0, 0, &k, &dims);
+        let mut g = GlobalMemory::new(1 << 20);
+        let mut l2 = Cache::new(c.l2_bytes, c.l2_ways);
+        // Run past the atomic (counter == 32), then roll back to entry.
+        let mut now = 0;
+        while g.read(0) != 32 {
+            sm.tick(now, &k, &dims, &mut g, &mut l2);
+            now += 1;
+            assert!(now < 100_000);
+        }
+        // A few more cycles into the tail.
+        for _ in 0..10 {
+            sm.tick(now, &k, &dims, &mut g, &mut l2);
+            now += 1;
+        }
+        assert_eq!(sm.recover(now), 1);
+        while sm.busy() {
+            sm.tick(now, &k, &dims, &mut g, &mut l2);
+            now += 1;
+            assert!(now < 100_000);
+        }
+        // Replay, not re-application: the counter stays 32 (one add per
+        // lane), and each lane saw a consistent old value.
+        assert_eq!(g.read(0), 32, "atomic was double-applied");
+        // All lanes store to the same address; the last lane (31) wins,
+        // and its replayed old value must match its original one.
+        assert_eq!(g.read(64), 31 + 20, "lane 31 old value + tail adds");
+    }
+
+    #[test]
+    fn mshr_exhaustion_stalls_and_recovers() {
+        // Strided loads (one 128B transaction per lane) from many warps
+        // oversubscribe the 32 MSHRs; the kernel must still finish and
+        // count mshr_full stalls.
+        let mut b = KernelBuilder::new("k");
+        let tid = b.special(Special::TidX);
+        let a = b.imul(tid, 128);
+        let mut v = b.ld_global(a, 0);
+        for i in 0..4i64 {
+            let a2 = b.iadd(a, 1 << 18);
+            let w = b.ld_global(a2, i * 128);
+            v = b.iadd(v, w);
+        }
+        let out = b.imul(tid, 8);
+        b.st_global(out, v, 1 << 19);
+        b.exit();
+        let k = b.finish().flatten();
+        let dims = LaunchDims::linear(1, 512);
+        let (mut sm, mut g, mut l2) = mk_sm(&k, &dims);
+        run_sm(&mut sm, &k, &dims, &mut g, &mut l2);
+        assert!(sm.stats().stalls.mshr_full > 0, "expected MSHR pressure");
+        assert_eq!(sm.stats().ctas, 1);
+    }
+
+    #[test]
+    fn bank_conflicts_are_counted() {
+        let mut b = KernelBuilder::new("k");
+        let sh = b.alloc_shared(32 * 32 * 8);
+        let tid = b.special(Special::TidX);
+        // All lanes hit bank 0: address = tid * 32 words * 8.
+        let a = b.imul(tid, 256);
+        b.st_shared(a, tid, sh);
+        let v = b.ld_shared(a, sh);
+        let o = b.imul(tid, 8);
+        b.st_global(o, v, 0);
+        b.exit();
+        let k = b.finish().flatten();
+        let dims = LaunchDims::linear(1, 32);
+        let (mut sm, mut g, mut l2) = mk_sm(&k, &dims);
+        run_sm(&mut sm, &k, &dims, &mut g, &mut l2);
+        // 31 extra passes for the store + 31 for the load.
+        assert_eq!(sm.stats().mem.bank_conflicts, 62);
+        for t in 0..32u64 {
+            assert_eq!(g.read(t * 8), t);
+        }
+    }
+
+    #[test]
+    fn predicated_store_writes_only_true_lanes() {
+        let mut b = KernelBuilder::new("k");
+        let tid = b.special(Special::TidX);
+        let p = b.setp(Cmp::Lt, tid, 10i64);
+        let a = b.imul(tid, 8);
+        b.st_global(a, 7i64, 0);
+        b.pred_last(p, true);
+        b.exit();
+        let k = b.finish().flatten();
+        let dims = LaunchDims::linear(1, 32);
+        let (mut sm, mut g, mut l2) = mk_sm(&k, &dims);
+        run_sm(&mut sm, &k, &dims, &mut g, &mut l2);
+        for t in 0..32u64 {
+            assert_eq!(g.read(t * 8), if t < 10 { 7 } else { 0 }, "lane {t}");
+        }
+    }
+
+    #[test]
+    fn boundary_is_free_under_null_attachment() {
+        let mk = |boundaries: usize| {
+            let mut b = KernelBuilder::new("k");
+            let tid = b.special(Special::TidX);
+            let mut acc = b.mov(0i64);
+            for i in 0..boundaries {
+                for _ in 0..10 {
+                    acc = b.iadd(acc, 1);
+                }
+                let _ = i;
+                b.region_boundary();
+            }
+            let a = b.imul(tid, 8);
+            b.st_global(a, acc, 0);
+            b.exit();
+            b.finish().flatten()
+        };
+        let dims = LaunchDims::linear(1, 32);
+        let run_cycles = |k: &FlatKernel| {
+            let (mut sm, mut g, mut l2) = mk_sm(k, &dims);
+            let mut now = 0;
+            while sm.busy() {
+                sm.tick(now, k, &dims, &mut g, &mut l2);
+                now += 1;
+            }
+            (now, sm.stats().resilience.boundaries)
+        };
+        let (t0, b0) = run_cycles(&mk(0));
+        let (t8, b8) = run_cycles(&mk(8));
+        assert_eq!(b0, 0);
+        assert_eq!(b8, 8);
+        // Boundaries consume no issue slots: the extra cycles come only
+        // from the 80 extra adds.
+        let (t8_plain, _) = {
+            let mut b = KernelBuilder::new("k");
+            let tid = b.special(Special::TidX);
+            let mut acc = b.mov(0i64);
+            for _ in 0..80 {
+                acc = b.iadd(acc, 1);
+            }
+            let a = b.imul(tid, 8);
+            b.st_global(a, acc, 0);
+            b.exit();
+            run_cycles(&b.finish().flatten())
+        };
+        assert_eq!(t8, t8_plain, "boundaries must be free: {t8} vs {t8_plain} (base {t0})");
+    }
+}

@@ -1,0 +1,237 @@
+//! Simulation statistics.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Issue-stall causes tracked per cycle per scheduler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallStats {
+    /// No warp was resident on the scheduler's slots.
+    pub no_warp: u64,
+    /// All resident warps were blocked on the scoreboard (data hazards).
+    pub scoreboard: u64,
+    /// A memory instruction could not issue because MSHRs were full.
+    pub mshr_full: u64,
+    /// All resident warps were waiting at a barrier.
+    pub barrier: u64,
+    /// All resident warps were descheduled into the region boundary queue
+    /// (waiting for soft-error verification).
+    pub rbq_wait: u64,
+    /// The scheduler itself was stalled (naive region verification).
+    pub sched_blocked: u64,
+}
+
+impl StallStats {
+    /// Total stalled scheduler-cycles.
+    pub fn total(&self) -> u64 {
+        self.no_warp
+            + self.scoreboard
+            + self.mshr_full
+            + self.barrier
+            + self.rbq_wait
+            + self.sched_blocked
+    }
+}
+
+impl AddAssign for StallStats {
+    fn add_assign(&mut self, o: StallStats) {
+        self.no_warp += o.no_warp;
+        self.scoreboard += o.scoreboard;
+        self.mshr_full += o.mshr_full;
+        self.barrier += o.barrier;
+        self.rbq_wait += o.rbq_wait;
+        self.sched_blocked += o.sched_blocked;
+    }
+}
+
+/// Memory-hierarchy statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// L1 data cache hits.
+    pub l1_hits: u64,
+    /// L1 data cache misses.
+    pub l1_misses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses (DRAM accesses).
+    pub l2_misses: u64,
+    /// Global-memory transactions after coalescing.
+    pub transactions: u64,
+    /// Shared-memory accesses.
+    pub shared_accesses: u64,
+    /// Extra serialization cycles from shared-memory bank conflicts.
+    pub bank_conflicts: u64,
+    /// Atomic operations executed.
+    pub atomics: u64,
+}
+
+impl AddAssign for MemStats {
+    fn add_assign(&mut self, o: MemStats) {
+        self.l1_hits += o.l1_hits;
+        self.l1_misses += o.l1_misses;
+        self.l2_hits += o.l2_hits;
+        self.l2_misses += o.l2_misses;
+        self.transactions += o.transactions;
+        self.shared_accesses += o.shared_accesses;
+        self.bank_conflicts += o.bank_conflicts;
+        self.atomics += o.atomics;
+    }
+}
+
+/// Resilience-mechanism statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Region boundaries encountered by warps.
+    pub boundaries: u64,
+    /// Boundaries that descheduled the warp (WCDL-aware scheduling).
+    pub deschedules: u64,
+    /// Warps verified (popped from the RBQ).
+    pub verifications: u64,
+    /// Error-recovery events (all-warp rollbacks).
+    pub recoveries: u64,
+    /// Warp-rollbacks performed across all recoveries.
+    pub warps_rolled_back: u64,
+}
+
+impl AddAssign for ResilienceStats {
+    fn add_assign(&mut self, o: ResilienceStats) {
+        self.boundaries += o.boundaries;
+        self.deschedules += o.deschedules;
+        self.verifications += o.verifications;
+        self.recoveries += o.recoveries;
+        self.warps_rolled_back += o.warps_rolled_back;
+    }
+}
+
+/// Aggregate statistics of a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Total GPU cycles elapsed.
+    pub cycles: u64,
+    /// Warp-instructions issued.
+    pub instructions: u64,
+    /// Dynamic thread-instructions (warp-instructions × active lanes).
+    pub thread_instructions: u64,
+    /// CTAs completed.
+    pub ctas: u64,
+    /// Issue-stall breakdown.
+    pub stalls: StallStats,
+    /// Memory statistics.
+    pub mem: MemStats,
+    /// Resilience statistics.
+    pub resilience: ResilienceStats,
+}
+
+impl SimStats {
+    /// Warp-instructions per cycle across the GPU.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl AddAssign for SimStats {
+    fn add_assign(&mut self, o: SimStats) {
+        self.cycles = self.cycles.max(o.cycles);
+        self.instructions += o.instructions;
+        self.thread_instructions += o.thread_instructions;
+        self.ctas += o.ctas;
+        self.stalls += o.stalls;
+        self.mem += o.mem;
+        self.resilience += o.resilience;
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cycles: {}  warp-insts: {}  ipc: {:.3}  ctas: {}",
+            self.cycles,
+            self.instructions,
+            self.ipc(),
+            self.ctas
+        )?;
+        writeln!(
+            f,
+            "stalls: no_warp={} scoreboard={} mshr={} barrier={} rbq={} sched={}",
+            self.stalls.no_warp,
+            self.stalls.scoreboard,
+            self.stalls.mshr_full,
+            self.stalls.barrier,
+            self.stalls.rbq_wait,
+            self.stalls.sched_blocked
+        )?;
+        writeln!(
+            f,
+            "mem: l1 {}/{} l2 {}/{} txns={} shared={} conflicts={} atomics={}",
+            self.mem.l1_hits,
+            self.mem.l1_hits + self.mem.l1_misses,
+            self.mem.l2_hits,
+            self.mem.l2_hits + self.mem.l2_misses,
+            self.mem.transactions,
+            self.mem.shared_accesses,
+            self.mem.bank_conflicts,
+            self.mem.atomics
+        )?;
+        write!(
+            f,
+            "resilience: boundaries={} deschedules={} verified={} recoveries={} rollbacks={}",
+            self.resilience.boundaries,
+            self.resilience.deschedules,
+            self.resilience.verifications,
+            self.resilience.recoveries,
+            self.resilience.warps_rolled_back
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = SimStats {
+            cycles: 10,
+            instructions: 100,
+            ..SimStats::default()
+        };
+        let b = SimStats {
+            cycles: 20,
+            instructions: 50,
+            ..SimStats::default()
+        };
+        a += b;
+        assert_eq!(a.cycles, 20); // max, SMs run in lockstep
+        assert_eq!(a.instructions, 150);
+    }
+
+    #[test]
+    fn stall_total_sums_all_causes() {
+        let s = StallStats {
+            no_warp: 1,
+            scoreboard: 2,
+            mshr_full: 3,
+            barrier: 4,
+            rbq_wait: 5,
+            sched_blocked: 6,
+        };
+        assert_eq!(s.total(), 21);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = SimStats::default();
+        assert!(!format!("{s}").is_empty());
+    }
+}

@@ -1,0 +1,454 @@
+//! Warp execution state: the SIMT reconvergence stack, per-warp status and
+//! recovery snapshots.
+
+use std::fmt;
+
+/// Number of threads per warp.
+pub const WARP_SIZE: usize = 32;
+
+/// Full lane mask (all 32 lanes active).
+pub const FULL_MASK: u32 = u32::MAX;
+
+/// One entry of the SIMT reconvergence stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimtEntry {
+    /// Next PC to execute for the lanes in `mask`.
+    pub pc: u32,
+    /// Reconvergence PC: when `pc` reaches this value the entry is popped.
+    /// `None` means the lanes only reconverge at thread exit.
+    pub rpc: Option<u32>,
+    /// Lanes governed by this entry.
+    pub mask: u32,
+}
+
+/// The SIMT stack of a warp, in the style of per-warp reconvergence stacks
+/// in hardware SIMT pipelines: the top entry describes the currently
+/// executing lanes, deeper entries are deferred branch paths and
+/// reconvergence points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimtStack {
+    entries: Vec<SimtEntry>,
+    /// Lanes that have executed `Exit`.
+    exited: u32,
+}
+
+impl SimtStack {
+    /// A fresh stack starting at `entry_pc` with the given initially active
+    /// lanes (partial last warps of a CTA have fewer than 32).
+    pub fn new(entry_pc: u32, active: u32) -> SimtStack {
+        SimtStack {
+            entries: vec![SimtEntry {
+                pc: entry_pc,
+                rpc: None,
+                mask: active,
+            }],
+            exited: !active,
+        }
+    }
+
+    /// Current PC, or `None` if the warp has fully retired.
+    pub fn pc(&self) -> Option<u32> {
+        self.entries.last().map(|e| e.pc)
+    }
+
+    /// Currently active lanes (top mask minus exited lanes).
+    pub fn active_mask(&self) -> u32 {
+        self.entries.last().map_or(0, |e| e.mask & !self.exited)
+    }
+
+    /// Whether every lane has exited.
+    pub fn finished(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current stack depth (for stats/tests).
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Lanes that have executed `Exit` so far.
+    pub fn exited_mask(&self) -> u32 {
+        self.exited
+    }
+
+    fn prune(&mut self) {
+        while let Some(top) = self.entries.last() {
+            if top.mask & !self.exited == 0 {
+                self.entries.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Pops entries that have reached their reconvergence PC or whose
+    /// lanes have all exited.
+    fn settle(&mut self) {
+        loop {
+            let pop = match self.entries.last() {
+                Some(top) => top.rpc == Some(top.pc) || top.mask & !self.exited == 0,
+                None => false,
+            };
+            if pop {
+                self.entries.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Advances the top entry to `next_pc`, popping reconvergence entries
+    /// whose RPC has been reached.
+    pub fn advance(&mut self, next_pc: u32) {
+        if let Some(top) = self.entries.last_mut() {
+            top.pc = next_pc;
+        }
+        self.settle();
+    }
+
+    /// Executes a (possibly divergent) branch.
+    ///
+    /// * `taken` — lanes (subset of the active mask) taking the branch.
+    /// * `target` — branch target PC.
+    /// * `fallthrough` — PC of the next sequential instruction.
+    /// * `reconv` — reconvergence PC for divergent control flow (the
+    ///   branch block's immediate post-dominator), if any.
+    pub fn branch(&mut self, taken: u32, target: u32, fallthrough: u32, reconv: Option<u32>) {
+        let active = self.active_mask();
+        let taken = taken & active;
+        let not_taken = active & !taken;
+        if taken == active {
+            self.advance(target);
+        } else if taken == 0 {
+            self.advance(fallthrough);
+        } else {
+            // Divergence: the current top becomes the reconvergence entry.
+            let rpc = reconv;
+            {
+                let top = self.entries.last_mut().expect("active warp has a top");
+                match rpc {
+                    Some(r) => top.pc = r,
+                    // No reconvergence point: drop the entry; both paths
+                    // run to exit independently.
+                    None => {
+                        let full = *top;
+                        self.entries.pop();
+                        // Re-push both paths with the original entry's rpc.
+                        self.entries.push(SimtEntry {
+                            pc: fallthrough,
+                            rpc: full.rpc,
+                            mask: not_taken,
+                        });
+                        self.entries.push(SimtEntry {
+                            pc: target,
+                            rpc: full.rpc,
+                            mask: taken,
+                        });
+                        self.settle();
+                        return;
+                    }
+                }
+            }
+            self.entries.push(SimtEntry {
+                pc: fallthrough,
+                rpc,
+                mask: not_taken,
+            });
+            self.entries.push(SimtEntry {
+                pc: target,
+                rpc,
+                mask: taken,
+            });
+            // An empty taken path (target == reconvergence point) must
+            // pop immediately, or its lanes would run past reconvergence
+            // at partial mask.
+            self.settle();
+        }
+    }
+
+    /// Marks the given lanes as exited and pops drained entries.
+    pub fn exit_lanes(&mut self, lanes: u32) {
+        self.exited |= lanes;
+        self.prune();
+    }
+
+    /// Captures the stack for later restoration (idempotent recovery).
+    pub fn snapshot(&self) -> SimtSnapshot {
+        SimtSnapshot {
+            entries: self.entries.clone(),
+            exited: self.exited,
+        }
+    }
+
+    /// Restores a snapshot taken by [`SimtStack::snapshot`].
+    pub fn restore(&mut self, snap: &SimtSnapshot) {
+        self.entries = snap.entries.clone();
+        self.exited = snap.exited;
+    }
+}
+
+/// A saved SIMT stack, the control-flow part of a [`RecoveryPoint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimtSnapshot {
+    entries: Vec<SimtEntry>,
+    exited: u32,
+}
+
+impl SimtSnapshot {
+    /// The PC the snapshot resumes at.
+    pub fn pc(&self) -> Option<u32> {
+        self.entries.last().map(|e| e.pc)
+    }
+}
+
+/// A register restore performed during rollback: reset `reg` in every
+/// lane to its checkpointed value. Used by the live-out register
+/// checkpointing recovery scheme; the renaming scheme never needs
+/// restores.
+///
+/// The values are those the register held at the warp's recovery
+/// boundary. A memory-based implementation (Penny) keeps them in
+/// double-buffered checkpoint slots so that in-flight checkpoint stores
+/// of the *next* region cannot clobber the recovery data ("checkpoint
+/// coloring"); capturing them in the recovery point is the functionally
+/// equivalent model (the checkpoint store instructions still execute and
+/// pay their cost — only the rollback data source differs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegRestore {
+    /// Register to restore.
+    pub reg: crate::isa::Reg,
+    /// Checkpointed value per lane.
+    pub lanes: Vec<Value>,
+}
+
+use crate::regfile::Value;
+
+/// Everything needed to restart a warp at its most recent verified
+/// idempotent region boundary.
+///
+/// The paper's recovery PC table (RPT) stores a recovery *PC* per warp; on
+/// a machine with SIMT divergence the architectural analogue must also
+/// capture the reconvergence stack and the warp's barrier phase, which is
+/// what this type does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryPoint {
+    /// Control-flow state at the region boundary.
+    pub stack: SimtSnapshot,
+    /// Number of barriers the warp had passed at the boundary.
+    pub barrier_phase: u64,
+    /// Checkpointed registers to restore before re-execution (empty under
+    /// register renaming).
+    pub restores: Vec<RegRestore>,
+}
+
+/// Scheduling status of a warp slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarpState {
+    /// Eligible for issue (subject to scoreboard and structural hazards).
+    Ready,
+    /// Blocked at a CTA barrier.
+    AtBarrier,
+    /// Descheduled into the region boundary queue, waiting for soft error
+    /// verification (Flame's WCDL-aware scheduling).
+    InRbq,
+    /// All lanes exited.
+    Finished,
+}
+
+impl fmt::Display for WarpState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WarpState::Ready => "ready",
+            WarpState::AtBarrier => "at-barrier",
+            WarpState::InRbq => "in-rbq",
+            WarpState::Finished => "finished",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-warp execution state held by an SM warp slot.
+#[derive(Debug, Clone)]
+pub struct Warp {
+    /// SIMT reconvergence stack.
+    pub stack: SimtStack,
+    /// Scheduling status.
+    pub state: WarpState,
+    /// Resident-CTA slot this warp belongs to.
+    pub cta_slot: usize,
+    /// Index of the warp within its CTA.
+    pub warp_in_cta: usize,
+    /// Cycle the warp was launched (age for GTO/OLD scheduling).
+    pub launch_cycle: u64,
+    /// Number of barriers passed (see `CtaState` phase tracking).
+    pub barrier_phase: u64,
+    /// First thread id (linear within the CTA) of lane 0.
+    pub base_thread: usize,
+}
+
+impl Warp {
+    /// Creates a warp at `entry_pc` with `active` initial lanes.
+    pub fn new(
+        entry_pc: u32,
+        active: u32,
+        cta_slot: usize,
+        warp_in_cta: usize,
+        launch_cycle: u64,
+    ) -> Warp {
+        Warp {
+            stack: SimtStack::new(entry_pc, active),
+            state: WarpState::Ready,
+            cta_slot,
+            warp_in_cta,
+            launch_cycle,
+            barrier_phase: 0,
+            base_thread: warp_in_cta * WARP_SIZE,
+        }
+    }
+
+    /// Captures the warp's recovery point (resuming at the current PC).
+    pub fn recovery_point(&self) -> RecoveryPoint {
+        RecoveryPoint {
+            stack: self.stack.snapshot(),
+            barrier_phase: self.barrier_phase,
+            restores: Vec::new(),
+        }
+    }
+
+    /// Rolls the warp back to `point` (idempotent re-execution).
+    pub fn rollback(&mut self, point: &RecoveryPoint) {
+        self.stack.restore(&point.stack);
+        self.barrier_phase = point.barrier_phase;
+        self.state = if self.stack.finished() {
+            WarpState::Finished
+        } else {
+            WarpState::Ready
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_stack_state() {
+        let s = SimtStack::new(0, FULL_MASK);
+        assert_eq!(s.pc(), Some(0));
+        assert_eq!(s.active_mask(), FULL_MASK);
+        assert!(!s.finished());
+        assert_eq!(s.depth(), 1);
+    }
+
+    #[test]
+    fn partial_warp_masks_inactive_lanes() {
+        let s = SimtStack::new(0, 0xFF);
+        assert_eq!(s.active_mask(), 0xFF);
+    }
+
+    #[test]
+    fn uniform_branches_do_not_push() {
+        let mut s = SimtStack::new(0, FULL_MASK);
+        s.branch(FULL_MASK, 10, 1, Some(20));
+        assert_eq!(s.pc(), Some(10));
+        assert_eq!(s.depth(), 1);
+        s.branch(0, 30, 11, Some(20));
+        assert_eq!(s.pc(), Some(11));
+        assert_eq!(s.depth(), 1);
+    }
+
+    #[test]
+    fn divergence_and_reconvergence() {
+        let mut s = SimtStack::new(5, FULL_MASK);
+        // Half the lanes take the branch to 10; reconverge at 20.
+        s.branch(0xFFFF, 10, 6, Some(20));
+        assert_eq!(s.pc(), Some(10));
+        assert_eq!(s.active_mask(), 0xFFFF);
+        assert_eq!(s.depth(), 3);
+        // Taken path runs 10..20.
+        for pc in 11..=20 {
+            s.advance(pc);
+        }
+        // Reached RPC: popped to the fall-through path.
+        assert_eq!(s.pc(), Some(6));
+        assert_eq!(s.active_mask(), 0xFFFF_0000);
+        for pc in 7..=20 {
+            s.advance(pc);
+        }
+        // Both paths done: reconvergence entry with the full mask at 20.
+        assert_eq!(s.pc(), Some(20));
+        assert_eq!(s.active_mask(), FULL_MASK);
+        assert_eq!(s.depth(), 1);
+    }
+
+    #[test]
+    fn exit_drains_lanes_and_entries() {
+        let mut s = SimtStack::new(0, FULL_MASK);
+        s.branch(0x1, 10, 1, Some(50));
+        // Taken lane exits at pc 10.
+        assert_eq!(s.active_mask(), 0x1);
+        s.exit_lanes(0x1);
+        // Popped to the not-taken path.
+        assert_eq!(s.active_mask(), !0x1);
+        assert_eq!(s.pc(), Some(1));
+        s.exit_lanes(!0x1);
+        assert!(s.finished());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut s = SimtStack::new(0, FULL_MASK);
+        s.branch(0xF0F0, 8, 1, Some(40));
+        let snap = s.snapshot();
+        let before = s.clone();
+        s.advance(9);
+        s.exit_lanes(0x00F0);
+        s.restore(&snap);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn nested_divergence() {
+        let mut s = SimtStack::new(0, FULL_MASK);
+        s.branch(0xFFFF, 10, 1, Some(100));
+        // On the taken path, diverge again.
+        s.branch(0xFF, 20, 11, Some(50));
+        assert_eq!(s.pc(), Some(20));
+        assert_eq!(s.active_mask(), 0xFF);
+        assert_eq!(s.depth(), 5);
+        // Inner taken path reaches inner rpc 50.
+        s.advance(50);
+        assert_eq!(s.pc(), Some(11));
+        assert_eq!(s.active_mask(), 0xFF00);
+        s.advance(50);
+        // Inner reconvergence entry: mask 0xFFFF at 50.
+        assert_eq!(s.active_mask(), 0xFFFF);
+        s.advance(100);
+        // Outer: fall-through path picks up.
+        assert_eq!(s.pc(), Some(1));
+        assert_eq!(s.active_mask(), 0xFFFF_0000);
+    }
+
+    #[test]
+    fn warp_rollback_restores_control_flow() {
+        let mut w = Warp::new(0, FULL_MASK, 0, 2, 7);
+        let point = w.recovery_point();
+        w.stack.advance(14);
+        w.barrier_phase = 3;
+        w.state = WarpState::AtBarrier;
+        w.rollback(&point);
+        assert_eq!(w.stack.pc(), Some(0));
+        assert_eq!(w.barrier_phase, 0);
+        assert_eq!(w.state, WarpState::Ready);
+        assert_eq!(w.base_thread, 64);
+    }
+
+    #[test]
+    fn rollback_of_finished_snapshot_stays_finished() {
+        let mut w = Warp::new(0, 0x1, 0, 0, 0);
+        w.stack.exit_lanes(0x1);
+        let point = w.recovery_point();
+        w.rollback(&point);
+        assert_eq!(w.state, WarpState::Finished);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests of the SIMT reconvergence stack: under arbitrary
+//! branch/advance/exit sequences the stack preserves its core invariants,
+//! and snapshots restore exactly.
+
+use gpu_sim::warp::{SimtStack, FULL_MASK};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Advance,
+    Branch { taken: u32, target: u32 },
+    ExitSome(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::Advance),
+        2 => (any::<u32>(), 0u32..100).prop_map(|(taken, target)| Op::Branch { taken, target }),
+        1 => any::<u32>().prop_map(Op::ExitSome),
+    ]
+}
+
+fn apply(s: &mut SimtStack, op: &Op) {
+    let Some(pc) = s.pc() else { return };
+    match op {
+        Op::Advance => s.advance(pc + 1),
+        Op::Branch { taken, target } => {
+            // Reconverge a little past the farther of the two paths.
+            let reconv = Some(pc.max(*target) + 3);
+            s.branch(*taken, *target, pc + 1, reconv);
+        }
+        Op::ExitSome(lanes) => s.exit_lanes(lanes & s.active_mask()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The active mask is never empty while the stack is alive, masks on
+    /// the stack partition-or-nest sanely, and total liveness only
+    /// shrinks.
+    #[test]
+    fn stack_invariants(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut s = SimtStack::new(0, FULL_MASK);
+        let mut last_live = u32::MAX.count_ones();
+        for op in &ops {
+            apply(&mut s, op);
+            if s.finished() {
+                break;
+            }
+            let active = s.active_mask();
+            prop_assert!(active != 0, "live stack with empty active mask");
+            prop_assert_eq!(active & s.exited_mask(), 0, "exited lanes active");
+            let live = (!s.exited_mask()).count_ones();
+            prop_assert!(live <= last_live, "lanes resurrected");
+            last_live = live;
+        }
+    }
+
+    /// Snapshot/restore is an exact round trip at any point.
+    #[test]
+    fn snapshot_roundtrip(ops in proptest::collection::vec(op_strategy(), 1..40),
+                          cut in 0usize..40) {
+        let mut s = SimtStack::new(0, FULL_MASK);
+        for op in ops.iter().take(cut.min(ops.len())) {
+            apply(&mut s, op);
+            if s.finished() {
+                return Ok(());
+            }
+        }
+        let snap = s.snapshot();
+        let saved = s.clone();
+        for op in ops.iter().skip(cut.min(ops.len())) {
+            apply(&mut s, op);
+            if s.finished() {
+                break;
+            }
+        }
+        s.restore(&snap);
+        prop_assert_eq!(s, saved);
+    }
+
+    /// Exiting every lane always finishes the warp, whatever state the
+    /// stack is in.
+    #[test]
+    fn exit_all_finishes(ops in proptest::collection::vec(op_strategy(), 0..40)) {
+        let mut s = SimtStack::new(0, FULL_MASK);
+        for op in &ops {
+            apply(&mut s, op);
+            if s.finished() {
+                break;
+            }
+        }
+        while !s.finished() {
+            let m = s.active_mask();
+            prop_assert!(m != 0);
+            s.exit_lanes(m);
+        }
+        prop_assert_eq!(s.active_mask(), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # flame-sensors — acoustic sensing and fault injection
+//!
+//! The detection half of the Flame co-design (*Featherweight Soft Error
+//! Resilience for GPUs*, MICRO 2022): an analytic model of acoustic
+//! particle-strike sensors ([`mesh`]) that converts a sensor deployment
+//! into a worst-case detection latency (WCDL), plus the fault model and
+//! deterministic strike injector ([`fault`]) used by the end-to-end
+//! recovery experiments.
+//!
+//! ```
+//! use flame_sensors::mesh::{sensors_for_wcdl, SensorMesh};
+//! use gpu_sim::config::GpuConfig;
+//!
+//! let g = GpuConfig::gtx480();
+//! // The paper's default deployment: 200 sensors/SM -> 20-cycle WCDL.
+//! let mesh = SensorMesh::new(200, g.sm_area_mm2);
+//! assert_eq!(mesh.wcdl_cycles(g.core_clock_mhz), 20);
+//! assert_eq!(sensors_for_wcdl(g.sm_area_mm2, g.core_clock_mhz, 20), 200);
+//! assert!(mesh.area_overhead() < 0.001); // < 0.1 %
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fault;
+pub mod mesh;
+
+pub use fault::{FaultRates, Strike, StrikeGenerator, StrikeTarget};
+pub use mesh::{sensors_for_wcdl, SensorMesh};

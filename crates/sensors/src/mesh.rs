@@ -1,0 +1,156 @@
+//! The acoustic sensor mesh geometry model (paper §II-A, §VI-A1).
+//!
+//! A particle strike produces a sound wave travelling through silicon at
+//! ~10 km/s (10 µm/ns). Deploying `n` sensors in a square mesh over an SM
+//! of area `A` gives a mesh pitch of `sqrt(A / n)`; in the worst case the
+//! wave must travel one full pitch to reach the nearest sensor, which
+//! bounds the detection time and hence the worst-case detection latency
+//! (WCDL) in core cycles. This is the same analytic model the paper uses
+//! (after Upasani et al.) to produce its Figure 12 and Table II.
+
+/// Speed of the strike-induced acoustic wave in silicon, in µm/ns.
+pub const WAVE_SPEED_UM_PER_NS: f64 = 10.0;
+
+/// Area of a single acoustic sensor in µm² (cantilever beam structure).
+pub const SENSOR_AREA_UM2: f64 = 1.0;
+
+/// A mesh of acoustic sensors covering one SM's pipeline logic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorMesh {
+    /// Number of sensors deployed on the SM.
+    pub sensors: u32,
+    /// SM logic area covered, in mm².
+    pub sm_area_mm2: f64,
+}
+
+impl SensorMesh {
+    /// Creates a mesh of `sensors` sensors over `sm_area_mm2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sensors` is zero or the area is not positive.
+    pub fn new(sensors: u32, sm_area_mm2: f64) -> SensorMesh {
+        assert!(sensors > 0, "a mesh needs at least one sensor");
+        assert!(sm_area_mm2 > 0.0, "SM area must be positive");
+        SensorMesh {
+            sensors,
+            sm_area_mm2,
+        }
+    }
+
+    /// Mesh pitch: the worst-case distance (µm) a wave travels before
+    /// reaching the nearest sensor.
+    pub fn worst_distance_um(&self) -> f64 {
+        let area_um2 = self.sm_area_mm2 * 1e6;
+        (area_um2 / f64::from(self.sensors)).sqrt()
+    }
+
+    /// Worst-case detection latency in nanoseconds.
+    pub fn wcdl_ns(&self) -> f64 {
+        self.worst_distance_um() / WAVE_SPEED_UM_PER_NS
+    }
+
+    /// Worst-case detection latency in core cycles at `clock_mhz`.
+    pub fn wcdl_cycles(&self, clock_mhz: u32) -> u32 {
+        let cycle_ns = 1000.0 / f64::from(clock_mhz);
+        (self.wcdl_ns() / cycle_ns).ceil().max(1.0) as u32
+    }
+
+    /// Fraction of the SM area taken by the sensors themselves.
+    pub fn area_overhead(&self) -> f64 {
+        f64::from(self.sensors) * SENSOR_AREA_UM2 / (self.sm_area_mm2 * 1e6)
+    }
+}
+
+/// Minimum number of sensors per SM needed to reach `target_cycles` of
+/// WCDL on an SM of `sm_area_mm2` clocked at `clock_mhz` (the paper's
+/// Table II inverse computation).
+pub fn sensors_for_wcdl(sm_area_mm2: f64, clock_mhz: u32, target_cycles: u32) -> u32 {
+    assert!(target_cycles > 0 && sm_area_mm2 > 0.0);
+    // Max distance coverable within the target time.
+    let t_ns = f64::from(target_cycles) * 1000.0 / f64::from(clock_mhz);
+    let d_um = t_ns * WAVE_SPEED_UM_PER_NS;
+    let area_um2 = sm_area_mm2 * 1e6;
+    (area_um2 / (d_um * d_um)).ceil().max(1.0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::config::GpuConfig;
+
+    #[test]
+    fn paper_default_200_sensors_give_20_cycles_on_gtx480() {
+        let g = GpuConfig::gtx480();
+        let mesh = SensorMesh::new(200, g.sm_area_mm2);
+        assert_eq!(mesh.wcdl_cycles(g.core_clock_mhz), 20);
+    }
+
+    #[test]
+    fn table2_sensor_counts_reproduced() {
+        // Paper Table II: sensors per SM for 20-cycle WCDL.
+        let cases = [
+            (GpuConfig::gtx480(), 200),
+            (GpuConfig::rtx2060(), 248),
+            (GpuConfig::gv100(), 128),
+            (GpuConfig::titan_x(), 260),
+        ];
+        for (cfg, expect) in cases {
+            let n = sensors_for_wcdl(cfg.sm_area_mm2, cfg.core_clock_mhz, 20);
+            assert_eq!(n, expect, "{}", cfg.name);
+            // And that count indeed achieves 20 cycles.
+            let mesh = SensorMesh::new(n, cfg.sm_area_mm2);
+            assert_eq!(mesh.wcdl_cycles(cfg.core_clock_mhz), 20, "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn more_sensors_shorter_wcdl() {
+        let g = GpuConfig::gtx480();
+        let mut prev = u32::MAX;
+        for n in [50u32, 100, 150, 200, 250, 300] {
+            let w = SensorMesh::new(n, g.sm_area_mm2).wcdl_cycles(g.core_clock_mhz);
+            assert!(w <= prev, "WCDL must not increase with sensors");
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn figure12_range_covers_50_to_15_cycles() {
+        // Paper §VI-A1: 50–300 sensors give roughly 50–15 cycles of WCDL
+        // on the GTX480.
+        let g = GpuConfig::gtx480();
+        let w50 = SensorMesh::new(50, g.sm_area_mm2).wcdl_cycles(g.core_clock_mhz);
+        let w300 = SensorMesh::new(300, g.sm_area_mm2).wcdl_cycles(g.core_clock_mhz);
+        assert!((35..=55).contains(&w50), "w50 = {w50}");
+        assert!((13..=20).contains(&w300), "w300 = {w300}");
+    }
+
+    #[test]
+    fn area_overhead_below_paper_bound() {
+        // Paper: < 0.1 % area overhead for the default deployment.
+        for cfg in GpuConfig::paper_architectures() {
+            let n = sensors_for_wcdl(cfg.sm_area_mm2, cfg.core_clock_mhz, 20);
+            let mesh = SensorMesh::new(n, cfg.sm_area_mm2);
+            assert!(mesh.area_overhead() < 0.001, "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn wcdl_at_least_one_cycle() {
+        let mesh = SensorMesh::new(1_000_000, 0.001);
+        assert!(mesh.wcdl_cycles(700) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sensor")]
+    fn zero_sensors_panics() {
+        let _ = SensorMesh::new(0, 1.0);
+    }
+
+    #[test]
+    fn physical_anchor_5mm_in_500ns() {
+        // §II-A: a single sensor detects a strike 5 mm away within 500 ns.
+        assert_eq!(5000.0 / WAVE_SPEED_UM_PER_NS, 500.0);
+    }
+}

@@ -1,0 +1,32 @@
+use flame_core::experiment::{run_scheme, ExperimentConfig, normalized_time};
+use flame_core::scheme::Scheme;
+
+fn main() {
+    let cfg = ExperimentConfig { max_cycles: 100_000_000, ..Default::default() };
+    let schemes = [
+        Scheme::SensorRenaming,
+        Scheme::SensorCheckpointing,
+        Scheme::Renaming,
+        Scheme::Checkpointing,
+        Scheme::DuplicationRenaming,
+        Scheme::HybridRenaming,
+        Scheme::NaiveSensorRenaming,
+    ];
+    println!("{:12} {}", "app", schemes.iter().map(|s| format!("{:>10}", &s.name()[..8.min(s.name().len())])).collect::<Vec<_>>().join(" "));
+    let mut sums = vec![0.0; schemes.len()];
+    let mut count = 0;
+    for w in flame_workloads::all() {
+        let base = run_scheme(&w, Scheme::Baseline, &cfg).unwrap();
+        assert!(base.output_ok, "{} baseline", w.abbr);
+        let mut row = format!("{:12}", w.abbr);
+        for (i, s) in schemes.iter().enumerate() {
+            let t = normalized_time(&w, *s, &cfg).unwrap();
+            sums[i] += t.ln();
+            row += &format!(" {:>9.4}", t);
+        }
+        count += 1;
+        println!("{row}  (base {} cyc)", base.stats.cycles);
+    }
+    let geo: Vec<String> = sums.iter().map(|s| format!(" {:>9.4}", (s / count as f64).exp())).collect();
+    println!("{:12}{}", "GEOMEAN", geo.join(""));
+}

@@ -1,0 +1,236 @@
+//! ALTIS workloads (paper Table I): Stencil and TPACF.
+
+use crate::common::*;
+use flame_core::experiment::WorkloadSpec;
+use gpu_sim::builder::KernelBuilder;
+use gpu_sim::isa::{AtomOp, Cmp, MemSpace, Special};
+use gpu_sim::sm::LaunchDims;
+use std::sync::Arc;
+
+/// Plane size of the 3-D stencil (x and y).
+pub const STENCIL_XY: u64 = 192;
+/// Depth of the 3-D stencil.
+pub const STENCIL_Z: u64 = 8;
+
+/// 3-D 7-point stencil: each thread sweeps a z-column, writing one output
+/// per plane from the six neighbours and the centre.
+///
+/// Structure: a store in the innermost loop plus loop-carried registers —
+/// the checkpointing scheme's worst case in the paper (40.8 % for
+/// Stencil): every iteration's region must checkpoint the column state.
+pub fn stencil() -> WorkloadSpec {
+    let nxy = STENCIL_XY;
+    let nz = STENCIL_Z;
+    let plane = nxy * nxy;
+    let (c0, c1) = (0.5f32, 0.1f32);
+    let mut b = KernelBuilder::new("stencil");
+    let tx = b.special(Special::TidX);
+    let ty = b.special(Special::TidY);
+    let bx = b.special(Special::CtaIdX);
+    let by = b.special(Special::CtaIdY);
+    let x = b.imad(bx, 16i64, tx);
+    let y = b.imad(by, 16i64, ty);
+    let xm = b.isub(x, 1);
+    let xm = b.imax(xm, 0i64);
+    let xp = b.iadd(x, 1);
+    let xp = b.imin(xp, (nxy - 1) as i64);
+    let ym = b.isub(y, 1);
+    let ym = b.imax(ym, 0i64);
+    let yp = b.iadd(y, 1);
+    let yp = b.imin(yp, (nxy - 1) as i64);
+    let row = b.imad(y, nxy as i64, x);
+    let row_w = b.imad(y, nxy as i64, xm);
+    let row_e = b.imad(y, nxy as i64, xp);
+    let row_n = b.imad(ym, nxy as i64, x);
+    let row_s = b.imad(yp, nxy as i64, x);
+    let z = b.mov(0i64);
+    b.label("zloop");
+    let zoff = b.imul(z, plane as i64);
+    let ic = b.iadd(zoff, row);
+    let vc = ldg(&mut b, 0, ic);
+    let iw = b.iadd(zoff, row_w);
+    let vw = ldg(&mut b, 0, iw);
+    let ie = b.iadd(zoff, row_e);
+    let ve = ldg(&mut b, 0, ie);
+    let inn = b.iadd(zoff, row_n);
+    let vn = ldg(&mut b, 0, inn);
+    let is = b.iadd(zoff, row_s);
+    let vs = ldg(&mut b, 0, is);
+    // z neighbours clamped.
+    let zm = b.isub(z, 1);
+    let zm = b.imax(zm, 0i64);
+    let zp = b.iadd(z, 1);
+    let zp = b.imin(zp, (nz - 1) as i64);
+    let izm = b.imad(zm, plane as i64, row);
+    let vzm = ldg(&mut b, 0, izm);
+    let izp = b.imad(zp, plane as i64, row);
+    let vzp = ldg(&mut b, 0, izp);
+    let s1 = b.fadd(vw, ve);
+    let s2 = b.fadd(vn, vs);
+    let s3 = b.fadd(vzm, vzp);
+    let s12 = b.fadd(s1, s2);
+    let nsum = b.fadd(s12, s3);
+    let centre = b.fmul(vc, fimm(c0));
+    let out = b.ffma(nsum, fimm(c1), centre);
+    stg(&mut b, 1, ic, out);
+    let z1 = b.iadd(z, 1);
+    b.mov_to(z, z1);
+    let p = b.setp(Cmp::Lt, z, nz as i64);
+    b.bra_if(p, true, "zloop");
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "3-D Stencil Operation",
+        abbr: "Stencil",
+        suite: "ALTIS",
+        kernel,
+        dims: LaunchDims {
+            grid: ((nxy / 16) as u32, (nxy / 16) as u32),
+            block: (16, 16),
+        },
+        init: Arc::new(move |m| {
+            for i in 0..plane * nz {
+                m.write_f32(elem(0, i), seed_f32(i));
+            }
+        }),
+        check: Arc::new(move |m| {
+            let at = |x: i64, y: i64, z: i64| {
+                let x = x.clamp(0, nxy as i64 - 1) as u64;
+                let y = y.clamp(0, nxy as i64 - 1) as u64;
+                let z = z.clamp(0, nz as i64 - 1) as u64;
+                seed_f32(z * plane + y * nxy + x)
+            };
+            for z in 0..nz as i64 {
+                for y in 0..nxy as i64 {
+                    for x in 0..nxy as i64 {
+                        let nsum = ((at(x - 1, y, z) + at(x + 1, y, z))
+                            + (at(x, y - 1, z) + at(x, y + 1, z)))
+                            + (at(x, y, z - 1) + at(x, y, z + 1));
+                        let out = nsum.mul_add(0.1, at(x, y, z) * 0.5);
+                        let idx = z as u64 * plane + y as u64 * nxy + x as u64;
+                        if m.read_f32(elem(1, idx)) != out {
+                            return false;
+                        }
+                    }
+                }
+            }
+            true
+        }),
+    }
+}
+
+/// Points in the TPACF workload.
+pub const TPACF_POINTS: u64 = 16384;
+/// Pairs examined per thread.
+pub const TPACF_PAIRS: u64 = 8;
+const TPACF_BINS: u64 = 32;
+
+/// Two-point angular correlation: per-thread loop over point pairs,
+/// dot-product similarity binned into a shared histogram via atomics.
+///
+/// Structure: floating-point compute feeding data-dependent shared
+/// atomics, merged with global atomics.
+pub fn tpacf() -> WorkloadSpec {
+    let n = TPACF_POINTS;
+    let block = 128u64;
+    let mut b = KernelBuilder::new("tpacf");
+    let sh = b.alloc_shared((TPACF_BINS * 8) as u32);
+    let tid = b.special(Special::TidX);
+    let gid = global_tid(&mut b);
+    let pz = b.setp(Cmp::Lt, tid, TPACF_BINS as i64);
+    b.bra_if(pz, false, "zeroed");
+    let zo = saddr(&mut b, tid);
+    b.st_arr(MemSpace::Shared, 59, zo, 0i64, sh);
+    b.label("zeroed");
+    b.barrier();
+    // This thread's unit vector (x, y, z in three arrays).
+    let ax = ldg(&mut b, 0, gid);
+    let ay = ldg(&mut b, 1, gid);
+    let az = ldg(&mut b, 2, gid);
+    let k = b.mov(0i64);
+    b.label("pairs");
+    let step = b.iadd(k, 1);
+    let o = b.imad(gid, 7i64, step);
+    let other = b.irem(o, n as i64);
+    let bx = ldg(&mut b, 0, other);
+    let by = ldg(&mut b, 1, other);
+    let bz = ldg(&mut b, 2, other);
+    let d0 = b.fmul(ax, bx);
+    let d1 = b.ffma(ay, by, d0);
+    let dot = b.ffma(az, bz, d1);
+    // bin = clamp(floor((dot + 1) * 16), 0, 31)
+    let shifted = b.fadd(dot, fimm(1.0));
+    let scaled = b.fmul(shifted, fimm(16.0));
+    let bin = b.f2i(scaled);
+    let bin = b.imax(bin, 0i64);
+    let bin = b.imin(bin, (TPACF_BINS - 1) as i64);
+    let boff = saddr(&mut b, bin);
+    let _ = b.atom(MemSpace::Shared, AtomOp::Add, boff, 1i64, sh);
+    let k1 = b.iadd(k, 1);
+    b.mov_to(k, k1);
+    let p = b.setp(Cmp::Lt, k, TPACF_PAIRS as i64);
+    b.bra_if(p, true, "pairs");
+    b.barrier();
+    let pm = b.setp(Cmp::Lt, tid, TPACF_BINS as i64);
+    b.bra_if(pm, false, "merged");
+    let so = saddr(&mut b, tid);
+    let count = b.ld_arr(MemSpace::Shared, 59, so, sh);
+    let _ = atom_add_g(&mut b, 3, tid, count);
+    b.label("merged");
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "Two Point Angular Correlation Function",
+        abbr: "TPACF",
+        suite: "ALTIS",
+        kernel,
+        dims: LaunchDims::linear((n / block) as u32, block as u32),
+        init: Arc::new(move |m| {
+            for i in 0..n {
+                // Unit-ish vectors.
+                let (x, y) = (seed_f32(i) - 0.5, seed_f32(i + n) - 0.5);
+                let z = 1.0 - (x * x + y * y);
+                m.write_f32(elem(0, i), x);
+                m.write_f32(elem(1, i), y);
+                m.write_f32(elem(2, i), z.max(0.0).sqrt());
+            }
+        }),
+        check: Arc::new(move |m| {
+            let coords: Vec<(f32, f32, f32)> = (0..n)
+                .map(|i| {
+                    let (x, y) = (seed_f32(i) - 0.5, seed_f32(i + n) - 0.5);
+                    let z = (1.0 - (x * x + y * y)).max(0.0).sqrt();
+                    (x, y, z)
+                })
+                .collect();
+            let mut hist = vec![0u64; TPACF_BINS as usize];
+            for g in 0..n {
+                let a = coords[g as usize];
+                for k in 0..TPACF_PAIRS {
+                    let other = (g * 7 + (k + 1)) % n;
+                    let b = coords[other as usize];
+                    let dot = a.2.mul_add(b.2, a.1.mul_add(b.1, a.0 * b.0));
+                    let bin = (((dot + 1.0) * 16.0) as i64).clamp(0, TPACF_BINS as i64 - 1);
+                    hist[bin as usize] += 1;
+                }
+            }
+            (0..TPACF_BINS).all(|bin| m.read(elem(3, bin)) == hist[bin as usize])
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::baseline_ok;
+
+    #[test]
+    fn stencil_baseline_correct() {
+        baseline_ok(&stencil());
+    }
+
+    #[test]
+    fn tpacf_baseline_correct() {
+        baseline_ok(&tpacf());
+    }
+}

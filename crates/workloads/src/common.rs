@@ -1,0 +1,139 @@
+//! Shared helpers for authoring the benchmark kernels.
+//!
+//! Conventions used by every workload:
+//!
+//! * device arrays live at fixed 1 MiB-aligned base addresses
+//!   ([`arr_base`]) and each gets its own alias class (the type-based
+//!   aliasing information a real compiler would have);
+//! * all elements are 8-byte words; `f32` values are stored as their bit
+//!   pattern in the low half (matching the ISA's `f32` convention);
+//! * output checks recompute the kernel's result in Rust with the *same*
+//!   `f32` operation order, so comparisons are exact.
+
+use gpu_sim::builder::KernelBuilder;
+use gpu_sim::isa::{AtomOp, MemSpace, Operand, Reg, Special};
+
+/// Byte stride between array bases (16 MiB: larger than any workload's
+/// footprint per array).
+pub const ARR_STRIDE: i64 = 16 << 20;
+
+/// Base byte address of device array `i`.
+pub fn arr_base(i: u16) -> i64 {
+    i64::from(i) * ARR_STRIDE
+}
+
+/// Word (element) address within array `class`: `arr_base(class) + 8 * idx`.
+pub fn elem(class: u16, idx: u64) -> u64 {
+    (arr_base(class) as u64) + 8 * idx
+}
+
+/// Emits `global_tid = ctaid.x * ntid.x + tid.x`.
+pub fn global_tid(b: &mut KernelBuilder) -> Reg {
+    let tid = b.special(Special::TidX);
+    let cta = b.special(Special::CtaIdX);
+    let ntid = b.special(Special::NTidX);
+    b.imad(cta, ntid, tid)
+}
+
+/// Emits the byte address of element `idx_reg` of global array `class`:
+/// `arr_base(class) + idx * 8`.
+pub fn gaddr(b: &mut KernelBuilder, idx: impl Into<Operand>) -> Reg {
+    b.imul(idx, 8)
+}
+
+/// `f32` immediate operand.
+pub fn fimm(v: f32) -> Operand {
+    Operand::fimm(v)
+}
+
+/// Emits the byte address of element `idx` of global array `class`.
+pub fn addr_of(b: &mut KernelBuilder, class: u16, idx: impl Into<Operand>) -> Reg {
+    let off = b.imul(idx, 8);
+    b.iadd(off, arr_base(class))
+}
+
+/// Loads element `idx` of global array `class`.
+pub fn ldg(b: &mut KernelBuilder, class: u16, idx: impl Into<Operand>) -> Reg {
+    let a = addr_of(b, class, idx);
+    b.ld_arr(MemSpace::Global, class, a, 0)
+}
+
+/// Stores `val` to element `idx` of global array `class`.
+pub fn stg(b: &mut KernelBuilder, class: u16, idx: impl Into<Operand>, val: impl Into<Operand>) {
+    let a = addr_of(b, class, idx);
+    b.st_arr(MemSpace::Global, class, a, val, 0);
+}
+
+/// Atomic integer add on element `idx` of global array `class`.
+pub fn atom_add_g(
+    b: &mut KernelBuilder,
+    class: u16,
+    idx: impl Into<Operand>,
+    val: impl Into<Operand>,
+) -> Reg {
+    let a = addr_of(b, class, idx);
+    let old = b.atom(MemSpace::Global, AtomOp::Add, a, val, 0);
+    // Tag the atomic's alias class for the region analysis.
+    old
+}
+
+/// Shared-memory element address: `sh_base + idx * 8`.
+pub fn saddr(b: &mut KernelBuilder, idx: impl Into<Operand>) -> Reg {
+    b.imul(idx, 8)
+}
+
+/// Deterministic pseudo-random `f32` in (0, 1) for input seeding; the
+/// same function is used by kernels' checkers.
+pub fn seed_f32(i: u64) -> f32 {
+    let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31);
+    ((x >> 40) as f32) / (1u64 << 24) as f32 + 1.0e-3
+}
+
+/// Deterministic pseudo-random `u64` for input seeding.
+pub fn seed_u64(i: u64) -> u64 {
+    let mut x = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic small integer in `[0, m)`.
+pub fn seed_mod(i: u64, m: u64) -> u64 {
+    seed_u64(i) % m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_bases_do_not_overlap() {
+        assert_eq!(arr_base(0), 0);
+        assert_eq!(arr_base(1), 16 << 20);
+        assert_eq!(elem(2, 3), (32 << 20) + 24);
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_spread() {
+        assert_eq!(seed_u64(7), seed_u64(7));
+        assert_ne!(seed_u64(7), seed_u64(8));
+        for i in 0..1000 {
+            let f = seed_f32(i);
+            assert!(f > 0.0 && f < 1.1, "seed_f32({i}) = {f}");
+        }
+        for i in 0..100 {
+            assert!(seed_mod(i, 10) < 10);
+        }
+    }
+
+    #[test]
+    fn global_tid_shape() {
+        let mut b = KernelBuilder::new("t");
+        let g = global_tid(&mut b);
+        let a = gaddr(&mut b, g);
+        let _ = a;
+        b.exit();
+        let k = b.finish();
+        assert!(k.len() >= 5);
+    }
+}

@@ -1,0 +1,1074 @@
+//! CUDA SDK / GPGPU-Sim benchmark workloads (paper Table I): NN, LPS,
+//! AES, BO, CS, SP, BS, SQ, WT, Transpose, DWT, SN, Histogram.
+
+use crate::common::*;
+use flame_core::experiment::WorkloadSpec;
+use gpu_sim::builder::KernelBuilder;
+use gpu_sim::isa::{AtomOp, Cmp, MemSpace, Special};
+use gpu_sim::sm::LaunchDims;
+use std::sync::Arc;
+
+/// Neurons in the NN layer.
+pub const NN_NEURONS: u64 = 16384;
+const NN_INPUTS: u64 = 16;
+
+/// Neural-network fully-connected layer with a logistic activation:
+/// `out[j] = 1 / (1 + exp(-Σ_i W[j,i] x[i]))`.
+///
+/// Structure: FMA dot-product loop per thread, SFU-heavy epilogue.
+pub fn nn() -> WorkloadSpec {
+    let (j_n, i_n) = (NN_NEURONS, NN_INPUTS);
+    let mut b = KernelBuilder::new("nn");
+    let gid = global_tid(&mut b);
+    let mut acc = b.fconst(0.0);
+    let wrow = b.imul(gid, i_n as i64);
+    // Fully unrolled dot product: one large idempotent region.
+    for i in 0..i_n as i64 {
+        let wi = b.iadd(wrow, i);
+        let w = ldg(&mut b, 0, wi);
+        let x = ldg(&mut b, 1, i);
+        acc = b.ffma(w, x, acc);
+    }
+    let neg = b.fmul(acc, fimm(-1.0));
+    let e = b.fexp(neg);
+    let den = b.fadd(e, fimm(1.0));
+    let one = b.fconst(1.0);
+    let out = b.fdiv(one, den);
+    stg(&mut b, 2, gid, out);
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "Neural network",
+        abbr: "NN",
+        suite: "cuda",
+        kernel,
+        dims: LaunchDims::linear((j_n / 128) as u32, 128),
+        init: Arc::new(move |m| {
+            for k in 0..j_n * i_n {
+                m.write_f32(elem(0, k), seed_f32(k) - 0.5);
+            }
+            for k in 0..i_n {
+                m.write_f32(elem(1, k), seed_f32(k + 31));
+            }
+        }),
+        check: Arc::new(move |m| {
+            for j in 0..j_n {
+                let mut acc = 0.0f32;
+                for i in 0..i_n {
+                    acc = (seed_f32(j * i_n + i) - 0.5).mul_add(seed_f32(i + 31), acc);
+                }
+                let out = 1.0 / ((acc * -1.0).exp() + 1.0);
+                if m.read_f32(elem(2, j)) != out {
+                    return false;
+                }
+            }
+            true
+        }),
+    }
+}
+
+/// Grid side of the LPS workload.
+pub const LPS_N: u64 = 256;
+
+/// Laplace-equation relaxation step (the SDK's 3D transform reduced to
+/// 2D): `out = 0.25 (N + S + E + W) − b`, edges clamped.
+///
+/// Structure: many short-lived temporaries per point — after register
+/// allocation this is the renaming-pressure workload (paper: LPS is
+/// renaming's worst case at 3.5 %).
+pub fn lps() -> WorkloadSpec {
+    let n = LPS_N;
+    let mut b = KernelBuilder::new("lps");
+    let tx = b.special(Special::TidX);
+    let ty = b.special(Special::TidY);
+    let bx = b.special(Special::CtaIdX);
+    let by = b.special(Special::CtaIdY);
+    let x = b.imad(bx, 16i64, tx);
+    let y = b.imad(by, 16i64, ty);
+    let xm = b.isub(x, 1);
+    let xm = b.imax(xm, 0i64);
+    let xp = b.iadd(x, 1);
+    let xp = b.imin(xp, (n - 1) as i64);
+    let ym = b.isub(y, 1);
+    let ym = b.imax(ym, 0i64);
+    let yp = b.iadd(y, 1);
+    let yp = b.imin(yp, (n - 1) as i64);
+    let iw = b.imad(y, n as i64, xm);
+    let ie = b.imad(y, n as i64, xp);
+    let inn = b.imad(ym, n as i64, x);
+    let is = b.imad(yp, n as i64, x);
+    let ic = b.imad(y, n as i64, x);
+    let vw = ldg(&mut b, 0, iw);
+    let ve = ldg(&mut b, 0, ie);
+    let vn = ldg(&mut b, 0, inn);
+    let vs = ldg(&mut b, 0, is);
+    let bb = ldg(&mut b, 1, ic);
+    let h = b.fadd(vw, ve);
+    let v = b.fadd(vn, vs);
+    let s = b.fadd(h, v);
+    let q = b.fmul(s, fimm(0.25));
+    let r = b.fsub(q, bb);
+    stg(&mut b, 2, ic, r);
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "Laplace transform",
+        abbr: "LPS",
+        suite: "cuda",
+        kernel,
+        dims: LaunchDims {
+            grid: ((n / 16) as u32, (n / 16) as u32),
+            block: (16, 16),
+        },
+        init: Arc::new(move |m| {
+            for k in 0..n * n {
+                m.write_f32(elem(0, k), seed_f32(k));
+                m.write_f32(elem(1, k), seed_f32(k + 999) * 0.1);
+            }
+        }),
+        check: Arc::new(move |m| {
+            let at = |x: i64, y: i64| {
+                let x = x.clamp(0, n as i64 - 1) as u64;
+                let y = y.clamp(0, n as i64 - 1) as u64;
+                seed_f32(y * n + x)
+            };
+            for y in 0..n as i64 {
+                for x in 0..n as i64 {
+                    let s = (at(x - 1, y) + at(x + 1, y)) + (at(x, y - 1) + at(x, y + 1));
+                    let r = s * 0.25 - seed_f32((y as u64 * n + x as u64) + 999) * 0.1;
+                    if m.read_f32(elem(2, y as u64 * n + x as u64)) != r {
+                        return false;
+                    }
+                }
+            }
+            true
+        }),
+    }
+}
+
+/// Blocks encrypted by the AES workload.
+pub const AES_N: u64 = 16384;
+const AES_ROUNDS: u64 = 10;
+
+/// AES-like encryption rounds: table lookups, XORs and rotations.
+///
+/// Structure: data-dependent global loads (uncoalesced table lookups)
+/// inside an integer round loop.
+pub fn aes() -> WorkloadSpec {
+    let n = AES_N;
+    let mut b = KernelBuilder::new("aes");
+    let gid = global_tid(&mut b);
+    let x = ldg(&mut b, 0, gid);
+    let r = b.mov(0i64);
+    b.label("round");
+    let sh = b.irem(r, 8i64);
+    let sh8 = b.imul(sh, 8);
+    let byte = b.shr(x, sh8);
+    let idx = b.and(byte, 0xFFi64);
+    let t = ldg(&mut b, 1, idx);
+    let key = ldg(&mut b, 2, r);
+    let x1 = b.xor(x, t);
+    let x2 = b.xor(x1, key);
+    let hi = b.shl(x2, 13i64);
+    let lo = b.shr(x2, 51i64);
+    let rot = b.or(hi, lo);
+    b.mov_to(x, rot);
+    let r1 = b.iadd(r, 1);
+    b.mov_to(r, r1);
+    let p = b.setp(Cmp::Lt, r, AES_ROUNDS as i64);
+    b.bra_if(p, true, "round");
+    stg(&mut b, 3, gid, x);
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "AES encryption",
+        abbr: "AES",
+        suite: "cuda",
+        kernel,
+        dims: LaunchDims::linear((n / 128) as u32, 128),
+        init: Arc::new(move |m| {
+            for i in 0..n {
+                m.write(elem(0, i), seed_u64(i));
+            }
+            for i in 0..256 {
+                m.write(elem(1, i), seed_u64(i + 70_000));
+            }
+            for i in 0..AES_ROUNDS {
+                m.write(elem(2, i), seed_u64(i + 90_000));
+            }
+        }),
+        check: Arc::new(move |m| {
+            for g in 0..n {
+                let mut x = seed_u64(g);
+                for r in 0..AES_ROUNDS {
+                    let idx = (x >> ((r % 8) * 8)) & 0xFF;
+                    let t = seed_u64(idx + 70_000);
+                    let key = seed_u64(r + 90_000);
+                    let v = (x ^ t) ^ key;
+                    x = (v << 13) | (v >> 51);
+                }
+                if m.read(elem(3, g)) != x {
+                    return false;
+                }
+            }
+            true
+        }),
+    }
+}
+
+/// Options priced by the BO workload.
+pub const BO_N: u64 = 8192;
+const BO_STEPS: i64 = 12;
+
+/// Binomial option pricing: per-thread backward induction over a lattice
+/// kept in (per-thread) local memory.
+///
+/// Structure: local-memory load/store WARs in a doubly nested loop — the
+/// region formation must cut every lattice update.
+pub fn bo() -> WorkloadSpec {
+    let n = BO_N;
+    let (pu, pd, disc) = (0.55f32, 0.45f32, 0.995f32);
+    let mut b = KernelBuilder::new("bo");
+    let lat = b.alloc_local(((BO_STEPS + 1) * 8) as u32);
+    let gid = global_tid(&mut b);
+    let s0 = ldg(&mut b, 0, gid);
+    // v[i] = max(s0 + i*0.1 - 1.0, 0)
+    let i = b.mov(0i64);
+    b.label("init");
+    let fi = b.i2f(i);
+    let step = b.fmul(fi, fimm(0.1));
+    let gain = b.fadd(s0, step);
+    let pay = b.fsub(gain, fimm(1.0));
+    let v = b.fmax(pay, fimm(0.0));
+    let off = b.imul(i, 8);
+    b.st_arr(MemSpace::Local, 60, off, v, lat);
+    let i1 = b.iadd(i, 1);
+    b.mov_to(i, i1);
+    let p = b.setp(Cmp::Le, i, BO_STEPS);
+    b.bra_if(p, true, "init");
+    // Backward induction.
+    let t = b.mov(BO_STEPS);
+    b.label("time");
+    let j = b.mov(0i64);
+    b.label("node");
+    let off_j = b.imul(j, 8);
+    let vj = b.ld_arr(MemSpace::Local, 60, off_j, lat);
+    let vj1 = b.ld_arr(MemSpace::Local, 60, off_j, lat + 8);
+    let up = b.fmul(vj1, fimm(pu));
+    let both = b.ffma(vj, fimm(pd), up);
+    let nv = b.fmul(both, fimm(disc));
+    b.st_arr(MemSpace::Local, 60, off_j, nv, lat);
+    let j1 = b.iadd(j, 1);
+    b.mov_to(j, j1);
+    let pj = b.setp(Cmp::Lt, j, t);
+    b.bra_if(pj, true, "node");
+    let t1 = b.isub(t, 1);
+    b.mov_to(t, t1);
+    let pt = b.setp(Cmp::Gt, t, 0i64);
+    b.bra_if(pt, true, "time");
+    let res = b.ld_arr(MemSpace::Local, 60, 0i64, lat);
+    stg(&mut b, 1, gid, res);
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "binomialOptions",
+        abbr: "BO",
+        suite: "cuda",
+        kernel,
+        dims: LaunchDims::linear((n / 64) as u32, 64),
+        init: Arc::new(move |m| {
+            for i in 0..n {
+                m.write_f32(elem(0, i), seed_f32(i) + 0.5);
+            }
+        }),
+        check: Arc::new(move |m| {
+            for g in 0..n {
+                let s0 = seed_f32(g) + 0.5;
+                let mut v: Vec<f32> = (0..=BO_STEPS)
+                    .map(|i| ((s0 + i as f32 * 0.1) - 1.0).max(0.0))
+                    .collect();
+                for t in (1..=BO_STEPS).rev() {
+                    for j in 0..t as usize {
+                        v[j] = v[j].mul_add(0.45, v[j + 1] * 0.55) * 0.995;
+                    }
+                }
+                if m.read_f32(elem(1, g)) != v[0] {
+                    return false;
+                }
+            }
+            true
+        }),
+    }
+}
+
+/// Output elements of the CS workload.
+pub const CS_N: u64 = 32768;
+const CS_R: i64 = 8;
+
+/// Separable convolution (row pass) with a shared-memory tile + halo.
+///
+/// Structure: shared staging with one barrier, wide FMA reduction — but
+/// the epilogue's global store keeps the §III-E optimization away.
+pub fn cs() -> WorkloadSpec {
+    let n = CS_N;
+    let pad = CS_R as u64;
+    let mut b = KernelBuilder::new("cs");
+    let sh = b.alloc_shared(((64 + 2 * CS_R) * 8) as u32);
+    let tid = b.special(Special::TidX);
+    let cta = b.special(Special::CtaIdX);
+    let base = b.imul(cta, 64i64);
+    // tile[tid] = in[pad + base + tid - R] ... tile covers [base-R, base+64+R)
+    let g0 = b.iadd(base, tid);
+    let v0 = ldg(&mut b, 0, g0); // in[] is pre-padded by R on each side
+    let s0 = saddr(&mut b, tid);
+    b.st_arr(MemSpace::Shared, 52, s0, v0, sh);
+    // First 2R threads load the tail of the tile.
+    let p_halo = b.setp(Cmp::Lt, tid, 2 * CS_R);
+    b.bra_if(p_halo, false, "after_halo");
+    let t64 = b.iadd(tid, 64i64);
+    let g1 = b.iadd(base, t64);
+    let v1 = ldg(&mut b, 0, g1);
+    let s1 = saddr(&mut b, t64);
+    b.st_arr(MemSpace::Shared, 52, s1, v1, sh);
+    b.label("after_halo");
+    b.barrier();
+    let mut acc = b.fconst(0.0);
+    let soff = saddr(&mut b, tid);
+    // Fully unrolled 17-tap convolution.
+    for k in 0..=2 * CS_R {
+        let sv = b.ld_arr(MemSpace::Shared, 52, soff, sh + 8 * k);
+        let w = ldg(&mut b, 1, k);
+        acc = b.ffma(sv, w, acc);
+    }
+    let gout = b.iadd(base, tid);
+    stg(&mut b, 2, gout, acc);
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "convolutionSeparable",
+        abbr: "CS",
+        suite: "cuda",
+        kernel,
+        dims: LaunchDims::linear((n / 64) as u32, 64),
+        init: Arc::new(move |m| {
+            for i in 0..n + 2 * pad {
+                m.write_f32(elem(0, i), seed_f32(i));
+            }
+            for k in 0..=(2 * CS_R as u64) {
+                m.write_f32(elem(1, k), seed_f32(k + 555) * 0.2);
+            }
+        }),
+        check: Arc::new(move |m| {
+            for i in 0..n {
+                let mut acc = 0.0f32;
+                for k in 0..=(2 * CS_R as u64) {
+                    acc = seed_f32(i + k).mul_add(seed_f32(k + 555) * 0.2, acc);
+                }
+                if m.read_f32(elem(2, i)) != acc {
+                    return false;
+                }
+            }
+            true
+        }),
+    }
+}
+
+/// Vector pairs in the SP workload.
+pub const SP_VECTORS: u64 = 256;
+const SP_LEN: u64 = 256;
+
+/// Scalar products of vector pairs with a shared-memory tree reduction.
+///
+/// Structure: partial sums staged in one shared array, barrier-separated
+/// halving reduction — a qualifying §III-E single-class section.
+pub fn sp() -> WorkloadSpec {
+    let (vecs, len) = (SP_VECTORS, SP_LEN);
+    let block = 128u64;
+    let mut b = KernelBuilder::new("sp");
+    let sh = b.alloc_shared((block * 8) as u32);
+    let tid = b.special(Special::TidX);
+    let cta = b.special(Special::CtaIdX);
+    let vbase = b.imul(cta, len as i64);
+    // Each thread accumulates len/block strided elements.
+    let acc = b.fconst(0.0);
+    let i = b.mov(0i64);
+    b.label("dot");
+    let lane_i = b.imad(i, block as i64, tid);
+    let gi = b.iadd(vbase, lane_i);
+    let a = ldg(&mut b, 0, gi);
+    let bv = ldg(&mut b, 1, gi);
+    let nacc = b.ffma(a, bv, acc);
+    b.mov_to(acc, nacc);
+    let i1 = b.iadd(i, 1);
+    b.mov_to(i, i1);
+    let p = b.setp(Cmp::Lt, i, (len / block) as i64);
+    b.bra_if(p, true, "dot");
+    let soff = saddr(&mut b, tid);
+    b.st_arr(MemSpace::Shared, 53, soff, acc, sh);
+    b.barrier();
+    // Unrolled, if-converted tree reduction: stride 64 -> 1. Keeping the
+    // whole reduction in one straight-line section (predication instead
+    // of branches) makes it a qualifying single-class shared section for
+    // the paper's region-extension optimization.
+    let mut stride = (block / 2) as i64;
+    while stride > 0 {
+        let pred = b.setp(Cmp::Lt, tid, stride);
+        let other = b.iadd(tid, stride);
+        let ooff = saddr(&mut b, other);
+        let ov = b.ld_arr(MemSpace::Shared, 53, ooff, sh);
+        let mv = b.ld_arr(MemSpace::Shared, 53, soff, sh);
+        let sum = b.fadd(mv, ov);
+        b.st_arr(MemSpace::Shared, 53, soff, sum, sh);
+        b.pred_last(pred, true);
+        b.barrier();
+        stride /= 2;
+    }
+    let pz = b.setp(Cmp::Eq, tid, 0i64);
+    let total = b.ld_arr(MemSpace::Shared, 53, 0i64, sh);
+    stg(&mut b, 2, cta, total);
+    b.pred_last(pz, true);
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "scalarProd",
+        abbr: "SP",
+        suite: "cuda",
+        kernel,
+        dims: LaunchDims::linear(vecs as u32, block as u32),
+        init: Arc::new(move |m| {
+            for i in 0..vecs * len {
+                m.write_f32(elem(0, i), seed_f32(i));
+                m.write_f32(elem(1, i), seed_f32(i + 123_456));
+            }
+        }),
+        check: Arc::new(move |m| {
+            for v in 0..vecs {
+                // Mirror: per-thread strided partials, then tree sum.
+                let block = 128u64;
+                let mut partial = vec![0.0f32; block as usize];
+                for t in 0..block {
+                    let mut acc = 0.0f32;
+                    for i in 0..len / block {
+                        let gi = v * len + i * block + t;
+                        acc = seed_f32(gi).mul_add(seed_f32(gi + 123_456), acc);
+                    }
+                    partial[t as usize] = acc;
+                }
+                let mut stride = (block / 2) as usize;
+                while stride > 0 {
+                    for t in 0..stride {
+                        partial[t] += partial[t + stride];
+                    }
+                    stride /= 2;
+                }
+                if m.read_f32(elem(2, v)) != partial[0] {
+                    return false;
+                }
+            }
+            true
+        }),
+    }
+}
+
+/// Options priced by the BS workload.
+pub const BS_N: u64 = 32768;
+
+/// Black-Scholes pricing with a logistic approximation of the cumulative
+/// normal (the ISA has `exp` but no `ln`/`erf`).
+///
+/// Structure: pure per-thread SFU-heavy math, no barriers, large regions.
+pub fn bs() -> WorkloadSpec {
+    let n = BS_N;
+    let vol = 0.3f32;
+    let rate = 0.02f32;
+    let mut b = KernelBuilder::new("bs");
+    let gid = global_tid(&mut b);
+    let s = ldg(&mut b, 0, gid);
+    let x = ldg(&mut b, 1, gid);
+    let t = ldg(&mut b, 2, gid);
+    let sqrt_t = b.fsqrt(t);
+    let vst = b.fmul(sqrt_t, fimm(vol));
+    let ratio = b.fdiv(s, x);
+    let m1 = b.fsub(ratio, fimm(1.0));
+    let v2t = b.fmul(t, fimm(0.5 * vol * vol));
+    let num = b.fadd(m1, v2t);
+    let d1 = b.fdiv(num, vst);
+    let d2 = b.fsub(d1, vst);
+    // CND(d) ≈ 1 / (1 + exp(-1.702 d))
+    let cnd = |b: &mut KernelBuilder, d| {
+        let nd = b.fmul(d, fimm(-1.702));
+        let e = b.fexp(nd);
+        let den = b.fadd(e, fimm(1.0));
+        let one = b.fconst(1.0);
+        b.fdiv(one, den)
+    };
+    let c1 = cnd(&mut b, d1);
+    let c2 = cnd(&mut b, d2);
+    let rt = b.fmul(t, fimm(-rate));
+    let df = b.fexp(rt);
+    let sx = b.fmul(s, c1);
+    let xc = b.fmul(x, c2);
+    let xcd = b.fmul(xc, df);
+    let call = b.fsub(sx, xcd);
+    stg(&mut b, 3, gid, call);
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "BlackScholes",
+        abbr: "BS",
+        suite: "cuda",
+        kernel,
+        dims: LaunchDims::linear((n / 128) as u32, 128),
+        init: Arc::new(move |m| {
+            for i in 0..n {
+                m.write_f32(elem(0, i), seed_f32(i) * 2.0 + 0.5);
+                m.write_f32(elem(1, i), seed_f32(i + n) * 2.0 + 0.5);
+                m.write_f32(elem(2, i), seed_f32(i + 2 * n) + 0.1);
+            }
+        }),
+        check: Arc::new(move |m| {
+            let cnd = |d: f32| 1.0f32 / ((d * -1.702).exp() + 1.0);
+            for i in 0..n {
+                let s = seed_f32(i) * 2.0 + 0.5;
+                let x = seed_f32(i + n) * 2.0 + 0.5;
+                let t = seed_f32(i + 2 * n) + 0.1;
+                let vst = t.sqrt() * 0.3;
+                let d1 = ((s / x - 1.0) + t * (0.5 * 0.3 * 0.3)) / vst;
+                let d2 = d1 - vst;
+                let call = s * cnd(d1) - (x * cnd(d2)) * (t * -0.02).exp();
+                if m.read_f32(elem(3, i)) != call {
+                    return false;
+                }
+            }
+            true
+        }),
+    }
+}
+
+/// Sequences generated by the SQ workload.
+pub const SQ_N: u64 = 16384;
+const SQ_DIRS: u64 = 10;
+const SQ_PER_THREAD: u64 = 4;
+
+/// Sobol quasirandom generation: XOR of direction vectors selected by the
+/// index bits (branchless integer bit manipulation).
+pub fn sq() -> WorkloadSpec {
+    let n = SQ_N;
+    let mut b = KernelBuilder::new("sq");
+    let gid = global_tid(&mut b);
+    let k = b.mov(0i64);
+    b.label("gen");
+    let idx = b.imad(gid, SQ_PER_THREAD as i64, k);
+    // Gray code of the index selects direction vectors.
+    let g1 = b.shr(idx, 1i64);
+    let gray = b.xor(idx, g1);
+    let mut x = b.mov(0i64);
+    // Fully unrolled direction-vector XOR chain.
+    for j in 0..SQ_DIRS as i64 {
+        let bit0 = b.shr(gray, j);
+        let bit = b.and(bit0, 1i64);
+        let dv = ldg(&mut b, 0, j);
+        let sel = b.imul(dv, bit);
+        x = b.xor(x, sel);
+    }
+    stg(&mut b, 1, idx, x);
+    let k1 = b.iadd(k, 1);
+    b.mov_to(k, k1);
+    let pk = b.setp(Cmp::Lt, k, SQ_PER_THREAD as i64);
+    b.bra_if(pk, true, "gen");
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "SobolQRNG",
+        abbr: "SQ",
+        suite: "cuda",
+        kernel,
+        dims: LaunchDims::linear((n / 64) as u32, 64),
+        init: Arc::new(move |m| {
+            for j in 0..SQ_DIRS {
+                m.write(elem(0, j), seed_u64(j + 4242));
+            }
+        }),
+        check: Arc::new(move |m| {
+            for idx in 0..n * SQ_PER_THREAD {
+                let gray = idx ^ (idx >> 1);
+                let mut x = 0u64;
+                for j in 0..SQ_DIRS {
+                    if (gray >> j) & 1 == 1 {
+                        x ^= seed_u64(j + 4242);
+                    }
+                }
+                if m.read(elem(1, idx)) != x {
+                    return false;
+                }
+            }
+            true
+        }),
+    }
+}
+
+/// Elements per CTA in the WT workload.
+pub const WT_ELEMS: u64 = 256;
+/// CTAs in the WT workload.
+pub const WT_CTAS: u64 = 192;
+
+/// Fast Walsh–Hadamard transform: butterfly stages over one shared array
+/// with a barrier per stage (integer variant for exact checking).
+///
+/// Structure: a qualifying §III-E section — stores go to a single shared
+/// class and the data is staged before the first barrier.
+pub fn wt() -> WorkloadSpec {
+    let elems = WT_ELEMS;
+    let block = elems / 2;
+    let mut b = KernelBuilder::new("wt");
+    let sh = b.alloc_shared((elems * 8) as u32);
+    let tid = b.special(Special::TidX);
+    let cta = b.special(Special::CtaIdX);
+    let gbase = b.imul(cta, elems as i64);
+    // Stage the CTA's data: each thread loads two elements.
+    for half in 0..2i64 {
+        let li = b.imad(half, block as i64, tid);
+        let gi = b.iadd(gbase, li);
+        let v = ldg(&mut b, 0, gi);
+        let so = saddr(&mut b, li);
+        b.st_arr(MemSpace::Shared, 54, so, v, sh);
+    }
+    b.barrier();
+    let stride = b.mov(1i64);
+    b.label("stage");
+    // i = 2*stride*(tid / stride) + (tid % stride); j = i + stride
+    let q = b.idiv(tid, stride);
+    let r = b.irem(tid, stride);
+    let s2 = b.imul(stride, 2i64);
+    let i = b.imad(q, s2, r);
+    let jj = b.iadd(i, stride);
+    let io = saddr(&mut b, i);
+    let jo = saddr(&mut b, jj);
+    let a = b.ld_arr(MemSpace::Shared, 54, io, sh);
+    let c = b.ld_arr(MemSpace::Shared, 54, jo, sh);
+    let sum = b.iadd(a, c);
+    let diff = b.isub(a, c);
+    b.st_arr(MemSpace::Shared, 54, io, sum, sh);
+    b.st_arr(MemSpace::Shared, 54, jo, diff, sh);
+    b.barrier();
+    let ns = b.shl(stride, 1i64);
+    b.mov_to(stride, ns);
+    let ps = b.setp(Cmp::Lt, stride, elems as i64);
+    b.bra_if(ps, true, "stage");
+    for half in 0..2i64 {
+        let li = b.imad(half, block as i64, tid);
+        let gi = b.iadd(gbase, li);
+        let so = saddr(&mut b, li);
+        let v = b.ld_arr(MemSpace::Shared, 54, so, sh);
+        stg(&mut b, 1, gi, v);
+    }
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "fastWalshTransform",
+        abbr: "WT",
+        suite: "cuda",
+        kernel,
+        dims: LaunchDims::linear(WT_CTAS as u32, block as u32),
+        init: Arc::new(move |m| {
+            for i in 0..WT_CTAS * elems {
+                m.write(elem(0, i), seed_mod(i, 1000));
+            }
+        }),
+        check: Arc::new(move |m| {
+            for cta in 0..WT_CTAS {
+                let mut d: Vec<i64> = (0..elems)
+                    .map(|i| seed_mod(cta * elems + i, 1000) as i64)
+                    .collect();
+                let mut stride = 1usize;
+                while stride < elems as usize {
+                    for t in 0..(elems as usize / 2) {
+                        let i = 2 * stride * (t / stride) + (t % stride);
+                        let j = i + stride;
+                        let (a, c) = (d[i], d[j]);
+                        d[i] = a.wrapping_add(c);
+                        d[j] = a.wrapping_sub(c);
+                    }
+                    stride *= 2;
+                }
+                for i in 0..elems {
+                    if m.read(elem(1, cta * elems + i)) != d[i as usize] as u64 {
+                        return false;
+                    }
+                }
+            }
+            true
+        }),
+    }
+}
+
+/// Matrix side of the Transpose workload.
+pub const TRANSPOSE_N: u64 = 256;
+
+/// Tiled matrix transpose through shared memory.
+///
+/// Structure: one shared tile, one barrier, coalescing-sensitive global
+/// traffic.
+pub fn transpose() -> WorkloadSpec {
+    let n = TRANSPOSE_N;
+    let mut b = KernelBuilder::new("transpose");
+    let sh = b.alloc_shared(16 * 16 * 8);
+    let tx = b.special(Special::TidX);
+    let ty = b.special(Special::TidY);
+    let bx = b.special(Special::CtaIdX);
+    let by = b.special(Special::CtaIdY);
+    let x = b.imad(bx, 16i64, tx);
+    let y = b.imad(by, 16i64, ty);
+    let gi = b.imad(y, n as i64, x);
+    let v = ldg(&mut b, 0, gi);
+    let si = b.imad(ty, 16i64, tx);
+    let so = saddr(&mut b, si);
+    b.st_arr(MemSpace::Shared, 55, so, v, sh);
+    b.barrier();
+    // Write transposed: out[xT * n + yT] with swapped block coords.
+    let xt = b.imad(by, 16i64, tx);
+    let yt = b.imad(bx, 16i64, ty);
+    let sj = b.imad(tx, 16i64, ty);
+    let sjo = saddr(&mut b, sj);
+    let w = b.ld_arr(MemSpace::Shared, 55, sjo, sh);
+    let go = b.imad(yt, n as i64, xt);
+    stg(&mut b, 1, go, w);
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "transpose",
+        abbr: "Transpose",
+        suite: "cuda",
+        kernel,
+        dims: LaunchDims {
+            grid: ((n / 16) as u32, (n / 16) as u32),
+            block: (16, 16),
+        },
+        init: Arc::new(move |m| {
+            for i in 0..n * n {
+                m.write(elem(0, i), seed_u64(i));
+            }
+        }),
+        check: Arc::new(move |m| {
+            for r in 0..n {
+                for c in 0..n {
+                    if m.read(elem(1, c * n + r)) != seed_u64(r * n + c) {
+                        return false;
+                    }
+                }
+            }
+            true
+        }),
+    }
+}
+
+/// Input length of the DWT workload.
+pub const DWT_N: u64 = 65536;
+
+/// Two-level Haar wavelet decomposition: averages and differences into
+/// separate output arrays.
+pub fn dwt() -> WorkloadSpec {
+    let n = DWT_N;
+    let mut b = KernelBuilder::new("dwt");
+    let gid = global_tid(&mut b);
+    // Level 1: each thread handles two input pairs.
+    for k in 0..2i64 {
+        let i = b.imad(gid, 2i64, k);
+        let i2 = b.imul(i, 2i64);
+        let a = ldg(&mut b, 0, i2);
+        let i21 = b.iadd(i2, 1i64);
+        let c = ldg(&mut b, 0, i21);
+        let s = b.fadd(a, c);
+        let avg = b.fmul(s, fimm(0.5));
+        let d = b.fsub(a, c);
+        let det = b.fmul(d, fimm(0.5));
+        stg(&mut b, 1, i, avg);
+        stg(&mut b, 2, i, det);
+    }
+    // Level 2 on this thread's two level-1 averages.
+    let i0 = b.imul(gid, 2i64);
+    let a0 = ldg(&mut b, 1, i0);
+    let i1 = b.iadd(i0, 1i64);
+    let a1 = ldg(&mut b, 1, i1);
+    let s = b.fadd(a0, a1);
+    let avg = b.fmul(s, fimm(0.5));
+    let d = b.fsub(a0, a1);
+    let det = b.fmul(d, fimm(0.5));
+    stg(&mut b, 3, gid, avg);
+    stg(&mut b, 4, gid, det);
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "Discrete Haar wavelet decomposition",
+        abbr: "DWT",
+        suite: "cuda",
+        kernel,
+        dims: LaunchDims::linear((n / 4 / 64) as u32, 64),
+        init: Arc::new(move |m| {
+            for i in 0..n {
+                m.write_f32(elem(0, i), seed_f32(i));
+            }
+        }),
+        check: Arc::new(move |m| {
+            let l1 = |i: u64| {
+                let a = seed_f32(2 * i);
+                let c = seed_f32(2 * i + 1);
+                ((a + c) * 0.5, (a - c) * 0.5)
+            };
+            for i in 0..n / 2 {
+                let (avg, det) = l1(i);
+                if m.read_f32(elem(1, i)) != avg || m.read_f32(elem(2, i)) != det {
+                    return false;
+                }
+            }
+            for g in 0..n / 4 {
+                let (a0, _) = l1(2 * g);
+                let (a1, _) = l1(2 * g + 1);
+                if m.read_f32(elem(3, g)) != (a0 + a1) * 0.5
+                    || m.read_f32(elem(4, g)) != (a0 - a1) * 0.5
+                {
+                    return false;
+                }
+            }
+            true
+        }),
+    }
+}
+
+/// Elements sorted per CTA by the SN workload.
+pub const SN_ELEMS: u64 = 256;
+/// CTAs in the SN workload.
+pub const SN_CTAS: u64 = 192;
+
+/// Bitonic sorting network over a shared array, one compare-exchange per
+/// thread per stage, barrier between stages.
+///
+/// Structure: the densest barrier pattern in the suite (36 stages) over a
+/// single shared class — a qualifying §III-E section.
+pub fn sn() -> WorkloadSpec {
+    let elems = SN_ELEMS;
+    let block = elems / 2;
+    let mut b = KernelBuilder::new("sn");
+    let sh = b.alloc_shared((elems * 8) as u32);
+    let tid = b.special(Special::TidX);
+    let cta = b.special(Special::CtaIdX);
+    let gbase = b.imul(cta, elems as i64);
+    for half in 0..2i64 {
+        let li = b.imad(half, block as i64, tid);
+        let gi = b.iadd(gbase, li);
+        let v = ldg(&mut b, 0, gi);
+        let so = saddr(&mut b, li);
+        b.st_arr(MemSpace::Shared, 56, so, v, sh);
+    }
+    b.barrier();
+    // for k in [2,4,...,elems]: for j in [k/2,...,1]:
+    let k = b.mov(2i64);
+    b.label("kloop");
+    let j = b.shr(k, 1i64);
+    b.label("jloop");
+    // i = 2j*(tid / j) + (tid % j); partner = i + j (bit j of i is 0)
+    let q = b.idiv(tid, j);
+    let r = b.irem(tid, j);
+    let j2 = b.imul(j, 2i64);
+    let i = b.imad(q, j2, r);
+    let partner = b.iadd(i, j);
+    let io = saddr(&mut b, i);
+    let po = saddr(&mut b, partner);
+    let a = b.ld_arr(MemSpace::Shared, 56, io, sh);
+    let c = b.ld_arr(MemSpace::Shared, 56, po, sh);
+    // ascending iff (i & k) == 0
+    let ik = b.and(i, k);
+    let up = b.setp(Cmp::Eq, ik, 0i64);
+    let gt = b.setp(Cmp::Gt, a, c);
+    // swap iff gt == up
+    let swap = b.setp(Cmp::Eq, gt, up);
+    let lo = b.sel(swap, c, a);
+    let hi = b.sel(swap, a, c);
+    b.st_arr(MemSpace::Shared, 56, io, lo, sh);
+    b.st_arr(MemSpace::Shared, 56, po, hi, sh);
+    b.barrier();
+    let j1 = b.shr(j, 1i64);
+    b.mov_to(j, j1);
+    let pj = b.setp(Cmp::Gt, j, 0i64);
+    b.bra_if(pj, true, "jloop");
+    let k2 = b.shl(k, 1i64);
+    b.mov_to(k, k2);
+    let pk = b.setp(Cmp::Le, k, elems as i64);
+    b.bra_if(pk, true, "kloop");
+    for half in 0..2i64 {
+        let li = b.imad(half, block as i64, tid);
+        let gi = b.iadd(gbase, li);
+        let so = saddr(&mut b, li);
+        let v = b.ld_arr(MemSpace::Shared, 56, so, sh);
+        stg(&mut b, 1, gi, v);
+    }
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "sortingNetworks",
+        abbr: "SN",
+        suite: "cuda",
+        kernel,
+        dims: LaunchDims::linear(SN_CTAS as u32, block as u32),
+        init: Arc::new(move |m| {
+            for i in 0..SN_CTAS * SN_ELEMS {
+                m.write(elem(0, i), seed_mod(i, 1_000_000));
+            }
+        }),
+        check: Arc::new(move |m| {
+            for cta in 0..SN_CTAS {
+                let mut expect: Vec<u64> = (0..SN_ELEMS)
+                    .map(|i| seed_mod(cta * SN_ELEMS + i, 1_000_000))
+                    .collect();
+                expect.sort_unstable();
+                for i in 0..SN_ELEMS {
+                    if m.read(elem(1, cta * SN_ELEMS + i)) != expect[i as usize] {
+                        return false;
+                    }
+                }
+            }
+            true
+        }),
+    }
+}
+
+/// Data items in the Histogram workload.
+pub const HISTOGRAM_N: u64 = 131072;
+const HISTOGRAM_BINS: u64 = 64;
+
+/// 64-bin histogram: per-CTA shared sub-histogram built with shared
+/// atomics (bank-conflict prone), merged with global atomics.
+///
+/// Structure: shared + global atomics (synchronization boundaries) and
+/// data-dependent conflicts — the workload where the paper observed
+/// Flame's scheduling perturbation *helping* (8.3 % speedup).
+pub fn histogram() -> WorkloadSpec {
+    let n = HISTOGRAM_N;
+    let bins = HISTOGRAM_BINS;
+    let block = 128u64;
+    let per_thread = 8u64;
+    let ctas = n / (block * per_thread);
+    let mut b = KernelBuilder::new("histogram");
+    let sh = b.alloc_shared((bins * 8) as u32);
+    let tid = b.special(Special::TidX);
+    let cta = b.special(Special::CtaIdX);
+    // Zero the shared bins.
+    let pz = b.setp(Cmp::Lt, tid, bins as i64);
+    b.bra_if(pz, false, "zeroed");
+    let zo = saddr(&mut b, tid);
+    b.st_arr(MemSpace::Shared, 57, zo, 0i64, sh);
+    b.label("zeroed");
+    b.barrier();
+    let chunk = b.imul(cta, (block * per_thread) as i64);
+    let k = b.mov(0i64);
+    b.label("scan");
+    let li = b.imad(k, block as i64, tid);
+    let gi = b.iadd(chunk, li);
+    let v = ldg(&mut b, 0, gi);
+    let bin = b.and(v, (bins - 1) as i64);
+    let boff = saddr(&mut b, bin);
+    let _ = b.atom(MemSpace::Shared, AtomOp::Add, boff, 1i64, sh);
+    let k1 = b.iadd(k, 1);
+    b.mov_to(k, k1);
+    let pk = b.setp(Cmp::Lt, k, per_thread as i64);
+    b.bra_if(pk, true, "scan");
+    b.barrier();
+    let pm = b.setp(Cmp::Lt, tid, bins as i64);
+    b.bra_if(pm, false, "merged");
+    let so = saddr(&mut b, tid);
+    let count = b.ld_arr(MemSpace::Shared, 57, so, sh);
+    let _ = atom_add_g(&mut b, 1, tid, count);
+    b.label("merged");
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "histogram",
+        abbr: "Histogram",
+        suite: "cuda",
+        kernel,
+        dims: LaunchDims::linear(ctas as u32, block as u32),
+        init: Arc::new(move |m| {
+            for i in 0..n {
+                m.write(elem(0, i), seed_u64(i));
+            }
+        }),
+        check: Arc::new(move |m| {
+            let mut hist = vec![0u64; bins as usize];
+            for i in 0..n {
+                hist[(seed_u64(i) & (bins - 1)) as usize] += 1;
+            }
+            (0..bins).all(|bin| m.read(elem(1, bin)) == hist[bin as usize])
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::baseline_ok;
+
+    #[test]
+    fn nn_baseline_correct() {
+        baseline_ok(&nn());
+    }
+
+    #[test]
+    fn lps_baseline_correct() {
+        baseline_ok(&lps());
+    }
+
+    #[test]
+    fn aes_baseline_correct() {
+        baseline_ok(&aes());
+    }
+
+    #[test]
+    fn bo_baseline_correct() {
+        baseline_ok(&bo());
+    }
+
+    #[test]
+    fn cs_baseline_correct() {
+        baseline_ok(&cs());
+    }
+
+    #[test]
+    fn sp_baseline_correct() {
+        baseline_ok(&sp());
+    }
+
+    #[test]
+    fn bs_baseline_correct() {
+        baseline_ok(&bs());
+    }
+
+    #[test]
+    fn sq_baseline_correct() {
+        baseline_ok(&sq());
+    }
+
+    #[test]
+    fn wt_baseline_correct() {
+        baseline_ok(&wt());
+    }
+
+    #[test]
+    fn transpose_baseline_correct() {
+        baseline_ok(&transpose());
+    }
+
+    #[test]
+    fn dwt_baseline_correct() {
+        baseline_ok(&dwt());
+    }
+
+    #[test]
+    fn sn_baseline_correct() {
+        baseline_ok(&sn());
+    }
+
+    #[test]
+    fn histogram_baseline_correct() {
+        baseline_ok(&histogram());
+    }
+}

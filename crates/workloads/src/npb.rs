@@ -1,0 +1,189 @@
+//! NAS Parallel Benchmark workloads (paper Table I): IS and CG.
+
+use crate::common::*;
+use flame_core::experiment::WorkloadSpec;
+use gpu_sim::builder::KernelBuilder;
+use gpu_sim::isa::{Cmp, MemSpace, Special};
+use gpu_sim::sm::LaunchDims;
+use std::sync::Arc;
+
+/// Keys ranked by the IS workload.
+pub const IS_N: u64 = 65536;
+const IS_BUCKETS: u64 = 256;
+
+/// Integer Sort's counting phase: bucket counting with global atomics
+/// plus a per-thread partial-rank computation.
+///
+/// Structure: global atomics (region-isolating synchronization) over a
+/// contended bucket array.
+pub fn is() -> WorkloadSpec {
+    let n = IS_N;
+    let block = 128u64;
+    let per_thread = 4u64;
+    let mut b = KernelBuilder::new("is");
+    let gid = global_tid(&mut b);
+    let k = b.mov(0i64);
+    b.label("count");
+    let total_threads = (n / per_thread) as i64;
+    let i = b.imad(k, total_threads, gid);
+    let key = ldg(&mut b, 0, i);
+    let bucket = b.and(key, (IS_BUCKETS - 1) as i64);
+    let _old = atom_add_g(&mut b, 1, bucket, 1i64);
+    let k1 = b.iadd(k, 1);
+    b.mov_to(k, k1);
+    let p = b.setp(Cmp::Lt, k, per_thread as i64);
+    b.bra_if(p, true, "count");
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "Integer Sort",
+        abbr: "IS",
+        suite: "NPB",
+        kernel,
+        dims: LaunchDims::linear((n / per_thread / block) as u32, block as u32),
+        init: Arc::new(move |m| {
+            for i in 0..n {
+                m.write(elem(0, i), seed_u64(i));
+            }
+        }),
+        check: Arc::new(move |m| {
+            let mut counts = vec![0u64; IS_BUCKETS as usize];
+            for i in 0..n {
+                counts[(seed_u64(i) & (IS_BUCKETS - 1)) as usize] += 1;
+            }
+            (0..IS_BUCKETS).all(|bk| m.read(elem(1, bk)) == counts[bk as usize])
+        }),
+    }
+}
+
+/// Rows of the CG workload's sparse matrix.
+pub const CG_ROWS: u64 = 16384;
+const CG_NNZ: u64 = 8;
+
+/// Conjugate Gradient's sparse matrix-vector product with a per-CTA
+/// shared-memory reduction of the partial `p·Ap` dot product.
+///
+/// Structure: an irregular gather loop followed by a barrier-separated
+/// single-class shared reduction — a qualifying §III-E section (the paper
+/// reports CG's overhead dropping from 9.7 % to 1.7 % with the
+/// optimization).
+pub fn cg() -> WorkloadSpec {
+    let rows = CG_ROWS;
+    let block = 128u64;
+    let mut b = KernelBuilder::new("cg");
+    let sh = b.alloc_shared((block * 8) as u32);
+    let tid = b.special(Special::TidX);
+    let cta = b.special(Special::CtaIdX);
+    let row = b.imad(cta, block as i64, tid);
+    // y[row] = Σ_k val[row,k] * x[col[row,k]]  (fixed CG_NNZ per row)
+    let acc = b.fconst(0.0);
+    let base = b.imul(row, CG_NNZ as i64);
+    let k = b.mov(0i64);
+    b.label("spmv");
+    let e = b.iadd(base, k);
+    let col = ldg(&mut b, 0, e);
+    let val = ldg(&mut b, 1, e);
+    let x = ldg(&mut b, 2, col);
+    let nacc = b.ffma(val, x, acc);
+    b.mov_to(acc, nacc);
+    let k1 = b.iadd(k, 1);
+    b.mov_to(k, k1);
+    let p = b.setp(Cmp::Lt, k, CG_NNZ as i64);
+    b.bra_if(p, true, "spmv");
+    stg(&mut b, 3, row, acc);
+    // Partial dot p·Ap staged in shared memory, tree-reduced.
+    let px = ldg(&mut b, 2, row);
+    let prod = b.fmul(px, acc);
+    let soff = saddr(&mut b, tid);
+    b.st_arr(MemSpace::Shared, 58, soff, prod, sh);
+    b.barrier();
+    // Unrolled, if-converted reduction (a qualifying single-class shared
+    // section; the paper reports CG among the region-extension winners).
+    let mut stride = (block / 2) as i64;
+    while stride > 0 {
+        let pr = b.setp(Cmp::Lt, tid, stride);
+        let other = b.iadd(tid, stride);
+        let ooff = saddr(&mut b, other);
+        let ov = b.ld_arr(MemSpace::Shared, 58, ooff, sh);
+        let mv = b.ld_arr(MemSpace::Shared, 58, soff, sh);
+        let sum = b.fadd(mv, ov);
+        b.st_arr(MemSpace::Shared, 58, soff, sum, sh);
+        b.pred_last(pr, true);
+        b.barrier();
+        stride /= 2;
+    }
+    let pz = b.setp(Cmp::Eq, tid, 0i64);
+    let total = b.ld_arr(MemSpace::Shared, 58, 0i64, sh);
+    stg(&mut b, 4, cta, total);
+    b.pred_last(pz, true);
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "Conjugate Gradient",
+        abbr: "CG",
+        suite: "NPB",
+        kernel,
+        dims: LaunchDims::linear((rows / block) as u32, block as u32),
+        init: Arc::new(move |m| {
+            for e in 0..rows * CG_NNZ {
+                m.write(elem(0, e), seed_mod(e, rows));
+                m.write_f32(elem(1, e), seed_f32(e) - 0.5);
+            }
+            for r in 0..rows {
+                m.write_f32(elem(2, r), seed_f32(r + 31_337));
+            }
+        }),
+        check: Arc::new(move |m| {
+            let block = 128u64;
+            let y = |row: u64| {
+                let mut acc = 0.0f32;
+                for k in 0..CG_NNZ {
+                    let e = row * CG_NNZ + k;
+                    let col = seed_mod(e, rows);
+                    acc = (seed_f32(e) - 0.5).mul_add(seed_f32(col + 31_337), acc);
+                }
+                acc
+            };
+            for row in 0..rows {
+                if m.read_f32(elem(3, row)) != y(row) {
+                    return false;
+                }
+            }
+            for cta in 0..rows / block {
+                let mut part: Vec<f32> = (0..block)
+                    .map(|t| {
+                        let row = cta * block + t;
+                        seed_f32(row + 31_337) * y(row)
+                    })
+                    .collect();
+                let mut stride = (block / 2) as usize;
+                while stride > 0 {
+                    for t in 0..stride {
+                        part[t] += part[t + stride];
+                    }
+                    stride /= 2;
+                }
+                if m.read_f32(elem(4, cta)) != part[0] {
+                    return false;
+                }
+            }
+            true
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::baseline_ok;
+
+    #[test]
+    fn is_baseline_correct() {
+        baseline_ok(&is());
+    }
+
+    #[test]
+    fn cg_baseline_correct() {
+        baseline_ok(&cg());
+    }
+}

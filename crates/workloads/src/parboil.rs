@@ -1,0 +1,231 @@
+//! Parboil workloads: SGEMM and LBM (paper Table I).
+
+use crate::common::*;
+use flame_core::experiment::WorkloadSpec;
+use gpu_sim::builder::KernelBuilder;
+use gpu_sim::isa::{Cmp, MemSpace, Special};
+use gpu_sim::sm::LaunchDims;
+use std::sync::Arc;
+
+/// Matrix dimension of the SGEMM workload (tiled 16×16).
+pub const SGEMM_N: u64 = 160;
+const TILE: u64 = 16;
+
+/// Single-precision matrix multiply `C = A × B` with shared-memory tiles
+/// and a barrier-synchronized k-loop — the classic tiled SGEMM shape.
+///
+/// Structure reproduced: two shared tiles (distinct alias classes, so the
+/// §III-E optimization conservatively does *not* apply), barriers per
+/// tile iteration, FMA-dominated inner loop.
+pub fn sgemm() -> WorkloadSpec {
+    let n = SGEMM_N;
+    let mut b = KernelBuilder::new("sgemm");
+    let sh_a = b.alloc_shared((TILE * TILE * 8) as u32);
+    let sh_b = b.alloc_shared((TILE * TILE * 8) as u32);
+    let tx = b.special(Special::TidX);
+    let ty = b.special(Special::TidY);
+    let bx = b.special(Special::CtaIdX);
+    let by = b.special(Special::CtaIdY);
+    let row = b.imad(by, TILE as i64, ty);
+    let col = b.imad(bx, TILE as i64, tx);
+    let acc = b.fconst(0.0);
+    let t = b.mov(0i64);
+    b.label("tile");
+    {
+        // As[ty][tx] = A[row][t*16 + tx]; Bs[ty][tx] = B[t*16 + ty][col]
+        let a_col = b.imad(t, TILE as i64, tx);
+        let a_idx = b.imad(row, n as i64, a_col);
+        let a = ldg(&mut b, 0, a_idx);
+        let s_idx = b.imad(ty, TILE as i64, tx);
+        let s_off = saddr(&mut b, s_idx);
+        b.st_arr(MemSpace::Shared, 50, s_off, a, sh_a);
+        let b_row = b.imad(t, TILE as i64, ty);
+        let b_idx = b.imad(b_row, n as i64, col);
+        let bv = ldg(&mut b, 1, b_idx);
+        b.st_arr(MemSpace::Shared, 51, s_off, bv, sh_b);
+        b.barrier();
+        // k-loop, unrolled ×4.
+        let k = b.mov(0i64);
+        b.label("kloop");
+        for u in 0..4i64 {
+            let ku = b.iadd(k, u);
+            let ai = b.imad(ty, TILE as i64, ku);
+            let aoff = saddr(&mut b, ai);
+            let av = b.ld_arr(MemSpace::Shared, 50, aoff, sh_a);
+            let bi = b.imad(ku, TILE as i64, tx);
+            let boff = saddr(&mut b, bi);
+            let bvv = b.ld_arr(MemSpace::Shared, 51, boff, sh_b);
+            let nacc = b.ffma(av, bvv, acc);
+            b.mov_to(acc, nacc);
+        }
+        let k4 = b.iadd(k, 4);
+        b.mov_to(k, k4);
+        let pk = b.setp(Cmp::Lt, k, TILE as i64);
+        b.bra_if(pk, true, "kloop");
+        // Tiles are overwritten next iteration: barrier again.
+        b.barrier();
+    }
+    let t1 = b.iadd(t, 1);
+    b.mov_to(t, t1);
+    let pt = b.setp(Cmp::Lt, t, (n / TILE) as i64);
+    b.bra_if(pt, true, "tile");
+    let c_idx = b.imad(row, n as i64, col);
+    stg(&mut b, 2, c_idx, acc);
+    b.exit();
+    let kernel = b.finish();
+
+    let grid = (n / TILE) as u32;
+    WorkloadSpec {
+        name: "Single precision Matrix Multiply",
+        abbr: "SGEMM",
+        suite: "parboil",
+        kernel,
+        dims: LaunchDims {
+            grid: (grid, grid),
+            block: (TILE as u32, TILE as u32),
+        },
+        init: Arc::new(move |m| {
+            for i in 0..n * n {
+                m.write_f32(elem(0, i), seed_f32(i));
+                m.write_f32(elem(1, i), seed_f32(i + 7919));
+            }
+        }),
+        check: Arc::new(move |m| {
+            for r in 0..n {
+                for c in 0..n {
+                    let mut acc = 0.0f32;
+                    // Same order as the kernel: tiles outer, k inner.
+                    for k in 0..n {
+                        let a = seed_f32(r * n + k);
+                        let bv = seed_f32(k * n + c + 7919);
+                        acc = a.mul_add(bv, acc);
+                    }
+                    if m.read_f32(elem(2, r * n + c)) != acc {
+                        return false;
+                    }
+                }
+            }
+            true
+        }),
+    }
+}
+
+/// Cells in the LBM lattice.
+pub const LBM_N: u64 = 32768;
+
+/// Lattice-Boltzmann fluid step (D2Q5 collision + streaming): reads five
+/// distribution arrays, computes the collision locally, streams to five
+/// output arrays.
+///
+/// Structure reproduced: wide straight-line floating-point regions, many
+/// live registers, distinct input/output arrays (no WARs, large regions).
+pub fn lbm() -> WorkloadSpec {
+    let n = LBM_N;
+    let omega = 0.7f32;
+    let mut b = KernelBuilder::new("lbm");
+    let gid = global_tid(&mut b);
+    // Load the five distributions.
+    let f: Vec<_> = (0..5).map(|d| ldg(&mut b, d as u16, gid)).collect();
+    // rho = sum f_i
+    let r01 = b.fadd(f[0], f[1]);
+    let r23 = b.fadd(f[2], f[3]);
+    let r = b.fadd(r01, r23);
+    let rho = b.fadd(r, f[4]);
+    // ux = (f1 - f3) / rho; uy = (f2 - f4) / rho
+    let dx = b.fsub(f[1], f[3]);
+    let ux = b.fdiv(dx, rho);
+    let dy = b.fsub(f[2], f[4]);
+    let uy = b.fdiv(dy, rho);
+    // usq = 1.5 (ux² + uy²)
+    let ux2 = b.fmul(ux, ux);
+    let uy2 = b.fmul(uy, uy);
+    let us = b.fadd(ux2, uy2);
+    let usq = b.fmul(us, fimm(1.5));
+    // Equilibria: w0 = 1/3, w_i = 1/6; f_eq = w ρ (1 + 3 c·u - usq)
+    let one = b.fconst(1.0);
+    let base0 = b.fsub(one, usq);
+    let w0rho = b.fmul(rho, fimm(1.0 / 3.0));
+    let feq0 = b.fmul(w0rho, base0);
+    let wrho = b.fmul(rho, fimm(1.0 / 6.0));
+    let cdots = [ux, uy];
+    let mut feq = vec![feq0];
+    for d in 0..4usize {
+        let cu = cdots[d % 2];
+        let scaled = b.fmul(cu, fimm(if d < 2 { 3.0 } else { -3.0 }));
+        let t = b.fadd(base0, scaled);
+        feq.push(b.fmul(wrho, t));
+    }
+    // f' = f + ω (feq − f), streamed to x±1 (wrapping) for d1/d3.
+    let xp = b.iadd(gid, 1);
+    let xp = b.irem(xp, n as i64);
+    let xm = b.iadd(gid, (n - 1) as i64);
+    let xm = b.irem(xm, n as i64);
+    let dests = [gid, xp, gid, xm, gid];
+    for d in 0..5usize {
+        let diff = b.fsub(feq[d], f[d]);
+        let upd = b.ffma(diff, fimm(omega), f[d]);
+        stg(&mut b, (5 + d) as u16, dests[d], upd);
+    }
+    b.exit();
+    let kernel = b.finish();
+
+    WorkloadSpec {
+        name: "Lattice-Boltzmann Method Fluid Dynamics",
+        abbr: "LBM",
+        suite: "parboil",
+        kernel,
+        dims: LaunchDims::linear((n / 128) as u32, 128),
+        init: Arc::new(move |m| {
+            for d in 0..5u64 {
+                for i in 0..n {
+                    m.write_f32(elem(d as u16, i), seed_f32(d * n + i) * 0.2 + 0.1);
+                }
+            }
+        }),
+        check: Arc::new(move |m| {
+            let omega = 0.7f32;
+            for i in 0..n {
+                let f: Vec<f32> = (0..5)
+                    .map(|d| seed_f32(d * n + i) * 0.2 + 0.1)
+                    .collect();
+                let rho = ((f[0] + f[1]) + (f[2] + f[3])) + f[4];
+                let ux = (f[1] - f[3]) / rho;
+                let uy = (f[2] - f[4]) / rho;
+                let usq = (ux * ux + uy * uy) * 1.5;
+                let base0 = 1.0 - usq;
+                let feq0 = (rho * (1.0 / 3.0)) * base0;
+                let wrho = rho * (1.0 / 6.0);
+                let cd = [ux, uy];
+                let mut feq = vec![feq0];
+                for d in 0..4usize {
+                    let s = cd[d % 2] * if d < 2 { 3.0 } else { -3.0 };
+                    feq.push(wrho * (base0 + s));
+                }
+                let dests = [i, (i + 1) % n, i, (i + n - 1) % n, i];
+                for d in 0..5usize {
+                    let upd = (feq[d] - f[d]).mul_add(omega, f[d]);
+                    if m.read_f32(elem((5 + d) as u16, dests[d])) != upd {
+                        return false;
+                    }
+                }
+            }
+            true
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::baseline_ok;
+
+    #[test]
+    fn sgemm_baseline_correct() {
+        baseline_ok(&sgemm());
+    }
+
+    #[test]
+    fn lbm_baseline_correct() {
+        baseline_ok(&lbm());
+    }
+}

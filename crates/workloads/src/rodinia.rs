@@ -1,0 +1,1168 @@
+//! Rodinia v3.1 workloads (paper Table I): BP, BFS, Gaussian, Hotspot,
+//! LavaMD, LUD, NW, PF, SRAD, SC, CFD, Kmeans, KNN.
+
+use crate::common::*;
+use flame_core::experiment::WorkloadSpec;
+use gpu_sim::builder::KernelBuilder;
+use gpu_sim::isa::{Cmp, MemSpace, Special};
+use gpu_sim::sm::LaunchDims;
+use std::sync::Arc;
+
+/// Hidden units of the BP layer.
+pub const BP_NEURONS: u64 = 16384;
+const BP_INPUTS: u64 = 64;
+
+/// Back-propagation layer-forward: inputs staged in shared memory, fully
+/// unrolled dot product, logistic activation.
+///
+/// Structure: a qualifying §III-E section (one shared class initialized
+/// before the barrier, epilogue store is write-only).
+pub fn bp() -> WorkloadSpec {
+    let (neurons, inputs) = (BP_NEURONS, BP_INPUTS);
+    let mut b = KernelBuilder::new("bp");
+    let sh = b.alloc_shared((inputs * 8) as u32);
+    let tid = b.special(Special::TidX);
+    let gid = global_tid(&mut b);
+    // Stage x into shared (threads ≥ 64 re-store the same values, which
+    // keeps the section branch-free).
+    let xi = b.and(tid, (inputs - 1) as i64);
+    let xv = ldg(&mut b, 1, xi);
+    let so = saddr(&mut b, xi);
+    b.st_arr(MemSpace::Shared, 63, so, xv, sh);
+    b.barrier();
+    let wbase = b.imul(gid, inputs as i64);
+    let mut acc = b.fconst(0.0);
+    for i in 0..inputs as i64 {
+        let wi = b.iadd(wbase, i);
+        let w = ldg(&mut b, 0, wi);
+        let x = b.ld_arr(MemSpace::Shared, 63, 8 * i, sh);
+        acc = b.ffma(w, x, acc);
+    }
+    let neg = b.fmul(acc, fimm(-1.0));
+    let e = b.fexp(neg);
+    let den = b.fadd(e, fimm(1.0));
+    let one = b.fconst(1.0);
+    let out = b.fdiv(one, den);
+    stg(&mut b, 2, gid, out);
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "back propagation",
+        abbr: "BP",
+        suite: "rodinia",
+        kernel,
+        dims: LaunchDims::linear((neurons / 128) as u32, 128),
+        init: Arc::new(move |m| {
+            for k in 0..neurons * inputs {
+                m.write_f32(elem(0, k), seed_f32(k) - 0.5);
+            }
+            for i in 0..inputs {
+                m.write_f32(elem(1, i), seed_f32(i + 77));
+            }
+        }),
+        check: Arc::new(move |m| {
+            for j in 0..neurons {
+                let mut acc = 0.0f32;
+                for i in 0..inputs {
+                    acc = (seed_f32(j * inputs + i) - 0.5).mul_add(seed_f32(i + 77), acc);
+                }
+                let out = 1.0 / ((acc * -1.0).exp() + 1.0);
+                if m.read_f32(elem(2, j)) != out {
+                    return false;
+                }
+            }
+            true
+        }),
+    }
+}
+
+/// Nodes in the BFS graph.
+pub const BFS_NODES: u64 = 32768;
+const BFS_DEGREE: u64 = 4;
+
+/// One level of breadth-first search: threads on frontier nodes mark
+/// their neighbours visited and in the next frontier.
+///
+/// Structure: data-dependent branching (warp divergence) and scattered
+/// benign-racy flag writes.
+pub fn bfs() -> WorkloadSpec {
+    let n = BFS_NODES;
+    let mut b = KernelBuilder::new("bfs");
+    let gid = global_tid(&mut b);
+    let f = ldg(&mut b, 0, gid); // frontier flag
+    let p = b.setp(Cmp::Eq, f, 1i64);
+    b.bra_if(p, false, "skip");
+    for e in 0..BFS_DEGREE as i64 {
+        let ei = b.imad(gid, BFS_DEGREE as i64, e);
+        let nid = ldg(&mut b, 1, ei);
+        stg(&mut b, 2, nid, 1i64); // visited[nid] = 1
+        stg(&mut b, 3, nid, 1i64); // next[nid] = 1
+    }
+    b.label("skip");
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "breadth-first search",
+        abbr: "BFS",
+        suite: "rodinia",
+        kernel,
+        dims: LaunchDims::linear((n / 128) as u32, 128),
+        init: Arc::new(move |m| {
+            for i in 0..n {
+                // ~1/4 of the nodes are on the frontier.
+                m.write(elem(0, i), u64::from(seed_mod(i, 4) == 0));
+                for e in 0..BFS_DEGREE {
+                    m.write(elem(1, i * BFS_DEGREE + e), seed_mod(i * BFS_DEGREE + e, n));
+                }
+            }
+        }),
+        check: Arc::new(move |m| {
+            let mut visited = vec![0u64; n as usize];
+            for i in 0..n {
+                if seed_mod(i, 4) == 0 {
+                    for e in 0..BFS_DEGREE {
+                        visited[seed_mod(i * BFS_DEGREE + e, n) as usize] = 1;
+                    }
+                }
+            }
+            (0..n).all(|i| {
+                m.read(elem(2, i)) == visited[i as usize]
+                    && m.read(elem(3, i)) == visited[i as usize]
+            })
+        }),
+    }
+}
+
+/// Matrix side of the Gaussian workload.
+pub const GAUSSIAN_N: u64 = 256;
+
+/// One Gaussian-elimination update step (pivot row 0): in-place matrix
+/// update `m[r][c] -= m[0][c] · m[r][0] / m[0][0]`.
+///
+/// Structure: in-place same-class global WAR — every row update is cut
+/// into its own region.
+pub fn gaussian() -> WorkloadSpec {
+    let n = GAUSSIAN_N;
+    let mut b = KernelBuilder::new("gaussian");
+    let tx = b.special(Special::TidX);
+    let ty = b.special(Special::TidY);
+    let bx = b.special(Special::CtaIdX);
+    let by = b.special(Special::CtaIdY);
+    let c = b.imad(bx, 16i64, tx);
+    let r = b.imad(by, 16i64, ty);
+    let i_rc = b.imad(r, n as i64, c);
+    let i_0c = b.mov(c);
+    let i_r0 = b.imul(r, n as i64);
+    let m_rc = ldg(&mut b, 0, i_rc);
+    let m_0c = ldg(&mut b, 0, i_0c);
+    let m_r0 = ldg(&mut b, 0, i_r0);
+    let m_00 = ldg(&mut b, 0, 0i64);
+    let mult = b.fdiv(m_r0, m_00);
+    let prod = b.fmul(m_0c, mult);
+    let nv = b.fsub(m_rc, prod);
+    let pr = b.setp(Cmp::Gt, r, 0i64);
+    let pc = b.setp(Cmp::Gt, c, 0i64);
+    let upd = b.and(pr, pc);
+    stg(&mut b, 0, i_rc, nv);
+    b.pred_last(upd, true);
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "gaussian elimination",
+        abbr: "Gaussian",
+        suite: "rodinia",
+        kernel,
+        dims: LaunchDims {
+            grid: ((n / 16) as u32, (n / 16) as u32),
+            block: (16, 16),
+        },
+        init: Arc::new(move |m| {
+            for i in 0..n * n {
+                m.write_f32(elem(0, i), seed_f32(i) + if i % (n + 1) == 0 { 4.0 } else { 0.0 });
+            }
+        }),
+        check: Arc::new(move |m| {
+            let at = |i: u64| seed_f32(i) + if i % (n + 1) == 0 { 4.0f32 } else { 0.0 };
+            for r in 0..n {
+                for c in 0..n {
+                    let expect = if r == 0 || c == 0 {
+                        at(r * n + c)
+                    } else {
+                        at(r * n + c) - at(c) * (at(r * n) / at(0))
+                    };
+                    if m.read_f32(elem(0, r * n + c)) != expect {
+                        return false;
+                    }
+                }
+            }
+            true
+        }),
+    }
+}
+
+/// Tile side of the Hotspot workload.
+pub const HOTSPOT_TILES: u64 = 144;
+
+/// Hotspot thermal simulation: temperature tile iterated in shared memory
+/// (two sweeps), power read from global, result written back.
+///
+/// Structure: a qualifying §III-E section — one shared class, if-converted
+/// interior updates, read/barrier/write sweeps.
+pub fn hotspot() -> WorkloadSpec {
+    let tiles = HOTSPOT_TILES;
+    let mut b = KernelBuilder::new("hotspot");
+    let sh = b.alloc_shared(16 * 16 * 8);
+    let tx = b.special(Special::TidX);
+    let ty = b.special(Special::TidY);
+    let cta = b.special(Special::CtaIdX);
+    let li = b.imad(ty, 16i64, tx);
+    let tile_base = b.imul(cta, 256i64);
+    let gi = b.iadd(tile_base, li);
+    let t0 = ldg(&mut b, 0, gi);
+    let so = saddr(&mut b, li);
+    b.st_arr(MemSpace::Shared, 64, so, t0, sh);
+    b.barrier();
+    let pwr = ldg(&mut b, 1, gi);
+    // Interior predicate: 1 <= tx,ty <= 14.
+    let p1 = b.setp(Cmp::Ge, tx, 1i64);
+    let p2 = b.setp(Cmp::Le, tx, 14i64);
+    let p3 = b.setp(Cmp::Ge, ty, 1i64);
+    let p4 = b.setp(Cmp::Le, ty, 14i64);
+    let p12 = b.and(p1, p2);
+    let p34 = b.and(p3, p4);
+    let interior = b.and(p12, p34);
+    for _sweep in 0..2 {
+        let cv = b.ld_arr(MemSpace::Shared, 64, so, sh);
+        let w = b.ld_arr(MemSpace::Shared, 64, so, sh - 8);
+        let e = b.ld_arr(MemSpace::Shared, 64, so, sh + 8);
+        let nn = b.ld_arr(MemSpace::Shared, 64, so, sh - 16 * 8);
+        let ss = b.ld_arr(MemSpace::Shared, 64, so, sh + 16 * 8);
+        let h = b.fadd(w, e);
+        let v = b.fadd(nn, ss);
+        let s4 = b.fadd(h, v);
+        let c2 = b.fmul(cv, fimm(0.6));
+        let upd = b.ffma(s4, fimm(0.1), c2);
+        let nv = b.fadd(upd, pwr);
+        b.barrier();
+        b.st_arr(MemSpace::Shared, 64, so, nv, sh);
+        b.pred_last(interior, true);
+        b.barrier();
+    }
+    let res = b.ld_arr(MemSpace::Shared, 64, so, sh);
+    stg(&mut b, 2, gi, res);
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "hotspot",
+        abbr: "Hotspot",
+        suite: "rodinia",
+        kernel,
+        dims: LaunchDims {
+            grid: (tiles as u32, 1),
+            block: (16, 16),
+        },
+        init: Arc::new(move |m| {
+            for i in 0..tiles * 256 {
+                m.write_f32(elem(0, i), seed_f32(i) + 1.0);
+                m.write_f32(elem(1, i), seed_f32(i + 50_000) * 0.01);
+            }
+        }),
+        check: Arc::new(move |m| {
+            for t in 0..tiles {
+                let mut tile: Vec<f32> = (0..256).map(|i| seed_f32(t * 256 + i) + 1.0).collect();
+                for _sweep in 0..2 {
+                    let old = tile.clone();
+                    for y in 1..15usize {
+                        for x in 1..15usize {
+                            let i = y * 16 + x;
+                            let s4 = (old[i - 1] + old[i + 1]) + (old[i - 16] + old[i + 16]);
+                            let pwr = seed_f32(t * 256 + i as u64 + 50_000) * 0.01;
+                            tile[i] = s4.mul_add(0.1, old[i] * 0.6) + pwr;
+                        }
+                    }
+                }
+                for i in 0..256usize {
+                    if m.read_f32(elem(2, t * 256 + i as u64)) != tile[i] {
+                        return false;
+                    }
+                }
+            }
+            true
+        }),
+    }
+}
+
+/// Particles per box in LavaMD.
+pub const LAVAMD_NEIGHBORS: u64 = 16;
+/// Particles simulated.
+pub const LAVAMD_N: u64 = 16384;
+
+/// LavaMD particle interactions: per-particle loop over the neighbour
+/// box computing pairwise forces (divide/sqrt heavy).
+pub fn lavamd() -> WorkloadSpec {
+    let n = LAVAMD_N;
+    let mut b = KernelBuilder::new("lavamd");
+    let gid = global_tid(&mut b);
+    let x = ldg(&mut b, 0, gid);
+    let y = ldg(&mut b, 1, gid);
+    let z = ldg(&mut b, 2, gid);
+    let fx = b.fconst(0.0);
+    let fy = b.fconst(0.0);
+    let fz = b.fconst(0.0);
+    let k = b.mov(0i64);
+    b.label("pairs");
+    let box_base = b.and(gid, !(LAVAMD_NEIGHBORS as i64 - 1));
+    let o = b.iadd(box_base, k);
+    let ox = ldg(&mut b, 0, o);
+    let oy = ldg(&mut b, 1, o);
+    let oz = ldg(&mut b, 2, o);
+    let dx = b.fsub(x, ox);
+    let dy = b.fsub(y, oy);
+    let dz = b.fsub(z, oz);
+    let dx2 = b.fmul(dx, dx);
+    let d2a = b.ffma(dy, dy, dx2);
+    let d2 = b.ffma(dz, dz, d2a);
+    let r2 = b.fadd(d2, fimm(0.05));
+    let inv = b.fdiv(fimm(1.0), r2);
+    let sr = b.fsqrt(inv);
+    let s = b.fmul(inv, sr);
+    let nfx = b.ffma(dx, s, fx);
+    b.mov_to(fx, nfx);
+    let nfy = b.ffma(dy, s, fy);
+    b.mov_to(fy, nfy);
+    let nfz = b.ffma(dz, s, fz);
+    b.mov_to(fz, nfz);
+    let k1 = b.iadd(k, 1);
+    b.mov_to(k, k1);
+    let p = b.setp(Cmp::Lt, k, LAVAMD_NEIGHBORS as i64);
+    b.bra_if(p, true, "pairs");
+    stg(&mut b, 3, gid, fx);
+    stg(&mut b, 4, gid, fy);
+    stg(&mut b, 5, gid, fz);
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "lava Molecular Dynamics",
+        abbr: "LavaMD",
+        suite: "rodinia",
+        kernel,
+        dims: LaunchDims::linear((n / 128) as u32, 128),
+        init: Arc::new(move |m| {
+            for i in 0..n {
+                m.write_f32(elem(0, i), seed_f32(i));
+                m.write_f32(elem(1, i), seed_f32(i + n));
+                m.write_f32(elem(2, i), seed_f32(i + 2 * n));
+            }
+        }),
+        check: Arc::new(move |m| {
+            for g in 0..n {
+                let (x, y, z) = (seed_f32(g), seed_f32(g + n), seed_f32(g + 2 * n));
+                let base = g & !(LAVAMD_NEIGHBORS - 1);
+                let (mut fx, mut fy, mut fz) = (0.0f32, 0.0f32, 0.0f32);
+                for k in 0..LAVAMD_NEIGHBORS {
+                    let o = base + k;
+                    let dx = x - seed_f32(o);
+                    let dy = y - seed_f32(o + n);
+                    let dz = z - seed_f32(o + 2 * n);
+                    let d2 = dz.mul_add(dz, dy.mul_add(dy, dx * dx));
+                    let r2 = d2 + 0.05;
+                    let inv = 1.0 / r2;
+                    let s = inv * inv.sqrt();
+                    fx = dx.mul_add(s, fx);
+                    fy = dy.mul_add(s, fy);
+                    fz = dz.mul_add(s, fz);
+                }
+                if m.read_f32(elem(3, g)) != fx
+                    || m.read_f32(elem(4, g)) != fy
+                    || m.read_f32(elem(5, g)) != fz
+                {
+                    return false;
+                }
+            }
+            true
+        }),
+    }
+}
+
+/// Tiles decomposed by LUD.
+pub const LUD_TILES: u64 = 512;
+const LUD_B: u64 = 8; // tile side
+
+/// LU decomposition of 8×8 tiles in shared memory — the paper's
+/// flagship §III-E workload (Figure 16: 15 % → 6.4 % with the region
+/// extension).
+///
+/// Structure: fully unrolled k-loop with two barriers per step and
+/// if-converted in-place shared updates: without the optimization every
+/// barrier and every in-place WAR fragments the kernel into tiny regions.
+pub fn lud() -> WorkloadSpec {
+    let tiles = LUD_TILES;
+    let bsz = LUD_B;
+    let mut b = KernelBuilder::new("lud");
+    let sh = b.alloc_shared((bsz * bsz * 8) as u32);
+    let tid = b.special(Special::TidX);
+    let cta = b.special(Special::CtaIdX);
+    let r = b.idiv(tid, bsz as i64);
+    let c = b.irem(tid, bsz as i64);
+    let tile_base = b.imul(cta, (bsz * bsz) as i64);
+    let gi = b.iadd(tile_base, tid);
+    let v0 = ldg(&mut b, 0, gi);
+    let so = saddr(&mut b, tid);
+    b.st_arr(MemSpace::Shared, 62, so, v0, sh);
+    b.barrier();
+    for k in 0..(bsz - 1) as i64 {
+        // Column normalization: threads (r > k, c == k).
+        let pr = b.setp(Cmp::Gt, r, k);
+        let pc = b.setp(Cmp::Eq, c, k);
+        let pcol = b.and(pr, pc);
+        let pivot = b.ld_arr(MemSpace::Shared, 62, 8 * (k * bsz as i64 + k), sh);
+        let mine = b.ld_arr(MemSpace::Shared, 62, so, sh);
+        let l = b.fdiv(mine, pivot);
+        b.st_arr(MemSpace::Shared, 62, so, l, sh);
+        b.pred_last(pcol, true);
+        b.barrier();
+        // Trailing submatrix update: threads (r > k, c > k).
+        let pc2 = b.setp(Cmp::Gt, c, k);
+        let pint = b.and(pr, pc2);
+        let li_ = b.imad(r, bsz as i64, k);
+        let lo = saddr(&mut b, li_);
+        let lv = b.ld_arr(MemSpace::Shared, 62, lo, sh);
+        let ui = b.imad(k, bsz as i64, c);
+        let uo = saddr(&mut b, ui);
+        let uv = b.ld_arr(MemSpace::Shared, 62, uo, sh);
+        let cur = b.ld_arr(MemSpace::Shared, 62, so, sh);
+        let prod = b.fmul(lv, uv);
+        let nv = b.fsub(cur, prod);
+        b.st_arr(MemSpace::Shared, 62, so, nv, sh);
+        b.pred_last(pint, true);
+        b.barrier();
+    }
+    let res = b.ld_arr(MemSpace::Shared, 62, so, sh);
+    stg(&mut b, 1, gi, res);
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "LU Decomposition",
+        abbr: "LUD",
+        suite: "rodinia",
+        kernel,
+        dims: LaunchDims::linear(tiles as u32, (bsz * bsz) as u32),
+        init: Arc::new(move |m| {
+            for i in 0..tiles * bsz * bsz {
+                let within = i % (bsz * bsz);
+                let diag = within % (bsz + 1) == 0;
+                m.write_f32(elem(0, i), seed_f32(i) + if diag { 8.0 } else { 0.0 });
+            }
+        }),
+        check: Arc::new(move |m| {
+            let bs = bsz as usize;
+            for t in 0..tiles {
+                let mut a: Vec<f32> = (0..bsz * bsz)
+                    .map(|i| {
+                        let idx = t * bsz * bsz + i;
+                        seed_f32(idx) + if i % (bsz + 1) == 0 { 8.0 } else { 0.0 }
+                    })
+                    .collect();
+                for k in 0..bs - 1 {
+                    for r in k + 1..bs {
+                        a[r * bs + k] /= a[k * bs + k];
+                    }
+                    for r in k + 1..bs {
+                        for c in k + 1..bs {
+                            a[r * bs + c] -= a[r * bs + k] * a[k * bs + c];
+                        }
+                    }
+                }
+                for i in 0..bs * bs {
+                    if m.read_f32(elem(1, t * bsz * bsz + i as u64)) != a[i] {
+                        return false;
+                    }
+                }
+            }
+            true
+        }),
+    }
+}
+
+/// Tiles processed by NW.
+pub const NW_TILES: u64 = 512;
+const NW_B: i64 = 8;
+
+/// Needleman-Wunsch sequence alignment: anti-diagonal dynamic programming
+/// over an 8×8 shared score tile, one barrier per diagonal.
+///
+/// Structure: qualifying §III-E section with if-converted diagonal
+/// updates (integer scores, exact).
+pub fn nw() -> WorkloadSpec {
+    let tiles = NW_TILES;
+    let bsz = NW_B;
+    let mut b = KernelBuilder::new("nw");
+    let sh = b.alloc_shared((bsz * bsz * 8) as u32);
+    let tid = b.special(Special::TidX);
+    let cta = b.special(Special::CtaIdX);
+    let r = b.idiv(tid, bsz);
+    let c = b.irem(tid, bsz);
+    let gi = b.imad(cta, bsz * bsz, tid);
+    // Init: score = -(r+c) on the borders, 0 inside.
+    let rc = b.iadd(r, c);
+    let neg = b.isub(0i64, rc);
+    let pr0 = b.setp(Cmp::Eq, r, 0i64);
+    let pc0 = b.setp(Cmp::Eq, c, 0i64);
+    let border = b.or(pr0, pc0);
+    let init = b.sel(border, neg, 0i64);
+    let so = saddr(&mut b, tid);
+    b.st_arr(MemSpace::Shared, 65, so, init, sh);
+    b.barrier();
+    let refv = ldg(&mut b, 0, gi);
+    let p_r = b.setp(Cmp::Gt, r, 0i64);
+    let p_c = b.setp(Cmp::Gt, c, 0i64);
+    let inner = b.and(p_r, p_c);
+    for d in 2..=(2 * (bsz - 1)) {
+        let pd = b.setp(Cmp::Eq, rc, d);
+        let active = b.and(pd, inner);
+        let diag = b.ld_arr(MemSpace::Shared, 65, so, sh - 8 * (bsz + 1));
+        let up = b.ld_arr(MemSpace::Shared, 65, so, sh - 8 * bsz);
+        let left = b.ld_arr(MemSpace::Shared, 65, so, sh - 8);
+        let m1 = b.iadd(diag, refv);
+        let m2 = b.isub(up, 1i64);
+        let m3 = b.isub(left, 1i64);
+        let mm = b.imax(m2, m3);
+        let score = b.imax(m1, mm);
+        b.st_arr(MemSpace::Shared, 65, so, score, sh);
+        b.pred_last(active, true);
+        b.barrier();
+    }
+    let res = b.ld_arr(MemSpace::Shared, 65, so, sh);
+    stg(&mut b, 1, gi, res);
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "Needleman-Wunsch",
+        abbr: "NW",
+        suite: "rodinia",
+        kernel,
+        dims: LaunchDims::linear(tiles as u32, (bsz * bsz) as u32),
+        init: Arc::new(move |m| {
+            for i in 0..tiles * (bsz * bsz) as u64 {
+                m.write(elem(0, i), seed_mod(i, 5));
+            }
+        }),
+        check: Arc::new(move |m| {
+            let bs = bsz as usize;
+            for t in 0..tiles {
+                let mut s = vec![0i64; bs * bs];
+                for r in 0..bs {
+                    for c in 0..bs {
+                        if r == 0 || c == 0 {
+                            s[r * bs + c] = -((r + c) as i64);
+                        }
+                    }
+                }
+                for d in 2..=(2 * (bs - 1)) {
+                    for r in 1..bs {
+                        for c in 1..bs {
+                            if r + c == d {
+                                let refv =
+                                    seed_mod(t * (bs * bs) as u64 + (r * bs + c) as u64, 5) as i64;
+                                let m1 = s[(r - 1) * bs + (c - 1)] + refv;
+                                let m2 = s[(r - 1) * bs + c] - 1;
+                                let m3 = s[r * bs + (c - 1)] - 1;
+                                s[r * bs + c] = m1.max(m2.max(m3));
+                            }
+                        }
+                    }
+                }
+                for i in 0..bs * bs {
+                    if m.read(elem(1, t * (bs * bs) as u64 + i as u64)) != s[i] as u64 {
+                        return false;
+                    }
+                }
+            }
+            true
+        }),
+    }
+}
+
+/// Row-groups processed by PF.
+pub const PF_CTAS: u64 = 256;
+const PF_WIDTH: i64 = 64;
+const PF_ROWS: i64 = 8;
+
+/// Pathfinder: row-by-row grid DP in shared memory (min of the three
+/// upper neighbours plus the cell cost), read/barrier/write per row.
+///
+/// Structure: qualifying §III-E section (single shared class, unrolled
+/// row loop, integer).
+pub fn pf() -> WorkloadSpec {
+    let width = PF_WIDTH;
+    let rows = PF_ROWS;
+    let mut b = KernelBuilder::new("pf");
+    let sh = b.alloc_shared((width * 8) as u32);
+    let tid = b.special(Special::TidX);
+    let cta = b.special(Special::CtaIdX);
+    let base = b.imul(cta, rows * width);
+    let g0 = b.iadd(base, tid);
+    let v0 = ldg(&mut b, 0, g0);
+    let so = saddr(&mut b, tid);
+    b.st_arr(MemSpace::Shared, 66, so, v0, sh);
+    b.barrier();
+    for row in 1..rows {
+        let cm1 = b.isub(tid, 1i64);
+        let cm = b.imax(cm1, 0i64);
+        let cp1 = b.iadd(tid, 1i64);
+        let cp = b.imin(cp1, width - 1);
+        let om = saddr(&mut b, cm);
+        let op = saddr(&mut b, cp);
+        let vm = b.ld_arr(MemSpace::Shared, 66, om, sh);
+        let vc = b.ld_arr(MemSpace::Shared, 66, so, sh);
+        let vp = b.ld_arr(MemSpace::Shared, 66, op, sh);
+        let m1 = b.imin(vm, vc);
+        let mn = b.imin(m1, vp);
+        let ri = b.imad(cta, rows * width, row * width);
+        let gi = b.iadd(ri, tid);
+        let cost = ldg(&mut b, 0, gi);
+        let nv = b.iadd(cost, mn);
+        b.barrier();
+        b.st_arr(MemSpace::Shared, 66, so, nv, sh);
+        b.barrier();
+    }
+    let res = b.ld_arr(MemSpace::Shared, 66, so, sh);
+    let go = b.iadd(base, tid);
+    stg(&mut b, 1, go, res);
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "pathfinder",
+        abbr: "PF",
+        suite: "rodinia",
+        kernel,
+        dims: LaunchDims::linear(PF_CTAS as u32, width as u32),
+        init: Arc::new(move |m| {
+            for i in 0..PF_CTAS * (PF_ROWS * PF_WIDTH) as u64 {
+                m.write(elem(0, i), seed_mod(i, 10));
+            }
+        }),
+        check: Arc::new(move |m| {
+            let w = PF_WIDTH as usize;
+            for cta in 0..PF_CTAS {
+                let base = cta * (PF_ROWS * PF_WIDTH) as u64;
+                let mut cost: Vec<i64> =
+                    (0..w).map(|c| seed_mod(base + c as u64, 10) as i64).collect();
+                for row in 1..PF_ROWS as usize {
+                    let prev = cost.clone();
+                    for c in 0..w {
+                        let cm = prev[c.saturating_sub(1)];
+                        let cp = prev[(c + 1).min(w - 1)];
+                        let mn = cm.min(prev[c]).min(cp);
+                        cost[c] = seed_mod(base + (row * w + c) as u64, 10) as i64 + mn;
+                    }
+                }
+                for c in 0..w {
+                    if m.read(elem(1, base + c as u64)) != cost[c] as u64 {
+                        return false;
+                    }
+                }
+            }
+            true
+        }),
+    }
+}
+
+/// Tiles processed by SRAD.
+pub const SRAD_TILES: u64 = 144;
+
+/// SRAD speckle-reducing diffusion: image tile and coefficient tile in
+/// *two* shared arrays (coefficient from gradients, then image update).
+///
+/// Structure: two shared classes — deliberately *not* §III-E-qualifying
+/// (the conservative policy keeps its barriers), div/sqrt heavy.
+pub fn srad() -> WorkloadSpec {
+    let tiles = SRAD_TILES;
+    let mut b = KernelBuilder::new("srad");
+    let sh_img = b.alloc_shared(16 * 16 * 8);
+    let sh_c = b.alloc_shared(16 * 16 * 8);
+    let tx = b.special(Special::TidX);
+    let ty = b.special(Special::TidY);
+    let cta = b.special(Special::CtaIdX);
+    let li = b.imad(ty, 16i64, tx);
+    let gi = b.imad(cta, 256i64, li);
+    let v0 = ldg(&mut b, 0, gi);
+    let so = saddr(&mut b, li);
+    b.st_arr(MemSpace::Shared, 67, so, v0, sh_img);
+    b.barrier();
+    // Interior predicate.
+    let p1 = b.setp(Cmp::Ge, tx, 1i64);
+    let p2 = b.setp(Cmp::Le, tx, 14i64);
+    let p3 = b.setp(Cmp::Ge, ty, 1i64);
+    let p4 = b.setp(Cmp::Le, ty, 14i64);
+    let p12 = b.and(p1, p2);
+    let p34 = b.and(p3, p4);
+    let interior = b.and(p12, p34);
+    // Diffusion coefficient from gradient magnitude.
+    let c0 = b.ld_arr(MemSpace::Shared, 67, so, sh_img);
+    let w = b.ld_arr(MemSpace::Shared, 67, so, sh_img - 8);
+    let e = b.ld_arr(MemSpace::Shared, 67, so, sh_img + 8);
+    let nn = b.ld_arr(MemSpace::Shared, 67, so, sh_img - 16 * 8);
+    let ss = b.ld_arr(MemSpace::Shared, 67, so, sh_img + 16 * 8);
+    let gx = b.fsub(e, w);
+    let gy = b.fsub(ss, nn);
+    let gx2 = b.fmul(gx, gx);
+    let g2 = b.ffma(gy, gy, gx2);
+    let c2 = b.fmul(c0, c0);
+    let c2e = b.fadd(c2, fimm(0.01));
+    let q = b.fdiv(g2, c2e);
+    let den = b.fadd(q, fimm(1.0));
+    let one = b.fconst(1.0);
+    let coeff = b.fdiv(one, den);
+    b.st_arr(MemSpace::Shared, 68, so, coeff, sh_c);
+    b.pred_last(interior, true);
+    // Borders get coefficient 1.
+    let notint = b.xor(interior, 1i64);
+    b.st_arr(MemSpace::Shared, 68, so, fimm(1.0), sh_c);
+    b.pred_last(notint, true);
+    b.barrier();
+    // Image update from the coefficient field.
+    let ce = b.ld_arr(MemSpace::Shared, 68, so, sh_c + 8);
+    let cs = b.ld_arr(MemSpace::Shared, 68, so, sh_c + 16 * 8);
+    let cc = b.ld_arr(MemSpace::Shared, 68, so, sh_c);
+    let de = b.fsub(e, c0);
+    let ds = b.fsub(ss, c0);
+    let fe = b.fmul(ce, de);
+    let fs = b.fmul(cs, ds);
+    let flux = b.fadd(fe, fs);
+    let scaled = b.fmul(cc, fimm(0.125));
+    let delta = b.fmul(flux, scaled);
+    let nv = b.fadd(c0, delta);
+    let outv = b.sel(interior, nv, c0);
+    stg(&mut b, 1, gi, outv);
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "SRAD_v2",
+        abbr: "SRAD",
+        suite: "rodinia",
+        kernel,
+        dims: LaunchDims {
+            grid: (tiles as u32, 1),
+            block: (16, 16),
+        },
+        init: Arc::new(move |m| {
+            for i in 0..tiles * 256 {
+                m.write_f32(elem(0, i), seed_f32(i) + 0.5);
+            }
+        }),
+        check: Arc::new(move |m| {
+            for t in 0..tiles {
+                let img: Vec<f32> = (0..256).map(|i| seed_f32(t * 256 + i) + 0.5).collect();
+                let mut coeff = vec![1.0f32; 256];
+                let interior = |x: usize, y: usize| (1..=14).contains(&x) && (1..=14).contains(&y);
+                for y in 0..16usize {
+                    for x in 0..16usize {
+                        if interior(x, y) {
+                            let i = y * 16 + x;
+                            let gx = img[i + 1] - img[i - 1];
+                            let gy = img[i + 16] - img[i - 16];
+                            let g2 = gy.mul_add(gy, gx * gx);
+                            let q = g2 / (img[i] * img[i] + 0.01);
+                            coeff[i] = 1.0 / (q + 1.0);
+                        }
+                    }
+                }
+                for y in 0..16usize {
+                    for x in 0..16usize {
+                        let i = y * 16 + x;
+                        let expect = if interior(x, y) {
+                            let de = img[i + 1] - img[i];
+                            let ds = img[i + 16] - img[i];
+                            let flux = coeff[i + 1] * de + coeff[i + 16] * ds;
+                            img[i] + flux * (coeff[i] * 0.125)
+                        } else {
+                            img[i]
+                        };
+                        if m.read_f32(elem(1, t * 256 + i as u64)) != expect {
+                            return false;
+                        }
+                    }
+                }
+            }
+            true
+        }),
+    }
+}
+
+/// Points clustered by SC.
+pub const SC_POINTS: u64 = 16384;
+const SC_CENTERS: u64 = 8;
+const SC_DIMS: u64 = 4;
+
+/// Streamcluster: distance of every point to every centre (unrolled
+/// dimension loop), tracking the minimum with `sel`.
+pub fn sc() -> WorkloadSpec {
+    let n = SC_POINTS;
+    let mut b = KernelBuilder::new("sc");
+    let gid = global_tid(&mut b);
+    let pbase = b.imul(gid, SC_DIMS as i64);
+    let best = b.fconst(f32::MAX);
+    let besti = b.mov(0i64);
+    let k = b.mov(0i64);
+    b.label("centers");
+    let cbase = b.imul(k, SC_DIMS as i64);
+    let mut dist = b.fconst(0.0);
+    for d in 0..SC_DIMS as i64 {
+        let pi = b.iadd(pbase, d);
+        let p = ldg(&mut b, 0, pi);
+        let ci = b.iadd(cbase, d);
+        let cv = ldg(&mut b, 1, ci);
+        let diff = b.fsub(p, cv);
+        dist = b.ffma(diff, diff, dist);
+    }
+    let closer = b.setp(Cmp::FLt, dist, best);
+    let nb = b.sel(closer, dist, best);
+    b.mov_to(best, nb);
+    let ni = b.sel(closer, k, besti);
+    b.mov_to(besti, ni);
+    let k1 = b.iadd(k, 1);
+    b.mov_to(k, k1);
+    let p = b.setp(Cmp::Lt, k, SC_CENTERS as i64);
+    b.bra_if(p, true, "centers");
+    stg(&mut b, 2, gid, besti);
+    stg(&mut b, 3, gid, best);
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "streamcluster",
+        abbr: "SC",
+        suite: "rodinia",
+        kernel,
+        dims: LaunchDims::linear((n / 128) as u32, 128),
+        init: Arc::new(move |m| {
+            for i in 0..n * SC_DIMS {
+                m.write_f32(elem(0, i), seed_f32(i));
+            }
+            for i in 0..SC_CENTERS * SC_DIMS {
+                m.write_f32(elem(1, i), seed_f32(i + 31_415));
+            }
+        }),
+        check: Arc::new(move |m| {
+            for g in 0..n {
+                let (mut best, mut besti) = (f32::MAX, 0u64);
+                for k in 0..SC_CENTERS {
+                    let mut dist = 0.0f32;
+                    for d in 0..SC_DIMS {
+                        let diff = seed_f32(g * SC_DIMS + d) - seed_f32(k * SC_DIMS + d + 31_415);
+                        dist = diff.mul_add(diff, dist);
+                    }
+                    if dist < best {
+                        best = dist;
+                        besti = k;
+                    }
+                }
+                if m.read(elem(2, g)) != besti || m.read_f32(elem(3, g)) != best {
+                    return false;
+                }
+            }
+            true
+        }),
+    }
+}
+
+/// Cells in the CFD workload.
+pub const CFD_N: u64 = 32768;
+
+/// CFD Euler-flux accumulation over each cell's four neighbours (indices
+/// from an adjacency array), divide/sqrt-heavy.
+pub fn cfd() -> WorkloadSpec {
+    let n = CFD_N;
+    let mut b = KernelBuilder::new("cfd");
+    let gid = global_tid(&mut b);
+    let vc = ldg(&mut b, 0, gid);
+    let mut flux = b.fconst(0.0);
+    for e in 0..4i64 {
+        let ei = b.imad(gid, 4i64, e);
+        let nid = ldg(&mut b, 1, ei);
+        let vn = ldg(&mut b, 0, nid);
+        let dv = b.fsub(vn, vc);
+        let a2 = b.ffma(vn, vn, fimm(1.0));
+        let va = b.fsqrt(a2);
+        let w = b.fdiv(dv, va);
+        flux = b.fadd(flux, w);
+    }
+    let nv = b.ffma(flux, fimm(0.2), vc);
+    stg(&mut b, 2, gid, nv);
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "CFD solver",
+        abbr: "CFD",
+        suite: "rodinia",
+        kernel,
+        dims: LaunchDims::linear((n / 128) as u32, 128),
+        init: Arc::new(move |m| {
+            for i in 0..n {
+                m.write_f32(elem(0, i), seed_f32(i) + 0.2);
+                for e in 0..4 {
+                    m.write(elem(1, i * 4 + e), seed_mod(i * 4 + e, n));
+                }
+            }
+        }),
+        check: Arc::new(move |m| {
+            for g in 0..n {
+                let vc = seed_f32(g) + 0.2;
+                let mut flux = 0.0f32;
+                for e in 0..4 {
+                    let nid = seed_mod(g * 4 + e, n);
+                    let vn = seed_f32(nid) + 0.2;
+                    let va = vn.mul_add(vn, 1.0).sqrt();
+                    flux += (vn - vc) / va;
+                }
+                let nv = flux.mul_add(0.2, vc);
+                if m.read_f32(elem(2, g)) != nv {
+                    return false;
+                }
+            }
+            true
+        }),
+    }
+}
+
+/// Points clustered by Kmeans.
+pub const KMEANS_POINTS: u64 = 16384;
+const KMEANS_K: u64 = 8;
+const KMEANS_D: u64 = 4;
+
+/// K-means assignment step plus per-cluster population counting with
+/// global atomics.
+pub fn kmeans() -> WorkloadSpec {
+    let n = KMEANS_POINTS;
+    let mut b = KernelBuilder::new("kmeans");
+    let gid = global_tid(&mut b);
+    let pbase = b.imul(gid, KMEANS_D as i64);
+    let best = b.fconst(f32::MAX);
+    let besti = b.mov(0i64);
+    let k = b.mov(0i64);
+    b.label("centers");
+    let cbase = b.imul(k, KMEANS_D as i64);
+    let mut dist = b.fconst(0.0);
+    for d in 0..KMEANS_D as i64 {
+        let pi = b.iadd(pbase, d);
+        let p = ldg(&mut b, 0, pi);
+        let ci = b.iadd(cbase, d);
+        let cv = ldg(&mut b, 1, ci);
+        let diff = b.fsub(p, cv);
+        dist = b.ffma(diff, diff, dist);
+    }
+    let closer = b.setp(Cmp::FLt, dist, best);
+    let nb = b.sel(closer, dist, best);
+    b.mov_to(best, nb);
+    let ni = b.sel(closer, k, besti);
+    b.mov_to(besti, ni);
+    let k1 = b.iadd(k, 1);
+    b.mov_to(k, k1);
+    let p = b.setp(Cmp::Lt, k, KMEANS_K as i64);
+    b.bra_if(p, true, "centers");
+    stg(&mut b, 2, gid, besti);
+    let _ = atom_add_g(&mut b, 3, besti, 1i64);
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "kmeans",
+        abbr: "Kmeans",
+        suite: "rodinia",
+        kernel,
+        dims: LaunchDims::linear((n / 128) as u32, 128),
+        init: Arc::new(move |m| {
+            for i in 0..n * KMEANS_D {
+                m.write_f32(elem(0, i), seed_f32(i));
+            }
+            for i in 0..KMEANS_K * KMEANS_D {
+                m.write_f32(elem(1, i), seed_f32(i + 2_718));
+            }
+        }),
+        check: Arc::new(move |m| {
+            let mut counts = vec![0u64; KMEANS_K as usize];
+            for g in 0..n {
+                let (mut best, mut besti) = (f32::MAX, 0u64);
+                for k in 0..KMEANS_K {
+                    let mut dist = 0.0f32;
+                    for d in 0..KMEANS_D {
+                        let diff =
+                            seed_f32(g * KMEANS_D + d) - seed_f32(k * KMEANS_D + d + 2_718);
+                        dist = diff.mul_add(diff, dist);
+                    }
+                    if dist < best {
+                        best = dist;
+                        besti = k;
+                    }
+                }
+                counts[besti as usize] += 1;
+                if m.read(elem(2, g)) != besti {
+                    return false;
+                }
+            }
+            (0..KMEANS_K).all(|k| m.read(elem(3, k)) == counts[k as usize])
+        }),
+    }
+}
+
+/// Reference points of the KNN workload.
+pub const KNN_POINTS: u64 = 32768;
+
+/// k-nearest-neighbour distance phase: per-point distance to the query,
+/// then a branch-based shared-memory min-reduction per CTA.
+pub fn knn() -> WorkloadSpec {
+    let n = KNN_POINTS;
+    let block = 128u64;
+    let mut b = KernelBuilder::new("knn");
+    let sh = b.alloc_shared((block * 8) as u32);
+    let tid = b.special(Special::TidX);
+    let cta = b.special(Special::CtaIdX);
+    let gid = global_tid(&mut b);
+    let x = ldg(&mut b, 0, gid);
+    let y = ldg(&mut b, 1, gid);
+    let qx = ldg(&mut b, 2, 0i64);
+    let qy = ldg(&mut b, 2, 1i64);
+    let dx = b.fsub(x, qx);
+    let dy = b.fsub(y, qy);
+    let dx2 = b.fmul(dx, dx);
+    let d2 = b.ffma(dy, dy, dx2);
+    let dist = b.fsqrt(d2);
+    stg(&mut b, 3, gid, dist);
+    let soff = saddr(&mut b, tid);
+    b.st_arr(MemSpace::Shared, 69, soff, dist, sh);
+    b.barrier();
+    let stride = b.mov((block / 2) as i64);
+    b.label("reduce");
+    let pr = b.setp(Cmp::Lt, tid, stride);
+    b.bra_if(pr, false, "skip");
+    let other = b.iadd(tid, stride);
+    let ooff = saddr(&mut b, other);
+    let ov = b.ld_arr(MemSpace::Shared, 69, ooff, sh);
+    let mv = b.ld_arr(MemSpace::Shared, 69, soff, sh);
+    let mn = b.fmin(mv, ov);
+    b.st_arr(MemSpace::Shared, 69, soff, mn, sh);
+    b.label("skip");
+    b.barrier();
+    let s2 = b.shr(stride, 1i64);
+    b.mov_to(stride, s2);
+    let ps = b.setp(Cmp::Gt, stride, 0i64);
+    b.bra_if(ps, true, "reduce");
+    let pz = b.setp(Cmp::Eq, tid, 0i64);
+    let best = b.ld_arr(MemSpace::Shared, 69, 0i64, sh);
+    stg(&mut b, 4, cta, best);
+    b.pred_last(pz, true);
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "k-Nearest Neighbors",
+        abbr: "KNN",
+        suite: "rodinia",
+        kernel,
+        dims: LaunchDims::linear((n / block) as u32, block as u32),
+        init: Arc::new(move |m| {
+            for i in 0..n {
+                m.write_f32(elem(0, i), seed_f32(i));
+                m.write_f32(elem(1, i), seed_f32(i + n));
+            }
+            m.write_f32(elem(2, 0), 0.25);
+            m.write_f32(elem(2, 1), 0.75);
+        }),
+        check: Arc::new(move |m| {
+            let dist = |i: u64| {
+                let dx = seed_f32(i) - 0.25;
+                let dy = seed_f32(i + n) - 0.75;
+                dy.mul_add(dy, dx * dx).sqrt()
+            };
+            for i in 0..n {
+                if m.read_f32(elem(3, i)) != dist(i) {
+                    return false;
+                }
+            }
+            let block = 128u64;
+            for cta in 0..n / block {
+                let mut v: Vec<f32> = (0..block).map(|t| dist(cta * block + t)).collect();
+                let mut stride = (block / 2) as usize;
+                while stride > 0 {
+                    for t in 0..stride {
+                        v[t] = v[t].min(v[t + stride]);
+                    }
+                    stride /= 2;
+                }
+                if m.read_f32(elem(4, cta)) != v[0] {
+                    return false;
+                }
+            }
+            true
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::baseline_ok;
+
+    #[test]
+    fn bp_baseline_correct() {
+        baseline_ok(&bp());
+    }
+
+    #[test]
+    fn bfs_baseline_correct() {
+        baseline_ok(&bfs());
+    }
+
+    #[test]
+    fn gaussian_baseline_correct() {
+        baseline_ok(&gaussian());
+    }
+
+    #[test]
+    fn hotspot_baseline_correct() {
+        baseline_ok(&hotspot());
+    }
+
+    #[test]
+    fn lavamd_baseline_correct() {
+        baseline_ok(&lavamd());
+    }
+
+    #[test]
+    fn lud_baseline_correct() {
+        baseline_ok(&lud());
+    }
+
+    #[test]
+    fn nw_baseline_correct() {
+        baseline_ok(&nw());
+    }
+
+    #[test]
+    fn pf_baseline_correct() {
+        baseline_ok(&pf());
+    }
+
+    #[test]
+    fn srad_baseline_correct() {
+        baseline_ok(&srad());
+    }
+
+    #[test]
+    fn sc_baseline_correct() {
+        baseline_ok(&sc());
+    }
+
+    #[test]
+    fn cfd_baseline_correct() {
+        baseline_ok(&cfd());
+    }
+
+    #[test]
+    fn kmeans_baseline_correct() {
+        baseline_ok(&kmeans());
+    }
+
+    #[test]
+    fn knn_baseline_correct() {
+        baseline_ok(&knn());
+    }
+}

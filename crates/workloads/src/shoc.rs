@@ -1,0 +1,124 @@
+//! SHOC workloads (paper Table I): Triad and GUPS.
+
+use crate::common::*;
+use flame_core::experiment::WorkloadSpec;
+use gpu_sim::builder::KernelBuilder;
+use gpu_sim::isa::Cmp;
+use gpu_sim::sm::LaunchDims;
+use std::sync::Arc;
+
+/// Elements of the Triad streams.
+pub const TRIAD_N: u64 = 131072;
+
+/// STREAM triad: `c[i] = a[i] + s·b[i]`.
+///
+/// Structure: pure streaming — one FMA per two loads and a store, fully
+/// memory-bound, maximal latency-hiding headroom.
+pub fn triad() -> WorkloadSpec {
+    let n = TRIAD_N;
+    let s = 1.75f32;
+    let per_thread = 2u64;
+    let mut b = KernelBuilder::new("triad");
+    let gid = global_tid(&mut b);
+    for k in 0..per_thread as i64 {
+        let total = (n / per_thread) as i64;
+        let i = b.imad(k, total, gid);
+        let a = ldg(&mut b, 0, i);
+        let bv = ldg(&mut b, 1, i);
+        let c = b.ffma(bv, fimm(s), a);
+        stg(&mut b, 2, i, c);
+    }
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "STREAM triad",
+        abbr: "Triad",
+        suite: "SHOC",
+        kernel,
+        dims: LaunchDims::linear((n / per_thread / 128) as u32, 128),
+        init: Arc::new(move |m| {
+            for i in 0..n {
+                m.write_f32(elem(0, i), seed_f32(i));
+                m.write_f32(elem(1, i), seed_f32(i + n));
+            }
+        }),
+        check: Arc::new(move |m| {
+            for i in 0..n {
+                let c = seed_f32(i + n).mul_add(1.75, seed_f32(i));
+                if m.read_f32(elem(2, i)) != c {
+                    return false;
+                }
+            }
+            true
+        }),
+    }
+}
+
+/// Table size of the GUPS workload (words).
+pub const GUPS_TABLE: u64 = 65536;
+/// Updates per thread.
+pub const GUPS_UPDATES: u64 = 8;
+/// Threads in the GUPS launch.
+pub const GUPS_THREADS: u64 = 16384;
+
+/// Giga-updates-per-second: random read-modify-writes over a large table,
+/// done with global atomic adds so concurrent updates commute.
+///
+/// Structure: uncoalesced random atomics — worst-case memory divergence
+/// and the densest region boundaries in the suite (every atomic is a
+/// synchronization point).
+pub fn gups() -> WorkloadSpec {
+    let table = GUPS_TABLE;
+    let mut b = KernelBuilder::new("gups");
+    let gid = global_tid(&mut b);
+    let k = b.mov(0i64);
+    b.label("update");
+    let seq = b.imad(gid, GUPS_UPDATES as i64, k);
+    // idx = mix(seq): (seq * 2654435761) >> 8 mod table
+    let h = b.imul(seq, 2_654_435_761i64);
+    let h2 = b.shr(h, 8i64);
+    let idx = b.and(h2, (table - 1) as i64);
+    let _ = atom_add_g(&mut b, 0, idx, 1i64);
+    let k1 = b.iadd(k, 1);
+    b.mov_to(k, k1);
+    let p = b.setp(Cmp::Lt, k, GUPS_UPDATES as i64);
+    b.bra_if(p, true, "update");
+    b.exit();
+    let kernel = b.finish();
+    WorkloadSpec {
+        name: "Giga UPdates per Second",
+        abbr: "GUPS",
+        suite: "SHOC",
+        kernel,
+        dims: LaunchDims::linear((GUPS_THREADS / 128) as u32, 128),
+        init: Arc::new(|_m| {}),
+        check: Arc::new(move |m| {
+            let mut expect = vec![0u64; table as usize];
+            for g in 0..GUPS_THREADS {
+                for k in 0..GUPS_UPDATES {
+                    let seq = g * GUPS_UPDATES + k;
+                    let h = (seq as i64).wrapping_mul(2_654_435_761) as u64;
+                    let idx = (h >> 8) & (table - 1);
+                    expect[idx as usize] += 1;
+                }
+            }
+            (0..table).all(|i| m.read(elem(0, i)) == expect[i as usize])
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::baseline_ok;
+
+    #[test]
+    fn triad_baseline_correct() {
+        baseline_ok(&triad());
+    }
+
+    #[test]
+    fn gups_baseline_correct() {
+        baseline_ok(&gups());
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: protect a Table-I workload with Flame and measure the
+//! overhead and hardware cost.
+//!
+//! Run with `cargo run --release -p flame --example quickstart`.
+
+use flame::core::report::hardware_cost;
+use flame::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's default platform: GTX 480, GTO scheduler, 20-cycle WCDL.
+    let cfg = ExperimentConfig::default();
+
+    // Pick the paper's flagship workload: LU decomposition.
+    let lud = flame::workloads::by_abbr("LUD").expect("LUD is in the suite");
+    println!("workload: {} ({})", lud.name, lud.abbr);
+
+    let baseline = run_scheme(&lud, Scheme::Baseline, &cfg)?;
+    println!(
+        "baseline:  {} cycles, output {}",
+        baseline.stats.cycles,
+        if baseline.output_ok { "correct" } else { "WRONG" }
+    );
+
+    let flame_run = run_scheme(&lud, Scheme::SensorRenaming, &cfg)?;
+    println!(
+        "Flame:     {} cycles, output {}, {} regions (mean {:.1} insts)",
+        flame_run.stats.cycles,
+        if flame_run.output_ok { "correct" } else { "WRONG" },
+        flame_run.compile.regions,
+        flame_run.compile.mean_region_size,
+    );
+    println!(
+        "overhead:  {:+.2}%  |  warps verified through the RBQ: {}",
+        (flame_run.stats.cycles as f64 / baseline.stats.cycles as f64 - 1.0) * 100.0,
+        flame_run.stats.resilience.verifications,
+    );
+
+    // What the protection costs in hardware.
+    let cost = hardware_cost(&cfg.gpu, cfg.wcdl);
+    println!(
+        "hardware:  {} sensors/SM ({:.4}% area), RBQ {} bits, RPT {} bits per scheduler",
+        cost.sensors_per_sm,
+        cost.sensor_area_overhead * 100.0,
+        cost.rbq_bits_per_scheduler,
+        cost.rpt_bits_per_scheduler,
+    );
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! Compare every resilience scheme on one workload (default LUD; pass a
+//! Table-I abbreviation to choose another).
+//!
+//! Run with `cargo run --release -p flame --example scheme_comparison -- KNN`.
+
+use flame::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let abbr = std::env::args().nth(1).unwrap_or_else(|| "LUD".into());
+    let w = flame::workloads::by_abbr(&abbr)
+        .unwrap_or_else(|| panic!("unknown workload `{abbr}`; see `flame::workloads::all()`"));
+    let cfg = ExperimentConfig::default();
+    let base = run_scheme(&w, Scheme::Baseline, &cfg)?;
+    println!("{} — baseline {} cycles\n", w.name, base.stats.cycles);
+    println!("{:<34} {:>12} {:>10} {:>9} {:>8}", "scheme", "cycles", "overhead", "regions", "extra");
+    for scheme in Scheme::paper_schemes() {
+        let r = run_scheme(&w, scheme, &cfg)?;
+        assert!(r.output_ok, "{scheme} produced wrong output");
+        let extra = if r.compile.duplicated > 0 {
+            format!("{} dup", r.compile.duplicated)
+        } else if r.compile.checkpoints > 0 {
+            format!("{} ckpt", r.compile.checkpoints)
+        } else if r.compile.renamed > 0 {
+            format!("{} ren", r.compile.renamed)
+        } else {
+            "-".into()
+        };
+        println!(
+            "{:<34} {:>12} {:>9.2}% {:>9} {:>8}",
+            scheme.name(),
+            r.stats.cycles,
+            (r.stats.cycles as f64 / base.stats.cycles as f64 - 1.0) * 100.0,
+            r.compile.regions,
+            extra,
+        );
+    }
+    Ok(())
+}

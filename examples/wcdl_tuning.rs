@@ -1,0 +1,38 @@
+//! Explore the sensor-count ↔ WCDL ↔ overhead trade-off (the design
+//! decision behind the paper's Figures 12 + 17 and its choice of 200
+//! sensors / 20 cycles).
+//!
+//! Run with `cargo run --release -p flame --example wcdl_tuning -- SN`.
+
+use flame::prelude::*;
+use flame::sensors::sensors_for_wcdl;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let abbr = std::env::args().nth(1).unwrap_or_else(|| "SN".into());
+    let w = flame::workloads::by_abbr(&abbr).expect("Table-I abbreviation");
+    let gpu = GpuConfig::gtx480();
+    println!(
+        "{} on {}: sensors per SM -> WCDL -> Flame overhead\n",
+        w.abbr, gpu.name
+    );
+    println!("{:>10} {:>8} {:>12} {:>11}", "WCDL", "sensors", "area %", "overhead");
+    for wcdl in [10u32, 15, 20, 30, 40, 50] {
+        let sensors = sensors_for_wcdl(gpu.sm_area_mm2, gpu.core_clock_mhz, wcdl);
+        let mesh = SensorMesh::new(sensors, gpu.sm_area_mm2);
+        let cfg = ExperimentConfig {
+            gpu: gpu.clone(),
+            wcdl,
+            ..ExperimentConfig::default()
+        };
+        let t = normalized_time(&w, Scheme::SensorRenaming, &cfg)?;
+        println!(
+            "{:>10} {:>8} {:>11.4}% {:>+10.2}%",
+            wcdl,
+            sensors,
+            mesh.area_overhead() * 100.0,
+            (t - 1.0) * 100.0
+        );
+    }
+    println!("\n(the paper picks 20 cycles / 200 sensors as the cost-effective knee)");
+    Ok(())
+}

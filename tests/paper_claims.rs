@@ -1,0 +1,162 @@
+//! Shape-level checks of the paper's headline claims on a representative
+//! subset (the full sweeps live in `flame-bench`; these keep the claims
+//! from regressing).
+
+use flame::core::report::{dynamic_region_size, hardware_cost};
+use flame::prelude::*;
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        max_cycles: 100_000_000,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn overhead(w: &WorkloadSpec, s: Scheme, cfg: &ExperimentConfig) -> f64 {
+    normalized_time(w, s, cfg).unwrap()
+}
+
+/// Claim: Flame's overhead is near zero while duplication-based detection
+/// costs tens of percent, with the hybrid in between (Figures 13–15).
+#[test]
+fn scheme_ordering_matches_figure15() {
+    let cfg = cfg();
+    let subset: Vec<_> = ["SGEMM", "WT", "SN", "Kmeans"]
+        .iter()
+        .map(|a| flame::workloads::by_abbr(a).unwrap())
+        .collect();
+    let geo = |s: Scheme| {
+        geomean(
+            &subset
+                .iter()
+                .map(|w| overhead(w, s, &cfg))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let flame_t = geo(Scheme::SensorRenaming);
+    let dup = geo(Scheme::DuplicationRenaming);
+    let hybrid = geo(Scheme::HybridRenaming);
+    assert!(flame_t < 1.10, "Flame should be near zero, got {flame_t}");
+    assert!(dup > 1.25, "duplication should be costly, got {dup}");
+    assert!(hybrid < dup, "hybrid {hybrid} must beat duplication {dup}");
+    assert!(flame_t < hybrid, "Flame {flame_t} must beat hybrid {hybrid}");
+}
+
+/// Claim: renaming-based recovery support is almost free; checkpointing
+/// costs a few percent (Figure 15: 0.04% vs 5.9%).
+#[test]
+fn renaming_is_cheaper_than_checkpointing() {
+    let cfg = cfg();
+    let subset: Vec<_> = ["Stencil", "SN", "WT"]
+        .iter()
+        .map(|a| flame::workloads::by_abbr(a).unwrap())
+        .collect();
+    let ren = geomean(
+        &subset
+            .iter()
+            .map(|w| overhead(w, Scheme::Renaming, &cfg))
+            .collect::<Vec<_>>(),
+    );
+    let ckpt = geomean(
+        &subset
+            .iter()
+            .map(|w| overhead(w, Scheme::Checkpointing, &cfg))
+            .collect::<Vec<_>>(),
+    );
+    assert!(ren < 1.02, "renaming should be ~free, got {ren}");
+    assert!(ckpt > ren, "checkpointing {ckpt} should cost more than renaming {ren}");
+}
+
+/// Claim: WCDL-aware warp scheduling is what makes verification cheap —
+/// the naive stall design is far worse (Figure 4 motivation).
+#[test]
+fn wcdl_aware_scheduling_hides_the_verification_delay() {
+    let cfg = cfg();
+    for abbr in ["SN", "KNN"] {
+        let w = flame::workloads::by_abbr(abbr).unwrap();
+        let naive = overhead(&w, Scheme::NaiveSensorRenaming, &cfg);
+        let flame_t = overhead(&w, Scheme::SensorRenaming, &cfg);
+        assert!(
+            naive > flame_t + 0.10,
+            "{abbr}: naive {naive} should be much worse than Flame {flame_t}"
+        );
+    }
+}
+
+/// Claim: the §III-E region extension pays off on LUD-like kernels
+/// (Figure 16: LUD 15% -> 6.4%).
+#[test]
+fn region_extension_helps_lud() {
+    let cfg = cfg();
+    let lud = flame::workloads::by_abbr("LUD").unwrap();
+    let without = overhead(&lud, Scheme::SensorRenamingNoOpt, &cfg);
+    let with = overhead(&lud, Scheme::SensorRenaming, &cfg);
+    assert!(
+        with < without,
+        "region opt must help LUD: {with} !< {without}"
+    );
+}
+
+/// Claim: smaller WCDL, smaller overhead (Figure 17's trend), checked on
+/// a barrier-dense workload where the effect is visible.
+#[test]
+fn wcdl_sensitivity_trend() {
+    let base = cfg();
+    let w = flame::workloads::by_abbr("SN").unwrap();
+    let at = |wcdl: u32| {
+        let cfg = ExperimentConfig { wcdl, ..base.clone() };
+        overhead(&w, Scheme::SensorRenaming, &cfg)
+    };
+    let (t10, t50) = (at(10), at(50));
+    assert!(
+        t10 <= t50 + 1e-9,
+        "overhead should not shrink as WCDL grows: {t10} vs {t50}"
+    );
+}
+
+/// Claim: Table II's sensor counts and the <0.1% area overhead.
+#[test]
+fn table2_hardware_costs() {
+    let cases = [
+        (GpuConfig::gtx480(), 200),
+        (GpuConfig::titan_x(), 260),
+        (GpuConfig::gv100(), 128),
+        (GpuConfig::rtx2060(), 248),
+    ];
+    for (gpu, sensors) in cases {
+        let c = hardware_cost(&gpu, 20);
+        assert_eq!(c.sensors_per_sm, sensors, "{}", gpu.name);
+        assert!(c.sensor_area_overhead < 0.001, "{}", gpu.name);
+    }
+    // GTX480's per-scheduler RBQ is the paper's 20 x 6 = 120 bits.
+    assert_eq!(hardware_cost(&GpuConfig::gtx480(), 20).rbq_bits_per_scheduler, 120);
+}
+
+/// Claim: §IV's false-positive arithmetic.
+#[test]
+fn section4_false_positive_rates() {
+    let r = FaultRates::default();
+    assert!((r.raw_errors_per_day() - 1.37).abs() < 0.01);
+    assert!(r.false_positives_per_day() < 1.0);
+}
+
+/// Claim: regions are small (§IV: ~50 instructions on average), so
+/// recovery re-executes little work.
+#[test]
+fn dynamic_region_sizes_are_small() {
+    let cfg = cfg();
+    for abbr in ["SGEMM", "Stencil"] {
+        let w = flame::workloads::by_abbr(abbr).unwrap();
+        let r = run_scheme(&w, Scheme::SensorRenaming, &cfg).unwrap();
+        let d = dynamic_region_size(&r.stats);
+        assert!(
+            d > 3.0 && d < 500.0,
+            "{abbr}: implausible dynamic region size {d}"
+        );
+    }
+    // A fully §III-E-extended straight-line kernel can end up with no
+    // boundaries at all (one region): the ratio degenerates to 0.
+    let bp = flame::workloads::by_abbr("BP").unwrap();
+    let r = run_scheme(&bp, Scheme::SensorRenaming, &cfg).unwrap();
+    assert!(r.output_ok);
+}

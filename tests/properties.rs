@@ -1,0 +1,122 @@
+//! Property-based tests over randomly generated kernels: the compiler
+//! pipeline must preserve semantics for every scheme, and the renaming
+//! pass must leave no uncovered register WARs.
+
+use flame::compiler::pipeline::{build, BuildOptions};
+use flame::compiler::regalloc::allocate;
+use flame::compiler::region::{form_regions, Exemptions};
+use flame::compiler::renaming::{rename, RenameStats};
+use flame::prelude::*;
+use flame::sim::gpu::Gpu;
+use flame::sim::isa::{Cmp, MemSpace, Special};
+use flame::sim::Kernel;
+use proptest::prelude::*;
+
+/// A random straight-line-plus-one-loop kernel over two arrays.
+#[derive(Debug, Clone)]
+struct RandomKernel {
+    ops: Vec<u8>,
+    loop_trips: i64,
+    budget: u32,
+}
+
+fn random_kernel_strategy() -> impl Strategy<Value = RandomKernel> {
+    (
+        proptest::collection::vec(0u8..6, 4..24),
+        1i64..6,
+        8u32..24,
+    )
+        .prop_map(|(ops, loop_trips, budget)| RandomKernel {
+            ops,
+            loop_trips,
+            budget,
+        })
+}
+
+fn build_random(rk: &RandomKernel) -> Kernel {
+    let mut b = KernelBuilder::new("prop");
+    let tid = b.special(Special::TidX);
+    let addr = b.imul(tid, 8);
+    let x = b.ld_arr(MemSpace::Global, 0, addr, 0);
+    let mut acc = b.mov(x);
+    let i = b.mov(0i64);
+    b.label("head");
+    for (j, op) in rk.ops.iter().enumerate() {
+        let v = match op % 6 {
+            0 => b.iadd(acc, j as i64 + 1),
+            1 => b.imul(acc, 3i64),
+            2 => b.xor(acc, 0x5Ai64),
+            3 => b.iadd(acc, i),
+            4 => b.imax(acc, j as i64),
+            _ => b.isub(acc, 1i64),
+        };
+        b.mov_to(acc, v);
+    }
+    let i2 = b.iadd(i, 1);
+    b.mov_to(i, i2);
+    let p = b.setp(Cmp::Lt, i, rk.loop_trips);
+    b.bra_if(p, true, "head");
+    // Same-class store: forces region formation to cut a memory WAR.
+    b.st_arr(MemSpace::Global, 0, addr, acc, 0);
+    b.exit();
+    b.finish()
+}
+
+fn run_kernel(flat: &flame::sim::FlatKernel) -> Vec<u64> {
+    let mut gpu = Gpu::launch(
+        GpuConfig::gtx480(),
+        flat.clone(),
+        LaunchDims::linear(2, 64),
+        SchedulerKind::Gto,
+    )
+    .unwrap();
+    for i in 0..128u64 {
+        gpu.global_mut().write(i * 8, i * 31 + 7);
+    }
+    gpu.run(10_000_000).unwrap();
+    (0..128u64).map(|i| gpu.global().read(i * 8)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every scheme's compiled kernel computes the same result as the
+    /// baseline on random kernels.
+    #[test]
+    fn schemes_preserve_semantics(rk in random_kernel_strategy()) {
+        let k = build_random(&rk);
+        let base = build(&k, &BuildOptions::baseline(63)).unwrap();
+        let expect = run_kernel(&base.flat);
+        for scheme in [
+            Scheme::SensorRenaming,
+            Scheme::SensorCheckpointing,
+            Scheme::DuplicationRenaming,
+            Scheme::HybridCheckpointing,
+        ] {
+            let built = build(&k, &scheme.build_options(63, 20)).unwrap();
+            prop_assert_eq!(&run_kernel(&built.flat), &expect, "{}", scheme);
+        }
+    }
+
+    /// After renaming, a second pass finds no WAR left (the WAR-free
+    /// postcondition that makes regions idempotent).
+    #[test]
+    fn renaming_reaches_war_free_fixpoint(rk in random_kernel_strategy()) {
+        let k = build_random(&rk);
+        let alloc = allocate(&k, rk.budget.max(9)).unwrap();
+        let regioned = form_regions(&alloc.kernel, &Exemptions::none());
+        let (renamed, _) = rename(&regioned, 63);
+        let (again, second) = rename(&renamed, 63);
+        prop_assert_eq!(second, RenameStats::default());
+        prop_assert_eq!(again, renamed);
+    }
+
+    /// Register allocation alone preserves semantics at any budget.
+    #[test]
+    fn allocation_preserves_semantics(rk in random_kernel_strategy()) {
+        let k = build_random(&rk);
+        let roomy = allocate(&k, 63).unwrap();
+        let tight = allocate(&k, rk.budget.max(9)).unwrap();
+        prop_assert_eq!(run_kernel(&roomy.kernel.flatten()), run_kernel(&tight.kernel.flatten()));
+    }
+}
