@@ -1,7 +1,15 @@
-//! Criterion micro-benchmarks of the core mechanisms: the RBQ conveyor,
-//! the RPT, the compiler passes, and raw simulator throughput.
+//! Micro-benchmarks of the core mechanisms: the RBQ conveyor, the RPT,
+//! the compiler passes, and raw simulator throughput.
+//!
+//! A self-contained `std::time`-based harness (no external benchmarking
+//! crate: the workspace builds with no registry access). Each benchmark
+//! runs a warm-up pass, then `FLAME_BENCH_ITERS` timed iterations
+//! (default 20) and reports the minimum, median and mean wall-clock time
+//! per iteration — the minimum is the least noisy estimator on a shared
+//! machine.
+//!
+//! Run with `cargo bench -p flame-bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use flame_compiler::pipeline::{build, BuildOptions};
 use flame_core::rbq::Rbq;
 use flame_core::rpt::Rpt;
@@ -12,6 +20,7 @@ use gpu_sim::isa::{MemSpace, Special};
 use gpu_sim::scheduler::SchedulerKind;
 use gpu_sim::sm::LaunchDims;
 use gpu_sim::warp::{RecoveryPoint, SimtStack};
+use std::time::{Duration, Instant};
 
 fn sample_kernel() -> gpu_sim::Kernel {
     let mut b = KernelBuilder::new("bench");
@@ -35,71 +44,70 @@ fn point(pc: u32) -> RecoveryPoint {
     }
 }
 
-fn bench_rbq(c: &mut Criterion) {
-    c.bench_function("rbq_push_pop_1k", |b| {
-        b.iter_batched(
-            || Rbq::new(20),
-            |mut q| {
-                for i in 0..1000u64 {
-                    q.push(i, (i % 24) as usize);
-                    let _ = q.pop(i + 20);
-                }
-                q
-            },
-            BatchSize::SmallInput,
-        );
-    });
+/// Times `f` over the configured iteration count and prints a report
+/// line. The closure's return value is consumed with `std::hint::black_box`
+/// so the work cannot be optimized away.
+fn bench<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) {
+    // Warm-up (also pays one-time cache/allocation costs).
+    std::hint::black_box(f());
+    let mut samples: Vec<Duration> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t0.elapsed());
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<24} min {:>12?}  median {:>12?}  mean {:>12?}  ({iters} iters)",
+        min, median, mean
+    );
 }
 
-fn bench_rpt(c: &mut Criterion) {
-    c.bench_function("rpt_update_1k", |b| {
-        b.iter_batched(
-            || Rpt::new(48),
-            |mut t| {
-                for i in 0..1000u32 {
-                    t.set((i % 48) as usize, point(i));
-                }
-                t.all_live()
-            },
-            BatchSize::SmallInput,
-        );
-    });
-}
+fn main() {
+    let iters: usize = std::env::var("FLAME_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
 
-fn bench_compile(c: &mut Criterion) {
+    bench("rbq_push_pop_1k", iters, || {
+        let mut q = Rbq::new(20);
+        for i in 0..1000u64 {
+            q.push(i, (i % 24) as usize);
+            let _ = q.pop(i + 20);
+        }
+        q.is_empty()
+    });
+
+    bench("rpt_update_1k", iters, || {
+        let mut t = Rpt::new(48);
+        for i in 0..1000u32 {
+            t.set((i % 48) as usize, point(i));
+        }
+        t.all_live()
+    });
+
     let k = sample_kernel();
-    c.bench_function("compile_baseline", |b| {
-        b.iter(|| build(&k, &BuildOptions::baseline(63)).unwrap());
+    bench("compile_baseline", iters, || {
+        build(&k, &BuildOptions::baseline(63)).unwrap()
     });
-    c.bench_function("compile_flame", |b| {
-        b.iter(|| build(&k, &BuildOptions::flame(63, 20)).unwrap());
+    bench("compile_flame", iters, || {
+        build(&k, &BuildOptions::flame(63, 20)).unwrap()
     });
-}
 
-fn bench_sim(c: &mut Criterion) {
     let flat = build(&sample_kernel(), &BuildOptions::baseline(63))
         .unwrap()
         .flat;
-    c.bench_function("simulate_64_ctas", |b| {
-        b.iter_batched(
-            || {
-                Gpu::launch(
-                    GpuConfig::gtx480(),
-                    flat.clone(),
-                    LaunchDims::linear(64, 128),
-                    SchedulerKind::Gto,
-                )
-                .unwrap()
-            },
-            |mut gpu| gpu.run(10_000_000).unwrap(),
-            BatchSize::SmallInput,
-        );
+    bench("simulate_64_ctas", iters, || {
+        let mut gpu = Gpu::launch(
+            GpuConfig::gtx480(),
+            flat.clone(),
+            LaunchDims::linear(64, 128),
+            SchedulerKind::Gto,
+        )
+        .unwrap();
+        gpu.run(10_000_000).unwrap()
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_rbq, bench_rpt, bench_compile, bench_sim
-}
-criterion_main!(benches);

@@ -2,7 +2,8 @@
 //! on every workload (WCDL = 20, GTO, GTX480); the final GEOMEAN row is
 //! Figure 15.
 
-use flame_bench::{paper_default, print_table, run_suite};
+use flame_bench::{paper_default, print_table, run_series, Series};
+use flame_core::matrix::default_jobs;
 use flame_core::scheme::Scheme;
 
 fn main() {
@@ -10,13 +11,14 @@ fn main() {
     let suite = flame_workloads::all();
     let schemes = Scheme::paper_schemes();
     println!("Figures 13/14 — normalized execution time (WCDL=20, GTO, GTX480)\n");
-    let series: Vec<_> = schemes
-        .iter()
-        .map(|s| {
-            eprintln!("running {s} over {} workloads...", suite.len());
-            run_suite(&suite, *s, &cfg)
-        })
-        .collect();
+    eprintln!(
+        "running {} schemes x {} workloads on {} worker(s)...",
+        schemes.len(),
+        suite.len(),
+        default_jobs()
+    );
+    let spec: Vec<Series> = schemes.iter().map(|s| Series::of(*s, &cfg)).collect();
+    let series = run_series(&suite, &spec);
     let names: Vec<&str> = schemes.iter().map(|s| s.name()).collect();
     print_table(&names, &series);
     println!("\n(the GEOMEAN row is Figure 15; paper: Flame 1.006, Sensor+Ckpt 1.069,");

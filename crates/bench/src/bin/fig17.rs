@@ -1,26 +1,34 @@
 //! Figure 17: Flame's overhead as WCDL varies from 10 to 50 cycles
 //! (GTO, GTX480).
 
-use flame_bench::{print_table, run_suite, series_geomean};
+use flame_bench::{print_table, run_series, series_geomean, Series};
 use flame_core::experiment::ExperimentConfig;
+use flame_core::matrix::default_jobs;
 use flame_core::scheme::Scheme;
 
 fn main() {
     let suite = flame_workloads::all();
     println!("Figure 17 — Flame overhead vs. WCDL (GTO, GTX480)\n");
     let wcdls = [10u32, 20, 30, 40, 50];
-    let mut series = Vec::new();
-    for w in wcdls {
-        eprintln!("running WCDL={w}...");
-        let cfg = ExperimentConfig {
-            wcdl: w,
-            ..ExperimentConfig::default()
-        };
-        series.push(run_suite(&suite, Scheme::SensorRenaming, &cfg));
-    }
-    let names: Vec<String> = wcdls.iter().map(|w| format!("WCDL={w}")).collect();
-    let names_ref: Vec<&str> = names.iter().map(String::as_str).collect();
-    print_table(&names_ref, &series);
+    eprintln!(
+        "running {} WCDLs x {} workloads on {} worker(s)...",
+        wcdls.len(),
+        suite.len(),
+        default_jobs()
+    );
+    let spec: Vec<Series> = wcdls
+        .iter()
+        .map(|&w| {
+            let cfg = ExperimentConfig {
+                wcdl: w,
+                ..ExperimentConfig::default()
+            };
+            Series::named(format!("WCDL={w}"), Scheme::SensorRenaming, &cfg)
+        })
+        .collect();
+    let series = run_series(&suite, &spec);
+    let names: Vec<&str> = spec.iter().map(|s| s.name.as_str()).collect();
+    print_table(&names, &series);
     println!("\ngeomean overheads:");
     for (w, s) in wcdls.iter().zip(&series) {
         println!("  WCDL={w}: {:+.2}%", (series_geomean(s) - 1.0) * 100.0);

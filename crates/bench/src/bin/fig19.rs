@@ -1,8 +1,9 @@
 //! Figure 19: Flame's overhead on the four GPU architectures (each
 //! normalized to the same architecture's no-resilience baseline).
 
-use flame_bench::{print_table, run_suite, series_geomean};
+use flame_bench::{print_table, run_series, series_geomean, Series};
 use flame_core::experiment::ExperimentConfig;
+use flame_core::matrix::default_jobs;
 use flame_core::scheme::Scheme;
 use gpu_sim::config::GpuConfig;
 
@@ -10,15 +11,23 @@ fn main() {
     let suite = flame_workloads::all();
     println!("Figure 19 — Flame overhead per GPU architecture (WCDL=20, GTO)\n");
     let archs = GpuConfig::paper_architectures();
-    let mut series = Vec::new();
-    for gpu in &archs {
-        eprintln!("running {}...", gpu.name);
-        let cfg = ExperimentConfig {
-            gpu: gpu.clone(),
-            ..ExperimentConfig::default()
-        };
-        series.push(run_suite(&suite, Scheme::SensorRenaming, &cfg));
-    }
+    eprintln!(
+        "running {} GPUs x {} workloads on {} worker(s)...",
+        archs.len(),
+        suite.len(),
+        default_jobs()
+    );
+    let spec: Vec<Series> = archs
+        .iter()
+        .map(|gpu| {
+            let cfg = ExperimentConfig {
+                gpu: gpu.clone(),
+                ..ExperimentConfig::default()
+            };
+            Series::named(gpu.name, Scheme::SensorRenaming, &cfg)
+        })
+        .collect();
+    let series = run_series(&suite, &spec);
     let names: Vec<&str> = archs.iter().map(|a| a.name).collect();
     print_table(&names, &series);
     println!("\ngeomean overheads:");

@@ -2,21 +2,24 @@
 //! WCDL-aware warp scheduling — the naive design stalls the scheduler for
 //! WCDL cycles at every boundary.
 
-use flame_bench::{paper_default, print_table, run_suite, series_geomean};
+use flame_bench::{paper_default, print_table, run_series, series_geomean, Series};
 use flame_core::scheme::Scheme;
 
 fn main() {
     let cfg = paper_default();
     let suite = flame_workloads::all();
     println!("Figure 4 ablation — naive verification vs. WCDL-aware scheduling\n");
-    eprintln!("running naive...");
-    let naive = run_suite(&suite, Scheme::NaiveSensorRenaming, &cfg);
-    eprintln!("running Flame...");
-    let flame = run_suite(&suite, Scheme::SensorRenaming, &cfg);
-    print_table(&["naive stall", "Flame (WCDL-aware)"], &[naive.clone(), flame.clone()]);
+    let series = run_series(
+        &suite,
+        &[
+            Series::named("naive stall", Scheme::NaiveSensorRenaming, &cfg),
+            Series::named("Flame (WCDL-aware)", Scheme::SensorRenaming, &cfg),
+        ],
+    );
+    print_table(&["naive stall", "Flame (WCDL-aware)"], &series);
     println!(
         "\ngeomean: naive {:+.1}% vs Flame {:+.2}% — the verification delay Flame hides",
-        (series_geomean(&naive) - 1.0) * 100.0,
-        (series_geomean(&flame) - 1.0) * 100.0,
+        (series_geomean(&series[0]) - 1.0) * 100.0,
+        (series_geomean(&series[1]) - 1.0) * 100.0,
     );
 }

@@ -1,0 +1,101 @@
+//! Times the experiment-matrix engine on a fixed sub-matrix, serial
+//! (1 worker) versus parallel (`FLAME_JOBS` / all cores), verifies the
+//! two passes are bit-identical, and emits one machine-readable JSON
+//! object on stdout.
+//!
+//! The sub-matrix is 4 workloads × 3 schemes = 12 cells + 4 memoized
+//! baselines (a naive per-cell driver would run 24 simulations). The
+//! expected speedup scales with core count: ~1× on a single core, ≥3× on
+//! 4+ cores (cells are embarrassingly parallel; the longest single cell
+//! bounds the critical path).
+
+use flame_core::experiment::{prepare_count, ExperimentConfig};
+use flame_core::matrix::{default_jobs, run_matrix_with_jobs, CellResult, MatrixCell};
+use flame_core::scheme::Scheme;
+use std::time::Instant;
+
+fn timed_pass(
+    suite: &[flame_core::experiment::WorkloadSpec],
+    cells: &[MatrixCell],
+    jobs: usize,
+) -> (Vec<CellResult>, f64, u64) {
+    let sims_before = prepare_count();
+    let t = Instant::now();
+    let out = run_matrix_with_jobs(suite, cells, jobs);
+    let secs = t.elapsed().as_secs_f64();
+    let sims = prepare_count() - sims_before;
+    let results: Vec<CellResult> = out
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|e| panic!("cell {i}: {e}")))
+        .collect();
+    (results, secs, sims)
+}
+
+fn main() {
+    let abbrs = ["Triad", "GUPS", "NN", "BS"];
+    let suite: Vec<_> = abbrs
+        .iter()
+        .map(|a| flame_workloads::by_abbr(a).expect("known abbr"))
+        .collect();
+    let schemes = [
+        Scheme::SensorRenaming,
+        Scheme::SensorCheckpointing,
+        Scheme::DuplicationRenaming,
+    ];
+    let cfg = ExperimentConfig::default();
+    let mut cells = Vec::new();
+    for s in schemes {
+        for w in 0..suite.len() {
+            cells.push(MatrixCell::new(w, s, cfg.clone()));
+        }
+    }
+
+    let jobs = default_jobs();
+    eprintln!(
+        "perfstat: {} cells ({} workloads x {} schemes), serial then {jobs} worker(s)...",
+        cells.len(),
+        suite.len(),
+        schemes.len()
+    );
+    let (serial, serial_secs, serial_sims) = timed_pass(&suite, &cells, 1);
+    let (parallel, parallel_secs, parallel_sims) = timed_pass(&suite, &cells, jobs);
+
+    let bit_identical = serial.len() == parallel.len()
+        && serial.iter().zip(&parallel).all(|(a, b)| {
+            a.run.stats == b.run.stats
+                && a.baseline.stats == b.baseline.stats
+                && a.normalized == b.normalized
+        });
+    assert!(bit_identical, "serial and parallel matrices diverged");
+    assert_eq!(
+        serial_sims, parallel_sims,
+        "worker count changed the simulation count"
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("{{");
+    println!("  \"cells\": {},", cells.len());
+    println!(
+        "  \"baseline_runs\": {},",
+        serial_sims as usize - cells.len()
+    );
+    println!("  \"simulations_per_pass\": {serial_sims},");
+    println!("  \"naive_simulations_per_pass\": {},", 2 * cells.len());
+    println!("  \"jobs_serial\": 1,");
+    println!("  \"jobs_parallel\": {jobs},");
+    println!("  \"available_cores\": {cores},");
+    println!("  \"serial_wall_secs\": {serial_secs:.3},");
+    println!("  \"parallel_wall_secs\": {parallel_secs:.3},");
+    println!(
+        "  \"serial_cells_per_sec\": {:.3},",
+        cells.len() as f64 / serial_secs
+    );
+    println!(
+        "  \"parallel_cells_per_sec\": {:.3},",
+        cells.len() as f64 / parallel_secs
+    );
+    println!("  \"speedup\": {:.3},", serial_secs / parallel_secs);
+    println!("  \"bit_identical\": {bit_identical}");
+    println!("}}");
+}

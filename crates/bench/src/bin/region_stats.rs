@@ -31,9 +31,18 @@ fn main() {
 
     let rates = FaultRates::default();
     println!("false-positive arithmetic (§IV, Tiwari et al. field data):");
-    println!("  visible failures/day:      {:.2}", rates.visible_failures_per_day);
-    println!("  masking rate:              {:.1}%", rates.masking_rate * 100.0);
-    println!("  raw strikes/day:           {:.2}  (paper: ~1.37)", rates.raw_errors_per_day());
+    println!(
+        "  visible failures/day:      {:.2}",
+        rates.visible_failures_per_day
+    );
+    println!(
+        "  masking rate:              {:.1}%",
+        rates.masking_rate * 100.0
+    );
+    println!(
+        "  raw strikes/day:           {:.2}  (paper: ~1.37)",
+        rates.raw_errors_per_day()
+    );
     println!(
         "  sensor false positives/day: {:.2} (paper prints 0.93 using a 68.5% rate; with the\n   63.5% rate it quotes, the product is {:.2})",
         rates.false_positives_per_day(),
@@ -42,7 +51,11 @@ fn main() {
 
     println!("\nhardware cost at the default deployment (GTX480, WCDL=20):");
     let c = hardware_cost(&cfg.gpu, 20);
-    println!("  sensors/SM: {}   area: {:.4}%", c.sensors_per_sm, c.sensor_area_overhead * 100.0);
+    println!(
+        "  sensors/SM: {}   area: {:.4}%",
+        c.sensors_per_sm,
+        c.sensor_area_overhead * 100.0
+    );
     println!(
         "  RBQ: {} bits/scheduler   RPT: {} bits/scheduler",
         c.rbq_bits_per_scheduler, c.rpt_bits_per_scheduler

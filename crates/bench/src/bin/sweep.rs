@@ -9,7 +9,8 @@
 //!   SCHED     gto|old|lrr|2level (default gto)
 //!   GPU       gtx480|titanx|gv100|rtx2060 (default gtx480)
 
-use flame_core::experiment::{run_scheme, ExperimentConfig};
+use flame_core::experiment::ExperimentConfig;
+use flame_core::matrix::{run_matrix, MatrixCell};
 use flame_core::report::dynamic_region_size;
 use flame_core::scheme::Scheme;
 use gpu_sim::config::GpuConfig;
@@ -46,30 +47,55 @@ fn main() {
         "rtx2060" => GpuConfig::rtx2060(),
         other => panic!("unknown GPU `{other}`"),
     };
-    let w = flame_workloads::by_abbr(abbr)
-        .unwrap_or_else(|| panic!("unknown workload `{abbr}`"));
+    let w = flame_workloads::by_abbr(abbr).unwrap_or_else(|| panic!("unknown workload `{abbr}`"));
     let cfg = ExperimentConfig {
         gpu,
         sched,
         wcdl,
         ..ExperimentConfig::default()
     };
-    let base = run_scheme(&w, Scheme::Baseline, &cfg).expect("baseline");
-    let r = run_scheme(&w, scheme, &cfg).expect("scheme run");
+    // One matrix cell: the engine runs the baseline and the scheme and
+    // hands back both (the baseline is reused outright when the scheme
+    // *is* the baseline).
+    let cell = run_matrix(
+        std::slice::from_ref(&w),
+        &[MatrixCell::new(0, scheme, cfg.clone())],
+    )
+    .pop()
+    .expect("one cell in, one out")
+    .expect("scheme run");
+    let (base, r) = (cell.baseline, cell.run);
     assert!(r.output_ok, "output check failed");
-    println!("{} under {} (WCDL={}, {}, {})", w.abbr, scheme, wcdl, cfg.sched, cfg.gpu.name);
+    println!(
+        "{} under {} (WCDL={}, {}, {})",
+        w.abbr, scheme, wcdl, cfg.sched, cfg.gpu.name
+    );
     println!("  baseline cycles:   {}", base.stats.cycles);
-    println!("  scheme cycles:     {}  ({:+.2}%)",
+    println!(
+        "  scheme cycles:     {}  ({:+.2}%)",
         r.stats.cycles,
-        (r.stats.cycles as f64 / base.stats.cycles as f64 - 1.0) * 100.0);
-    println!("  regions:           {} (static mean {:.1}, dynamic mean {:.1})",
-        r.compile.regions, r.compile.mean_region_size, dynamic_region_size(&r.stats));
-    println!("  regs/thread:       {} (spills {}, renames {}, ckpts {}, dups {})",
-        r.compile.regs_per_thread, r.compile.spills, r.compile.renamed,
-        r.compile.checkpoints, r.compile.duplicated);
-    println!("  boundaries:        {} crossed, {} descheduled, {} verified",
-        r.stats.resilience.boundaries, r.stats.resilience.deschedules,
-        r.stats.resilience.verifications);
+        (cell.normalized - 1.0) * 100.0
+    );
+    println!(
+        "  regions:           {} (static mean {:.1}, dynamic mean {:.1})",
+        r.compile.regions,
+        r.compile.mean_region_size,
+        dynamic_region_size(&r.stats)
+    );
+    println!(
+        "  regs/thread:       {} (spills {}, renames {}, ckpts {}, dups {})",
+        r.compile.regs_per_thread,
+        r.compile.spills,
+        r.compile.renamed,
+        r.compile.checkpoints,
+        r.compile.duplicated
+    );
+    println!(
+        "  boundaries:        {} crossed, {} descheduled, {} verified",
+        r.stats.resilience.boundaries,
+        r.stats.resilience.deschedules,
+        r.stats.resilience.verifications
+    );
     println!("  stalls:            {:?}", r.stats.stalls);
     println!("  memory:            {:?}", r.stats.mem);
 }

@@ -15,12 +15,18 @@
 //! | `fig19`        | Figure 19 — GPU architecture sensitivity          |
 //! | `region_stats` | §IV — region sizes, false positives, §VI-A costs  |
 //! | `fig4_naive`   | Figure 4 — the naive-verification motivation      |
+//! | `perfstat`     | serial-vs-parallel engine throughput, as JSON     |
 //!
-//! The shared code here runs `(workload, scheme, config)` matrices and
-//! prints aligned tables with per-app normalized execution times and the
-//! geometric mean, matching the figures' structure.
+//! The shared code here expresses each figure as a set of [`Series`] over
+//! a workload suite, lowers them onto the parallel matrix engine
+//! ([`flame_core::matrix`]) — one [`flame_core::matrix::run_matrix`] call
+//! per figure, so baselines are simulated once and shared across every
+//! series — and prints aligned tables with per-app normalized execution
+//! times and the geometric mean, matching the figures' structure. Set
+//! `FLAME_JOBS` to control the worker count.
 
-use flame_core::experiment::{geomean, run_scheme, ExperimentConfig, RunResult, WorkloadSpec};
+use flame_core::experiment::{geomean, ExperimentConfig, RunResult, WorkloadSpec};
+use flame_core::matrix::{run_matrix, MatrixCell};
 use flame_core::scheme::Scheme;
 
 /// A single matrix cell: normalized time of `scheme` on one workload.
@@ -34,27 +40,83 @@ pub struct Cell {
     pub run: RunResult,
 }
 
-/// Runs `scheme` over every workload in `suite`, normalizing to a
-/// baseline run under the same `cfg`. Panics on simulation errors or
-/// output mismatches — a figure regenerated from wrong outputs would be
+/// One column of a figure: a scheme under a configuration.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Column label.
+    pub name: String,
+    /// Scheme to run.
+    pub scheme: Scheme,
+    /// Configuration to run under.
+    pub cfg: ExperimentConfig,
+}
+
+impl Series {
+    /// A series labelled with the scheme's own name.
+    pub fn of(scheme: Scheme, cfg: &ExperimentConfig) -> Series {
+        Series {
+            name: scheme.name().to_string(),
+            scheme,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// A series with an explicit label.
+    pub fn named(name: impl Into<String>, scheme: Scheme, cfg: &ExperimentConfig) -> Series {
+        Series {
+            name: name.into(),
+            scheme,
+            cfg: cfg.clone(),
+        }
+    }
+}
+
+/// Runs every series over every workload as **one** parallel matrix and
+/// returns the per-series cells. Baselines are shared across series with
+/// equal configs (Figure 13/14's nine schemes share one baseline per
+/// workload instead of nine). Panics on simulation errors or output
+/// mismatches — a figure regenerated from wrong outputs would be
 /// meaningless.
-pub fn run_suite(suite: &[WorkloadSpec], scheme: Scheme, cfg: &ExperimentConfig) -> Vec<Cell> {
-    suite
+pub fn run_series(suite: &[WorkloadSpec], series: &[Series]) -> Vec<Vec<Cell>> {
+    let cells: Vec<MatrixCell> = series
         .iter()
-        .map(|w| {
-            let base = run_scheme(w, Scheme::Baseline, cfg)
-                .unwrap_or_else(|e| panic!("{} baseline: {e}", w.abbr));
-            assert!(base.output_ok, "{} baseline output wrong", w.abbr);
-            let run = run_scheme(w, scheme, cfg)
-                .unwrap_or_else(|e| panic!("{} {scheme}: {e}", w.abbr));
-            assert!(run.output_ok, "{} {scheme} output wrong", w.abbr);
-            Cell {
-                abbr: w.abbr,
-                normalized: run.stats.cycles as f64 / base.stats.cycles as f64,
-                run,
-            }
+        .flat_map(|s| {
+            suite
+                .iter()
+                .enumerate()
+                .map(|(w, _)| MatrixCell::new(w, s.scheme, s.cfg.clone()))
+        })
+        .collect();
+    let mut results = run_matrix(suite, &cells).into_iter();
+    series
+        .iter()
+        .map(|s| {
+            suite
+                .iter()
+                .map(|w| {
+                    let r = results
+                        .next()
+                        .expect("one result per cell")
+                        .unwrap_or_else(|e| panic!("{} {}: {e}", w.abbr, s.name));
+                    assert!(r.baseline.output_ok, "{} baseline output wrong", w.abbr);
+                    assert!(r.run.output_ok, "{} {} output wrong", w.abbr, s.name);
+                    Cell {
+                        abbr: w.abbr,
+                        normalized: r.normalized,
+                        run: r.run,
+                    }
+                })
+                .collect()
         })
         .collect()
+}
+
+/// Runs `scheme` over every workload in `suite`, normalizing to a
+/// baseline run under the same `cfg`. A one-series [`run_series`].
+pub fn run_suite(suite: &[WorkloadSpec], scheme: Scheme, cfg: &ExperimentConfig) -> Vec<Cell> {
+    run_series(suite, &[Series::of(scheme, cfg)])
+        .pop()
+        .expect("one series in, one out")
 }
 
 /// Prints a per-app table: one row per workload, one column per series.
@@ -95,13 +157,37 @@ pub fn paper_default() -> ExperimentConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flame_core::experiment::prepare_count;
 
+    // A single test fn: the prepare counter is process-global, and a
+    // sibling test running concurrently would skew the exact counts.
     #[test]
-    fn run_suite_on_one_workload() {
+    fn suite_and_series_share_baselines() {
         let suite = vec![flame_workloads::by_abbr("Triad").unwrap()];
-        let cells = run_suite(&suite, Scheme::Renaming, &paper_default());
+        let cfg = paper_default();
+
+        let cells = run_suite(&suite, Scheme::Renaming, &cfg);
         assert_eq!(cells.len(), 1);
         assert!(cells[0].normalized > 0.5 && cells[0].normalized < 2.0);
         assert!((series_geomean(&cells) - cells[0].normalized).abs() < 1e-12);
+
+        // Two series over one workload with one shared config: 1 baseline
+        // + 2 scheme runs, not 4 simulations.
+        let before = prepare_count();
+        let series = run_series(
+            &suite,
+            &[
+                Series::of(Scheme::Renaming, &cfg),
+                Series::of(Scheme::Checkpointing, &cfg),
+            ],
+        );
+        assert_eq!(
+            prepare_count() - before,
+            3,
+            "series must share one baseline"
+        );
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0][0].abbr, "Triad");
+        assert!(series.iter().all(|s| s[0].normalized >= 1.0));
     }
 }

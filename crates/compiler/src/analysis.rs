@@ -280,11 +280,7 @@ mod tests {
         // Loop head: two preds -> not a linear continuation.
         assert!(!is_linear_continuation(&k, &preds, BlockId(head as u32)));
         // Block after the conditional backedge: single fall-through pred.
-        assert!(is_linear_continuation(
-            &k,
-            &preds,
-            BlockId(head as u32 + 1)
-        ));
+        assert!(is_linear_continuation(&k, &preds, BlockId(head as u32 + 1)));
         // Entry block with no preds is a linear continuation.
         assert!(is_linear_continuation(&k, &preds, BlockId(0)));
     }

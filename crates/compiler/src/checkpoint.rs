@@ -324,11 +324,7 @@ mod tests {
         let res = checkpoint(&regioned);
         // Every boundary with a nonempty restore list must be directly
         // preceded by that many local stores.
-        let flat: Vec<_> = res
-            .kernel
-            .iter()
-            .map(|(_, _, i)| i.clone())
-            .collect();
+        let flat: Vec<_> = res.kernel.iter().map(|(_, _, i)| i.clone()).collect();
         let mut ord = 0;
         for (i, inst) in flat.iter().enumerate() {
             if inst.op == Opcode::RegionBoundary {

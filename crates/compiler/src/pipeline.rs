@@ -15,6 +15,7 @@
 //! ```
 
 use crate::checkpoint::checkpoint;
+use crate::checkpoint::CheckpointSlot;
 use crate::regalloc::{allocate, AllocError};
 use crate::region::{form_regions, region_stats, regions_of, Exemptions, RegionStats};
 use crate::region_opt::detect;
@@ -23,7 +24,6 @@ use crate::swapcodes::duplicate;
 use crate::taildmr::tail_dmr;
 use gpu_sim::isa::Opcode;
 use gpu_sim::program::{FlatKernel, Kernel};
-use crate::checkpoint::CheckpointSlot;
 use std::collections::HashMap;
 
 /// Recovery strategy of a scheme.
@@ -211,7 +211,10 @@ pub fn build(kernel: &Kernel, opts: &BuildOptions) -> Result<CompiledKernel, All
     let mut ordinal = 0usize;
     for (pc, inst) in flat.insts.iter().enumerate() {
         if inst.op == Opcode::RegionBoundary {
-            let list = restores_by_ordinal.get(ordinal).cloned().unwrap_or_default();
+            let list = restores_by_ordinal
+                .get(ordinal)
+                .cloned()
+                .unwrap_or_default();
             if !list.is_empty() {
                 restores_by_pc.insert(pc as u32 + 1, list);
             }
@@ -351,7 +354,10 @@ mod tests {
         let k = workload();
         let built = build(&k, &BuildOptions::flame(63, 20)).unwrap();
         assert!(built.stats.regions > 1);
-        assert!(built.restores_by_pc.is_empty(), "renaming needs no restores");
+        assert!(
+            built.restores_by_pc.is_empty(),
+            "renaming needs no restores"
+        );
     }
 
     #[test]
@@ -370,10 +376,7 @@ mod tests {
         assert!(!built.restores_by_pc.is_empty());
         // Every restore PC follows a boundary instruction.
         for &pc in built.restores_by_pc.keys() {
-            assert_eq!(
-                built.flat.insts[pc as usize - 1].op,
-                Opcode::RegionBoundary
-            );
+            assert_eq!(built.flat.insts[pc as usize - 1].op, Opcode::RegionBoundary);
         }
     }
 

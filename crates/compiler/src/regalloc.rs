@@ -156,9 +156,9 @@ fn rewrite(kernel: &Kernel, assign: &HashMap<Reg, u16>, spills: &[Reg], budget: 
             let mut loaded: HashMap<Reg, Reg> = HashMap::new();
             // Reload spilled sources (and predicate) into scratch regs.
             let reload = |r: Reg,
-                              insts: &mut Vec<Instruction>,
-                              next_scratch: &mut usize,
-                              loaded: &mut HashMap<Reg, Reg>|
+                          insts: &mut Vec<Instruction>,
+                          next_scratch: &mut usize,
+                          loaded: &mut HashMap<Reg, Reg>|
              -> Reg {
                 if let Some(&s) = loaded.get(&r) {
                     return s;
@@ -178,7 +178,7 @@ fn rewrite(kernel: &Kernel, assign: &HashMap<Reg, u16>, spills: &[Reg], budget: 
                         let s = reload(r, &mut insts, &mut next_scratch, &mut loaded);
                         *o = Operand::Reg(s);
                     } else {
-                        *o = Operand::Reg(Reg(u16::from(assign[&r])));
+                        *o = Operand::Reg(Reg(assign[&r]));
                     }
                 }
             }
@@ -187,7 +187,7 @@ fn rewrite(kernel: &Kernel, assign: &HashMap<Reg, u16>, spills: &[Reg], budget: 
                     let s = reload(p, &mut insts, &mut next_scratch, &mut loaded);
                     inst.pred = Some((s, sense));
                 } else {
-                    inst.pred = Some((Reg(u16::from(assign[&p])), sense));
+                    inst.pred = Some((Reg(assign[&p]), sense));
                 }
             }
             // Spilled destination: write a scratch register, then store it.
@@ -205,7 +205,7 @@ fn rewrite(kernel: &Kernel, assign: &HashMap<Reg, u16>, spills: &[Reg], budget: 
                     st.pred = inst.pred;
                     post = Some(st);
                 } else {
-                    inst.dst = Some(Reg(u16::from(assign[&d])));
+                    inst.dst = Some(Reg(assign[&d]));
                 }
             }
             insts.push(inst);

@@ -151,10 +151,8 @@ pub fn form_regions(kernel: &Kernel, ex: &Exemptions) -> Kernel {
     for (b, i, inst) in kernel.iter() {
         let p = layout.pos(b, i);
         match inst.op {
-            Opcode::Bar => {
-                if !ex.transparent_barriers.contains(&p) {
-                    boundaries.insert(p);
-                }
+            Opcode::Bar if !ex.transparent_barriers.contains(&p) => {
+                boundaries.insert(p);
             }
             Opcode::Atom(..) => {
                 boundaries.insert(p);

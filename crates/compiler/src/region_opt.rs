@@ -132,7 +132,10 @@ pub fn detect(kernel: &Kernel) -> (Exemptions, RegionOptStats) {
         // Output-only stores must not read back in this section, and the
         // covered shared class must not also be written through another
         // class name.
-        if other_stores.iter().any(|c| loaded.contains(c) || *c == class) {
+        if other_stores
+            .iter()
+            .any(|c| loaded.contains(c) || *c == class)
+        {
             continue;
         }
         stats.sections += 1;

@@ -44,7 +44,9 @@ pub struct RenameStats {
 pub fn rename(kernel: &Kernel, max_regs: u32) -> (Kernel, RenameStats) {
     let mut k = kernel.clone();
     let mut stats = RenameStats::default();
-    let mut next_reg = k.regs_per_thread.max(k.max_reg().map_or(0, |r| u32::from(r.0) + 1));
+    let mut next_reg = k
+        .regs_per_thread
+        .max(k.max_reg().map_or(0, |r| u32::from(r.0) + 1));
 
     // Iterate to a fixpoint. Each round collects every uncovered WAR and
     // applies ONE fix, preferring renames (free) over sinks (free, they
@@ -59,11 +61,7 @@ pub fn rename(kernel: &Kernel, max_regs: u32) -> (Kernel, RenameStats) {
         let preds = crate::analysis::predecessors(&k);
         let lincont: Vec<bool> = (0..k.blocks.len())
             .map(|b| {
-                crate::analysis::is_linear_continuation(
-                    &k,
-                    &preds,
-                    gpu_sim::isa::BlockId(b as u32),
-                )
+                crate::analysis::is_linear_continuation(&k, &preds, gpu_sim::isa::BlockId(b as u32))
             })
             .collect();
 
@@ -318,8 +316,8 @@ fn apply_rename(k: &mut Kernel, layout: &Layout, def_pos: Pos, end_pos: Pos, d: 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::region::{form_regions, Exemptions};
     use crate::regalloc::allocate;
+    use crate::region::{form_regions, Exemptions};
     use gpu_sim::builder::KernelBuilder;
     use gpu_sim::config::GpuConfig;
     use gpu_sim::gpu::Gpu;
@@ -355,8 +353,8 @@ mod tests {
         let x = b.iadd(tid, 100); // long-lived value
         let v = b.ld_arr(MemSpace::Global, 0, a, 0);
         b.st_arr(MemSpace::Global, 0, a, v, 0); // WAR -> boundary here
-        // Region 2: x still read, then a new temp reuses x's register
-        // once x dies (after allocation).
+                                                // Region 2: x still read, then a new temp reuses x's register
+                                                // once x dies (after allocation).
         let y = b.iadd(x, 1);
         b.st_arr(MemSpace::Global, 1, a, y, 65536);
         let z = b.imul(tid, 3); // fresh temp likely reusing a dead reg

@@ -13,16 +13,26 @@ pub struct Campaign {
     pub strikes: Vec<Strike>,
     /// Horizon in cycles the strikes were spread over.
     pub horizon: u64,
-    /// Effective accelerated rate: how many wall-clock days of strikes
-    /// the campaign compresses into the horizon.
+    /// Wall-clock days of real operation the campaign's strike count
+    /// corresponds to at the field-study rate (`n / raw_errors_per_day`).
     pub accelerated_days: f64,
+    /// Acceleration factor: `accelerated_days` divided by the days the
+    /// horizon itself covers at `clock_mhz`. A factor of 10⁹ means the
+    /// campaign bombards the simulated window a billion times harder
+    /// than the field.
+    pub acceleration: f64,
 }
 
 impl Campaign {
     /// Builds a campaign of `n` strikes over `horizon` cycles with the
     /// given seed, reporting how many days of real operation that
     /// bombardment corresponds to at the §IV rates (raw strikes, before
-    /// masking) on a GPU clocked at `clock_mhz`.
+    /// masking) on a GPU clocked at `clock_mhz`, and how much harder
+    /// than the field the horizon is being hit.
+    ///
+    /// Both derived figures are `0.0` when the rate itself is zero (no
+    /// field rate means no meaningful day-equivalent); the horizon only
+    /// scales `acceleration`, never gates it.
     pub fn accelerated(
         seed: u64,
         n: usize,
@@ -35,15 +45,14 @@ impl Campaign {
         let mut gen = StrikeGenerator::new(seed, wcdl, num_sms);
         let strikes = gen.schedule(n, horizon.max(1));
         let cycles_per_day = f64::from(clock_mhz) * 1e6 * 86_400.0;
-        let natural = rates.raw_errors_per_day() * horizon as f64 / cycles_per_day;
+        let horizon_days = horizon.max(1) as f64 / cycles_per_day;
+        let rate = rates.raw_errors_per_day();
+        let accelerated_days = if rate > 0.0 { n as f64 / rate } else { 0.0 };
         Campaign {
             strikes,
             horizon,
-            accelerated_days: if natural > 0.0 {
-                n as f64 / rates.raw_errors_per_day()
-            } else {
-                0.0
-            },
+            accelerated_days,
+            acceleration: accelerated_days / horizon_days,
         }
     }
 
@@ -150,6 +159,36 @@ mod tests {
         for s in &c.strikes {
             assert!(s.cycle < 100_000);
         }
+    }
+
+    #[test]
+    fn accelerated_semantics_pinned() {
+        let rates = FaultRates::default();
+
+        // accelerated_days = n / rate, independent of the horizon; the
+        // horizon scales only the acceleration factor.
+        let short = Campaign::accelerated(3, 10, 100_000, 20, 16, 700, &rates);
+        let long = Campaign::accelerated(3, 10, 200_000, 20, 16, 700, &rates);
+        assert!((short.accelerated_days - long.accelerated_days).abs() < 1e-9);
+        assert!((short.acceleration / long.acceleration - 2.0).abs() < 1e-9);
+
+        // acceleration = accelerated_days / horizon_days exactly.
+        let cycles_per_day = 700.0 * 1e6 * 86_400.0;
+        let horizon_days = 100_000.0 / cycles_per_day;
+        assert!((short.acceleration - short.accelerated_days / horizon_days).abs() < 1e-3);
+
+        // A degenerate horizon no longer zeroes the day-equivalent: only
+        // a zero field rate does.
+        let tiny = Campaign::accelerated(3, 10, 0, 20, 16, 700, &rates);
+        assert!((tiny.accelerated_days - 10.0 / rates.raw_errors_per_day()).abs() < 1e-9);
+        let no_rate = FaultRates {
+            visible_failures_per_day: 0.0,
+            ..FaultRates::default()
+        };
+        let dead = Campaign::accelerated(3, 10, 100_000, 20, 16, 700, &no_rate);
+        assert_eq!(dead.accelerated_days, 0.0);
+        assert_eq!(dead.acceleration, 0.0);
+        assert_eq!(dead.len(), 10, "strikes are scheduled regardless of rate");
     }
 
     #[test]

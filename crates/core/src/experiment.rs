@@ -47,7 +47,10 @@ impl fmt::Debug for WorkloadSpec {
 }
 
 /// Fixed parameters of an experiment.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` lets the matrix engine ([`crate::matrix`]) memoize
+/// baselines: cells whose configs compare equal share one baseline run.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
     /// GPU model.
     pub gpu: GpuConfig,
@@ -138,11 +141,24 @@ impl From<TimeoutError> for ExperimentError {
     }
 }
 
+/// Process-wide count of compile+launch preparations (see
+/// [`prepare_count`]).
+static PREPARES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Number of compile+launch preparations performed by this process so
+/// far. Each fault-free or fault-injecting run performs exactly one, so
+/// the delta across a matrix run exposes how many simulations actually
+/// executed — the observable the baseline-memoization tests pin.
+pub fn prepare_count() -> u64 {
+    PREPARES.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 fn prepare(
     w: &WorkloadSpec,
     scheme: Scheme,
     cfg: &ExperimentConfig,
 ) -> Result<(Gpu, CompileStats), ExperimentError> {
+    PREPARES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let built = build(
         &w.kernel,
         &scheme.build_options(cfg.gpu.max_regs_per_thread, cfg.wcdl),
@@ -396,8 +412,8 @@ mod tests {
         // Learn the fault-free runtime to place strikes inside it.
         let base = run_scheme(&w, Scheme::SensorRenaming, &cfg).unwrap();
         let horizon = base.stats.cycles * 3 / 4;
-        let mut gen = StrikeGenerator::new(0xF1A3, cfg.wcdl, cfg.gpu.num_sms)
-            .with_ecc_fraction(0.0);
+        let mut gen =
+            StrikeGenerator::new(0xF1A3, cfg.wcdl, cfg.gpu.num_sms).with_ecc_fraction(0.0);
         let strikes = gen.schedule(6, horizon.max(10));
         let r = run_with_faults(&w, Scheme::SensorRenaming, &cfg, &strikes).unwrap();
         assert_eq!(r.detections, 6, "every strike must be detected");
@@ -411,8 +427,7 @@ mod tests {
         let w = test_workload();
         let cfg = quick_cfg();
         let base = run_scheme(&w, Scheme::SensorRenaming, &cfg).unwrap();
-        let mut gen = StrikeGenerator::new(7, cfg.wcdl, cfg.gpu.num_sms)
-            .with_ecc_fraction(1.0); // all strikes masked by ECC
+        let mut gen = StrikeGenerator::new(7, cfg.wcdl, cfg.gpu.num_sms).with_ecc_fraction(1.0); // all strikes masked by ECC
         let strikes = gen.schedule(4, base.stats.cycles / 2);
         let r = run_with_faults(&w, Scheme::SensorRenaming, &cfg, &strikes).unwrap();
         assert_eq!(r.corrupted, 0);
@@ -426,8 +441,7 @@ mod tests {
         let w = test_workload();
         let cfg = quick_cfg();
         let base = run_scheme(&w, Scheme::SensorCheckpointing, &cfg).unwrap();
-        let mut gen = StrikeGenerator::new(0xC4E, cfg.wcdl, cfg.gpu.num_sms)
-            .with_ecc_fraction(0.0);
+        let mut gen = StrikeGenerator::new(0xC4E, cfg.wcdl, cfg.gpu.num_sms).with_ecc_fraction(0.0);
         let strikes = gen.schedule(6, base.stats.cycles * 3 / 4);
         let r = run_with_faults(&w, Scheme::SensorCheckpointing, &cfg, &strikes).unwrap();
         assert!(r.run.output_ok, "checkpoint recovery failed");

@@ -17,6 +17,9 @@
 //!   tail-DMR hybrids;
 //! * [`experiment`] — fault-free and fault-injecting experiment drivers,
 //!   including the end-to-end detect → rollback → re-execute protocol;
+//! * [`matrix`] — the parallel experiment-matrix engine fanning
+//!   independent `(workload, scheme, config)` cells across scoped worker
+//!   threads, with per-matrix baseline memoization;
 //! * [`report`] — hardware-cost and region-size reporting (§VI-A, §IV).
 //!
 //! ```
@@ -55,6 +58,7 @@
 
 pub mod campaign;
 pub mod experiment;
+pub mod matrix;
 pub mod rbq;
 pub mod report;
 pub mod rpt;
@@ -66,6 +70,7 @@ pub use experiment::{
     geomean, normalized_time, run_scheme, run_with_faults, ExperimentConfig, ExperimentError,
     FaultRunResult, RunResult, WorkloadSpec,
 };
+pub use matrix::{run_matrix, run_matrix_with_jobs, CellResult, MatrixCell};
 pub use rbq::Rbq;
 pub use rpt::Rpt;
 pub use runtime::{FlameUnit, VerificationMode};

@@ -21,8 +21,8 @@ use crate::rpt::Rpt;
 use flame_compiler::checkpoint::CheckpointSlot;
 use gpu_sim::regfile::WarpRegFile;
 use gpu_sim::resilience::{BoundaryAction, SmAttachment};
-use gpu_sim::warp::{RecoveryPoint, RegRestore};
 use gpu_sim::warp::WARP_SIZE;
+use gpu_sim::warp::{RecoveryPoint, RegRestore};
 use std::collections::HashMap;
 
 /// How region verification is enforced at boundaries.
@@ -237,7 +237,7 @@ mod tests {
         let mut u = unit(VerificationMode::Conveyor { wcdl: 20 });
         u.on_warp_launch(0, point(0)); // W1
         u.on_warp_launch(1, point(0)); // W3
-        // W1 verified its first region already.
+                                       // W1 verified its first region already.
         u.on_boundary(10, 0, point(40), &regs());
         let mut wake = Vec::new();
         u.tick(30, &mut wake);

@@ -1,20 +1,20 @@
-//! Property tests of the region boundary queue (verification conveyor):
-//! FIFO order, exact-WCDL latency lower bound, and unit throughput.
+//! Randomized-but-deterministic tests of the region boundary queue
+//! (verification conveyor): FIFO order, exact-WCDL latency lower bound,
+//! and unit throughput, over seeded random push schedules.
 
 use flame_core::rbq::Rbq;
-use proptest::prelude::*;
+use gpu_sim::rng::Rng64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Warps come out in FIFO order; every warp waits at least WCDL cycles;
+/// at most one verification completes per cycle; nothing is lost.
+#[test]
+fn conveyor_invariants() {
+    let mut rng = Rng64::new(0x5BA1_5EED);
+    for case in 0..256 {
+        let wcdl = rng.range(1, 64) as u32;
+        let ngaps = rng.range(1, 40) as usize;
+        let gaps: Vec<u64> = (0..ngaps).map(|_| rng.below(8)).collect();
 
-    /// Warps come out in FIFO order; every warp waits at least WCDL
-    /// cycles; at most one verification completes per cycle; nothing is
-    /// lost.
-    #[test]
-    fn conveyor_invariants(
-        wcdl in 1u32..64,
-        gaps in proptest::collection::vec(0u64..8, 1..40),
-    ) {
         let mut q = Rbq::new(wcdl);
         let mut now = 0u64;
         let mut pushed = Vec::new();
@@ -28,46 +28,52 @@ proptest! {
         let deadline = now + u64::from(wcdl) * (pushed.len() as u64 + 2) + 10;
         while popped.len() < pushed.len() {
             now += 1;
-            prop_assert!(now <= deadline, "conveyor starved");
+            assert!(now <= deadline, "case {case}: conveyor starved");
             if let Some(slot) = q.pop(now) {
                 if let Some(prev) = last_pop_cycle {
-                    prop_assert!(now > prev, "two pops in one cycle");
+                    assert!(now > prev, "case {case}: two pops in one cycle");
                 }
                 last_pop_cycle = Some(now);
                 popped.push((slot, now));
             }
         }
-        prop_assert!(q.is_empty());
+        assert!(q.is_empty());
         // FIFO and latency.
         for (i, &(slot, pop_cycle)) in popped.iter().enumerate() {
             let (pushed_slot, push_cycle) = pushed[i];
-            prop_assert_eq!(slot, pushed_slot, "FIFO violated");
-            prop_assert!(
+            assert_eq!(slot, pushed_slot, "case {case}: FIFO violated");
+            assert!(
                 pop_cycle >= push_cycle + u64::from(wcdl),
-                "verified early: pushed {push_cycle}, popped {pop_cycle}, wcdl {wcdl}"
+                "case {case}: verified early: pushed {push_cycle}, \
+                 popped {pop_cycle}, wcdl {wcdl}"
             );
         }
     }
+}
 
-    /// Flush drops everything, and the conveyor keeps working afterwards.
-    #[test]
-    fn flush_then_reuse(wcdl in 1u32..32, n in 1usize..20) {
+/// Flush drops everything, and the conveyor keeps working afterwards.
+#[test]
+fn flush_then_reuse() {
+    let mut rng = Rng64::new(0xF1_05_54);
+    for case in 0..256 {
+        let wcdl = rng.range(1, 32) as u32;
+        let n = rng.range(1, 20) as usize;
         let mut q = Rbq::new(wcdl);
         for s in 0..n {
             q.push(0, s);
         }
         q.flush();
-        prop_assert!(q.is_empty());
+        assert!(q.is_empty(), "case {case}");
         q.push(100, 7);
         let mut now = 100;
         loop {
             now += 1;
             if let Some(s) = q.pop(now) {
-                prop_assert_eq!(s, 7);
-                prop_assert!(now >= 100 + u64::from(wcdl));
+                assert_eq!(s, 7, "case {case}");
+                assert!(now >= 100 + u64::from(wcdl), "case {case}");
                 break;
             }
-            prop_assert!(now < 100 + u64::from(wcdl) * 2 + 4);
+            assert!(now < 100 + u64::from(wcdl) * 2 + 4, "case {case}");
         }
     }
 }

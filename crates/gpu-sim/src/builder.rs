@@ -20,9 +20,7 @@
 //! assert!(kernel.validate().is_ok());
 //! ```
 
-use crate::isa::{
-    AtomOp, BlockId, Cmp, Instruction, MemSpace, Opcode, Operand, Reg, Special,
-};
+use crate::isa::{AtomOp, BlockId, Cmp, Instruction, MemSpace, Opcode, Operand, Reg, Special};
 use crate::program::{BasicBlock, Kernel};
 use std::collections::HashMap;
 

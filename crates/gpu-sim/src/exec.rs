@@ -91,7 +91,12 @@ pub fn eval(op: Opcode, s: [Value; 3]) -> Value {
 }
 
 /// Applies an atomic read-modify-write, returning `(old, new)`.
-pub fn eval_atom(op: crate::isa::AtomOp, old: Value, operand: Value, operand2: Value) -> (Value, Value) {
+pub fn eval_atom(
+    op: crate::isa::AtomOp,
+    old: Value,
+    operand: Value,
+    operand2: Value,
+) -> (Value, Value) {
     use crate::isa::AtomOp;
     let new = match op {
         AtomOp::Add => (old as i64).wrapping_add(operand as i64) as Value,

@@ -33,7 +33,10 @@ impl fmt::Display for LaunchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LaunchError::TooManyRegisters { required, limit } => {
-                write!(f, "kernel needs {required} registers/thread, limit is {limit}")
+                write!(
+                    f,
+                    "kernel needs {required} registers/thread, limit is {limit}"
+                )
             }
             LaunchError::CtaTooLarge => write!(f, "CTA does not fit on an SM"),
             LaunchError::EmptyGrid => write!(f, "launch grid is empty"),
@@ -52,7 +55,11 @@ pub struct TimeoutError {
 
 impl fmt::Display for TimeoutError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "simulation did not finish within {} cycles", self.max_cycles)
+        write!(
+            f,
+            "simulation did not finish within {} cycles",
+            self.max_cycles
+        )
     }
 }
 
@@ -186,11 +193,16 @@ impl Gpu {
     /// Advances the GPU by one cycle; returns whether work remains.
     pub fn step(&mut self) -> bool {
         // Dispatch CTAs to SMs with capacity (round-robin over SMs).
-        let warps = self.dims.warps_per_cta();
-        for sm in &mut self.sms {
-            while self.next_cta < self.dims.num_ctas() && sm.can_accept(warps) {
-                sm.launch_cta(self.next_cta, self.cycle, &self.kernel, &self.dims);
-                self.next_cta += 1;
+        // Skipped outright once the grid is drained — the steady state for
+        // most of a long kernel, where the per-SM capacity probe would be
+        // pure overhead.
+        if self.next_cta < self.dims.num_ctas() {
+            let warps = self.dims.warps_per_cta();
+            for sm in &mut self.sms {
+                while self.next_cta < self.dims.num_ctas() && sm.can_accept(warps) {
+                    sm.launch_cta(self.next_cta, self.cycle, &self.kernel, &self.dims);
+                    self.next_cta += 1;
+                }
             }
         }
         for sm in &mut self.sms {
@@ -213,11 +225,14 @@ impl Gpu {
     /// Returns [`TimeoutError`] if the kernel does not finish within
     /// `max_cycles` (a deadlock guard for tests and experiments).
     pub fn run(&mut self, max_cycles: u64) -> Result<SimStats, TimeoutError> {
-        while self.running() {
+        // `step` already reports whether work remains; reusing its answer
+        // halves the liveness polls per cycle.
+        let mut running = self.running();
+        while running {
             if self.cycle >= max_cycles {
                 return Err(TimeoutError { max_cycles });
             }
-            self.step();
+            running = self.step();
         }
         Ok(self.stats())
     }
@@ -302,16 +317,14 @@ fn occupancy(config: &GpuConfig, kernel: &FlatKernel, dims: &LaunchDims) -> u32 
     }
     let by_warps = config.max_warps_per_sm as u32 / warps;
     let regs_per_cta = kernel.regs_per_thread * warps * WARP_SIZE as u32;
-    let by_regs = if regs_per_cta == 0 {
-        u32::MAX
-    } else {
-        config.regfile_per_sm / regs_per_cta
-    };
-    let by_shared = if kernel.shared_mem_bytes == 0 {
-        u32::MAX
-    } else {
-        config.shared_per_sm / kernel.shared_mem_bytes
-    };
+    let by_regs = config
+        .regfile_per_sm
+        .checked_div(regs_per_cta)
+        .unwrap_or(u32::MAX);
+    let by_shared = config
+        .shared_per_sm
+        .checked_div(kernel.shared_mem_bytes)
+        .unwrap_or(u32::MAX);
     (config.max_ctas_per_sm as u32)
         .min(by_warps)
         .min(by_regs)

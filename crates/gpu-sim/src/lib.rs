@@ -59,6 +59,7 @@ pub mod memory;
 pub mod program;
 pub mod regfile;
 pub mod resilience;
+pub mod rng;
 pub mod scheduler;
 pub mod sm;
 pub mod stats;

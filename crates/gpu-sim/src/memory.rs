@@ -116,7 +116,10 @@ impl Cache {
     /// Panics if the geometry does not yield at least one set.
     pub fn new(bytes: u64, ways: usize) -> Cache {
         let lines = (bytes / LINE_BYTES) as usize;
-        assert!(lines >= ways && ways > 0, "cache too small: {bytes}B/{ways}w");
+        assert!(
+            lines >= ways && ways > 0,
+            "cache too small: {bytes}B/{ways}w"
+        );
         let sets = lines / ways;
         Cache {
             sets,
@@ -208,30 +211,57 @@ pub fn bank_conflict_degree(addrs: &[u64]) -> u64 {
             per_bank[bank].push(word);
         }
     }
-    per_bank.iter().map(|v| v.len() as u64).max().unwrap_or(0).max(1)
+    per_bank
+        .iter()
+        .map(|v| v.len() as u64)
+        .max()
+        .unwrap_or(0)
+        .max(1)
+}
+
+/// Coalesces the active lanes' global addresses into 128-byte segments,
+/// writing the distinct segment base addresses into `out` (each becomes
+/// one memory transaction). `out` is cleared first, so a caller can keep
+/// one buffer alive across cycles and never reallocate on the hot path.
+pub fn coalesce_into(addrs: &[u64], out: &mut Vec<u64>) {
+    out.clear();
+    out.extend(addrs.iter().map(|a| (a / LINE_BYTES) * LINE_BYTES));
+    out.sort_unstable();
+    out.dedup();
 }
 
 /// Coalesces the active lanes' global addresses into 128-byte segments,
 /// returning the distinct segment base addresses (each becomes one memory
 /// transaction).
 pub fn coalesce(addrs: &[u64]) -> Vec<u64> {
-    let mut segs: Vec<u64> = addrs.iter().map(|a| (a / LINE_BYTES) * LINE_BYTES).collect();
-    segs.sort_unstable();
-    segs.dedup();
+    let mut segs = Vec::with_capacity(addrs.len());
+    coalesce_into(addrs, &mut segs);
     segs
 }
 
 /// Collects the byte addresses of the active lanes for a memory
-/// instruction: `base[lane] + offset`.
-pub fn lane_addresses(
+/// instruction (`base[lane] + offset`) into `out`, clearing it first.
+/// The buffer-reuse twin of [`lane_addresses`].
+pub fn lane_addresses_into(
+    out: &mut Vec<u64>,
     mask: u32,
     base: impl Fn(usize) -> u64,
     offset: i64,
-) -> Vec<u64> {
-    (0..WARP_SIZE)
-        .filter(|&l| mask & (1 << l) != 0)
-        .map(|l| base(l).wrapping_add(offset as u64))
-        .collect()
+) {
+    out.clear();
+    out.extend(
+        (0..WARP_SIZE)
+            .filter(|&l| mask & (1 << l) != 0)
+            .map(|l| base(l).wrapping_add(offset as u64)),
+    );
+}
+
+/// Collects the byte addresses of the active lanes for a memory
+/// instruction: `base[lane] + offset`.
+pub fn lane_addresses(mask: u32, base: impl Fn(usize) -> u64, offset: i64) -> Vec<u64> {
+    let mut addrs = Vec::with_capacity(WARP_SIZE);
+    lane_addresses_into(&mut addrs, mask, base, offset);
+    addrs
 }
 
 /// MSHR-style tracker of in-flight memory transactions for one SM.
@@ -355,6 +385,15 @@ mod tests {
     fn lane_addresses_respect_mask_and_offset() {
         let addrs = lane_addresses(0b101, |l| l as u64 * 100, 8);
         assert_eq!(addrs, vec![8, 208]);
+    }
+
+    #[test]
+    fn into_variants_clear_reused_buffers() {
+        let mut buf = vec![99; 8];
+        coalesce_into(&[8, 8, 300], &mut buf);
+        assert_eq!(buf, vec![0, 256]);
+        lane_addresses_into(&mut buf, 0b11, |l| l as u64 * 8, 0);
+        assert_eq!(buf, vec![0, 8]);
     }
 
     #[test]

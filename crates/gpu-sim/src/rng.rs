@@ -1,0 +1,142 @@
+//! A small, deterministic, dependency-free pseudo-random number
+//! generator (xoshiro256** seeded via SplitMix64).
+//!
+//! The simulator itself is fully deterministic; randomness is only needed
+//! at the edges — the particle-strike injector in `flame-sensors` and the
+//! randomized property tests. Both demand *reproducibility* (a campaign
+//! or test case is identified by its seed), not cryptographic quality, so
+//! a self-contained generator keeps the whole workspace buildable with no
+//! registry access.
+
+/// Deterministic xoshiro256** generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand the seed into the initial state.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed. Equal seeds yield equal
+    /// streams forever.
+    pub fn new(seed: u64) -> Rng64 {
+        let mut s = seed;
+        Rng64 {
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, n)` (n = 0 returns 0). Uses the widening
+    /// multiply reduction; the bias is < 2⁻⁶⁴·n, irrelevant at the sizes
+    /// used here.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn float(&mut self) -> f64 {
+        // 53 high bits → the standard [0,1) double construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.float() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng64::new(42);
+        let mut b = Rng64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_is_bounded_and_covers() {
+        let mut r = Rng64::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.below(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+        assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = Rng64::new(9);
+        for _ in 0..1000 {
+            let v = r.range(5, 8);
+            assert!((5..8).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng64::new(1);
+        assert!((0..100).all(|_| !r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+        // A fair coin lands both ways in 1000 draws.
+        let heads = (0..1000).filter(|_| r.chance(0.5)).count();
+        assert!((200..800).contains(&heads), "suspicious coin: {heads}");
+    }
+
+    #[test]
+    fn float_in_unit_interval() {
+        let mut r = Rng64::new(3);
+        for _ in 0..1000 {
+            let f = r.float();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

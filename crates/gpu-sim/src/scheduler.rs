@@ -124,7 +124,8 @@ impl Scheduler {
             SchedulerKind::TwoLevel => {
                 // Drop active warps that are no longer eligible, refill
                 // from pending, then LRR over the active set.
-                self.active.retain(|s| eligible.iter().any(|c| c.slot == *s));
+                self.active
+                    .retain(|s| eligible.iter().any(|c| c.slot == *s));
                 for c in eligible {
                     if self.active.len() >= TWO_LEVEL_ACTIVE {
                         break;
@@ -135,9 +136,7 @@ impl Scheduler {
                 }
                 let mut act: Vec<usize> = self.active.clone();
                 act.sort_unstable();
-                *act.iter()
-                    .find(|&&s| s > self.rr_after)
-                    .unwrap_or(&act[0])
+                *act.iter().find(|&&s| s > self.rr_after).unwrap_or(&act[0])
             }
         };
         self.last = Some(chosen);

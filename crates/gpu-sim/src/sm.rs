@@ -6,8 +6,8 @@ use crate::config::GpuConfig;
 use crate::exec::{eval, eval_atom};
 use crate::isa::{MemSpace, Opcode, Operand, Reg, Special};
 use crate::memory::{
-    bank_conflict_degree, coalesce, lane_addresses, Cache, CacheOutcome, GlobalMemory, MemPort,
-    SharedMemory, WORD_BYTES,
+    bank_conflict_degree, coalesce_into, lane_addresses_into, Cache, CacheOutcome, GlobalMemory,
+    MemPort, SharedMemory, WORD_BYTES,
 };
 use crate::program::FlatKernel;
 use crate::regfile::{Value, WarpRegFile};
@@ -100,13 +100,15 @@ struct Slot {
     replay_cursor: usize,
 }
 
-/// Cause that blocked a warp from issuing this cycle (for stall stats).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum BlockCause {
-    Scoreboard,
-    MshrFull,
-    Barrier,
-    Rbq,
+/// Per-cause counts of warps blocked from issuing this cycle (for stall
+/// stats). A plain tally instead of a `Vec<BlockCause>`: the scan runs
+/// every cycle per scheduler, so it must not allocate.
+#[derive(Debug, Clone, Copy, Default)]
+struct BlockTally {
+    scoreboard: u32,
+    mshr_full: u32,
+    barrier: u32,
+    rbq: u32,
 }
 
 /// A streaming multiprocessor.
@@ -122,6 +124,15 @@ pub struct Sm {
     stats: SimStats,
     wake_buf: Vec<usize>,
     latency: crate::config::LatencyConfig,
+    /// Resident-CTA count maintained by launch/retire, making
+    /// [`Sm::busy`] O(1) (it is polled every cycle per SM).
+    resident_ctas: usize,
+    /// Scratch for the eligibility scan, reused across cycles.
+    eligible_buf: Vec<Candidate>,
+    /// Scratch for active-lane byte addresses of a memory instruction.
+    addr_buf: Vec<u64>,
+    /// Scratch for coalesced 128-byte segment bases.
+    seg_buf: Vec<u64>,
 }
 
 impl std::fmt::Debug for Sm {
@@ -156,6 +167,10 @@ impl Sm {
             stats: SimStats::default(),
             wake_buf: Vec::new(),
             latency: cfg.latency,
+            resident_ctas: 0,
+            eligible_buf: Vec::with_capacity(cfg.max_warps_per_sm),
+            addr_buf: Vec::with_capacity(WARP_SIZE),
+            seg_buf: Vec::with_capacity(WARP_SIZE),
         }
     }
 
@@ -171,7 +186,7 @@ impl Sm {
 
     /// Whether any CTA is resident.
     pub fn busy(&self) -> bool {
-        self.ctas.iter().any(Option::is_some)
+        self.resident_ctas > 0
     }
 
     /// Whether a new CTA (of `warps` warps) can be installed.
@@ -214,8 +229,7 @@ impl Sm {
             .position(Option::is_none)
             .expect("free CTA slot");
         let threads = dims.threads_per_cta();
-        let local_words =
-            (u64::from(kernel.local_mem_bytes).div_ceil(WORD_BYTES) as usize).max(1);
+        let local_words = (u64::from(kernel.local_mem_bytes).div_ceil(WORD_BYTES) as usize).max(1);
         let mut warp_slots = Vec::with_capacity(warps as usize);
         for w in 0..warps {
             let slot = self
@@ -225,7 +239,11 @@ impl Sm {
                 .expect("free warp slot");
             let first_thread = w * WARP_SIZE as u32;
             let lanes = (threads - first_thread).min(WARP_SIZE as u32);
-            let mask = if lanes == 32 { u32::MAX } else { (1u32 << lanes) - 1 };
+            let mask = if lanes == 32 {
+                u32::MAX
+            } else {
+                (1u32 << lanes) - 1
+            };
             let warp = Warp::new(0, mask, cta_slot, w as usize, now);
             self.attachment.on_warp_launch(slot, warp.recovery_point());
             self.slots[slot] = Some(Slot {
@@ -247,6 +265,7 @@ impl Sm {
             shared: SharedMemory::new(kernel.shared_mem_bytes.max(8)),
             warp_slots,
         });
+        self.resident_ctas += 1;
     }
 
     /// Advances the SM by one cycle.
@@ -282,22 +301,21 @@ impl Sm {
                 self.stats.stalls.sched_blocked += 1;
                 continue;
             }
-            let (eligible, causes, live) = self.scan(sched, now, kernel);
-            if let Some(slot) = self.schedulers[sched].pick(&eligible) {
+            let (tally, live) = self.scan(sched, now, kernel);
+            // Move the scratch out so the scheduler (a disjoint field the
+            // borrow checker cannot see past the method call) can read it;
+            // moved back right after, keeping its capacity.
+            let eligible = std::mem::take(&mut self.eligible_buf);
+            let picked = self.schedulers[sched].pick(&eligible);
+            self.eligible_buf = eligible;
+            if let Some(slot) = picked {
                 self.issue(slot, now, kernel, dims, global, l2);
             } else if live == 0 {
                 self.stats.stalls.no_warp += 1;
             } else {
                 // Attribute the stall to the dominant blocking cause.
-                let (mut rbq, mut bar, mut mshr, mut sb) = (0, 0, 0, 0);
-                for c in causes {
-                    match c {
-                        BlockCause::Rbq => rbq += 1,
-                        BlockCause::Barrier => bar += 1,
-                        BlockCause::MshrFull => mshr += 1,
-                        BlockCause::Scoreboard => sb += 1,
-                    }
-                }
+                let (rbq, bar, mshr, sb) =
+                    (tally.rbq, tally.barrier, tally.mshr_full, tally.scoreboard);
                 if rbq >= bar && rbq >= mshr && rbq >= sb {
                     self.stats.stalls.rbq_wait += 1;
                 } else if bar >= mshr && bar >= sb {
@@ -313,23 +331,19 @@ impl Sm {
 
     /// Scans this scheduler's slots: processes region boundaries (a
     /// zero-cost scheduler event), and classifies each live warp as
-    /// eligible or blocked.
-    fn scan(
-        &mut self,
-        sched: usize,
-        now: u64,
-        kernel: &FlatKernel,
-    ) -> (Vec<Candidate>, Vec<BlockCause>, usize) {
+    /// eligible or blocked. Eligible candidates land in
+    /// `self.eligible_buf` (reused scratch); blocked warps are tallied by
+    /// cause. Runs every cycle per scheduler, so it never allocates.
+    fn scan(&mut self, sched: usize, now: u64, kernel: &FlatKernel) -> (BlockTally, usize) {
         let nsched = self.schedulers.len();
-        let mut eligible = Vec::new();
-        let mut causes = Vec::new();
+        self.eligible_buf.clear();
+        let mut tally = BlockTally::default();
         let mut live = 0usize;
         for slot in (sched..self.slots.len()).step_by(nsched) {
             // Region boundaries are consumed here, before issue: the
             // scheduler recognizes them and (under Flame) swaps the warp
             // out, exactly like a long-latency operation would.
-            loop {
-                let Some(s) = self.slots[slot].as_mut() else { break };
+            while let Some(s) = self.slots[slot].as_mut() {
                 if s.warp.state != WarpState::Ready {
                     break;
                 }
@@ -365,23 +379,27 @@ impl Sm {
                 // Naive verification blocked the whole scheduler.
                 break;
             }
-            let Some(s) = self.slots[slot].as_ref() else { continue };
+            let Some(s) = self.slots[slot].as_ref() else {
+                continue;
+            };
             match s.warp.state {
                 WarpState::Finished => continue,
                 WarpState::AtBarrier => {
                     live += 1;
-                    causes.push(BlockCause::Barrier);
+                    tally.barrier += 1;
                     continue;
                 }
                 WarpState::InRbq => {
                     live += 1;
-                    causes.push(BlockCause::Rbq);
+                    tally.rbq += 1;
                     continue;
                 }
                 WarpState::Ready => {}
             }
             live += 1;
-            let Some(pc) = s.warp.stack.pc() else { continue };
+            let Some(pc) = s.warp.stack.pc() else {
+                continue;
+            };
             let inst = kernel.inst(pc);
             // Structural hazard: global memory ops need an MSHR.
             let needs_mshr = matches!(
@@ -391,7 +409,7 @@ impl Sm {
                     | Opcode::Atom(MemSpace::Global, _)
             );
             if needs_mshr && self.port.free() == 0 {
-                causes.push(BlockCause::MshrFull);
+                tally.mshr_full += 1;
                 continue;
             }
             // Scoreboard: all read and written registers must be ready.
@@ -400,15 +418,15 @@ impl Sm {
                 .chain(inst.writes())
                 .all(|r| s.regs.is_ready(r, now));
             if !ready {
-                causes.push(BlockCause::Scoreboard);
+                tally.scoreboard += 1;
                 continue;
             }
-            eligible.push(Candidate {
+            self.eligible_buf.push(Candidate {
                 slot,
                 age: s.warp.launch_cycle,
             });
         }
-        (eligible, causes, live)
+        (tally, live)
     }
 
     fn op_latency(l: &crate::config::LatencyConfig, op: Opcode) -> u64 {
@@ -506,9 +524,7 @@ impl Sm {
                     Some((p, sense)) => {
                         let mut t = 0u32;
                         for lane in 0..WARP_SIZE {
-                            if active & (1 << lane) != 0
-                                && (s.regs.read(p, lane) != 0) == sense
-                            {
+                            if active & (1 << lane) != 0 && (s.regs.read(p, lane) != 0) == sense {
                                 t |= 1 << lane;
                             }
                         }
@@ -533,7 +549,6 @@ impl Sm {
                     {
                         self.retire_cta(cta_slot);
                     }
-                    return;
                 }
             }
             Opcode::Bar => {
@@ -551,7 +566,8 @@ impl Sm {
             }
             Opcode::Ld(space) => {
                 let base_reg = &inst.srcs[0];
-                let addrs = lane_addresses(
+                lane_addresses_into(
+                    &mut self.addr_buf,
                     mask,
                     |l| read_op(&s.regs, base_reg, l),
                     inst.offset,
@@ -559,9 +575,9 @@ impl Sm {
                 let dst = inst.dst.expect("load has a destination");
                 let finish = match space {
                     MemSpace::Global => {
-                        let segs = coalesce(&addrs);
+                        coalesce_into(&self.addr_buf, &mut self.seg_buf);
                         let mut max_lat = self.latency.l1_hit;
-                        for &seg in &segs {
+                        for &seg in &self.seg_buf {
                             let lat = match self.l1.access(seg, true) {
                                 CacheOutcome::Hit => {
                                     self.stats.mem.l1_hits += 1;
@@ -583,15 +599,15 @@ impl Sm {
                             };
                             max_lat = max_lat.max(lat);
                         }
-                        self.stats.mem.transactions += segs.len() as u64;
-                        let finish = now + max_lat + segs.len() as u64 - 1;
-                        for _ in 0..segs.len().min(self.port.free()) {
+                        self.stats.mem.transactions += self.seg_buf.len() as u64;
+                        let finish = now + max_lat + self.seg_buf.len() as u64 - 1;
+                        for _ in 0..self.seg_buf.len().min(self.port.free()) {
                             self.port.reserve(finish);
                         }
                         finish
                     }
                     MemSpace::Shared => {
-                        let degree = bank_conflict_degree(&addrs);
+                        let degree = bank_conflict_degree(&self.addr_buf);
                         self.stats.mem.shared_accesses += 1;
                         self.stats.mem.bank_conflicts += degree - 1;
                         now + self.latency.shared + degree - 1
@@ -601,8 +617,8 @@ impl Sm {
                 // Functional read.
                 for lane in 0..WARP_SIZE {
                     if mask & (1 << lane) != 0 {
-                        let addr = read_op(&s.regs, base_reg, lane)
-                            .wrapping_add(inst.offset as u64);
+                        let addr =
+                            read_op(&s.regs, base_reg, lane).wrapping_add(inst.offset as u64);
                         let v = match space {
                             MemSpace::Global => global.read(addr),
                             MemSpace::Shared => cta.shared.read(addr),
@@ -620,30 +636,31 @@ impl Sm {
             Opcode::St(space) => {
                 let base_reg = &inst.srcs[0];
                 let val_op = &inst.srcs[1];
-                let addrs = lane_addresses(
+                lane_addresses_into(
+                    &mut self.addr_buf,
                     mask,
                     |l| read_op(&s.regs, base_reg, l),
                     inst.offset,
                 );
                 match space {
                     MemSpace::Global => {
-                        let segs = coalesce(&addrs);
-                        self.stats.mem.transactions += segs.len() as u64;
+                        coalesce_into(&self.addr_buf, &mut self.seg_buf);
+                        self.stats.mem.transactions += self.seg_buf.len() as u64;
                         // Write-through: charge L2 latency on MSHRs.
-                        let finish = now + self.latency.l2_hit + segs.len() as u64 - 1;
-                        for &seg in &segs {
+                        let finish = now + self.latency.l2_hit + self.seg_buf.len() as u64 - 1;
+                        for &seg in &self.seg_buf {
                             let _ = self.l1.access(seg, false);
                             match l2.access(seg, true) {
                                 CacheOutcome::Hit => self.stats.mem.l2_hits += 1,
                                 CacheOutcome::Miss => self.stats.mem.l2_misses += 1,
                             }
                         }
-                        for _ in 0..segs.len().min(self.port.free()) {
+                        for _ in 0..self.seg_buf.len().min(self.port.free()) {
                             self.port.reserve(finish);
                         }
                     }
                     MemSpace::Shared => {
-                        let degree = bank_conflict_degree(&addrs);
+                        let degree = bank_conflict_degree(&self.addr_buf);
                         self.stats.mem.shared_accesses += 1;
                         self.stats.mem.bank_conflicts += degree - 1;
                     }
@@ -651,8 +668,8 @@ impl Sm {
                 }
                 for lane in 0..WARP_SIZE {
                     if mask & (1 << lane) != 0 {
-                        let addr = read_op(&s.regs, base_reg, lane)
-                            .wrapping_add(inst.offset as u64);
+                        let addr =
+                            read_op(&s.regs, base_reg, lane).wrapping_add(inst.offset as u64);
                         let v = read_op(&s.regs, val_op, lane);
                         match space {
                             MemSpace::Global => global.write(addr, v),
@@ -668,24 +685,27 @@ impl Sm {
             }
             Opcode::Atom(space, aop) => {
                 let base_reg = &inst.srcs[0];
-                let addrs = lane_addresses(
+                lane_addresses_into(
+                    &mut self.addr_buf,
                     mask,
                     |l| read_op(&s.regs, base_reg, l),
                     inst.offset,
                 );
                 // Serialization: the maximum number of lanes contending on
-                // one address.
-                let mut sorted = addrs.clone();
-                sorted.sort_unstable();
+                // one address. Quadratic over ≤32 lanes beats the old
+                // clone-and-sort: no allocation on the issue path. The
+                // maximum multiplicity of any value is always observed at
+                // its first occurrence, so scanning forward from each `i`
+                // suffices.
                 let mut max_mult: u64 = 1;
-                let mut run = 1;
-                for i in 1..sorted.len() {
-                    if sorted[i] == sorted[i - 1] {
-                        run += 1;
-                        max_mult = max_mult.max(run);
-                    } else {
-                        run = 1;
+                for i in 0..self.addr_buf.len() {
+                    let mut mult: u64 = 1;
+                    for j in i + 1..self.addr_buf.len() {
+                        if self.addr_buf[j] == self.addr_buf[i] {
+                            mult += 1;
+                        }
                     }
+                    max_mult = max_mult.max(mult);
                 }
                 self.stats.mem.atomics += 1;
                 let base_lat = match space {
@@ -731,13 +751,11 @@ impl Sm {
                     };
                     for lane in 0..WARP_SIZE {
                         if mask & (1 << lane) != 0 {
-                            let addr = read_op(&s.regs, base_reg, lane)
-                                .wrapping_add(inst.offset as u64);
+                            let addr =
+                                read_op(&s.regs, base_reg, lane).wrapping_add(inst.offset as u64);
                             let operand = read_op(&s.regs, &inst.srcs[1], lane);
-                            let operand2 = inst
-                                .srcs
-                                .get(2)
-                                .map_or(0, |o| read_op(&s.regs, o, lane));
+                            let operand2 =
+                                inst.srcs.get(2).map_or(0, |o| read_op(&s.regs, o, lane));
                             let old = match space {
                                 MemSpace::Global => global.read(addr),
                                 MemSpace::Shared => cta.shared.read(addr),
@@ -822,6 +840,7 @@ impl Sm {
         for slot in cta.warp_slots {
             self.slots[slot] = None;
         }
+        self.resident_ctas -= 1;
         self.stats.ctas += 1;
     }
 
@@ -901,7 +920,6 @@ impl Sm {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -918,12 +936,28 @@ mod tests {
 
     fn mk_sm(kernel: &FlatKernel, dims: &LaunchDims) -> (Sm, GlobalMemory, Cache) {
         let c = cfg();
-        let mut sm = Sm::new(0, &c, SchedulerKind::Gto, 8, Box::new(NullAttachment::new()));
+        let mut sm = Sm::new(
+            0,
+            &c,
+            SchedulerKind::Gto,
+            8,
+            Box::new(NullAttachment::new()),
+        );
         sm.launch_cta(0, 0, kernel, dims);
-        (sm, GlobalMemory::new(1 << 20), Cache::new(c.l2_bytes, c.l2_ways))
+        (
+            sm,
+            GlobalMemory::new(1 << 20),
+            Cache::new(c.l2_bytes, c.l2_ways),
+        )
     }
 
-    fn run_sm(sm: &mut Sm, kernel: &FlatKernel, dims: &LaunchDims, g: &mut GlobalMemory, l2: &mut Cache) {
+    fn run_sm(
+        sm: &mut Sm,
+        kernel: &FlatKernel,
+        dims: &LaunchDims,
+        g: &mut GlobalMemory,
+        l2: &mut Cache,
+    ) {
         let mut now = 0;
         while sm.busy() {
             sm.tick(now, kernel, dims, g, l2);
@@ -953,7 +987,13 @@ mod tests {
         b.exit();
         let k = b.finish().flatten();
         let c = cfg();
-        let mut sm = Sm::new(0, &c, SchedulerKind::Gto, 2, Box::new(NullAttachment::new()));
+        let mut sm = Sm::new(
+            0,
+            &c,
+            SchedulerKind::Gto,
+            2,
+            Box::new(NullAttachment::new()),
+        );
         let dims = LaunchDims::linear(4, 1024); // 32 warps per CTA
         assert!(sm.can_accept(32));
         sm.launch_cta(0, 0, &k, &dims);
@@ -977,7 +1017,10 @@ mod tests {
         sm.tick(0, &k, &dims, &mut g, &mut l2);
         // The slot issued its first instruction at cycle 0.
         assert!(sm.corrupt_recent_write(0, 0, 3, 1));
-        assert!(!sm.corrupt_recent_write(0, 5, 3, 1), "stale write is in the ECC-protected RF");
+        assert!(
+            !sm.corrupt_recent_write(0, 5, 3, 1),
+            "stale write is in the ECC-protected RF"
+        );
         assert!(!sm.corrupt_recent_write(99, 0, 3, 1), "no such slot");
     }
 
@@ -1245,6 +1288,9 @@ mod tests {
             b.exit();
             run_cycles(&b.finish().flatten())
         };
-        assert_eq!(t8, t8_plain, "boundaries must be free: {t8} vs {t8_plain} (base {t0})");
+        assert_eq!(
+            t8, t8_plain,
+            "boundaries must be free: {t8} vs {t8_plain} (base {t0})"
+        );
     }
 }

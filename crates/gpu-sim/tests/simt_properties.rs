@@ -1,9 +1,9 @@
-//! Property tests of the SIMT reconvergence stack: under arbitrary
-//! branch/advance/exit sequences the stack preserves its core invariants,
-//! and snapshots restore exactly.
+//! Randomized-but-deterministic tests of the SIMT reconvergence stack:
+//! under arbitrary branch/advance/exit sequences the stack preserves its
+//! core invariants, and snapshots restore exactly.
 
+use gpu_sim::rng::Rng64;
 use gpu_sim::warp::{SimtStack, FULL_MASK};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -12,12 +12,21 @@ enum Op {
     ExitSome(u32),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => Just(Op::Advance),
-        2 => (any::<u32>(), 0u32..100).prop_map(|(taken, target)| Op::Branch { taken, target }),
-        1 => any::<u32>().prop_map(Op::ExitSome),
-    ]
+/// Draws one op with the weights 3:2:1 (advance : branch : exit).
+fn random_op(rng: &mut Rng64) -> Op {
+    match rng.below(6) {
+        0..=2 => Op::Advance,
+        3 | 4 => Op::Branch {
+            taken: rng.next_u64() as u32,
+            target: rng.below(100) as u32,
+        },
+        _ => Op::ExitSome(rng.next_u64() as u32),
+    }
+}
+
+fn random_ops(rng: &mut Rng64, lo: usize, hi: usize) -> Vec<Op> {
+    let n = rng.range(lo as u64, hi as u64) as usize;
+    (0..n).map(|_| random_op(rng)).collect()
 }
 
 fn apply(s: &mut SimtStack, op: &Op) {
@@ -33,14 +42,13 @@ fn apply(s: &mut SimtStack, op: &Op) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The active mask is never empty while the stack is alive, masks on
-    /// the stack partition-or-nest sanely, and total liveness only
-    /// shrinks.
-    #[test]
-    fn stack_invariants(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+/// The active mask is never empty while the stack is alive, masks on the
+/// stack partition-or-nest sanely, and total liveness only shrinks.
+#[test]
+fn stack_invariants() {
+    let mut rng = Rng64::new(0x51A7_0001);
+    for case in 0..256 {
+        let ops = random_ops(&mut rng, 1, 60);
         let mut s = SimtStack::new(0, FULL_MASK);
         let mut last_live = u32::MAX.count_ones();
         for op in &ops {
@@ -49,24 +57,40 @@ proptest! {
                 break;
             }
             let active = s.active_mask();
-            prop_assert!(active != 0, "live stack with empty active mask");
-            prop_assert_eq!(active & s.exited_mask(), 0, "exited lanes active");
+            assert!(
+                active != 0,
+                "case {case}: live stack with empty active mask"
+            );
+            assert_eq!(
+                active & s.exited_mask(),
+                0,
+                "case {case}: exited lanes active"
+            );
             let live = (!s.exited_mask()).count_ones();
-            prop_assert!(live <= last_live, "lanes resurrected");
+            assert!(live <= last_live, "case {case}: lanes resurrected");
             last_live = live;
         }
     }
+}
 
-    /// Snapshot/restore is an exact round trip at any point.
-    #[test]
-    fn snapshot_roundtrip(ops in proptest::collection::vec(op_strategy(), 1..40),
-                          cut in 0usize..40) {
+/// Snapshot/restore is an exact round trip at any point.
+#[test]
+fn snapshot_roundtrip() {
+    let mut rng = Rng64::new(0x51A7_0002);
+    for _case in 0..256 {
+        let ops = random_ops(&mut rng, 1, 40);
+        let cut = rng.below(40) as usize;
         let mut s = SimtStack::new(0, FULL_MASK);
+        let mut early_finish = false;
         for op in ops.iter().take(cut.min(ops.len())) {
             apply(&mut s, op);
             if s.finished() {
-                return Ok(());
+                early_finish = true;
+                break;
             }
+        }
+        if early_finish {
+            continue;
         }
         let snap = s.snapshot();
         let saved = s.clone();
@@ -77,13 +101,17 @@ proptest! {
             }
         }
         s.restore(&snap);
-        prop_assert_eq!(s, saved);
+        assert_eq!(s, saved);
     }
+}
 
-    /// Exiting every lane always finishes the warp, whatever state the
-    /// stack is in.
-    #[test]
-    fn exit_all_finishes(ops in proptest::collection::vec(op_strategy(), 0..40)) {
+/// Exiting every lane always finishes the warp, whatever state the stack
+/// is in.
+#[test]
+fn exit_all_finishes() {
+    let mut rng = Rng64::new(0x51A7_0003);
+    for case in 0..256 {
+        let ops = random_ops(&mut rng, 1, 40);
         let mut s = SimtStack::new(0, FULL_MASK);
         for op in &ops {
             apply(&mut s, op);
@@ -93,9 +121,9 @@ proptest! {
         }
         while !s.finished() {
             let m = s.active_mask();
-            prop_assert!(m != 0);
+            assert!(m != 0, "case {case}");
             s.exit_lanes(m);
         }
-        prop_assert_eq!(s.active_mask(), 0);
+        assert_eq!(s.active_mask(), 0, "case {case}");
     }
 }

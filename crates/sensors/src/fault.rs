@@ -7,8 +7,7 @@
 //! injector models the latter as an XOR into a destination register of a
 //! random live warp.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gpu_sim::rng::Rng64;
 
 /// GPU failure-rate observations used by the paper's §IV analysis.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,7 +77,7 @@ pub struct Strike {
 /// Deterministic strike-schedule generator.
 #[derive(Debug)]
 pub struct StrikeGenerator {
-    rng: SmallRng,
+    rng: Rng64,
     wcdl: u32,
     num_sms: usize,
     /// Fraction of the SM area that is ECC-protected storage (strikes
@@ -92,7 +91,7 @@ impl StrikeGenerator {
     /// latencies.
     pub fn new(seed: u64, wcdl: u32, num_sms: usize) -> StrikeGenerator {
         StrikeGenerator {
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Rng64::new(seed),
             wcdl,
             num_sms,
             ecc_fraction: 0.45,
@@ -108,20 +107,20 @@ impl StrikeGenerator {
 
     /// Draws one strike at the given cycle.
     pub fn strike_at(&mut self, cycle: u64) -> Strike {
-        let target = if self.rng.gen_bool(self.ecc_fraction) {
+        let target = if self.rng.chance(self.ecc_fraction) {
             StrikeTarget::EccProtected
         } else {
             StrikeTarget::Pipeline
         };
         Strike {
             cycle,
-            sm: self.rng.gen_range(0..self.num_sms),
+            sm: self.rng.below(self.num_sms as u64) as usize,
             target,
             // The wave reaches the nearest sensor somewhere within the
             // mesh pitch: uniform in [1, WCDL].
-            detection_latency: self.rng.gen_range(1..=self.wcdl.max(1)),
-            bit: self.rng.gen_range(0..64),
-            lane: self.rng.gen_range(0..32),
+            detection_latency: 1 + self.rng.below(u64::from(self.wcdl.max(1))) as u32,
+            bit: self.rng.below(64) as u8,
+            lane: self.rng.below(32) as u8,
         }
     }
 
@@ -129,9 +128,7 @@ impl StrikeGenerator {
     /// sorted by cycle (a fixed-count stand-in for the Poisson arrivals
     /// of real strikes, convenient for reproducible tests).
     pub fn schedule(&mut self, n: usize, horizon: u64) -> Vec<Strike> {
-        let mut cycles: Vec<u64> = (0..n)
-            .map(|_| self.rng.gen_range(0..horizon.max(1)))
-            .collect();
+        let mut cycles: Vec<u64> = (0..n).map(|_| self.rng.below(horizon.max(1))).collect();
         cycles.sort_unstable();
         cycles.into_iter().map(|c| self.strike_at(c)).collect()
     }

@@ -1,8 +1,11 @@
-use flame_core::experiment::{run_scheme, ExperimentConfig, normalized_time};
+use flame_core::experiment::{normalized_time, run_scheme, ExperimentConfig};
 use flame_core::scheme::Scheme;
 
 fn main() {
-    let cfg = ExperimentConfig { max_cycles: 100_000_000, ..Default::default() };
+    let cfg = ExperimentConfig {
+        max_cycles: 100_000_000,
+        ..Default::default()
+    };
     let schemes = [
         Scheme::SensorRenaming,
         Scheme::SensorCheckpointing,
@@ -12,7 +15,15 @@ fn main() {
         Scheme::HybridRenaming,
         Scheme::NaiveSensorRenaming,
     ];
-    println!("{:12} {}", "app", schemes.iter().map(|s| format!("{:>10}", &s.name()[..8.min(s.name().len())])).collect::<Vec<_>>().join(" "));
+    println!(
+        "{:12} {}",
+        "app",
+        schemes
+            .iter()
+            .map(|s| format!("{:>10}", &s.name()[..8.min(s.name().len())]))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
     let mut sums = vec![0.0; schemes.len()];
     let mut count = 0;
     for w in flame_workloads::all() {
@@ -27,6 +38,9 @@ fn main() {
         count += 1;
         println!("{row}  (base {} cyc)", base.stats.cycles);
     }
-    let geo: Vec<String> = sums.iter().map(|s| format!(" {:>9.4}", (s / count as f64).exp())).collect();
+    let geo: Vec<String> = sums
+        .iter()
+        .map(|s| format!(" {:>9.4}", (s / count as f64).exp()))
+        .collect();
     println!("{:12}{}", "GEOMEAN", geo.join(""));
 }

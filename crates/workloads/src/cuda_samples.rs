@@ -57,7 +57,7 @@ pub fn nn() -> WorkloadSpec {
                 for i in 0..i_n {
                     acc = (seed_f32(j * i_n + i) - 0.5).mul_add(seed_f32(i + 31), acc);
                 }
-                let out = 1.0 / ((acc * -1.0).exp() + 1.0);
+                let out = 1.0 / ((-acc).exp() + 1.0);
                 if m.read_f32(elem(2, j)) != out {
                     return false;
                 }
@@ -205,7 +205,7 @@ pub fn aes() -> WorkloadSpec {
                     let t = seed_u64(idx + 70_000);
                     let key = seed_u64(r + 90_000);
                     let v = (x ^ t) ^ key;
-                    x = (v << 13) | (v >> 51);
+                    x = v.rotate_left(13);
                 }
                 if m.read(elem(3, g)) != x {
                     return false;

@@ -77,7 +77,8 @@ pub fn all() -> Vec<WorkloadSpec> {
 
 /// Looks a workload up by its paper abbreviation (case-insensitive).
 pub fn by_abbr(abbr: &str) -> Option<WorkloadSpec> {
-    all().into_iter()
+    all()
+        .into_iter()
         .find(|w| w.abbr.eq_ignore_ascii_case(abbr))
 }
 
@@ -101,8 +102,7 @@ pub(crate) mod testutil {
             max_cycles: 100_000_000,
             ..ExperimentConfig::default()
         };
-        let r = run_scheme(w, Scheme::Baseline, &cfg)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.abbr));
+        let r = run_scheme(w, Scheme::Baseline, &cfg).unwrap_or_else(|e| panic!("{}: {e}", w.abbr));
         assert!(r.output_ok, "{} baseline output incorrect", w.abbr);
         assert!(r.stats.cycles > 0);
     }

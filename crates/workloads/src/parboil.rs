@@ -185,9 +185,7 @@ pub fn lbm() -> WorkloadSpec {
         check: Arc::new(move |m| {
             let omega = 0.7f32;
             for i in 0..n {
-                let f: Vec<f32> = (0..5)
-                    .map(|d| seed_f32(d * n + i) * 0.2 + 0.1)
-                    .collect();
+                let f: Vec<f32> = (0..5).map(|d| seed_f32(d * n + i) * 0.2 + 0.1).collect();
                 let rho = ((f[0] + f[1]) + (f[2] + f[3])) + f[4];
                 let ux = (f[1] - f[3]) / rho;
                 let uy = (f[2] - f[4]) / rho;

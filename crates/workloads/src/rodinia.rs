@@ -66,7 +66,7 @@ pub fn bp() -> WorkloadSpec {
                 for i in 0..inputs {
                     acc = (seed_f32(j * inputs + i) - 0.5).mul_add(seed_f32(i + 77), acc);
                 }
-                let out = 1.0 / ((acc * -1.0).exp() + 1.0);
+                let out = 1.0 / ((-acc).exp() + 1.0);
                 if m.read_f32(elem(2, j)) != out {
                     return false;
                 }
@@ -178,11 +178,14 @@ pub fn gaussian() -> WorkloadSpec {
         },
         init: Arc::new(move |m| {
             for i in 0..n * n {
-                m.write_f32(elem(0, i), seed_f32(i) + if i % (n + 1) == 0 { 4.0 } else { 0.0 });
+                m.write_f32(
+                    elem(0, i),
+                    seed_f32(i) + if i % (n + 1) == 0 { 4.0 } else { 0.0 },
+                );
             }
         }),
         check: Arc::new(move |m| {
-            let at = |i: u64| seed_f32(i) + if i % (n + 1) == 0 { 4.0f32 } else { 0.0 };
+            let at = |i: u64| seed_f32(i) + if i.is_multiple_of(n + 1) { 4.0f32 } else { 0.0 };
             for r in 0..n {
                 for c in 0..n {
                     let expect = if r == 0 || c == 0 {
@@ -281,8 +284,8 @@ pub fn hotspot() -> WorkloadSpec {
                         }
                     }
                 }
-                for i in 0..256usize {
-                    if m.read_f32(elem(2, t * 256 + i as u64)) != tile[i] {
+                for (i, &v) in tile.iter().enumerate() {
+                    if m.read_f32(elem(2, t * 256 + i as u64)) != v {
                         return false;
                     }
                 }
@@ -450,7 +453,7 @@ pub fn lud() -> WorkloadSpec {
         init: Arc::new(move |m| {
             for i in 0..tiles * bsz * bsz {
                 let within = i % (bsz * bsz);
-                let diag = within % (bsz + 1) == 0;
+                let diag = within.is_multiple_of(bsz + 1);
                 m.write_f32(elem(0, i), seed_f32(i) + if diag { 8.0 } else { 0.0 });
             }
         }),
@@ -473,8 +476,8 @@ pub fn lud() -> WorkloadSpec {
                         }
                     }
                 }
-                for i in 0..bs * bs {
-                    if m.read_f32(elem(1, t * bsz * bsz + i as u64)) != a[i] {
+                for (i, &v) in a.iter().enumerate() {
+                    if m.read_f32(elem(1, t * bsz * bsz + i as u64)) != v {
                         return false;
                     }
                 }
@@ -572,8 +575,8 @@ pub fn nw() -> WorkloadSpec {
                         }
                     }
                 }
-                for i in 0..bs * bs {
-                    if m.read(elem(1, t * (bs * bs) as u64 + i as u64)) != s[i] as u64 {
+                for (i, &v) in s.iter().enumerate() {
+                    if m.read(elem(1, t * (bs * bs) as u64 + i as u64)) != v as u64 {
                         return false;
                     }
                 }
@@ -646,8 +649,9 @@ pub fn pf() -> WorkloadSpec {
             let w = PF_WIDTH as usize;
             for cta in 0..PF_CTAS {
                 let base = cta * (PF_ROWS * PF_WIDTH) as u64;
-                let mut cost: Vec<i64> =
-                    (0..w).map(|c| seed_mod(base + c as u64, 10) as i64).collect();
+                let mut cost: Vec<i64> = (0..w)
+                    .map(|c| seed_mod(base + c as u64, 10) as i64)
+                    .collect();
                 for row in 1..PF_ROWS as usize {
                     let prev = cost.clone();
                     for c in 0..w {
@@ -657,8 +661,8 @@ pub fn pf() -> WorkloadSpec {
                         cost[c] = seed_mod(base + (row * w + c) as u64, 10) as i64 + mn;
                     }
                 }
-                for c in 0..w {
-                    if m.read(elem(1, base + c as u64)) != cost[c] as u64 {
+                for (c, &v) in cost.iter().enumerate() {
+                    if m.read(elem(1, base + c as u64)) != v as u64 {
                         return false;
                     }
                 }
@@ -985,8 +989,7 @@ pub fn kmeans() -> WorkloadSpec {
                 for k in 0..KMEANS_K {
                     let mut dist = 0.0f32;
                     for d in 0..KMEANS_D {
-                        let diff =
-                            seed_f32(g * KMEANS_D + d) - seed_f32(k * KMEANS_D + d + 2_718);
+                        let diff = seed_f32(g * KMEANS_D + d) - seed_f32(k * KMEANS_D + d + 2_718);
                         dist = diff.mul_add(diff, dist);
                     }
                     if dist < best {

@@ -14,7 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tid = b.special(Special::TidX);
     let addr = b.imul(tid, 8);
     let v = b.ld_arr(MemSpace::Global, 0, addr, 0);
-    let mut acc = b.mov(0i64);
+    let acc = b.mov(0i64);
     b.label("loop");
     let acc2 = b.iadd(acc, v);
     b.mov_to(acc, acc2);
@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== source kernel ===\n{}", kernel.disassemble());
 
     let compiled = build(&kernel, &BuildOptions::flame(63, 20))?;
-    println!("=== after the Flame pipeline ===\n{}", compiled.kernel.disassemble());
+    println!(
+        "=== after the Flame pipeline ===\n{}",
+        compiled.kernel.disassemble()
+    );
     println!(
         "regions: {}   mean size: {:.1}   renames: {}   regs/thread: {}",
         compiled.stats.regions,
@@ -54,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         check: Arc::new(|m| (0..64u64).all(|i| m.read(i * 8) >= 1000)),
     };
     let r = run_scheme(&spec, Scheme::SensorRenaming, &ExperimentConfig::default())?;
-    println!("run under Flame: {} cycles, output {}", r.stats.cycles, r.output_ok);
+    println!(
+        "run under Flame: {} cycles, output {}",
+        r.stats.cycles, r.output_ok
+    );
     assert!(r.output_ok);
     Ok(())
 }

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r.corrupted,
         strikes.len()
     );
-    println!("sensor detections: {}   all-warp rollbacks: {}", r.detections, r.recoveries);
+    println!(
+        "sensor detections: {}   all-warp rollbacks: {}",
+        r.detections, r.recoveries
+    );
     println!(
         "warps rolled back: {}   cycles: {} ({:+.2}% vs fault-free)",
         r.run.stats.resilience.warps_rolled_back,
@@ -37,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "output after recovery: {}",
-        if r.run.output_ok { "bit-correct ✓" } else { "CORRUPTED ✗" }
+        if r.run.output_ok {
+            "bit-correct ✓"
+        } else {
+            "CORRUPTED ✗"
+        }
     );
     assert!(r.run.output_ok);
     Ok(())

@@ -18,14 +18,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "baseline:  {} cycles, output {}",
         baseline.stats.cycles,
-        if baseline.output_ok { "correct" } else { "WRONG" }
+        if baseline.output_ok {
+            "correct"
+        } else {
+            "WRONG"
+        }
     );
 
     let flame_run = run_scheme(&lud, Scheme::SensorRenaming, &cfg)?;
     println!(
         "Flame:     {} cycles, output {}, {} regions (mean {:.1} insts)",
         flame_run.stats.cycles,
-        if flame_run.output_ok { "correct" } else { "WRONG" },
+        if flame_run.output_ok {
+            "correct"
+        } else {
+            "WRONG"
+        },
         flame_run.compile.regions,
         flame_run.compile.mean_region_size,
     );

@@ -12,7 +12,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = ExperimentConfig::default();
     let base = run_scheme(&w, Scheme::Baseline, &cfg)?;
     println!("{} — baseline {} cycles\n", w.name, base.stats.cycles);
-    println!("{:<34} {:>12} {:>10} {:>9} {:>8}", "scheme", "cycles", "overhead", "regions", "extra");
+    println!(
+        "{:<34} {:>12} {:>10} {:>9} {:>8}",
+        "scheme", "cycles", "overhead", "regions", "extra"
+    );
     for scheme in Scheme::paper_schemes() {
         let r = run_scheme(&w, scheme, &cfg)?;
         assert!(r.output_ok, "{scheme} produced wrong output");

@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{} on {}: sensors per SM -> WCDL -> Flame overhead\n",
         w.abbr, gpu.name
     );
-    println!("{:>10} {:>8} {:>12} {:>11}", "WCDL", "sensors", "area %", "overhead");
+    println!(
+        "{:>10} {:>8} {:>12} {:>11}",
+        "WCDL", "sensors", "area %", "overhead"
+    );
     for wcdl in [10u32, 15, 20, 30, 40, 50] {
         let sensors = sensors_for_wcdl(gpu.sm_area_mm2, gpu.core_clock_mhz, wcdl);
         let mesh = SensorMesh::new(sensors, gpu.sm_area_mm2);

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Pre-merge gate: every change must pass this before merging.
+#
+#   ./scripts/verify.sh
+#
+# Runs the tier-1 check from ROADMAP.md (release build + full test
+# suite) plus formatting and lint gates. Fails fast on the first broken
+# step.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: all gates passed"

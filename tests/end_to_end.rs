@@ -23,8 +23,8 @@ fn every_scheme_is_correct_on_the_subset() {
     let cfg = cfg();
     for w in subset() {
         for scheme in Scheme::paper_schemes() {
-            let r = run_scheme(&w, scheme, &cfg)
-                .unwrap_or_else(|e| panic!("{} {scheme}: {e}", w.abbr));
+            let r =
+                run_scheme(&w, scheme, &cfg).unwrap_or_else(|e| panic!("{} {scheme}: {e}", w.abbr));
             assert!(r.output_ok, "{} under {scheme}: wrong output", w.abbr);
         }
     }
@@ -43,14 +43,17 @@ fn flame_recovers_every_workload_subset_from_strikes() {
     let cfg = cfg();
     for w in subset() {
         let clean = run_scheme(&w, Scheme::SensorRenaming, &cfg).unwrap();
-        let mut gen =
-            StrikeGenerator::new(0xDEAD + w.abbr.len() as u64, cfg.wcdl, cfg.gpu.num_sms)
-                .with_ecc_fraction(0.0);
+        let mut gen = StrikeGenerator::new(0xDEAD + w.abbr.len() as u64, cfg.wcdl, cfg.gpu.num_sms)
+            .with_ecc_fraction(0.0);
         let strikes = gen.schedule(5, (clean.stats.cycles * 3 / 4).max(10));
         let r = run_with_faults(&w, Scheme::SensorRenaming, &cfg, &strikes)
             .unwrap_or_else(|e| panic!("{}: {e}", w.abbr));
         assert_eq!(r.detections, 5, "{}: every strike must be detected", w.abbr);
-        assert!(r.run.output_ok, "{}: output corrupted despite recovery", w.abbr);
+        assert!(
+            r.run.output_ok,
+            "{}: output corrupted despite recovery",
+            w.abbr
+        );
     }
 }
 
@@ -60,8 +63,8 @@ fn checkpointing_recovers_from_strikes() {
     for abbr in ["PF", "Gaussian"] {
         let w = flame::workloads::by_abbr(abbr).unwrap();
         let clean = run_scheme(&w, Scheme::SensorCheckpointing, &cfg).unwrap();
-        let mut gen = StrikeGenerator::new(0xC0FFEE, cfg.wcdl, cfg.gpu.num_sms)
-            .with_ecc_fraction(0.0);
+        let mut gen =
+            StrikeGenerator::new(0xC0FFEE, cfg.wcdl, cfg.gpu.num_sms).with_ecc_fraction(0.0);
         let strikes = gen.schedule(4, (clean.stats.cycles * 3 / 4).max(10));
         let r = run_with_faults(&w, Scheme::SensorCheckpointing, &cfg, &strikes).unwrap();
         assert!(r.run.output_ok, "{abbr}: checkpoint recovery failed");
@@ -99,8 +102,7 @@ fn strikes_against_an_unprotected_baseline_corrupt_output() {
     let clean = run_scheme(&w, Scheme::Baseline, &cfg).unwrap();
     let mut corrupted_any = false;
     for seed in 0..6u64 {
-        let mut gen =
-            StrikeGenerator::new(seed, cfg.wcdl, cfg.gpu.num_sms).with_ecc_fraction(0.0);
+        let mut gen = StrikeGenerator::new(seed, cfg.wcdl, cfg.gpu.num_sms).with_ecc_fraction(0.0);
         let strikes: Vec<_> = gen
             .schedule(8, clean.stats.cycles / 2)
             .into_iter()

@@ -39,7 +39,10 @@ fn scheme_ordering_matches_figure15() {
     assert!(flame_t < 1.10, "Flame should be near zero, got {flame_t}");
     assert!(dup > 1.25, "duplication should be costly, got {dup}");
     assert!(hybrid < dup, "hybrid {hybrid} must beat duplication {dup}");
-    assert!(flame_t < hybrid, "Flame {flame_t} must beat hybrid {hybrid}");
+    assert!(
+        flame_t < hybrid,
+        "Flame {flame_t} must beat hybrid {hybrid}"
+    );
 }
 
 /// Claim: renaming-based recovery support is almost free; checkpointing
@@ -64,7 +67,10 @@ fn renaming_is_cheaper_than_checkpointing() {
             .collect::<Vec<_>>(),
     );
     assert!(ren < 1.02, "renaming should be ~free, got {ren}");
-    assert!(ckpt > ren, "checkpointing {ckpt} should cost more than renaming {ren}");
+    assert!(
+        ckpt > ren,
+        "checkpointing {ckpt} should cost more than renaming {ren}"
+    );
 }
 
 /// Claim: WCDL-aware warp scheduling is what makes verification cheap —
@@ -104,7 +110,10 @@ fn wcdl_sensitivity_trend() {
     let base = cfg();
     let w = flame::workloads::by_abbr("SN").unwrap();
     let at = |wcdl: u32| {
-        let cfg = ExperimentConfig { wcdl, ..base.clone() };
+        let cfg = ExperimentConfig {
+            wcdl,
+            ..base.clone()
+        };
         overhead(&w, Scheme::SensorRenaming, &cfg)
     };
     let (t10, t50) = (at(10), at(50));
@@ -129,7 +138,10 @@ fn table2_hardware_costs() {
         assert!(c.sensor_area_overhead < 0.001, "{}", gpu.name);
     }
     // GTX480's per-scheduler RBQ is the paper's 20 x 6 = 120 bits.
-    assert_eq!(hardware_cost(&GpuConfig::gtx480(), 20).rbq_bits_per_scheduler, 120);
+    assert_eq!(
+        hardware_cost(&GpuConfig::gtx480(), 20).rbq_bits_per_scheduler,
+        120
+    );
 }
 
 /// Claim: §IV's false-positive arithmetic.

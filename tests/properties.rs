@@ -1,6 +1,6 @@
-//! Property-based tests over randomly generated kernels: the compiler
-//! pipeline must preserve semantics for every scheme, and the renaming
-//! pass must leave no uncovered register WARs.
+//! Randomized-but-deterministic tests over generated kernels: the
+//! compiler pipeline must preserve semantics for every scheme, and the
+//! renaming pass must leave no uncovered register WARs.
 
 use flame::compiler::pipeline::{build, BuildOptions};
 use flame::compiler::regalloc::allocate;
@@ -9,8 +9,8 @@ use flame::compiler::renaming::{rename, RenameStats};
 use flame::prelude::*;
 use flame::sim::gpu::Gpu;
 use flame::sim::isa::{Cmp, MemSpace, Special};
+use flame::sim::rng::Rng64;
 use flame::sim::Kernel;
-use proptest::prelude::*;
 
 /// A random straight-line-plus-one-loop kernel over two arrays.
 #[derive(Debug, Clone)]
@@ -20,17 +20,13 @@ struct RandomKernel {
     budget: u32,
 }
 
-fn random_kernel_strategy() -> impl Strategy<Value = RandomKernel> {
-    (
-        proptest::collection::vec(0u8..6, 4..24),
-        1i64..6,
-        8u32..24,
-    )
-        .prop_map(|(ops, loop_trips, budget)| RandomKernel {
-            ops,
-            loop_trips,
-            budget,
-        })
+fn random_kernel(rng: &mut Rng64) -> RandomKernel {
+    let nops = rng.range(4, 24) as usize;
+    RandomKernel {
+        ops: (0..nops).map(|_| rng.below(6) as u8).collect(),
+        loop_trips: rng.range(1, 6) as i64,
+        budget: rng.range(8, 24) as u32,
+    }
 }
 
 fn build_random(rk: &RandomKernel) -> Kernel {
@@ -38,7 +34,7 @@ fn build_random(rk: &RandomKernel) -> Kernel {
     let tid = b.special(Special::TidX);
     let addr = b.imul(tid, 8);
     let x = b.ld_arr(MemSpace::Global, 0, addr, 0);
-    let mut acc = b.mov(x);
+    let acc = b.mov(x);
     let i = b.mov(0i64);
     b.label("head");
     for (j, op) in rk.ops.iter().enumerate() {
@@ -77,13 +73,13 @@ fn run_kernel(flat: &flame::sim::FlatKernel) -> Vec<u64> {
     (0..128u64).map(|i| gpu.global().read(i * 8)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every scheme's compiled kernel computes the same result as the
-    /// baseline on random kernels.
-    #[test]
-    fn schemes_preserve_semantics(rk in random_kernel_strategy()) {
+/// Every scheme's compiled kernel computes the same result as the
+/// baseline on random kernels.
+#[test]
+fn schemes_preserve_semantics() {
+    let mut rng = Rng64::new(0x6E4E_0001);
+    for case in 0..24 {
+        let rk = random_kernel(&mut rng);
         let k = build_random(&rk);
         let base = build(&k, &BuildOptions::baseline(63)).unwrap();
         let expect = run_kernel(&base.flat);
@@ -94,29 +90,45 @@ proptest! {
             Scheme::HybridCheckpointing,
         ] {
             let built = build(&k, &scheme.build_options(63, 20)).unwrap();
-            prop_assert_eq!(&run_kernel(&built.flat), &expect, "{}", scheme);
+            assert_eq!(
+                run_kernel(&built.flat),
+                expect,
+                "case {case}: {scheme} diverged on {rk:?}"
+            );
         }
     }
+}
 
-    /// After renaming, a second pass finds no WAR left (the WAR-free
-    /// postcondition that makes regions idempotent).
-    #[test]
-    fn renaming_reaches_war_free_fixpoint(rk in random_kernel_strategy()) {
+/// After renaming, a second pass finds no WAR left (the WAR-free
+/// postcondition that makes regions idempotent).
+#[test]
+fn renaming_reaches_war_free_fixpoint() {
+    let mut rng = Rng64::new(0x6E4E_0002);
+    for case in 0..24 {
+        let rk = random_kernel(&mut rng);
         let k = build_random(&rk);
         let alloc = allocate(&k, rk.budget.max(9)).unwrap();
         let regioned = form_regions(&alloc.kernel, &Exemptions::none());
         let (renamed, _) = rename(&regioned, 63);
         let (again, second) = rename(&renamed, 63);
-        prop_assert_eq!(second, RenameStats::default());
-        prop_assert_eq!(again, renamed);
+        assert_eq!(second, RenameStats::default(), "case {case} on {rk:?}");
+        assert_eq!(again, renamed, "case {case} on {rk:?}");
     }
+}
 
-    /// Register allocation alone preserves semantics at any budget.
-    #[test]
-    fn allocation_preserves_semantics(rk in random_kernel_strategy()) {
+/// Register allocation alone preserves semantics at any budget.
+#[test]
+fn allocation_preserves_semantics() {
+    let mut rng = Rng64::new(0x6E4E_0003);
+    for case in 0..24 {
+        let rk = random_kernel(&mut rng);
         let k = build_random(&rk);
         let roomy = allocate(&k, 63).unwrap();
         let tight = allocate(&k, rk.budget.max(9)).unwrap();
-        prop_assert_eq!(run_kernel(&roomy.kernel.flatten()), run_kernel(&tight.kernel.flatten()));
+        assert_eq!(
+            run_kernel(&roomy.kernel.flatten()),
+            run_kernel(&tight.kernel.flatten()),
+            "case {case} on {rk:?}"
+        );
     }
 }
