@@ -174,6 +174,23 @@ fn prepare(
     Ok((gpu, built.stats))
 }
 
+/// Compiles `w` under `scheme` and launches it on a fresh GPU without
+/// stepping a single cycle: the prepared simulator plus compile stats.
+/// Benchmarks use this to time the simulation loop separately from
+/// compilation and memory seeding (which are identical regardless of the
+/// clock mode); [`run_scheme`] is the one-call version.
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] on compile or allocation/launch failure.
+pub fn prepare_scheme(
+    w: &WorkloadSpec,
+    scheme: Scheme,
+    cfg: &ExperimentConfig,
+) -> Result<(Gpu, CompileStats), ExperimentError> {
+    prepare(w, scheme, cfg)
+}
+
 /// Runs `w` under `scheme`, fault-free.
 ///
 /// # Errors
@@ -234,6 +251,9 @@ pub fn run_with_faults(
     let mut recoveries = 0usize;
     let mut pending: Vec<(u64, usize)> = Vec::new(); // (detect cycle, sm)
     let mut next = 0usize;
+    // Victim-slot scratch, reused across injections (`live_warps` is lazy
+    // and `corrupt_recent_write` needs the GPU mutably).
+    let mut victims: Vec<usize> = Vec::new();
     while gpu.running() {
         if gpu.cycle() >= cfg.max_cycles {
             return Err(TimeoutError {
@@ -241,7 +261,21 @@ pub fn run_with_faults(
             }
             .into());
         }
-        gpu.step();
+        // The harness interacts with the GPU at externally scheduled
+        // cycles — strike arrivals and detection deadlines — which the
+        // simulator's event-driven clock cannot see. Bound each step at
+        // the earliest of them so fast-forward never jumps over one: a
+        // strike at cycle k must be processed when the clock reads k + 1
+        // (its detection deadline is anchored there), and a detection at
+        // cycle d must trigger recovery exactly at d.
+        let mut bound = cfg.max_cycles;
+        if let Some(s) = strikes.get(next) {
+            bound = bound.min(s.cycle + 1);
+        }
+        if let Some(&(d, _)) = pending.iter().min_by_key(|&&(d, _)| d) {
+            bound = bound.min(d);
+        }
+        gpu.step_window(bound);
         let now = gpu.cycle();
         // Strikes land during the tick that just completed (cycle now-1).
         while next < strikes.len() && strikes[next].cycle < now {
@@ -252,7 +286,9 @@ pub fn run_with_faults(
             }
             if s.target == StrikeTarget::Pipeline {
                 // Corrupt a value written by the pipeline this cycle.
-                for slot in gpu.live_warps(s.sm) {
+                victims.clear();
+                victims.extend(gpu.live_warps(s.sm));
+                for &slot in &victims {
                     if gpu.corrupt_recent_write(s.sm, slot, s.lane as usize, 1u64 << s.bit) {
                         corrupted += 1;
                         break;

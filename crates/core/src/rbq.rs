@@ -80,6 +80,15 @@ impl Rbq {
         self.entries.push_back(Entry { slot, ready });
     }
 
+    /// Cycle at which the head of the conveyor completes verification, or
+    /// `None` when the conveyor is empty. An event source for the
+    /// simulator's event-driven clock: nothing pops before this cycle, so
+    /// idle windows can be skipped wholesale. Entries are FIFO with
+    /// strictly increasing ready times, so the head is the minimum.
+    pub fn next_ready(&self) -> Option<u64> {
+        self.entries.front().map(|e| e.ready)
+    }
+
     /// Pops the warp (if any) whose verification completes at `now`.
     /// At most one warp verifies per cycle (conveyor throughput).
     pub fn pop(&mut self, now: u64) -> Option<usize> {
@@ -106,12 +115,15 @@ mod tests {
     #[test]
     fn warp_verifies_exactly_wcdl_cycles_later() {
         let mut q = Rbq::new(20);
+        assert_eq!(q.next_ready(), None);
         q.push(100, 3);
+        assert_eq!(q.next_ready(), Some(120));
         for now in 101..120 {
             assert_eq!(q.pop(now), None, "cycle {now}");
         }
         assert_eq!(q.pop(120), Some(3));
         assert!(q.is_empty());
+        assert_eq!(q.next_ready(), None);
     }
 
     #[test]

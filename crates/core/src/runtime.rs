@@ -167,6 +167,15 @@ impl SmAttachment for FlameUnit {
         }
     }
 
+    fn next_event(&self, _now: u64) -> Option<u64> {
+        // The only timed state is the conveyors: each queue's head pops at
+        // its recorded ready cycle, and nothing else in the unit changes
+        // between pops. (A head whose ready time has already passed — the
+        // one-pop-per-cycle backlog case — yields an event in the past,
+        // which the clock clamps to "next cycle".)
+        self.rbqs.iter().filter_map(Rbq::next_ready).min()
+    }
+
     fn on_error(&mut self, _now: u64) -> Vec<(usize, RecoveryPoint)> {
         // All in-flight verifications are void: their warps keep their
         // current (older) RPT entries and re-execute the unverified

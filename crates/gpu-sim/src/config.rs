@@ -92,6 +92,15 @@ pub struct GpuConfig {
     pub sm_area_mm2: f64,
     /// Device memory size in bytes for simulations.
     pub device_mem_bytes: u64,
+    /// Event-driven clock: when no warp on the whole GPU can issue, jump
+    /// the cycle counter straight to the next wakeup event (scoreboard
+    /// completion, MSHR retirement, RBQ verification, scheduler unblock)
+    /// instead of ticking through the dead cycles one by one. Pure
+    /// wall-clock optimization — simulated cycle counts and every
+    /// statistic are bit-identical either way (see `DESIGN.md`). On by
+    /// default; set `FLAME_NO_FAST_FORWARD=1` in the environment to
+    /// override for debugging without touching configs.
+    pub fast_forward: bool,
 }
 
 impl GpuConfig {
@@ -115,6 +124,7 @@ impl GpuConfig {
             latency: LatencyConfig::default(),
             sm_area_mm2: 16.30,
             device_mem_bytes: 256 * 1024 * 1024,
+            fast_forward: true,
         }
     }
 
@@ -138,6 +148,7 @@ impl GpuConfig {
             latency: LatencyConfig::default(),
             sm_area_mm2: 10.39,
             device_mem_bytes: 256 * 1024 * 1024,
+            fast_forward: true,
         }
     }
 
@@ -161,6 +172,7 @@ impl GpuConfig {
             latency: LatencyConfig::default(),
             sm_area_mm2: 3.95,
             device_mem_bytes: 256 * 1024 * 1024,
+            fast_forward: true,
         }
     }
 
@@ -185,6 +197,7 @@ impl GpuConfig {
             latency: LatencyConfig::default(),
             sm_area_mm2: 5.31,
             device_mem_bytes: 256 * 1024 * 1024,
+            fast_forward: true,
         }
     }
 
@@ -202,6 +215,15 @@ impl GpuConfig {
     /// Core clock period in nanoseconds.
     pub fn clock_period_ns(&self) -> f64 {
         1000.0 / f64::from(self.core_clock_mhz)
+    }
+
+    /// Whether the event-driven clock is actually in effect: the
+    /// [`GpuConfig::fast_forward`] flag gated by the
+    /// `FLAME_NO_FAST_FORWARD` environment escape hatch (any value other
+    /// than empty or `0` disables fast-forward process-wide).
+    pub fn effective_fast_forward(&self) -> bool {
+        self.fast_forward
+            && std::env::var_os("FLAME_NO_FAST_FORWARD").is_none_or(|v| v.is_empty() || v == "0")
     }
 }
 

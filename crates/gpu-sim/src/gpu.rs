@@ -81,6 +81,9 @@ pub struct Gpu {
     next_cta: u32,
     cycle: u64,
     ctas_per_sm: u32,
+    /// [`GpuConfig::effective_fast_forward`] resolved once at launch, so
+    /// the per-step hot path never consults the environment.
+    fast_forward: bool,
 }
 
 impl fmt::Debug for Gpu {
@@ -126,6 +129,7 @@ impl Gpu {
             .collect();
         let l2 = Cache::new(config.l2_bytes, config.l2_ways);
         let global = GlobalMemory::new(config.device_mem_bytes);
+        let fast_forward = config.effective_fast_forward();
         Ok(Gpu {
             config,
             kernel,
@@ -136,6 +140,7 @@ impl Gpu {
             next_cta: 0,
             cycle: 0,
             ctas_per_sm,
+            fast_forward,
         })
     }
 
@@ -191,11 +196,37 @@ impl Gpu {
     }
 
     /// Advances the GPU by one cycle; returns whether work remains.
+    ///
+    /// Equivalent to [`Gpu::step_window`] with no bound: if fast-forward
+    /// is enabled and this cycle issued nothing, the clock may jump
+    /// arbitrarily far ahead to the next event. Callers that interact
+    /// with the GPU at externally scheduled cycles (fault injection,
+    /// detection latencies) must use [`Gpu::step_window`] and pass the
+    /// earliest such cycle as the bound.
     pub fn step(&mut self) -> bool {
+        self.step_window(u64::MAX)
+    }
+
+    /// Advances the GPU by one tick, then — when fast-forward is enabled
+    /// and no scheduler on any SM issued an instruction — jumps the clock
+    /// to the earliest pending event (memory completion, RBQ
+    /// verification, scheduler unblock, scoreboard release), but never
+    /// past `limit`. Skipped cycles are credited to the same stall
+    /// counters the per-cycle loop would have incremented, so statistics
+    /// are bit-identical either way; only wall-clock time changes.
+    ///
+    /// With no event pending at all (a deadlocked kernel), the clock
+    /// jumps straight to `limit` so a caller's timeout check fires
+    /// without grinding through the dead cycles one by one.
+    ///
+    /// Returns whether work remains.
+    pub fn step_window(&mut self, limit: u64) -> bool {
         // Dispatch CTAs to SMs with capacity (round-robin over SMs).
         // Skipped outright once the grid is drained — the steady state for
         // most of a long kernel, where the per-SM capacity probe would be
-        // pure overhead.
+        // pure overhead. Dispatch capacity only grows when a CTA retires,
+        // i.e. on an issued Exit, so a stalled window never hides a
+        // dispatch opportunity from the fast-forward below.
         if self.next_cta < self.dims.num_ctas() {
             let warps = self.dims.warps_per_cta();
             for sm in &mut self.sms {
@@ -205,8 +236,9 @@ impl Gpu {
                 }
             }
         }
+        let mut issued = false;
         for sm in &mut self.sms {
-            sm.tick(
+            issued |= sm.tick(
                 self.cycle,
                 &self.kernel,
                 &self.dims,
@@ -214,8 +246,35 @@ impl Gpu {
                 &mut self.l2,
             );
         }
+        let ticked = self.cycle;
         self.cycle += 1;
-        self.running()
+        let running = self.running();
+        if self.fast_forward && !issued && running {
+            // Nothing issued anywhere: the GPU is frozen until the next
+            // event. Jump there, crediting each skipped cycle's stall
+            // attribution in bulk (see `Sm::credit_idle_cycles`). Every SM
+            // just refreshed (or kept) its cached event horizon in `tick`,
+            // so the minimum over the cached values is exact — no per-skip
+            // event rescan. A stale horizon (a backlogged RBQ head) lands
+            // at or below the next cycle and simply disables the jump; the
+            // scan stops early once no later SM could shrink the window.
+            let mut next = u64::MAX;
+            for sm in &self.sms {
+                next = next.min(sm.frozen_horizon());
+                if next <= self.cycle {
+                    break;
+                }
+            }
+            let target = next.min(limit).max(self.cycle);
+            if target > self.cycle {
+                let skipped = target - self.cycle;
+                for sm in &mut self.sms {
+                    sm.credit_idle_cycles(ticked, skipped);
+                }
+                self.cycle = target;
+            }
+        }
+        running
     }
 
     /// Runs to completion.
@@ -225,34 +284,46 @@ impl Gpu {
     /// Returns [`TimeoutError`] if the kernel does not finish within
     /// `max_cycles` (a deadlock guard for tests and experiments).
     pub fn run(&mut self, max_cycles: u64) -> Result<SimStats, TimeoutError> {
-        // `step` already reports whether work remains; reusing its answer
-        // halves the liveness polls per cycle.
+        // `step_window` already reports whether work remains; reusing its
+        // answer halves the liveness polls per cycle. Bounding each step
+        // at `max_cycles` keeps the timeout check exact under
+        // fast-forward.
         let mut running = self.running();
         while running {
             if self.cycle >= max_cycles {
                 return Err(TimeoutError { max_cycles });
             }
-            running = self.step();
+            running = self.step_window(max_cycles);
         }
         Ok(self.stats())
     }
 
     /// Aggregated statistics across SMs.
     pub fn stats(&self) -> SimStats {
-        let mut total = SimStats {
+        let mut total = SimStats::default();
+        self.stats_into(&mut total);
+        total
+    }
+
+    /// Writes the aggregated statistics into `out` (overwriting it).
+    /// Campaign loops that poll statistics per injection reuse one buffer
+    /// instead of constructing a fresh aggregate each call.
+    pub fn stats_into(&self, out: &mut SimStats) {
+        *out = SimStats {
             cycles: self.cycle,
             ..SimStats::default()
         };
         for sm in &self.sms {
             let mut s = *sm.stats();
             s.cycles = 0;
-            total += s;
+            *out += s;
         }
-        total
     }
 
     /// Live warp slots on SM `sm` (victim selection for fault injection).
-    pub fn live_warps(&self, sm: usize) -> Vec<usize> {
+    /// Lazy: campaigns call this once per injection, so it must not
+    /// allocate.
+    pub fn live_warps(&self, sm: usize) -> impl Iterator<Item = usize> + '_ {
         self.sms[sm].live_slots()
     }
 
@@ -606,9 +677,9 @@ mod tests {
         )
         .unwrap();
         gpu.step();
-        let live = gpu.live_warps(0);
-        assert!(!live.is_empty());
-        assert!(gpu.corrupt_register(0, live[0], Reg(0), 0, 1));
+        let first_live = gpu.live_warps(0).next();
+        let slot = first_live.expect("live warp after first step");
+        assert!(gpu.corrupt_register(0, slot, Reg(0), 0, 1));
         assert!(!gpu.corrupt_register(0, 999, Reg(0), 0, 1));
         // Null attachment: recovery rolls back nothing.
         assert_eq!(gpu.recover_sm(0), 0);

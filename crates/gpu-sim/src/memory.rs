@@ -300,6 +300,14 @@ impl MemPort {
         self.inflight.push(finish);
     }
 
+    /// Earliest finish cycle among in-flight transactions, or `None` when
+    /// the port is idle. An event source for the event-driven clock: an
+    /// MSHR slot frees (and a warp blocked on `mshr_full` may become
+    /// eligible) no earlier than this cycle.
+    pub fn next_completion(&self) -> Option<u64> {
+        self.inflight.iter().copied().min()
+    }
+
     /// Drops all in-flight transactions (error-recovery pipeline flush).
     pub fn flush(&mut self) {
         self.inflight.clear();
@@ -400,13 +408,17 @@ mod tests {
     fn mem_port_tracks_capacity() {
         let mut p = MemPort::new(2);
         assert_eq!(p.free(), 2);
+        assert_eq!(p.next_completion(), None);
         p.reserve(10);
         p.reserve(20);
         assert_eq!(p.free(), 0);
+        assert_eq!(p.next_completion(), Some(10));
         p.tick(10);
         assert_eq!(p.free(), 1);
+        assert_eq!(p.next_completion(), Some(20));
         p.flush();
         assert_eq!(p.free(), 2);
+        assert_eq!(p.next_completion(), None);
     }
 
     #[test]

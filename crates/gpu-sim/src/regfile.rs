@@ -80,6 +80,19 @@ impl WarpRegFile {
         self.ready_at[reg.index()] = cycle;
     }
 
+    /// Earliest cycle strictly after `now` at which a pending write
+    /// completes, or `None` if every register is already ready (or only
+    /// `u64::MAX` sentinels — writes with no timed completion — remain).
+    /// An event source for the event-driven clock: the warp cannot pass
+    /// its scoreboard check before this cycle.
+    pub fn next_pending(&self, now: u64) -> Option<u64> {
+        self.ready_at
+            .iter()
+            .copied()
+            .filter(|&r| r > now && r != u64::MAX)
+            .min()
+    }
+
     /// Clears all pending writes (pipeline flush on error recovery).
     pub fn flush_pending(&mut self) {
         self.ready_at.fill(0);
@@ -111,6 +124,18 @@ mod tests {
         rf.write(Reg(1), 0, 0b1010);
         rf.corrupt(Reg(1), 0, 0b0110);
         assert_eq!(rf.read(Reg(1), 0), 0b1100);
+    }
+
+    #[test]
+    fn next_pending_reports_earliest_timed_completion() {
+        let mut rf = WarpRegFile::new(4);
+        assert_eq!(rf.next_pending(0), None);
+        rf.set_pending(Reg(0), 10);
+        rf.set_pending(Reg(1), 7);
+        rf.set_pending(Reg(2), u64::MAX); // untimed: not an event
+        assert_eq!(rf.next_pending(0), Some(7));
+        assert_eq!(rf.next_pending(7), Some(10));
+        assert_eq!(rf.next_pending(10), None);
     }
 
     #[test]

@@ -55,6 +55,21 @@ pub trait SmAttachment: fmt::Debug {
     /// whose verification completed (to be woken) into `wake`.
     fn tick(&mut self, now: u64, wake: &mut Vec<usize>);
 
+    /// Earliest cycle strictly after `now` at which [`SmAttachment::tick`]
+    /// could wake a warp or otherwise change state, or `None` if the
+    /// attachment is guaranteed quiescent until external input arrives.
+    ///
+    /// Consulted by the simulator's event-driven clock (`Gpu::step_window`)
+    /// before skipping stalled cycles. The contract: for every cycle `t`
+    /// with `now < t < next_event(now)`, calling `tick(t, ..)` must be a
+    /// no-op. The conservative default reports an event every next cycle,
+    /// which simply disables fast-forward for SMs carrying attachments
+    /// that do not implement it — correctness never depends on overriding
+    /// this method, only wall-clock speed does.
+    fn next_event(&self, now: u64) -> Option<u64> {
+        Some(now + 1)
+    }
+
     /// An error was detected on this SM: returns the recovery point of
     /// every live warp and resets in-flight verification state (the RBQ is
     /// flushed — its warps are among those rolled back).
@@ -89,6 +104,11 @@ impl SmAttachment for NullAttachment {
     }
 
     fn tick(&mut self, _now: u64, _wake: &mut Vec<usize>) {}
+
+    /// The null attachment never wakes anything: no events, ever.
+    fn next_event(&self, _now: u64) -> Option<u64> {
+        None
+    }
 
     fn on_error(&mut self, _now: u64) -> Vec<(usize, RecoveryPoint)> {
         Vec::new()

@@ -93,6 +93,13 @@ impl Scheduler {
 
     /// Picks the warp to issue from among `eligible` (sorted by slot), or
     /// `None` if the list is empty.
+    ///
+    /// Picking from an empty list is *idempotent*: the first such call
+    /// resets the GTO greedy run, and repeating it changes nothing. The
+    /// event-driven clock depends on this — when it skips a window of
+    /// cycles in which no warp is eligible, the one `pick(&[])` performed
+    /// on the tick before the skip leaves the scheduler in exactly the
+    /// state the per-cycle loop's repeated empty picks would have.
     pub fn pick(&mut self, eligible: &[Candidate]) -> Option<usize> {
         if eligible.is_empty() {
             // GTO: losing eligibility ends the greedy run.
@@ -245,6 +252,26 @@ mod tests {
         for kind in SchedulerKind::all() {
             let mut s = Scheduler::new(kind);
             assert_eq!(s.pick(&[]), None, "{kind}");
+        }
+    }
+
+    #[test]
+    fn empty_pick_is_idempotent() {
+        // One empty pick must leave every policy in the same state as many
+        // (the event-driven clock collapses idle windows into one pick).
+        for kind in SchedulerKind::all() {
+            let e = cands(&[(0, 5), (2, 1), (4, 3)]);
+            let mut once = Scheduler::new(kind);
+            let mut many = Scheduler::new(kind);
+            assert_eq!(once.pick(&e), many.pick(&e), "{kind} warm-up");
+            let _ = once.pick(&[]);
+            for _ in 0..100 {
+                let _ = many.pick(&[]);
+            }
+            // Indistinguishable through any subsequent pick sequence.
+            for list in [&[] as &[Candidate], e.as_slice(), &e[..1], e.as_slice()] {
+                assert_eq!(once.pick(list), many.pick(list), "{kind}");
+            }
         }
     }
 

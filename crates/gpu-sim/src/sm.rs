@@ -111,6 +111,25 @@ struct BlockTally {
     rbq: u32,
 }
 
+/// What one scheduler did in its most recent tick. Remembered so the
+/// event-driven clock can credit skipped idle cycles to the same stall
+/// counter the per-cycle loop would have incremented: while no warp
+/// issues anywhere and no event fires, the scan is a pure function of
+/// frozen state, so its attribution repeats verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum StallCause {
+    /// The scheduler issued an instruction (never credited in bulk: an
+    /// issue anywhere on the GPU disables the skip).
+    #[default]
+    Issued,
+    NoWarp,
+    Scoreboard,
+    MshrFull,
+    Barrier,
+    RbqWait,
+    SchedBlocked,
+}
+
 /// A streaming multiprocessor.
 pub struct Sm {
     id: usize,
@@ -118,6 +137,21 @@ pub struct Sm {
     ctas: Vec<Option<CtaState>>,
     schedulers: Vec<Scheduler>,
     sched_blocked_until: Vec<u64>,
+    /// Per-scheduler outcome of the last [`Sm::tick`], consumed by
+    /// [`Sm::credit_idle_cycles`] when the event-driven clock skips ahead.
+    last_stall: Vec<StallCause>,
+    /// Cycle until which this SM is provably frozen: the last full tick
+    /// issued nothing and reported no event before this cycle, so ticks
+    /// strictly before it reduce to repeating the cached stall
+    /// attribution (the per-SM fast path of the event-driven clock — it
+    /// pays off even when *other* SMs are busy and the whole-GPU skip in
+    /// `Gpu::step_window` cannot engage). Any external mutation (CTA
+    /// launch, fault injection, recovery) resets it to 0.
+    frozen_until: u64,
+    /// [`GpuConfig::effective_fast_forward`] resolved at construction;
+    /// when off, the frozen fast path never engages and every cycle runs
+    /// the full tick (the debugging escape hatch).
+    fast_forward: bool,
     port: MemPort,
     l1: Cache,
     attachment: Box<dyn SmAttachment>,
@@ -139,7 +173,7 @@ impl std::fmt::Debug for Sm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sm")
             .field("id", &self.id)
-            .field("live_warps", &self.live_slots().len())
+            .field("live_warps", &self.live_slots().count())
             .finish_non_exhaustive()
     }
 }
@@ -161,6 +195,9 @@ impl Sm {
                 .map(|_| Scheduler::new(sched_kind))
                 .collect(),
             sched_blocked_until: vec![0; cfg.schedulers_per_sm],
+            last_stall: vec![StallCause::default(); cfg.schedulers_per_sm],
+            frozen_until: 0,
+            fast_forward: cfg.effective_fast_forward(),
             port: MemPort::new(cfg.mshrs_per_sm),
             l1: Cache::new(cfg.l1_bytes, cfg.l1_ways),
             attachment,
@@ -196,8 +233,9 @@ impl Sm {
         free_cta && free_slots >= warps as usize
     }
 
-    /// Warp slots currently holding a live (non-finished) warp.
-    pub fn live_slots(&self) -> Vec<usize> {
+    /// Warp slots currently holding a live (non-finished) warp. Lazy —
+    /// callers on the fault-injection hot path iterate without allocating.
+    pub fn live_slots(&self) -> impl Iterator<Item = usize> + '_ {
         self.slots
             .iter()
             .enumerate()
@@ -206,7 +244,6 @@ impl Sm {
                     .is_some_and(|s| s.warp.state != WarpState::Finished)
             })
             .map(|(i, _)| i)
-            .collect()
     }
 
     /// Installs a CTA, creating its warps.
@@ -223,6 +260,8 @@ impl Sm {
     ) {
         let warps = dims.warps_per_cta();
         assert!(self.can_accept(warps), "SM {} cannot accept CTA", self.id);
+        // Fresh warps invalidate any frozen window.
+        self.frozen_until = 0;
         let cta_slot = self
             .ctas
             .iter()
@@ -268,7 +307,9 @@ impl Sm {
         self.resident_ctas += 1;
     }
 
-    /// Advances the SM by one cycle.
+    /// Advances the SM by one cycle. Returns whether any scheduler issued
+    /// an instruction — the signal the event-driven clock uses to decide
+    /// whether the GPU is stalled and the next idle window can be skipped.
     pub fn tick(
         &mut self,
         now: u64,
@@ -276,7 +317,16 @@ impl Sm {
         dims: &LaunchDims,
         global: &mut GlobalMemory,
         l2: &mut Cache,
-    ) {
+    ) -> bool {
+        if now < self.frozen_until {
+            // Frozen window: the port retires nothing, the attachment
+            // wakes nobody, every scan repeats itself and every empty
+            // pick is idempotent — the whole tick collapses to the
+            // cached per-scheduler stall attribution.
+            self.credit_idle_cycles(now, 1);
+            return false;
+        }
+        let mut issued_any = false;
         self.port.tick(now);
         // Wake warps whose region verification completed.
         let mut wake = std::mem::take(&mut self.wake_buf);
@@ -299,6 +349,7 @@ impl Sm {
         for sched in 0..self.schedulers.len() {
             if self.sched_blocked_until[sched] > now {
                 self.stats.stalls.sched_blocked += 1;
+                self.last_stall[sched] = StallCause::SchedBlocked;
                 continue;
             }
             let (tally, live) = self.scan(sched, now, kernel);
@@ -308,23 +359,104 @@ impl Sm {
             let eligible = std::mem::take(&mut self.eligible_buf);
             let picked = self.schedulers[sched].pick(&eligible);
             self.eligible_buf = eligible;
-            if let Some(slot) = picked {
+            self.last_stall[sched] = if let Some(slot) = picked {
                 self.issue(slot, now, kernel, dims, global, l2);
+                issued_any = true;
+                StallCause::Issued
             } else if live == 0 {
                 self.stats.stalls.no_warp += 1;
+                StallCause::NoWarp
             } else {
                 // Attribute the stall to the dominant blocking cause.
                 let (rbq, bar, mshr, sb) =
                     (tally.rbq, tally.barrier, tally.mshr_full, tally.scoreboard);
                 if rbq >= bar && rbq >= mshr && rbq >= sb {
                     self.stats.stalls.rbq_wait += 1;
+                    StallCause::RbqWait
                 } else if bar >= mshr && bar >= sb {
                     self.stats.stalls.barrier += 1;
+                    StallCause::Barrier
                 } else if mshr >= sb {
                     self.stats.stalls.mshr_full += 1;
+                    StallCause::MshrFull
                 } else {
                     self.stats.stalls.scoreboard += 1;
+                    StallCause::Scoreboard
                 }
+            };
+        }
+        self.frozen_until = if issued_any || !self.fast_forward {
+            0
+        } else {
+            self.next_event(now).unwrap_or(u64::MAX)
+        };
+        issued_any
+    }
+
+    /// Earliest cycle strictly after `now` (the cycle just ticked) at
+    /// which this SM could change state without an instruction issuing
+    /// anywhere, or `None` if it is fully quiescent. The event sources,
+    /// exhaustively: a memory transaction retires (frees an MSHR), the
+    /// resilience attachment wakes a warp (RBQ pop), a blocked scheduler's
+    /// stall expires, or a pending register write completes (unblocks a
+    /// scoreboarded warp). Everything else — dispatch, barriers, boundary
+    /// processing, scheduler policy state — only changes on an issue, and
+    /// an issue anywhere disables the skip for that step.
+    pub(crate) fn next_event(&self, now: u64) -> Option<u64> {
+        let port = self.port.next_completion();
+        let attachment = self.attachment.next_event(now);
+        let sched = self
+            .sched_blocked_until
+            .iter()
+            .copied()
+            .filter(|&b| b > now)
+            .min();
+        let regs = self
+            .slots
+            .iter()
+            .flatten()
+            .filter(|s| s.warp.state != WarpState::Finished)
+            .filter_map(|s| s.regs.next_pending(now))
+            .min();
+        [port, attachment, sched, regs].into_iter().flatten().min()
+    }
+
+    /// The cached [`Sm::next_event`] horizon from this SM's last
+    /// non-issuing tick: `u64::MAX` means fully quiescent, `0` (or any
+    /// value at or below the current cycle) means the SM must run a full
+    /// tick next cycle. Every tick and every external mutation refreshes
+    /// or resets it, so after a GPU step in which nothing issued the
+    /// cached value is exact — the global skip takes the min across SMs
+    /// without re-running the event scan.
+    pub(crate) fn frozen_horizon(&self) -> u64 {
+        self.frozen_until
+    }
+
+    /// Credits `skipped` cycles' worth of stall attribution in bulk, as if
+    /// [`Sm::tick`] had run for each of them. Valid only for a window in
+    /// which nothing issued GPU-wide (`now` is the cycle last ticked) and
+    /// no event of [`Sm::next_event`] fires: the per-scheduler scan is
+    /// then a pure function of frozen state and repeats its last
+    /// attribution verbatim — except that a scheduler blocked *during*
+    /// the last tick takes the `sched_blocked` early-out on every
+    /// subsequent cycle, regardless of what its scan concluded.
+    pub(crate) fn credit_idle_cycles(&mut self, now: u64, skipped: u64) {
+        for sched in 0..self.schedulers.len() {
+            let cause = if self.sched_blocked_until[sched] > now {
+                StallCause::SchedBlocked
+            } else {
+                self.last_stall[sched]
+            };
+            match cause {
+                StallCause::Issued => {
+                    unreachable!("idle cycles credited after an issuing tick")
+                }
+                StallCause::NoWarp => self.stats.stalls.no_warp += skipped,
+                StallCause::Scoreboard => self.stats.stalls.scoreboard += skipped,
+                StallCause::MshrFull => self.stats.stalls.mshr_full += skipped,
+                StallCause::Barrier => self.stats.stalls.barrier += skipped,
+                StallCause::RbqWait => self.stats.stalls.rbq_wait += skipped,
+                StallCause::SchedBlocked => self.stats.stalls.sched_blocked += skipped,
             }
         }
     }
@@ -855,6 +987,7 @@ impl Sm {
         lane: usize,
         xor_mask: u64,
     ) -> bool {
+        self.frozen_until = 0;
         match self.slots.get_mut(slot).and_then(Option::as_mut) {
             Some(s) if s.warp.state != WarpState::Finished => match s.last_write {
                 Some((reg, cycle)) if cycle == now => {
@@ -871,6 +1004,7 @@ impl Sm {
     /// a particle strike corrupting a pipeline register write. Returns
     /// whether the injection landed on a live warp.
     pub fn corrupt_register(&mut self, slot: usize, reg: Reg, lane: usize, xor_mask: u64) -> bool {
+        self.frozen_until = 0;
         match self.slots.get_mut(slot).and_then(Option::as_mut) {
             Some(s)
                 if s.warp.state != WarpState::Finished
@@ -887,6 +1021,7 @@ impl Sm {
     /// re-execution after a detected error). Returns the number of warps
     /// rolled back.
     pub fn recover(&mut self, now: u64) -> usize {
+        self.frozen_until = 0;
         let points = self.attachment.on_error(now);
         let mut n = 0;
         for (slot, point) in points {
@@ -1000,7 +1135,7 @@ mod tests {
         // 48 slots - 32 used: a second 32-warp CTA no longer fits.
         assert!(!sm.can_accept(32));
         assert!(sm.can_accept(16));
-        assert_eq!(sm.live_slots().len(), 32);
+        assert_eq!(sm.live_slots().count(), 32);
     }
 
     #[test]

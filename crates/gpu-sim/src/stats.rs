@@ -131,6 +131,91 @@ impl SimStats {
             self.instructions as f64 / self.cycles as f64
         }
     }
+
+    /// Names and `(self, other)` values of every field that differs —
+    /// empty iff `self == other`. Written for the event-driven-clock
+    /// equivalence tests, where "fast-forward changed `stalls.rbq_wait`"
+    /// beats a 40-line struct dump in a failed assertion.
+    pub fn diff(&self, other: &SimStats) -> Vec<(&'static str, u64, u64)> {
+        let fields: [(&'static str, u64, u64); 23] = [
+            ("cycles", self.cycles, other.cycles),
+            ("instructions", self.instructions, other.instructions),
+            (
+                "thread_instructions",
+                self.thread_instructions,
+                other.thread_instructions,
+            ),
+            ("ctas", self.ctas, other.ctas),
+            ("stalls.no_warp", self.stalls.no_warp, other.stalls.no_warp),
+            (
+                "stalls.scoreboard",
+                self.stalls.scoreboard,
+                other.stalls.scoreboard,
+            ),
+            (
+                "stalls.mshr_full",
+                self.stalls.mshr_full,
+                other.stalls.mshr_full,
+            ),
+            ("stalls.barrier", self.stalls.barrier, other.stalls.barrier),
+            (
+                "stalls.rbq_wait",
+                self.stalls.rbq_wait,
+                other.stalls.rbq_wait,
+            ),
+            (
+                "stalls.sched_blocked",
+                self.stalls.sched_blocked,
+                other.stalls.sched_blocked,
+            ),
+            ("mem.l1_hits", self.mem.l1_hits, other.mem.l1_hits),
+            ("mem.l1_misses", self.mem.l1_misses, other.mem.l1_misses),
+            ("mem.l2_hits", self.mem.l2_hits, other.mem.l2_hits),
+            ("mem.l2_misses", self.mem.l2_misses, other.mem.l2_misses),
+            (
+                "mem.transactions",
+                self.mem.transactions,
+                other.mem.transactions,
+            ),
+            (
+                "mem.shared_accesses",
+                self.mem.shared_accesses,
+                other.mem.shared_accesses,
+            ),
+            (
+                "mem.bank_conflicts",
+                self.mem.bank_conflicts,
+                other.mem.bank_conflicts,
+            ),
+            ("mem.atomics", self.mem.atomics, other.mem.atomics),
+            (
+                "resilience.boundaries",
+                self.resilience.boundaries,
+                other.resilience.boundaries,
+            ),
+            (
+                "resilience.deschedules",
+                self.resilience.deschedules,
+                other.resilience.deschedules,
+            ),
+            (
+                "resilience.verifications",
+                self.resilience.verifications,
+                other.resilience.verifications,
+            ),
+            (
+                "resilience.recoveries",
+                self.resilience.recoveries,
+                other.resilience.recoveries,
+            ),
+            (
+                "resilience.warps_rolled_back",
+                self.resilience.warps_rolled_back,
+                other.resilience.warps_rolled_back,
+            ),
+        ];
+        fields.into_iter().filter(|&(_, a, b)| a != b).collect()
+    }
 }
 
 impl AddAssign for SimStats {
@@ -233,5 +318,22 @@ mod tests {
     fn display_is_nonempty() {
         let s = SimStats::default();
         assert!(!format!("{s}").is_empty());
+    }
+
+    #[test]
+    fn diff_names_exactly_the_differing_fields() {
+        let a = SimStats::default();
+        assert!(a.diff(&a).is_empty());
+        let mut b = a;
+        b.stalls.rbq_wait = 7;
+        b.resilience.verifications = 3;
+        let d = a.diff(&b);
+        assert_eq!(
+            d,
+            vec![
+                ("stalls.rbq_wait", 0, 7),
+                ("resilience.verifications", 0, 3)
+            ]
+        );
     }
 }
