@@ -1,0 +1,233 @@
+//! Fault-campaign driver: coverage-vs-outcome sweeps and the
+//! deterministic smoke campaign `scripts/verify.sh` asserts on.
+//!
+//! ```text
+//! fault_campaign                  # coverage sweep on the built-in kernel
+//! fault_campaign --workload LUD   # sweep a suite workload
+//! fault_campaign --runs 400       # more seeds per coverage point
+//! fault_campaign smoke            # pinned-histogram + resume smoke test
+//! ```
+//!
+//! The sweep bombards one workload at several sensor-coverage levels and
+//! prints the outcome taxonomy per level with Wilson 95% intervals — the
+//! coverage-vs-SDC-rate curve. The smoke mode runs a small campaign
+//! three ways (in memory, journaled, and resumed from a truncated
+//! journal), asserts all three render byte-identically, and pins the
+//! outcome histogram; any mismatch exits nonzero.
+
+use flame_core::experiment::{run_scheme, ExperimentConfig, ProtocolConfig, WorkloadSpec};
+use flame_core::runner::{run_campaign_runner, CampaignSpec, CampaignSummary};
+use flame_core::scheme::Scheme;
+use flame_core::Outcome;
+use gpu_sim::builder::KernelBuilder;
+use gpu_sim::isa::{MemSpace, Special};
+use gpu_sim::sm::LaunchDims;
+use std::sync::Arc;
+
+/// A small arithmetic kernel (64 CTAs x 128 threads) whose output check
+/// is bit-exact: any undetected in-flight corruption that reaches the
+/// store shows up as SDC.
+fn smoke_workload() -> WorkloadSpec {
+    let mut b = KernelBuilder::new("smoke");
+    let tid = b.special(Special::TidX);
+    let cta = b.special(Special::CtaIdX);
+    let ntid = b.special(Special::NTidX);
+    let gid = b.imad(cta, ntid, tid);
+    let a = b.imul(gid, 8);
+    let v = b.ld_arr(MemSpace::Global, 0, a, 0);
+    let mut acc = v;
+    for i in 0..12 {
+        acc = b.iadd(acc, i);
+    }
+    b.st_arr(MemSpace::Global, 0, a, acc, 0);
+    b.exit();
+    WorkloadSpec {
+        name: "smoke",
+        abbr: "SMOKE",
+        suite: "campaign",
+        kernel: b.finish(),
+        dims: LaunchDims::linear(64, 128),
+        init: Arc::new(|m| {
+            for i in 0..8192u64 {
+                m.write(i * 8, i);
+            }
+        }),
+        check: Arc::new(|m| (0..8192u64).all(|i| m.read(i * 8) == i + 66)),
+    }
+}
+
+fn spec_for(cfg: &ExperimentConfig, horizon: u64, coverage: f64, runs: usize) -> CampaignSpec {
+    CampaignSpec {
+        base_seed: 0x5EED,
+        runs,
+        strikes_per_run: 3,
+        horizon,
+        coverage,
+        control_fraction: 0.15,
+        recovery_fraction: 0.10,
+        scheme: Scheme::SensorRenaming,
+        cfg: cfg.clone(),
+        proto: ProtocolConfig::default(),
+    }
+}
+
+fn sweep(w: &WorkloadSpec, runs: usize) {
+    let cfg = ExperimentConfig {
+        max_cycles: 20_000_000,
+        ..ExperimentConfig::default()
+    };
+    let clean = run_scheme(w, Scheme::SensorRenaming, &cfg).expect("clean run failed");
+    let horizon = clean.stats.cycles * 3 / 4;
+    println!(
+        "Fault campaign — {} ({} runs x 3 strikes per coverage level, horizon {} cycles)\n",
+        w.name, runs, horizon
+    );
+    println!(
+        "{:>8}  {:>6} {:>9} {:>5} {:>4} {:>5}   {:<30}",
+        "coverage", "masked", "recovered", "sdc", "due", "hang", "sdc rate [95% CI]"
+    );
+    for &coverage in &[1.0, 0.95, 0.85, 0.70, 0.50] {
+        let spec = spec_for(&cfg, horizon, coverage, runs);
+        let s = run_campaign_runner(w, &spec, None).expect("campaign failed");
+        let k = s.count(Outcome::Sdc);
+        let (lo, hi) = flame_core::wilson_interval(k, s.records.len(), 1.96);
+        println!(
+            "{:>8.2}  {:>6} {:>9} {:>5} {:>4} {:>5}   {:.4} [{:.4}, {:.4}]",
+            coverage,
+            s.count(Outcome::Masked),
+            s.count(Outcome::DetectedRecovered),
+            k,
+            s.count(Outcome::Due),
+            s.count(Outcome::Hang),
+            s.rate(Outcome::Sdc),
+            lo,
+            hi
+        );
+    }
+    println!(
+        "\npipeline strikes are always recoverable at full coverage; coverage gaps\n\
+         and control-flow/recovery-hardware hits are what convert strikes to SDCs."
+    );
+}
+
+/// The histogram the smoke campaign must reproduce, in [`Outcome::ALL`]
+/// order. The campaign is deterministic; any drift means the fault
+/// model, the protocol, or the runner changed behaviour.
+const SMOKE_RUNS: usize = 24;
+const SMOKE_COVERAGE: f64 = 0.625;
+const EXPECTED: [usize; 5] = [1, 22, 1, 0, 0];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("SMOKE FAILED: {msg}");
+    std::process::exit(1);
+}
+
+fn check_same(label: &str, a: &CampaignSummary, b: &CampaignSummary) {
+    if a.records != b.records || a.render() != b.render() {
+        eprintln!(
+            "--- expected ---\n{}\n--- got ---\n{}",
+            a.render(),
+            b.render()
+        );
+        fail(label);
+    }
+}
+
+fn smoke() {
+    let w = smoke_workload();
+    let cfg = ExperimentConfig {
+        max_cycles: 20_000_000,
+        ..ExperimentConfig::default()
+    };
+    let clean = run_scheme(&w, Scheme::SensorRenaming, &cfg).expect("clean run failed");
+    let spec = spec_for(&cfg, clean.stats.cycles * 3 / 4, SMOKE_COVERAGE, SMOKE_RUNS);
+
+    // 1. In-memory reference run.
+    let reference = run_campaign_runner(&w, &spec, None).expect("reference campaign failed");
+    println!("{}", reference.render());
+    if reference.counts != EXPECTED {
+        fail(&format!(
+            "outcome histogram {:?} != expected {:?}",
+            reference.counts, EXPECTED
+        ));
+    }
+
+    // 2. Journaled run: same summary, journal fully populated.
+    let path = std::env::temp_dir().join(format!("flame_fault_smoke_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let journaled = run_campaign_runner(&w, &spec, Some(&path)).expect("journaled campaign failed");
+    check_same(
+        "journaled run diverged from in-memory run",
+        &reference,
+        &journaled,
+    );
+
+    // 3. Kill simulation: keep the header, 9 complete records and a
+    //    half-written tail line, then resume. The resumed summary must be
+    //    byte-identical and must have re-run exactly the missing seeds
+    //    (including the truncated one).
+    let text = std::fs::read_to_string(&path).expect("journal unreadable");
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.len() != 1 + SMOKE_RUNS {
+        fail(&format!(
+            "journal has {} lines, expected {}",
+            lines.len(),
+            1 + SMOKE_RUNS
+        ));
+    }
+    let mut truncated: String = lines[..10].join("\n");
+    truncated.push('\n');
+    truncated.push_str(&lines[10][..lines[10].len() / 2]);
+    std::fs::write(&path, truncated).expect("journal truncation failed");
+    let resumed = run_campaign_runner(&w, &spec, Some(&path)).expect("resumed campaign failed");
+    if resumed.ran_now != SMOKE_RUNS - 9 {
+        fail(&format!(
+            "resume re-ran {} seeds, expected {}",
+            resumed.ran_now,
+            SMOKE_RUNS - 9
+        ));
+    }
+    check_same(
+        "resumed run diverged from in-memory run",
+        &reference,
+        &resumed,
+    );
+    let _ = std::fs::remove_file(&path);
+    println!(
+        "smoke ok: histogram {:?}, resume re-ran {} seeds",
+        reference.counts, resumed.ran_now
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("smoke") {
+        smoke();
+        return;
+    }
+    let mut runs = 100usize;
+    let mut workload: Option<WorkloadSpec> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--runs" => {
+                runs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--runs needs a positive integer"));
+            }
+            "--workload" => {
+                let abbr = it
+                    .next()
+                    .unwrap_or_else(|| fail("--workload needs an abbreviation"));
+                workload = Some(
+                    flame_workloads::by_abbr(abbr)
+                        .unwrap_or_else(|| fail(&format!("unknown workload {abbr:?}"))),
+                );
+            }
+            other => fail(&format!("unknown argument {other:?} (try `smoke`)")),
+        }
+    }
+    let w = workload.unwrap_or_else(smoke_workload);
+    sweep(&w, runs);
+}

@@ -2,9 +2,13 @@
 //! (strikes per GPU per *day*) onto simulation cycles, and summarizing
 //! the resilience outcome of a campaign.
 
-use crate::experiment::{run_with_faults, ExperimentConfig, ExperimentError, WorkloadSpec};
+use crate::experiment::{
+    run_with_faults, ExperimentConfig, ExperimentError, FaultProtocolResult, RunResult,
+    WorkloadSpec,
+};
 use crate::scheme::Scheme;
 use flame_sensors::fault::{FaultRates, Strike, StrikeGenerator};
+use std::fmt;
 
 /// A strike campaign scaled from real-world rates.
 #[derive(Debug, Clone)]
@@ -67,6 +71,79 @@ impl Campaign {
     }
 }
 
+/// The taxonomy of a single fault-injection run, in the Masked / SDC /
+/// DUE / Hang classification of the GPU fault-injection literature, with
+/// Flame's successful recoveries split out from true masking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Outcome {
+    /// No architectural effect: nothing corrupted, nothing recovered,
+    /// output correct.
+    Masked,
+    /// The protocol intervened (rollback, CTA or kernel relaunch) and the
+    /// output is correct.
+    DetectedRecovered,
+    /// Silent data corruption: the run completed "successfully" with a
+    /// wrong output.
+    Sdc,
+    /// Detected unrecoverable error: the escalation ladder was exhausted.
+    Due,
+    /// The run livelocked (watchdog) or exhausted its cycle budget.
+    Hang,
+}
+
+impl Outcome {
+    /// All outcomes, in display order.
+    pub const ALL: [Outcome; 5] = [
+        Outcome::Masked,
+        Outcome::DetectedRecovered,
+        Outcome::Sdc,
+        Outcome::Due,
+        Outcome::Hang,
+    ];
+
+    /// Stable machine name (journal format).
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Masked => "masked",
+            Outcome::DetectedRecovered => "detected_recovered",
+            Outcome::Sdc => "sdc",
+            Outcome::Due => "due",
+            Outcome::Hang => "hang",
+        }
+    }
+
+    /// Parses [`Outcome::name`] back.
+    pub fn parse(s: &str) -> Option<Outcome> {
+        Outcome::ALL.into_iter().find(|o| o.name() == s)
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Classifies a protocol run into the outcome taxonomy.
+///
+/// Precedence: a declared DUE trumps everything (the machine *knows* it
+/// lost the run); a hang is a hang regardless of memory contents; then
+/// the output decides between SDC and the two good outcomes, split by
+/// whether the protocol had to intervene.
+pub fn classify(r: &FaultProtocolResult) -> Outcome {
+    if r.due {
+        Outcome::Due
+    } else if r.watchdog_fired || r.timed_out {
+        Outcome::Hang
+    } else if !r.run.output_ok {
+        Outcome::Sdc
+    } else if r.recoveries > 0 || r.cta_relaunches > 0 || r.kernel_relaunches > 0 {
+        Outcome::DetectedRecovered
+    } else {
+        Outcome::Masked
+    }
+}
+
 /// Outcome summary of a campaign run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignReport {
@@ -87,7 +164,12 @@ pub struct CampaignReport {
     pub slowdown_vs_clean: f64,
 }
 
-/// Runs `campaign` against `w` under `scheme` and summarizes the outcome.
+/// Runs `campaign` against `w` under `scheme` and summarizes the outcome,
+/// simulating the fault-free baseline first.
+///
+/// Multi-seed campaigns should compute that baseline once and call
+/// [`run_campaign_with_baseline`] per seed instead of re-simulating the
+/// clean run every time.
 ///
 /// # Errors
 ///
@@ -99,6 +181,25 @@ pub fn run_campaign(
     campaign: &Campaign,
 ) -> Result<CampaignReport, ExperimentError> {
     let clean = crate::experiment::run_scheme(w, scheme, cfg)?;
+    run_campaign_with_baseline(w, scheme, cfg, campaign, &clean)
+}
+
+/// [`run_campaign`] with a precomputed fault-free baseline: only the
+/// faulted run is simulated. The caller is responsible for `clean` being
+/// a [`crate::experiment::run_scheme`] result for the same
+/// `(w, scheme, cfg)` triple — the matrix engine's memoized baselines
+/// qualify.
+///
+/// # Errors
+///
+/// Propagates [`ExperimentError`] from the faulted run.
+pub fn run_campaign_with_baseline(
+    w: &WorkloadSpec,
+    scheme: Scheme,
+    cfg: &ExperimentConfig,
+    campaign: &Campaign,
+    clean: &RunResult,
+) -> Result<CampaignReport, ExperimentError> {
     let r = run_with_faults(w, scheme, cfg, &campaign.strikes)?;
     Ok(CampaignReport {
         strikes: campaign.len(),
@@ -189,6 +290,97 @@ mod tests {
         assert_eq!(dead.accelerated_days, 0.0);
         assert_eq!(dead.acceleration, 0.0);
         assert_eq!(dead.len(), 10, "strikes are scheduled regardless of rate");
+    }
+
+    fn proto_fixture(output_ok: bool) -> FaultProtocolResult {
+        FaultProtocolResult {
+            run: RunResult {
+                stats: Default::default(),
+                compile: Default::default(),
+                output_ok,
+            },
+            injected: 0,
+            corrupted: 0,
+            pc_corruptions: 0,
+            recovery_corruptions: 0,
+            detections: 0,
+            undetected: 0,
+            recoveries: 0,
+            nested_detections: 0,
+            cta_relaunches: 0,
+            kernel_relaunches: 0,
+            watchdog_fired: false,
+            timed_out: false,
+            due: false,
+        }
+    }
+
+    #[test]
+    fn classification_truth_table() {
+        // Clean run, nothing happened: masked.
+        assert_eq!(classify(&proto_fixture(true)), Outcome::Masked);
+
+        // Any protocol intervention with a good output: recovered.
+        for f in [
+            |r: &mut FaultProtocolResult| r.recoveries = 1,
+            |r: &mut FaultProtocolResult| r.cta_relaunches = 1,
+            |r: &mut FaultProtocolResult| r.kernel_relaunches = 1,
+        ] {
+            let mut r = proto_fixture(true);
+            f(&mut r);
+            assert_eq!(classify(&r), Outcome::DetectedRecovered);
+        }
+
+        // Wrong output trumps interventions: SDC.
+        let mut r = proto_fixture(false);
+        r.recoveries = 3;
+        assert_eq!(classify(&r), Outcome::Sdc);
+
+        // Watchdog or timeout trump the output check: hang.
+        let mut r = proto_fixture(false);
+        r.watchdog_fired = true;
+        assert_eq!(classify(&r), Outcome::Hang);
+        let mut r = proto_fixture(true);
+        r.timed_out = true;
+        assert_eq!(classify(&r), Outcome::Hang);
+
+        // A declared DUE trumps everything.
+        let mut r = proto_fixture(false);
+        r.due = true;
+        r.watchdog_fired = true;
+        assert_eq!(classify(&r), Outcome::Due);
+    }
+
+    #[test]
+    fn outcome_names_round_trip() {
+        for o in Outcome::ALL {
+            assert_eq!(Outcome::parse(o.name()), Some(o));
+            assert_eq!(o.to_string(), o.name());
+        }
+        assert_eq!(Outcome::parse("bogus"), None);
+    }
+
+    #[test]
+    fn baseline_variant_matches_recomputing_form() {
+        let w = tiny_workload();
+        let cfg = ExperimentConfig {
+            max_cycles: 10_000_000,
+            ..ExperimentConfig::default()
+        };
+        let clean = crate::experiment::run_scheme(&w, Scheme::SensorRenaming, &cfg).unwrap();
+        let c = Campaign::accelerated(
+            11,
+            3,
+            clean.stats.cycles / 2,
+            cfg.wcdl,
+            cfg.gpu.num_sms,
+            cfg.gpu.core_clock_mhz,
+            &FaultRates::default(),
+        );
+        let recomputed = run_campaign(&w, Scheme::SensorRenaming, &cfg, &c).unwrap();
+        let reused =
+            run_campaign_with_baseline(&w, Scheme::SensorRenaming, &cfg, &c, &clean).unwrap();
+        assert_eq!(recomputed, reused);
     }
 
     #[test]

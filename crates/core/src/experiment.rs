@@ -325,6 +325,314 @@ pub fn run_with_faults(
     })
 }
 
+/// Bounds and thresholds of the escalating recovery protocol driven by
+/// [`run_with_protocol`].
+///
+/// The escalation ladder, bottom to top: region rollback (the paper's
+/// protocol) → CTA relaunch (all resident CTAs restart from their entry)
+/// → kernel relaunch (fresh GPU, memory reinitialized) → detected
+/// unrecoverable error (DUE). Each rung has a budget; the defaults are
+/// generous enough that runs which never violate Flame's assumptions
+/// behave exactly like [`run_with_faults`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolConfig {
+    /// Consecutive nested detections tolerated per SM — a detection is
+    /// *nested* when it fires within WCDL cycles of the previous recovery
+    /// on the same SM (the strike landed inside the recovery window) —
+    /// before region rollback is declared stuck and a CTA relaunch is
+    /// forced.
+    pub max_nested_recoveries: u32,
+    /// CTA relaunches tolerated across the run before escalating to a
+    /// kernel relaunch.
+    pub max_cta_relaunches: u32,
+    /// Kernel relaunches tolerated before declaring a DUE.
+    pub max_kernel_relaunches: u32,
+    /// Hang watchdog window: if no instruction issues GPU-wide for this
+    /// many consecutive cycles, the run is classified as hung (livelock)
+    /// instead of burning the whole `max_cycles` budget.
+    pub hang_window: u64,
+    /// Whether the RPT is parity-protected. With parity, recovery state
+    /// corrupted by a [`StrikeTarget::RecoveryHw`] strike is *detected*
+    /// when a rollback tries to use it, and the protocol escalates.
+    /// Without parity the corruption goes unnoticed: the affected warp
+    /// is silently skipped at rollback, which can strand it (livelock →
+    /// watchdog) or corrupt the output.
+    pub rpt_parity: bool,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> ProtocolConfig {
+        ProtocolConfig {
+            max_nested_recoveries: 8,
+            max_cta_relaunches: 4,
+            max_kernel_relaunches: 1,
+            hang_window: 500_000,
+            rpt_parity: true,
+        }
+    }
+}
+
+/// Outcome of a [`run_with_protocol`] fault-injection run.
+#[derive(Debug, Clone)]
+pub struct FaultProtocolResult {
+    /// The underlying run (stats/compile/output of the final kernel
+    /// attempt).
+    pub run: RunResult,
+    /// Strikes that landed on a valid SM while the kernel ran.
+    pub injected: usize,
+    /// Pipeline strikes whose bit-flip landed on an in-flight write.
+    pub corrupted: usize,
+    /// Control-flow strikes that diverted a warp's PC.
+    pub pc_corruptions: usize,
+    /// Recovery-hardware strikes that poisoned live RPT/RBQ state.
+    pub recovery_corruptions: usize,
+    /// Sensor detections delivered (each triggers a recovery).
+    pub detections: usize,
+    /// Strikes the sensor mesh never heard (coverage gaps).
+    pub undetected: usize,
+    /// Region rollbacks performed.
+    pub recoveries: usize,
+    /// Detections that fired inside a previous recovery's WCDL window on
+    /// the same SM.
+    pub nested_detections: usize,
+    /// CTA relaunches performed (escalation rung 2).
+    pub cta_relaunches: u32,
+    /// Kernel relaunches performed (escalation rung 3).
+    pub kernel_relaunches: u32,
+    /// The hang watchdog fired: no forward progress over `hang_window`
+    /// cycles.
+    pub watchdog_fired: bool,
+    /// The cycle budget (`max_cycles`) ran out — also reported as a hang
+    /// rather than an error, so campaigns can classify livelocks.
+    pub timed_out: bool,
+    /// The escalation ladder was exhausted: detected unrecoverable error.
+    pub due: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ProtoCounters {
+    injected: usize,
+    corrupted: usize,
+    pc_corruptions: usize,
+    recovery_corruptions: usize,
+    detections: usize,
+    undetected: usize,
+    recoveries: usize,
+    nested_detections: usize,
+    cta_relaunches: u32,
+    kernel_relaunches: u32,
+    watchdog_fired: bool,
+    timed_out: bool,
+    due: bool,
+}
+
+/// How one kernel attempt of the protocol ended.
+enum Attempt {
+    /// The kernel ran to completion (recoveries included).
+    Completed,
+    /// Escalation demands a fresh kernel launch.
+    KernelRelaunch,
+    /// Livelock or cycle-budget exhaustion.
+    Hung,
+    /// Escalation ladder exhausted.
+    Due,
+}
+
+/// Runs `w` under `scheme` injecting `strikes` and driving the *full*
+/// recovery protocol: sensor coverage gaps (`Strike::detected`), strikes
+/// on PCs and on the recovery hardware itself, nested detections inside
+/// recovery windows, the bounded escalation ladder of [`ProtocolConfig`],
+/// and a hang watchdog.
+///
+/// With every strike detected and the default protocol bounds, the run is
+/// cycle-for-cycle identical to [`run_with_faults`] — the taxonomy is a
+/// strict refinement of the legacy harness, which remains for the paper's
+/// original all-assumptions-hold campaigns.
+///
+/// Unlike [`run_with_faults`], exhausting `max_cycles` is *not* an error:
+/// it reports `timed_out` (classified as a hang) so campaigns can count
+/// livelocks instead of aborting on them.
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] on compile or allocation/launch
+/// failure.
+pub fn run_with_protocol(
+    w: &WorkloadSpec,
+    scheme: Scheme,
+    cfg: &ExperimentConfig,
+    strikes: &[Strike],
+    proto: &ProtocolConfig,
+) -> Result<FaultProtocolResult, ExperimentError> {
+    let mut c = ProtoCounters::default();
+    // Strikes are physical events: each is injected once, even across
+    // kernel relaunches (the remaining suffix lands on the fresh clock).
+    let mut next = 0usize;
+    loop {
+        let (mut gpu, compile) = prepare(w, scheme, cfg)?;
+        let attempt = drive(&mut gpu, cfg, strikes, proto, &mut next, &mut c);
+        if let Attempt::KernelRelaunch = attempt {
+            c.kernel_relaunches += 1;
+            continue;
+        }
+        let stats = gpu.stats();
+        let output_ok = (w.check)(gpu.global());
+        return Ok(FaultProtocolResult {
+            run: RunResult {
+                stats,
+                compile,
+                output_ok,
+            },
+            injected: c.injected,
+            corrupted: c.corrupted,
+            pc_corruptions: c.pc_corruptions,
+            recovery_corruptions: c.recovery_corruptions,
+            detections: c.detections,
+            undetected: c.undetected,
+            recoveries: c.recoveries,
+            nested_detections: c.nested_detections,
+            cta_relaunches: c.cta_relaunches,
+            kernel_relaunches: c.kernel_relaunches,
+            watchdog_fired: c.watchdog_fired,
+            timed_out: c.timed_out,
+            due: c.due,
+        });
+    }
+}
+
+/// One kernel attempt of [`run_with_protocol`]: steps the GPU bounded by
+/// strike arrivals, detection deadlines and the watchdog window, lands
+/// strikes, delivers detections and walks the escalation ladder.
+fn drive(
+    gpu: &mut Gpu,
+    cfg: &ExperimentConfig,
+    strikes: &[Strike],
+    proto: &ProtocolConfig,
+    next: &mut usize,
+    c: &mut ProtoCounters,
+) -> Attempt {
+    let num_sms = gpu.num_sms();
+    let mut pending: Vec<(u64, usize)> = Vec::new(); // (detect cycle, sm)
+                                                     // Cycle of the last recovery per SM (`u64::MAX` = none yet) and the
+                                                     // running count of consecutive nested detections on it.
+    let mut last_recovery: Vec<u64> = vec![u64::MAX; num_sms];
+    let mut nested_chain: Vec<u32> = vec![0; num_sms];
+    let mut progress_cycle = gpu.cycle();
+    let mut progress_insts = gpu.instructions_issued();
+    let mut victims: Vec<usize> = Vec::new();
+    while gpu.running() {
+        if gpu.cycle() >= cfg.max_cycles {
+            c.timed_out = true;
+            return Attempt::Hung;
+        }
+        // Bound the event-driven clock at every externally scheduled
+        // cycle (see `run_with_faults`), plus the watchdog deadline so a
+        // frozen GPU cannot fast-forward past its own hang diagnosis.
+        let mut bound = cfg.max_cycles;
+        bound = bound.min(progress_cycle + proto.hang_window + 1);
+        if let Some(s) = strikes.get(*next) {
+            bound = bound.min(s.cycle + 1);
+        }
+        if let Some(&(d, _)) = pending.iter().min_by_key(|&&(d, _)| d) {
+            bound = bound.min(d);
+        }
+        gpu.step_window(bound);
+        let now = gpu.cycle();
+        // Watchdog: forward progress is "an instruction issued somewhere".
+        let insts = gpu.instructions_issued();
+        if insts > progress_insts {
+            progress_insts = insts;
+            progress_cycle = now;
+        } else if now > progress_cycle + proto.hang_window && gpu.running() {
+            c.watchdog_fired = true;
+            return Attempt::Hung;
+        }
+        // Strikes land during the tick that just completed (cycle now-1).
+        while *next < strikes.len() && strikes[*next].cycle < now {
+            let s = strikes[*next];
+            *next += 1;
+            if s.sm >= num_sms {
+                continue;
+            }
+            c.injected += 1;
+            match s.target {
+                StrikeTarget::Pipeline => {
+                    // Corrupt a value written by the pipeline this cycle.
+                    victims.clear();
+                    victims.extend(gpu.live_warps(s.sm));
+                    for &slot in &victims {
+                        if gpu.corrupt_recent_write(s.sm, slot, s.lane as usize, 1u64 << s.bit) {
+                            c.corrupted += 1;
+                            break;
+                        }
+                    }
+                }
+                StrikeTarget::EccProtected => {}
+                StrikeTarget::ControlFlow => {
+                    // Divert the PC of the first fetch-stage (Ready) warp.
+                    victims.clear();
+                    victims.extend(gpu.live_warps(s.sm));
+                    for &slot in &victims {
+                        if gpu.corrupt_pc(s.sm, slot, 1u32 << (s.bit % 8)).is_some() {
+                            c.pc_corruptions += 1;
+                            break;
+                        }
+                    }
+                }
+                StrikeTarget::RecoveryHw => {
+                    let token = u64::from(s.bit) * 31 + u64::from(s.lane);
+                    if gpu.corrupt_recovery_state(s.sm, token) {
+                        c.recovery_corruptions += 1;
+                    }
+                }
+            }
+            if s.detected {
+                pending.push((now + u64::from(s.detection_latency), s.sm));
+            } else {
+                c.undetected += 1;
+            }
+        }
+        // Deliver due detections; each triggers a recovery and may climb
+        // the escalation ladder.
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].0 > now {
+                i += 1;
+                continue;
+            }
+            let (_, sm) = pending.swap_remove(i);
+            gpu.recover_sm(sm);
+            c.detections += 1;
+            c.recoveries += 1;
+            let nested =
+                last_recovery[sm] != u64::MAX && now - last_recovery[sm] <= u64::from(cfg.wcdl);
+            if nested {
+                nested_chain[sm] += 1;
+                c.nested_detections += 1;
+            } else {
+                nested_chain[sm] = 0;
+            }
+            last_recovery[sm] = now;
+            let poisoned = proto.rpt_parity && gpu.recovery_poisoned(sm);
+            if poisoned || nested_chain[sm] > proto.max_nested_recoveries {
+                // Region rollback cannot make progress here: escalate.
+                if c.cta_relaunches < proto.max_cta_relaunches {
+                    c.cta_relaunches += 1;
+                    gpu.relaunch_sm_ctas(sm);
+                    nested_chain[sm] = 0;
+                    last_recovery[sm] = u64::MAX;
+                } else if c.kernel_relaunches < proto.max_kernel_relaunches {
+                    return Attempt::KernelRelaunch;
+                } else {
+                    c.due = true;
+                    return Attempt::Due;
+                }
+            }
+        }
+    }
+    Attempt::Completed
+}
+
 /// Geometric mean helper for the Figure 15/17/18/19 aggregates.
 pub fn geomean(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -481,6 +789,37 @@ mod tests {
         let strikes = gen.schedule(6, base.stats.cycles * 3 / 4);
         let r = run_with_faults(&w, Scheme::SensorCheckpointing, &cfg, &strikes).unwrap();
         assert!(r.run.output_ok, "checkpoint recovery failed");
+    }
+
+    #[test]
+    fn protocol_with_full_coverage_matches_legacy_harness() {
+        use flame_sensors::fault::StrikeGenerator;
+        let w = test_workload();
+        let cfg = quick_cfg();
+        let base = run_scheme(&w, Scheme::SensorRenaming, &cfg).unwrap();
+        let mut gen =
+            StrikeGenerator::new(0xF1A3, cfg.wcdl, cfg.gpu.num_sms).with_ecc_fraction(0.0);
+        let strikes = gen.schedule(6, (base.stats.cycles * 3 / 4).max(10));
+        let legacy = run_with_faults(&w, Scheme::SensorRenaming, &cfg, &strikes).unwrap();
+        let proto = run_with_protocol(
+            &w,
+            Scheme::SensorRenaming,
+            &cfg,
+            &strikes,
+            &ProtocolConfig::default(),
+        )
+        .unwrap();
+        // The protocol harness is a strict refinement: same cycles, same
+        // stats, same counters, nothing escalated.
+        assert_eq!(proto.run.stats, legacy.run.stats, "stats diverged");
+        assert_eq!(proto.detections, legacy.detections);
+        assert_eq!(proto.recoveries, legacy.recoveries);
+        assert_eq!(proto.corrupted, legacy.corrupted);
+        assert_eq!(proto.undetected, 0);
+        assert_eq!(proto.cta_relaunches, 0);
+        assert_eq!(proto.kernel_relaunches, 0);
+        assert!(!proto.due && !proto.watchdog_fired && !proto.timed_out);
+        assert!(proto.run.output_ok);
     }
 
     #[test]

@@ -62,16 +62,23 @@ pub mod matrix;
 pub mod rbq;
 pub mod report;
 pub mod rpt;
+pub mod runner;
 pub mod runtime;
 pub mod scheme;
 
-pub use campaign::{run_campaign, Campaign, CampaignReport};
+pub use campaign::{
+    classify, run_campaign, run_campaign_with_baseline, Campaign, CampaignReport, Outcome,
+};
 pub use experiment::{
-    geomean, normalized_time, run_scheme, run_with_faults, ExperimentConfig, ExperimentError,
-    FaultRunResult, RunResult, WorkloadSpec,
+    geomean, normalized_time, run_scheme, run_with_faults, run_with_protocol, ExperimentConfig,
+    ExperimentError, FaultProtocolResult, FaultRunResult, ProtocolConfig, RunResult, WorkloadSpec,
 };
 pub use matrix::{run_matrix, run_matrix_with_jobs, CellResult, MatrixCell};
 pub use rbq::Rbq;
 pub use rpt::Rpt;
+pub use runner::{
+    run_campaign_runner, run_campaign_runner_with_jobs, run_one_seed, wilson_interval,
+    CampaignSpec, CampaignSummary, RunRecord, RunnerError,
+};
 pub use runtime::{FlameUnit, VerificationMode};
 pub use scheme::Scheme;

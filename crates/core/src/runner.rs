@@ -1,0 +1,617 @@
+//! The resumable multi-seed fault-campaign runner.
+//!
+//! A statistical fault campaign is hundreds of independent seeded runs of
+//! one `(workload, scheme, config)` triple, each classified into the
+//! [`Outcome`] taxonomy. This module fans the seeds across
+//! `std::thread::scope` workers pulling from an [`AtomicUsize`] work
+//! index (the matrix engine's self-scheduling pattern), isolates each run
+//! behind `catch_unwind` so one diseased seed cannot kill the campaign,
+//! and journals every finished run to a JSONL checkpoint file so a killed
+//! campaign resumes where it stopped.
+//!
+//! Three properties the campaign reports rely on:
+//!
+//! * **Determinism** — each seed's strikes and simulation are a pure
+//!   function of the spec, so the final [`CampaignSummary`] is
+//!   byte-identical whatever the worker count, interleaving, or how many
+//!   times the campaign was killed and resumed in between.
+//! * **Truncation tolerance** — a run record only counts if its journal
+//!   line is complete; a half-written tail line (the kill arrived
+//!   mid-`write`) is discarded and that seed simply re-runs.
+//! * **Single baseline** — the fault-free run is simulated once per
+//!   campaign, not once per seed.
+//!
+//! The journal is hand-rolled JSON (the repo takes no external crates):
+//! a header line fingerprinting the spec, then one object per finished
+//! seed, in completion order. Integer fields only — floats travel as
+//! `f64::to_bits` so round-trips are exact.
+
+use crate::campaign::{classify, Outcome};
+use crate::experiment::{run_scheme, ExperimentConfig, ProtocolConfig, WorkloadSpec};
+use crate::scheme::Scheme;
+use flame_sensors::fault::StrikeGenerator;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write as _};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Everything that determines a campaign's results. Two specs with equal
+/// fields produce byte-identical summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Seed of the first run; run `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// Number of seeded runs.
+    pub runs: usize,
+    /// Strikes injected per run.
+    pub strikes_per_run: usize,
+    /// Cycle horizon the strikes are spread over.
+    pub horizon: u64,
+    /// Sensor coverage: fraction of strikes the mesh hears.
+    pub coverage: f64,
+    /// Fraction of strikes aimed at control-flow state (PC/SIMT stack).
+    pub control_fraction: f64,
+    /// Fraction of strikes aimed at recovery hardware (RPT/RBQ).
+    pub recovery_fraction: f64,
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// Platform configuration.
+    pub cfg: ExperimentConfig,
+    /// Recovery-protocol budgets.
+    pub proto: ProtocolConfig,
+}
+
+impl CampaignSpec {
+    /// The journal header line identifying this spec. Byte-stable: a
+    /// resumed campaign refuses a journal whose header differs.
+    pub fn fingerprint(&self, workload: &str) -> String {
+        format!(
+            concat!(
+                "{{\"flame_campaign\":1,\"workload\":{:?},\"scheme\":{:?},",
+                "\"base_seed\":{},\"runs\":{},\"strikes\":{},\"horizon\":{},",
+                "\"coverage\":{},\"control\":{},\"recovery\":{},",
+                "\"wcdl\":{},\"max_cycles\":{},\"num_sms\":{},",
+                "\"nested\":{},\"cta\":{},\"kernel\":{},\"hang\":{},\"parity\":{}}}"
+            ),
+            workload,
+            self.scheme.name(),
+            self.base_seed,
+            self.runs,
+            self.strikes_per_run,
+            self.horizon,
+            self.coverage.to_bits(),
+            self.control_fraction.to_bits(),
+            self.recovery_fraction.to_bits(),
+            self.cfg.wcdl,
+            self.cfg.max_cycles,
+            self.cfg.gpu.num_sms,
+            self.proto.max_nested_recoveries,
+            self.proto.max_cta_relaunches,
+            self.proto.max_kernel_relaunches,
+            self.proto.hang_window,
+            self.proto.rpt_parity,
+        )
+    }
+}
+
+/// One finished seeded run, exactly as journaled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunRecord {
+    /// The run's seed.
+    pub seed: u64,
+    /// Taxonomy classification.
+    pub outcome: Outcome,
+    /// Strikes that landed on a valid SM while the kernel ran.
+    pub injected: u64,
+    /// Strikes the sensor mesh never heard.
+    pub undetected: u64,
+    /// Region rollbacks performed.
+    pub recoveries: u64,
+    /// Detections inside a previous recovery's WCDL window.
+    pub nested: u64,
+    /// CTA relaunches (escalation rung 2).
+    pub cta_relaunches: u64,
+    /// Kernel relaunches (escalation rung 3).
+    pub kernel_relaunches: u64,
+    /// Cycles of the final kernel attempt.
+    pub cycles: u64,
+    /// The run panicked or failed to launch; classified [`Outcome::Due`].
+    pub crashed: bool,
+}
+
+impl RunRecord {
+    /// The record's journal line (no trailing newline). Fixed key order;
+    /// [`RunRecord::parse`] is its exact inverse.
+    pub fn to_line(&self) -> String {
+        format!(
+            concat!(
+                "{{\"seed\":{},\"outcome\":\"{}\",\"injected\":{},",
+                "\"undetected\":{},\"recoveries\":{},\"nested\":{},",
+                "\"cta\":{},\"kernel\":{},\"cycles\":{},\"crashed\":{}}}"
+            ),
+            self.seed,
+            self.outcome.name(),
+            self.injected,
+            self.undetected,
+            self.recoveries,
+            self.nested,
+            self.cta_relaunches,
+            self.kernel_relaunches,
+            self.cycles,
+            self.crashed,
+        )
+    }
+
+    /// Parses a journal line. Returns `None` for anything malformed —
+    /// notably a truncated tail line from a killed campaign.
+    pub fn parse(line: &str) -> Option<RunRecord> {
+        let line = line.trim_end();
+        if !line.ends_with('}') {
+            return None;
+        }
+        Some(RunRecord {
+            seed: json_u64(line, "seed")?,
+            outcome: Outcome::parse(json_str(line, "outcome")?)?,
+            injected: json_u64(line, "injected")?,
+            undetected: json_u64(line, "undetected")?,
+            recoveries: json_u64(line, "recoveries")?,
+            nested: json_u64(line, "nested")?,
+            cta_relaunches: json_u64(line, "cta")?,
+            kernel_relaunches: json_u64(line, "kernel")?,
+            cycles: json_u64(line, "cycles")?,
+            crashed: json_bool(line, "crashed")?,
+        })
+    }
+}
+
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    Some(&line[at..])
+}
+
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let rest = json_field(line, key)?;
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = json_field(line, key)?.strip_prefix('"')?;
+    rest.split('"').next()
+}
+
+fn json_bool(line: &str, key: &str) -> Option<bool> {
+    let rest = json_field(line, key)?;
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Errors from the campaign runner.
+#[derive(Debug)]
+pub enum RunnerError {
+    /// The journal file exists but its header does not match this spec.
+    JournalMismatch {
+        /// Header found in the journal.
+        found: String,
+        /// Header this spec expects.
+        expected: String,
+    },
+    /// Journal I/O failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunnerError::JournalMismatch { found, expected } => write!(
+                f,
+                "journal belongs to a different campaign\n  found:    {found}\n  expected: {expected}"
+            ),
+            RunnerError::Io(e) => write!(f, "journal i/o failed: {e}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for RunnerError {
+    fn from(e: std::io::Error) -> RunnerError {
+        RunnerError::Io(e)
+    }
+}
+
+/// Aggregate of a finished campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSummary {
+    /// Spec fingerprint (the journal header).
+    pub header: String,
+    /// All run records, sorted by seed.
+    pub records: Vec<RunRecord>,
+    /// Outcome counts, indexed in [`Outcome::ALL`] order.
+    pub counts: [usize; 5],
+    /// Cycles of the fault-free baseline run.
+    pub clean_cycles: u64,
+    /// Seeds simulated by *this* invocation (the rest came from the
+    /// journal).
+    pub ran_now: usize,
+}
+
+impl CampaignSummary {
+    /// Count of one outcome.
+    pub fn count(&self, o: Outcome) -> usize {
+        self.counts[Outcome::ALL.iter().position(|&x| x == o).unwrap()]
+    }
+
+    /// Observed rate of one outcome.
+    pub fn rate(&self, o: Outcome) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.count(o) as f64 / self.records.len() as f64
+        }
+    }
+
+    /// Deterministic human-readable report. Byte-identical for equal
+    /// record sets, however the campaign was scheduled or resumed.
+    pub fn render(&self) -> String {
+        let n = self.records.len();
+        let mut out = String::new();
+        let _ = writeln!(out, "runs: {n}");
+        for o in Outcome::ALL {
+            let k = self.count(o);
+            let (lo, hi) = wilson_interval(k, n, 1.96);
+            let _ = writeln!(
+                out,
+                "  {:<20} {:>5}  rate {:.4}  [95% CI {:.4}, {:.4}]",
+                o.name(),
+                k,
+                self.rate(o),
+                lo,
+                hi
+            );
+        }
+        let injected: u64 = self.records.iter().map(|r| r.injected).sum();
+        let undetected: u64 = self.records.iter().map(|r| r.undetected).sum();
+        let recoveries: u64 = self.records.iter().map(|r| r.recoveries).sum();
+        let nested: u64 = self.records.iter().map(|r| r.nested).sum();
+        let cta: u64 = self.records.iter().map(|r| r.cta_relaunches).sum();
+        let kernel: u64 = self.records.iter().map(|r| r.kernel_relaunches).sum();
+        let crashed = self.records.iter().filter(|r| r.crashed).count();
+        let _ = writeln!(
+            out,
+            "strikes: injected={injected} undetected={undetected} \
+             recoveries={recoveries} nested={nested}"
+        );
+        let _ = writeln!(
+            out,
+            "escalations: cta_relaunches={cta} kernel_relaunches={kernel} crashed_runs={crashed}"
+        );
+        let good: Vec<&RunRecord> = self
+            .records
+            .iter()
+            .filter(|r| {
+                matches!(r.outcome, Outcome::Masked | Outcome::DetectedRecovered) && r.cycles > 0
+            })
+            .collect();
+        if !good.is_empty() && self.clean_cycles > 0 {
+            let mean = good.iter().map(|r| r.cycles as f64).sum::<f64>()
+                / (good.len() as f64 * self.clean_cycles as f64);
+            let _ = writeln!(
+                out,
+                "mean slowdown of surviving runs vs clean: {mean:.4} ({} runs)",
+                good.len()
+            );
+        }
+        out
+    }
+}
+
+/// Wilson score interval for `k` successes in `n` trials at critical
+/// value `z` (1.96 for 95%). Clamped to `[0, 1]`; `(0, 1)` when `n = 0`.
+pub fn wilson_interval(k: usize, n: usize, z: f64) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let nf = n as f64;
+    let p = k as f64 / nf;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / nf;
+    let center = p + z2 / (2.0 * nf);
+    let half = z * (p * (1.0 - p) / nf + z2 / (4.0 * nf * nf)).sqrt();
+    (
+        ((center - half) / denom).max(0.0),
+        ((center + half) / denom).min(1.0),
+    )
+}
+
+/// Simulates one seed of the spec. Public so tests and the report binary
+/// can replay a single seed in isolation.
+pub fn run_one_seed(w: &WorkloadSpec, spec: &CampaignSpec, seed: u64) -> RunRecord {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut gen = StrikeGenerator::new(seed, spec.cfg.wcdl, spec.cfg.gpu.num_sms)
+            .with_coverage(spec.coverage)
+            .with_target_mix(spec.control_fraction, spec.recovery_fraction);
+        let strikes = gen.schedule(spec.strikes_per_run, spec.horizon.max(1));
+        crate::experiment::run_with_protocol(w, spec.scheme, &spec.cfg, &strikes, &spec.proto)
+    }));
+    match result {
+        Ok(Ok(r)) => RunRecord {
+            seed,
+            outcome: classify(&r),
+            injected: r.injected as u64,
+            undetected: r.undetected as u64,
+            recoveries: r.recoveries as u64,
+            nested: r.nested_detections as u64,
+            cta_relaunches: u64::from(r.cta_relaunches),
+            kernel_relaunches: u64::from(r.kernel_relaunches),
+            cycles: r.run.stats.cycles,
+            crashed: false,
+        },
+        // A launch/alloc error or a panic is a crash: the campaign
+        // records it as a detected-unrecoverable run and moves on.
+        Ok(Err(_)) | Err(_) => RunRecord {
+            seed,
+            outcome: Outcome::Due,
+            injected: 0,
+            undetected: 0,
+            recoveries: 0,
+            nested: 0,
+            cta_relaunches: 0,
+            kernel_relaunches: 0,
+            cycles: 0,
+            crashed: true,
+        },
+    }
+}
+
+/// Loads records from an existing journal. The header must match
+/// `expected`; malformed lines (a truncated tail) and records for seeds
+/// outside the spec are dropped.
+fn load_journal(path: &Path, expected: &str) -> Result<Vec<RunRecord>, RunnerError> {
+    let f = BufReader::new(File::open(path)?);
+    let mut lines = f.lines();
+    let header = match lines.next() {
+        Some(h) => h?,
+        None => return Ok(Vec::new()), // empty file: treat as fresh
+    };
+    if header.trim_end() != expected {
+        return Err(RunnerError::JournalMismatch {
+            found: header,
+            expected: expected.to_string(),
+        });
+    }
+    let mut out = Vec::new();
+    for line in lines {
+        if let Some(r) = RunRecord::parse(&line?) {
+            out.push(r);
+        }
+    }
+    Ok(out)
+}
+
+/// Runs (or resumes) the campaign with [`crate::matrix::default_jobs`]
+/// workers. See [`run_campaign_runner_with_jobs`].
+///
+/// # Errors
+///
+/// Journal I/O failures and header mismatches; simulation failures are
+/// absorbed into crashed [`RunRecord`]s instead.
+pub fn run_campaign_runner(
+    w: &WorkloadSpec,
+    spec: &CampaignSpec,
+    journal: Option<&Path>,
+) -> Result<CampaignSummary, RunnerError> {
+    run_campaign_runner_with_jobs(w, spec, journal, crate::matrix::default_jobs())
+}
+
+/// Runs the campaign's seeds on `jobs` worker threads, journaling each
+/// finished run to `journal` (if given) and resuming from it when it
+/// already exists. The returned summary is byte-identical however the
+/// work was split between a previous (possibly killed) invocation and
+/// this one.
+///
+/// # Errors
+///
+/// Journal I/O failures and header mismatches.
+///
+/// # Panics
+///
+/// Panics only if a worker thread itself dies outside the per-run
+/// `catch_unwind` — i.e. never for a misbehaving workload.
+pub fn run_campaign_runner_with_jobs(
+    w: &WorkloadSpec,
+    spec: &CampaignSpec,
+    journal: Option<&Path>,
+    jobs: usize,
+) -> Result<CampaignSummary, RunnerError> {
+    let header = spec.fingerprint(w.name);
+
+    // Resume: collect finished seeds from the journal (deduped — a
+    // killed-and-resumed campaign may have raced the same seed twice;
+    // records are deterministic so any copy serves).
+    let mut records: Vec<RunRecord> = Vec::with_capacity(spec.runs);
+    if let Some(path) = journal {
+        if path.exists() {
+            for r in load_journal(path, &header)? {
+                let in_range = r.seed >= spec.base_seed
+                    && r.seed < spec.base_seed + spec.runs as u64
+                    && !records.iter().any(|x| x.seed == r.seed);
+                if in_range {
+                    records.push(r);
+                }
+            }
+        }
+    }
+
+    // (Re)write or append the journal. A fresh file gets the header; an
+    // existing one is appended in place so finished seeds survive kills.
+    let sink: Option<Mutex<File>> = match journal {
+        Some(path) => {
+            let fresh = !path.exists();
+            let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+            if fresh {
+                writeln!(f, "{header}")?;
+                f.flush()?;
+            }
+            Some(Mutex::new(f))
+        }
+        None => None,
+    };
+
+    let todo: Vec<u64> = (0..spec.runs as u64)
+        .map(|i| spec.base_seed + i)
+        .filter(|s| !records.iter().any(|r| r.seed == *s))
+        .collect();
+    let ran_now = todo.len();
+
+    // Single fault-free baseline for the whole campaign.
+    let clean_cycles = run_scheme(w, spec.scheme, &spec.cfg)
+        .map(|r| r.stats.cycles)
+        .unwrap_or(0);
+
+    let next = AtomicUsize::new(0);
+    let fresh: Mutex<Vec<RunRecord>> = Mutex::new(Vec::with_capacity(todo.len()));
+    let workers = jobs.max(1).min(todo.len().max(1));
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= todo.len() {
+                            break;
+                        }
+                        let rec = run_one_seed(w, spec, todo[i]);
+                        // Journal before counting: a kill between the two
+                        // at worst re-runs a seed, never loses one.
+                        if let Some(m) = &sink {
+                            let mut f = m.lock().unwrap();
+                            let _ = writeln!(f, "{}", rec.to_line());
+                            let _ = f.flush();
+                        }
+                        fresh.lock().unwrap().push(rec);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("campaign worker died");
+        }
+    });
+
+    records.extend(fresh.into_inner().unwrap());
+    records.sort_by_key(|r| r.seed);
+
+    let mut counts = [0usize; 5];
+    for r in &records {
+        counts[Outcome::ALL.iter().position(|&o| o == r.outcome).unwrap()] += 1;
+    }
+    Ok(CampaignSummary {
+        header,
+        records,
+        counts,
+        clean_cycles,
+        ran_now,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> RunRecord {
+        RunRecord {
+            seed: 42,
+            outcome: Outcome::Sdc,
+            injected: 3,
+            undetected: 1,
+            recoveries: 2,
+            nested: 1,
+            cta_relaunches: 1,
+            kernel_relaunches: 0,
+            cycles: 123_456,
+            crashed: false,
+        }
+    }
+
+    #[test]
+    fn record_lines_round_trip() {
+        for o in Outcome::ALL {
+            let r = RunRecord {
+                outcome: o,
+                crashed: o == Outcome::Due,
+                ..record()
+            };
+            assert_eq!(RunRecord::parse(&r.to_line()), Some(r));
+        }
+    }
+
+    #[test]
+    fn truncated_lines_are_rejected() {
+        let line = record().to_line();
+        for cut in 1..line.len() {
+            assert_eq!(
+                RunRecord::parse(&line[..cut]),
+                None,
+                "prefix of len {cut} parsed"
+            );
+        }
+        assert!(RunRecord::parse("").is_none());
+        assert!(RunRecord::parse("{}").is_none());
+    }
+
+    #[test]
+    fn wilson_interval_behaves() {
+        // Degenerate cases.
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+        let (lo, hi) = wilson_interval(0, 100, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.05);
+        let (lo, hi) = wilson_interval(100, 100, 1.96);
+        assert!(lo > 0.95 && lo < 1.0);
+        assert!(hi > 0.9999);
+        // Known value: 50/100 at 95% is about [0.404, 0.596].
+        let (lo, hi) = wilson_interval(50, 100, 1.96);
+        assert!((lo - 0.404).abs() < 0.005, "lo = {lo}");
+        assert!((hi - 0.596).abs() < 0.005, "hi = {hi}");
+        // The interval always contains the point estimate and tightens
+        // with n.
+        let wide = wilson_interval(5, 20, 1.96);
+        let tight = wilson_interval(50, 200, 1.96);
+        assert!(wide.0 <= 0.25 && 0.25 <= wide.1);
+        assert!(tight.1 - tight.0 < wide.1 - wide.0);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_specs() {
+        let a = CampaignSpec {
+            base_seed: 1,
+            runs: 10,
+            strikes_per_run: 3,
+            horizon: 1000,
+            coverage: 0.9,
+            control_fraction: 0.1,
+            recovery_fraction: 0.1,
+            scheme: Scheme::SensorRenaming,
+            cfg: ExperimentConfig::default(),
+            proto: ProtocolConfig::default(),
+        };
+        let b = CampaignSpec {
+            coverage: 0.8,
+            ..a.clone()
+        };
+        assert_eq!(a.fingerprint("w"), a.fingerprint("w"));
+        assert_ne!(a.fingerprint("w"), b.fingerprint("w"));
+        assert_ne!(a.fingerprint("w"), a.fingerprint("v"));
+    }
+}

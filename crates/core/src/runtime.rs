@@ -52,6 +52,11 @@ pub struct FlameUnit {
     /// Recovery point a warp will assume once its in-flight verification
     /// completes (parked while the warp sits in the RBQ).
     pending: Vec<Option<RecoveryPoint>>,
+    /// RPT entries corrupted by a strike on the recovery hardware itself.
+    /// The entry's parity no longer checks, so a rollback cannot use it;
+    /// the poison clears when the entry is rewritten (next verified
+    /// boundary) or its warp relaunches.
+    poisoned: Vec<bool>,
     /// Per region-start PC, the registers to restore on rollback
     /// (nonempty only under checkpointing-based recovery). The values are
     /// captured from the register file when the boundary is crossed —
@@ -80,6 +85,7 @@ impl FlameUnit {
             nsched: nsched.max(1),
             rpt: Rpt::new(slots),
             pending: vec![None; slots],
+            poisoned: vec![false; slots],
             restores,
         }
     }
@@ -120,6 +126,7 @@ impl FlameUnit {
 impl SmAttachment for FlameUnit {
     fn on_warp_launch(&mut self, slot: usize, entry: RecoveryPoint) {
         self.pending[slot] = None;
+        self.poisoned[slot] = false;
         // The entry region has no checkpointed inputs to capture.
         self.rpt.set(slot, entry);
     }
@@ -127,6 +134,7 @@ impl SmAttachment for FlameUnit {
     fn on_warp_exit(&mut self, slot: usize) {
         self.rpt.clear(slot);
         self.pending[slot] = None;
+        self.poisoned[slot] = false;
     }
 
     fn on_boundary(
@@ -140,6 +148,7 @@ impl SmAttachment for FlameUnit {
         match self.mode {
             VerificationMode::Immediate => {
                 self.rpt.set(slot, point);
+                self.poisoned[slot] = false;
                 BoundaryAction::Continue
             }
             VerificationMode::Conveyor { .. } => {
@@ -151,6 +160,7 @@ impl SmAttachment for FlameUnit {
                 // The warp waits in place; by the time the stall ends the
                 // region is verified.
                 self.rpt.set(slot, point);
+                self.poisoned[slot] = false;
                 BoundaryAction::BlockScheduler(wcdl)
             }
         }
@@ -160,7 +170,9 @@ impl SmAttachment for FlameUnit {
         for q in &mut self.rbqs {
             if let Some(slot) = q.pop(now) {
                 if let Some(point) = self.pending[slot].take() {
+                    // Rewriting the entry replaces any corrupted bits.
                     self.rpt.set(slot, point);
+                    self.poisoned[slot] = false;
                 }
                 wake.push(slot);
             }
@@ -179,12 +191,35 @@ impl SmAttachment for FlameUnit {
     fn on_error(&mut self, _now: u64) -> Vec<(usize, RecoveryPoint)> {
         // All in-flight verifications are void: their warps keep their
         // current (older) RPT entries and re-execute the unverified
-        // region — the paper's Figure 9 Example B.
+        // region — the paper's Figure 9 Example B. Entries whose parity
+        // is broken cannot be rolled back to: their warps are excluded,
+        // and the caller must notice via `recovery_poisoned` and
+        // escalate.
         for q in &mut self.rbqs {
             q.flush();
         }
         self.pending.fill(None);
-        self.rpt.all_live()
+        let mut live = self.rpt.all_live();
+        live.retain(|(slot, _)| !self.poisoned[*slot]);
+        live
+    }
+
+    fn corrupt_recovery_state(&mut self, token: u64) -> bool {
+        // The strike hits one uniformly chosen live RPT entry; `token`
+        // stands in for the physical address bits that pick it.
+        let live: Vec<usize> = (0..self.pending.len())
+            .filter(|&s| self.rpt.get(s).is_some())
+            .collect();
+        if live.is_empty() {
+            return false;
+        }
+        let slot = live[token as usize % live.len()];
+        self.poisoned[slot] = true;
+        true
+    }
+
+    fn recovery_poisoned(&self) -> bool {
+        (0..self.pending.len()).any(|s| self.poisoned[s] && self.rpt.get(s).is_some())
     }
 }
 
@@ -322,6 +357,34 @@ mod tests {
         u.tick(5, &mut wake);
         wake.sort_unstable();
         assert_eq!(wake, vec![2, 3]);
+    }
+
+    #[test]
+    fn recovery_hw_strike_poisons_until_rewritten() {
+        let mut u = unit(VerificationMode::Conveyor { wcdl: 4 });
+        u.on_warp_launch(0, point(0));
+        u.on_warp_launch(1, point(0));
+        assert!(!u.recovery_poisoned());
+        // token 0 picks the first live entry: slot 0.
+        assert!(u.corrupt_recovery_state(0));
+        assert!(u.recovery_poisoned());
+        // A rollback cannot use the poisoned entry: slot 0 is excluded.
+        let recov = u.on_error(10);
+        assert_eq!(recov.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![1]);
+        // Relaunching the warp rewrites the entry and clears the poison.
+        u.on_warp_launch(0, point(0));
+        assert!(!u.recovery_poisoned());
+        // So does a verified boundary (the RPT entry is overwritten).
+        assert!(u.corrupt_recovery_state(0));
+        u.on_boundary(20, 0, point(5), &regs());
+        let mut wake = Vec::new();
+        u.tick(24, &mut wake);
+        assert_eq!(wake, vec![0]);
+        assert!(!u.recovery_poisoned());
+        // With no live entries there is nothing to hit.
+        u.on_warp_exit(0);
+        u.on_warp_exit(1);
+        assert!(!u.corrupt_recovery_state(7));
     }
 
     #[test]

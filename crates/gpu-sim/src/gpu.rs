@@ -377,6 +377,48 @@ impl Gpu {
         let now = self.cycle;
         self.sms[sm].recover(now)
     }
+
+    /// Diverts the PC of a warp on SM `sm` (a strike in the fetch/SIMT
+    /// stack rather than the datapath): XORs `xor` into the current PC,
+    /// wrapped to the kernel's length. Returns the corrupted PC if the
+    /// slot held a Ready warp.
+    pub fn corrupt_pc(&mut self, sm: usize, slot: usize, xor: u32) -> Option<u32> {
+        if sm >= self.sms.len() {
+            return None;
+        }
+        let code_len = self.kernel.insts.len() as u32;
+        self.sms[sm].corrupt_pc(slot, xor, code_len)
+    }
+
+    /// Injects a strike into SM `sm`'s recovery hardware (RPT/RBQ state);
+    /// `token` deterministically selects the victim entry. Returns
+    /// whether live recovery state was corrupted.
+    pub fn corrupt_recovery_state(&mut self, sm: usize, token: u64) -> bool {
+        if sm >= self.sms.len() {
+            return false;
+        }
+        self.sms[sm].corrupt_recovery_state(token)
+    }
+
+    /// Whether SM `sm`'s attachment holds known-corrupted recovery state
+    /// (a rollback would need state that a strike destroyed).
+    pub fn recovery_poisoned(&self, sm: usize) -> bool {
+        sm < self.sms.len() && self.sms[sm].recovery_poisoned()
+    }
+
+    /// Escalated recovery on SM `sm`: restarts every resident CTA from
+    /// its entry point (see `Sm::relaunch_ctas`). Returns the number of
+    /// warps restarted.
+    pub fn relaunch_sm_ctas(&mut self, sm: usize) -> usize {
+        let now = self.cycle;
+        self.sms[sm].relaunch_ctas(now)
+    }
+
+    /// Total warp-instructions issued so far, across all SMs — the cheap
+    /// forward-progress signal a hang watchdog polls.
+    pub fn instructions_issued(&self) -> u64 {
+        self.sms.iter().map(|s| s.stats().instructions).sum()
+    }
 }
 
 /// CTAs that fit per SM given register file, shared memory, warp-slot and

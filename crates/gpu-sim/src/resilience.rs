@@ -74,6 +74,24 @@ pub trait SmAttachment: fmt::Debug {
     /// every live warp and resets in-flight verification state (the RBQ is
     /// flushed — its warps are among those rolled back).
     fn on_error(&mut self, now: u64) -> Vec<(usize, RecoveryPoint)>;
+
+    /// A particle strike landed on the attachment's own storage (an RPT
+    /// entry / RBQ metadata). `token` deterministically selects which
+    /// piece of live state is hit. Returns whether anything was actually
+    /// corrupted — attachments without recovery state (and the default
+    /// implementation) have nothing to hit.
+    fn corrupt_recovery_state(&mut self, _token: u64) -> bool {
+        false
+    }
+
+    /// Whether any live recovery state is known-corrupted (e.g. an RPT
+    /// entry whose parity no longer checks). A subsequent rollback cannot
+    /// use such state: the warp it belonged to is unrecoverable in place
+    /// and the caller must escalate (CTA/kernel relaunch) or declare a
+    /// DUE.
+    fn recovery_poisoned(&self) -> bool {
+        false
+    }
 }
 
 /// Attachment used when no resilience scheme is active: boundaries are

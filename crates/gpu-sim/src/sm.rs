@@ -14,7 +14,7 @@ use crate::regfile::{Value, WarpRegFile};
 use crate::resilience::{BoundaryAction, SmAttachment};
 use crate::scheduler::{Candidate, Scheduler, SchedulerKind};
 use crate::stats::SimStats;
-use crate::warp::{Warp, WarpState, WARP_SIZE};
+use crate::warp::{RecoveryPoint, Warp, WarpState, WARP_SIZE};
 
 /// Grid and CTA dimensions of a kernel launch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +85,10 @@ struct AtomicLogEntry {
 struct Slot {
     warp: Warp,
     regs: WarpRegFile,
+    /// The warp's entry recovery point (PC 0, full initial mask), kept so
+    /// an escalated recovery can restart the whole CTA from scratch when
+    /// region-level rollback state is unusable.
+    entry: RecoveryPoint,
     /// Per-thread local memory: `local[lane * words + word]`.
     local: Vec<Value>,
     local_words: usize,
@@ -284,10 +288,12 @@ impl Sm {
                 (1u32 << lanes) - 1
             };
             let warp = Warp::new(0, mask, cta_slot, w as usize, now);
-            self.attachment.on_warp_launch(slot, warp.recovery_point());
+            let entry = warp.recovery_point();
+            self.attachment.on_warp_launch(slot, entry.clone());
             self.slots[slot] = Some(Slot {
                 warp,
                 regs: WarpRegFile::new(kernel.regs_per_thread),
+                entry,
                 local: vec![0; local_words * WARP_SIZE],
                 local_words,
                 last_write: None,
@@ -1050,6 +1056,81 @@ impl Sm {
         self.port.flush();
         self.sched_blocked_until.fill(0);
         self.stats.resilience.recoveries += 1;
+        self.stats.resilience.warps_rolled_back += n as u64;
+        n
+    }
+
+    /// Diverts the PC of the (Ready) warp in `slot` by XORing `xor` into
+    /// it, wrapped into the kernel's `code_len` instructions — a strike
+    /// on the fetch/SIMT-stack logic rather than on a datapath value.
+    /// Returns the corrupted PC, or `None` when the slot holds no warp
+    /// whose PC is live in the fetch stage (finished, at a barrier, or
+    /// parked in the RBQ).
+    pub fn corrupt_pc(&mut self, slot: usize, xor: u32, code_len: u32) -> Option<u32> {
+        self.frozen_until = 0;
+        match self.slots.get_mut(slot).and_then(Option::as_mut) {
+            Some(s) if s.warp.state == WarpState::Ready => s.warp.stack.corrupt_pc(xor, code_len),
+            _ => None,
+        }
+    }
+
+    /// Forwards a strike on the recovery hardware itself (RPT entry / RBQ
+    /// metadata) to the attachment. Returns whether live recovery state
+    /// was corrupted.
+    pub fn corrupt_recovery_state(&mut self, token: u64) -> bool {
+        self.frozen_until = 0;
+        self.attachment.corrupt_recovery_state(token)
+    }
+
+    /// Whether the attachment holds known-corrupted recovery state (see
+    /// [`SmAttachment::recovery_poisoned`]).
+    pub fn recovery_poisoned(&self) -> bool {
+        self.attachment.recovery_poisoned()
+    }
+
+    /// Escalated recovery: restarts every resident CTA from its entry
+    /// point, for when region-level rollback is unusable (corrupted RPT
+    /// state, or repeated rollbacks making no progress). All in-flight
+    /// verification state is dropped and each warp is re-registered with
+    /// the attachment as a fresh launch. Returns the number of warps
+    /// restarted.
+    ///
+    /// Re-execution starts from PC 0, so the relaunch is sound exactly
+    /// when the kernel is idempotent from its entry; already-committed
+    /// atomics re-apply (their logs cannot describe the full re-run and
+    /// are dropped). When that breaks the output, the failure surfaces
+    /// in the output check and escalates further — to a kernel relaunch,
+    /// which reinitializes memory.
+    pub fn relaunch_ctas(&mut self, now: u64) -> usize {
+        self.frozen_until = 0;
+        // Flush the conveyor; relaunched warps get fresh RPT entries.
+        let _ = self.attachment.on_error(now);
+        for cta in self.ctas.iter_mut().flatten() {
+            cta.phase = 0;
+            cta.arrivals = 0;
+            cta.live_warps = 0;
+        }
+        let mut n = 0;
+        for slot in 0..self.slots.len() {
+            let Some(s) = self.slots[slot].as_mut() else {
+                continue;
+            };
+            s.warp.rollback(&s.entry);
+            s.regs.flush_pending();
+            s.last_write = None;
+            s.atomic_log.clear();
+            s.replay_cursor = 0;
+            let entry = s.entry.clone();
+            let cta_slot = s.warp.cta_slot;
+            if let Some(c) = self.ctas[cta_slot].as_mut() {
+                c.live_warps += 1;
+            }
+            self.attachment.on_warp_launch(slot, entry);
+            n += 1;
+        }
+        self.port.flush();
+        self.sched_blocked_until.fill(0);
+        self.stats.resilience.cta_relaunches += 1;
         self.stats.resilience.warps_rolled_back += n as u64;
         n
     }

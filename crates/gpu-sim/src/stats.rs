@@ -91,6 +91,10 @@ pub struct ResilienceStats {
     pub recoveries: u64,
     /// Warp-rollbacks performed across all recoveries.
     pub warps_rolled_back: u64,
+    /// Escalated recoveries that restarted every resident CTA from its
+    /// entry (region-level rollback was unusable — e.g. corrupted RPT
+    /// state or a rollback livelock).
+    pub cta_relaunches: u64,
 }
 
 impl AddAssign for ResilienceStats {
@@ -100,6 +104,7 @@ impl AddAssign for ResilienceStats {
         self.verifications += o.verifications;
         self.recoveries += o.recoveries;
         self.warps_rolled_back += o.warps_rolled_back;
+        self.cta_relaunches += o.cta_relaunches;
     }
 }
 
@@ -137,7 +142,7 @@ impl SimStats {
     /// equivalence tests, where "fast-forward changed `stalls.rbq_wait`"
     /// beats a 40-line struct dump in a failed assertion.
     pub fn diff(&self, other: &SimStats) -> Vec<(&'static str, u64, u64)> {
-        let fields: [(&'static str, u64, u64); 23] = [
+        let fields: [(&'static str, u64, u64); 24] = [
             ("cycles", self.cycles, other.cycles),
             ("instructions", self.instructions, other.instructions),
             (
@@ -213,6 +218,11 @@ impl SimStats {
                 self.resilience.warps_rolled_back,
                 other.resilience.warps_rolled_back,
             ),
+            (
+                "resilience.cta_relaunches",
+                self.resilience.cta_relaunches,
+                other.resilience.cta_relaunches,
+            ),
         ];
         fields.into_iter().filter(|&(_, a, b)| a != b).collect()
     }
@@ -264,12 +274,13 @@ impl fmt::Display for SimStats {
         )?;
         write!(
             f,
-            "resilience: boundaries={} deschedules={} verified={} recoveries={} rollbacks={}",
+            "resilience: boundaries={} deschedules={} verified={} recoveries={} rollbacks={} cta_relaunches={}",
             self.resilience.boundaries,
             self.resilience.deschedules,
             self.resilience.verifications,
             self.resilience.recoveries,
-            self.resilience.warps_rolled_back
+            self.resilience.warps_rolled_back,
+            self.resilience.cta_relaunches
         )
     }
 }

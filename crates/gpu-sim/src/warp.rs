@@ -172,6 +172,24 @@ impl SimtStack {
         self.prune();
     }
 
+    /// Models a particle strike on the fetch/SIMT-stack logic: XORs the
+    /// top-entry PC with `xor`, wrapped into `[0, limit)` so the warp
+    /// still fetches *some* instruction of its kernel (a wild-but-valid
+    /// jump). Returns the corrupted PC, or `None` if the warp has
+    /// already retired. The stack re-settles afterwards — landing
+    /// exactly on the top entry's reconvergence PC pops it, just as a
+    /// wild jump there would in hardware.
+    pub fn corrupt_pc(&mut self, xor: u32, limit: u32) -> Option<u32> {
+        let limit = limit.max(1);
+        let cur = self.pc()?;
+        let new = (cur ^ xor) % limit;
+        if let Some(top) = self.entries.last_mut() {
+            top.pc = new;
+        }
+        self.settle();
+        Some(new)
+    }
+
     /// Captures the stack for later restoration (idempotent recovery).
     pub fn snapshot(&self) -> SimtSnapshot {
         SimtSnapshot {
@@ -427,6 +445,24 @@ mod tests {
         // Outer: fall-through path picks up.
         assert_eq!(s.pc(), Some(1));
         assert_eq!(s.active_mask(), 0xFFFF_0000);
+    }
+
+    #[test]
+    fn corrupt_pc_wraps_and_settles() {
+        let mut s = SimtStack::new(5, FULL_MASK);
+        let pc = s.corrupt_pc(0xFFFF_FFFF, 16).expect("live warp");
+        assert!(pc < 16);
+        assert_eq!(s.pc(), Some(pc));
+        // Landing on the reconvergence PC pops the diverged entry.
+        let mut s = SimtStack::new(5, FULL_MASK);
+        s.branch(0xFFFF, 10, 6, Some(20));
+        assert_eq!(s.pc(), Some(10));
+        s.corrupt_pc(10 ^ 20, 64);
+        assert_eq!(s.pc(), Some(6));
+        // A retired warp cannot be diverted.
+        let mut s = SimtStack::new(0, 0x1);
+        s.exit_lanes(0x1);
+        assert_eq!(s.corrupt_pc(3, 8), None);
     }
 
     #[test]

@@ -6,6 +6,23 @@
 //! pipeline logic flip the value an in-flight instruction writes. The
 //! injector models the latter as an XOR into a destination register of a
 //! random live warp.
+//!
+//! Beyond the paper's model, the generator can also violate Flame's
+//! assumptions on purpose, to measure how the scheme degrades:
+//!
+//! * **Sensor coverage < 1.0** — a fraction of strikes lands outside any
+//!   sensor's detection radius and is never reported (`detected: false`),
+//!   opening the silent-data-corruption (SDC) path.
+//! * **Control-flow strikes** ([`StrikeTarget::ControlFlow`]) — the flip
+//!   lands in the fetch/SIMT-stack logic and diverts a warp's PC instead
+//!   of a destination value.
+//! * **Recovery-hardware strikes** ([`StrikeTarget::RecoveryHw`]) — the
+//!   flip lands in the RPT/RBQ arrays themselves, so the state needed to
+//!   recover is what got corrupted (the detected-unrecoverable, DUE,
+//!   path).
+//! * **Poisson arrivals** ([`StrikeGenerator::schedule_poisson`]) — real
+//!   strikes are a Poisson process; the fixed-count uniform
+//!   [`StrikeGenerator::schedule`] remains for reproducible tests.
 
 use gpu_sim::rng::Rng64;
 
@@ -32,7 +49,21 @@ impl Default for FaultRates {
 impl FaultRates {
     /// Raw (pre-masking) particle-strike-induced errors per day:
     /// `visible / (1 - masking)` — the paper's ≈1.37/day.
+    ///
+    /// A masking rate at (or numerically past) 1.0 would mean *every*
+    /// strike is masked, making the visible rate unrecoverable from — the
+    /// division degenerates to `inf`/`NaN`. That input is a caller bug,
+    /// so it trips a debug assertion; in release builds it returns 0.0
+    /// (no visible failures ⇒ no raw-rate estimate) instead of silently
+    /// poisoning downstream accounting such as `Campaign::accelerated`.
     pub fn raw_errors_per_day(&self) -> f64 {
+        if self.masking_rate >= 1.0 {
+            debug_assert!(
+                self.masking_rate < 1.0,
+                "masking_rate >= 1.0 leaves no visible failures to scale from"
+            );
+            return 0.0;
+        }
         self.visible_failures_per_day / (1.0 - self.masking_rate)
     }
 
@@ -55,6 +86,12 @@ pub enum StrikeTarget {
     /// ECC-protected storage (RF/caches/DRAM): corrected in place, no
     /// architectural effect, but the sensors still hear it.
     EccProtected,
+    /// Fetch/SIMT-stack logic: diverts the victim warp's PC instead of
+    /// corrupting a value.
+    ControlFlow,
+    /// The recovery hardware itself (an RPT entry / RBQ metadata): the
+    /// strike corrupts the state a later rollback would need.
+    RecoveryHw,
 }
 
 /// A scheduled particle strike.
@@ -72,6 +109,10 @@ pub struct Strike {
     pub bit: u8,
     /// Lane whose write is corrupted.
     pub lane: u8,
+    /// Whether the sensor mesh hears this strike at all. With full
+    /// coverage every strike is detected; under a coverage gap the
+    /// strike still corrupts state but no recovery is ever triggered.
+    pub detected: bool,
 }
 
 /// Deterministic strike-schedule generator.
@@ -84,6 +125,13 @@ pub struct StrikeGenerator {
     /// there are heard but harmless). The paper: pipeline logic is ~55 %
     /// of die area.
     ecc_fraction: f64,
+    /// Probability that a strike lands within some sensor's detection
+    /// radius. 1.0 = the paper's assumption (full mesh coverage).
+    coverage: f64,
+    /// Fraction of *non-ECC* strikes that hit fetch/SIMT-stack logic.
+    control_fraction: f64,
+    /// Fraction of *non-ECC* strikes that hit the RPT/RBQ arrays.
+    recovery_fraction: f64,
 }
 
 impl StrikeGenerator {
@@ -95,6 +143,9 @@ impl StrikeGenerator {
             wcdl,
             num_sms,
             ecc_fraction: 0.45,
+            coverage: 1.0,
+            control_fraction: 0.0,
+            recovery_fraction: 0.0,
         }
     }
 
@@ -105,22 +156,61 @@ impl StrikeGenerator {
         self
     }
 
+    /// Overrides the sensor-coverage probability (default 1.0).
+    pub fn with_coverage(mut self, c: f64) -> StrikeGenerator {
+        assert!((0.0..=1.0).contains(&c));
+        self.coverage = c;
+        self
+    }
+
+    /// Splits the non-ECC ("pipeline logic") area into datapath,
+    /// control (fetch/SIMT stack), and recovery-hardware (RPT/RBQ)
+    /// fractions. `control + recovery` must be ≤ 1; the remainder stays
+    /// [`StrikeTarget::Pipeline`]. Both default to 0, which preserves
+    /// the legacy two-target model bit for bit.
+    pub fn with_target_mix(mut self, control: f64, recovery: f64) -> StrikeGenerator {
+        assert!(control >= 0.0 && recovery >= 0.0 && control + recovery <= 1.0);
+        self.control_fraction = control;
+        self.recovery_fraction = recovery;
+        self
+    }
+
     /// Draws one strike at the given cycle.
+    ///
+    /// Care is taken to consume the RNG stream exactly as the original
+    /// two-target, full-coverage generator did whenever the new knobs
+    /// are at their defaults, so seeded schedules from older tests and
+    /// journals are unchanged.
     pub fn strike_at(&mut self, cycle: u64) -> Strike {
         let target = if self.rng.chance(self.ecc_fraction) {
             StrikeTarget::EccProtected
+        } else if self.control_fraction + self.recovery_fraction > 0.0 {
+            let r = self.rng.float();
+            if r < self.control_fraction {
+                StrikeTarget::ControlFlow
+            } else if r < self.control_fraction + self.recovery_fraction {
+                StrikeTarget::RecoveryHw
+            } else {
+                StrikeTarget::Pipeline
+            }
         } else {
             StrikeTarget::Pipeline
         };
+        let sm = self.rng.below(self.num_sms as u64) as usize;
+        // The wave reaches the nearest sensor somewhere within the
+        // mesh pitch: uniform in [1, WCDL].
+        let detection_latency = 1 + self.rng.below(u64::from(self.wcdl.max(1))) as u32;
+        let bit = self.rng.below(64) as u8;
+        let lane = self.rng.below(32) as u8;
+        let detected = self.coverage >= 1.0 || self.rng.chance(self.coverage);
         Strike {
             cycle,
-            sm: self.rng.below(self.num_sms as u64) as usize,
+            sm,
             target,
-            // The wave reaches the nearest sensor somewhere within the
-            // mesh pitch: uniform in [1, WCDL].
-            detection_latency: 1 + self.rng.below(u64::from(self.wcdl.max(1))) as u32,
-            bit: self.rng.below(64) as u8,
-            lane: self.rng.below(32) as u8,
+            detection_latency,
+            bit,
+            lane,
+            detected,
         }
     }
 
@@ -131,6 +221,30 @@ impl StrikeGenerator {
         let mut cycles: Vec<u64> = (0..n).map(|_| self.rng.below(horizon.max(1))).collect();
         cycles.sort_unstable();
         cycles.into_iter().map(|c| self.strike_at(c)).collect()
+    }
+
+    /// Draws a Poisson strike process over `[0, horizon)` cycles:
+    /// exponential inter-arrival times with the given mean (in cycles).
+    /// The number of strikes is itself random — the honest model of an
+    /// accelerated-rate soak test, where `schedule` is the fixed-count
+    /// convenience.
+    pub fn schedule_poisson(&mut self, mean_interarrival: f64, horizon: u64) -> Vec<Strike> {
+        assert!(
+            mean_interarrival > 0.0,
+            "mean inter-arrival must be positive"
+        );
+        let mut out = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            // Inverse-CDF exponential draw; float() < 1.0 so ln(1-u) is
+            // finite.
+            let u = self.rng.float();
+            t += -(1.0 - u).ln() * mean_interarrival;
+            if t >= horizon as f64 {
+                return out;
+            }
+            out.push(self.strike_at(t as u64));
+        }
     }
 }
 
@@ -145,6 +259,28 @@ mod tests {
         assert!((r.raw_errors_per_day() - 1.3699).abs() < 1e-3);
         // 1.37 × 0.635 ≈ 0.87 false positives/day.
         assert!((r.false_positives_per_day() - 0.8699).abs() < 1e-3);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn full_masking_yields_zero_raw_rate() {
+        let r = FaultRates {
+            visible_failures_per_day: 0.5,
+            masking_rate: 1.0,
+        };
+        assert_eq!(r.raw_errors_per_day(), 0.0);
+        assert_eq!(r.false_positives_per_day(), 0.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "no visible failures")]
+    fn full_masking_trips_debug_assertion() {
+        let r = FaultRates {
+            visible_failures_per_day: 0.5,
+            masking_rate: 1.0,
+        };
+        let _ = r.raw_errors_per_day();
     }
 
     #[test]
@@ -188,5 +324,91 @@ mod tests {
             .schedule(50, 1000)
             .iter()
             .all(|s| s.target == StrikeTarget::EccProtected));
+    }
+
+    #[test]
+    fn full_coverage_detects_everything() {
+        let mut g = StrikeGenerator::new(11, 20, 8);
+        assert!(g.schedule(200, 100_000).iter().all(|s| s.detected));
+    }
+
+    #[test]
+    fn coverage_gap_rate_matches_parameter() {
+        let mut g = StrikeGenerator::new(11, 20, 8).with_coverage(0.7);
+        let strikes = g.schedule(4000, 10_000_000);
+        let detected = strikes.iter().filter(|s| s.detected).count() as f64;
+        let rate = detected / strikes.len() as f64;
+        assert!((rate - 0.7).abs() < 0.03, "detection rate {rate}");
+        // Zero coverage: nothing is ever heard.
+        let mut g = StrikeGenerator::new(5, 20, 8).with_coverage(0.0);
+        assert!(g.schedule(100, 100_000).iter().all(|s| !s.detected));
+    }
+
+    #[test]
+    fn target_mix_produces_all_classes() {
+        let mut g = StrikeGenerator::new(3, 20, 8)
+            .with_ecc_fraction(0.25)
+            .with_target_mix(0.25, 0.25);
+        let strikes = g.schedule(2000, 10_000_000);
+        let count = |t: StrikeTarget| strikes.iter().filter(|s| s.target == t).count();
+        // control/recovery fractions are of *non-ECC* strikes: with 25%
+        // ECC area, expect 25% ECC, 18.75% control, 18.75% recovery and
+        // the remaining 37.5% plain pipeline.
+        for (t, expect) in [
+            (StrikeTarget::Pipeline, 0.375),
+            (StrikeTarget::EccProtected, 0.25),
+            (StrikeTarget::ControlFlow, 0.1875),
+            (StrikeTarget::RecoveryHw, 0.1875),
+        ] {
+            let frac = count(t) as f64 / strikes.len() as f64;
+            assert!(
+                (frac - expect).abs() < 0.05,
+                "target {t:?} fraction {frac}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_knobs_preserve_legacy_stream() {
+        // The new coverage/target knobs must not perturb the RNG stream
+        // when left at their defaults: pin a schedule drawn before they
+        // existed.
+        let mut g = StrikeGenerator::new(42, 20, 16);
+        let s = g.schedule(3, 1_000_000);
+        let legacy: Vec<(u64, usize, u32, u8, u8)> = s
+            .iter()
+            .map(|s| (s.cycle, s.sm, s.detection_latency, s.bit, s.lane))
+            .collect();
+        let mut h = StrikeGenerator::new(42, 20, 16).with_coverage(1.0);
+        let t: Vec<(u64, usize, u32, u8, u8)> = h
+            .schedule(3, 1_000_000)
+            .iter()
+            .map(|s| (s.cycle, s.sm, s.detection_latency, s.bit, s.lane))
+            .collect();
+        assert_eq!(legacy, t);
+        assert!(s.iter().all(|s| s.detected));
+    }
+
+    #[test]
+    fn poisson_schedule_is_sorted_and_scales_with_rate() {
+        let mut g = StrikeGenerator::new(13, 20, 8);
+        let dense = g.schedule_poisson(1_000.0, 1_000_000);
+        for w in dense.windows(2) {
+            assert!(w[0].cycle <= w[1].cycle);
+        }
+        assert!(dense.iter().all(|s| s.cycle < 1_000_000));
+        // Mean count ≈ horizon / mean_interarrival = 1000; allow wide
+        // slack (σ ≈ 32).
+        assert!((800..=1200).contains(&dense.len()), "{}", dense.len());
+        let mut g = StrikeGenerator::new(13, 20, 8);
+        let sparse = g.schedule_poisson(100_000.0, 1_000_000);
+        assert!(sparse.len() < dense.len());
+        // Determinism.
+        let mut a = StrikeGenerator::new(21, 20, 8);
+        let mut b = StrikeGenerator::new(21, 20, 8);
+        assert_eq!(
+            a.schedule_poisson(5_000.0, 500_000),
+            b.schedule_poisson(5_000.0, 500_000)
+        );
     }
 }

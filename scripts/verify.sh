@@ -16,6 +16,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> fault-campaign smoke (pinned histogram + journal resume)"
+cargo run --release -q -p flame-bench --bin fault_campaign -- smoke
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

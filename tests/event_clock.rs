@@ -112,6 +112,7 @@ fn fault_injection_unchanged_by_fast_forward() {
                 StrikeTarget::EccProtected
             },
             detection_latency: cfg.wcdl,
+            detected: true,
         })
         .collect();
     for scheme in [Scheme::SensorRenaming, Scheme::NaiveSensorRenaming] {
