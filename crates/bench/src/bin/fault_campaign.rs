@@ -192,6 +192,20 @@ fn smoke() {
         &reference,
         &resumed,
     );
+
+    // 4. Second resume over the repaired journal: the truncated tail
+    //    must have been newline-terminated on disk, or the record
+    //    appended after it merges into a parseable hybrid line whose
+    //    seed dedups the correct re-run away. Nothing should re-run and
+    //    the report must still match.
+    let again = run_campaign_runner(&w, &spec, Some(&path)).expect("second resume failed");
+    if again.ran_now != 0 {
+        fail(&format!(
+            "second resume re-ran {} seeds, expected 0",
+            again.ran_now
+        ));
+    }
+    check_same("journal poisoned by the truncated tail", &reference, &again);
     let _ = std::fs::remove_file(&path);
     println!(
         "smoke ok: histogram {:?}, resume re-ran {} seeds",

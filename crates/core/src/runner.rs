@@ -32,7 +32,7 @@ use crate::scheme::Scheme;
 use flame_sensors::fault::StrikeGenerator;
 use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write as _};
+use std::io::{BufRead, BufReader, Read as _, Seek, SeekFrom, Write as _};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -399,6 +399,16 @@ fn load_journal(path: &Path, expected: &str) -> Result<Vec<RunRecord>, RunnerErr
     Ok(out)
 }
 
+/// The last byte of a non-empty file — used to detect a journal whose
+/// tail line was truncated mid-write and never newline-terminated.
+fn last_byte(path: &Path) -> Result<u8, RunnerError> {
+    let mut f = File::open(path)?;
+    f.seek(SeekFrom::End(-1))?;
+    let mut b = [0u8; 1];
+    f.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
 /// Runs (or resumes) the campaign with [`crate::matrix::default_jobs`]
 /// workers. See [`run_campaign_runner_with_jobs`].
 ///
@@ -455,14 +465,24 @@ pub fn run_campaign_runner_with_jobs(
 
     // (Re)write or append the journal. A fresh file gets the header; an
     // existing one is appended in place so finished seeds survive kills.
+    // Freshness is judged by content, not existence: a kill between
+    // create and the header write leaves an empty file that still needs
+    // its header.
     let sink: Option<Mutex<File>> = match journal {
         Some(path) => {
-            let fresh = !path.exists();
+            let len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
             let mut f = OpenOptions::new().create(true).append(true).open(path)?;
-            if fresh {
+            if len == 0 {
                 writeln!(f, "{header}")?;
-                f.flush()?;
+            } else if last_byte(path)? != b'\n' {
+                // A kill mid-write left a truncated tail with no
+                // newline. Terminate it so the first appended record
+                // starts its own line — otherwise the two can merge
+                // into one string that still parses as a (wrong)
+                // record and poisons every later resume.
+                writeln!(f)?;
             }
+            f.flush()?;
             Some(Mutex::new(f))
         }
         None => None,

@@ -410,6 +410,9 @@ impl Gpu {
     /// its entry point (see `Sm::relaunch_ctas`). Returns the number of
     /// warps restarted.
     pub fn relaunch_sm_ctas(&mut self, sm: usize) -> usize {
+        if sm >= self.sms.len() {
+            return 0;
+        }
         let now = self.cycle;
         self.sms[sm].relaunch_ctas(now)
     }
@@ -481,6 +484,22 @@ mod tests {
         assert!(stats.cycles > 0);
         assert!(stats.instructions >= 2 * 6); // 2 warps x 6 instructions
         assert_eq!(stats.ctas, 1);
+    }
+
+    #[test]
+    fn fault_accessors_ignore_out_of_range_sm() {
+        let mut gpu = Gpu::launch(
+            GpuConfig::gtx480(),
+            incr_kernel(),
+            LaunchDims::linear(1, 64),
+            SchedulerKind::Gto,
+        )
+        .unwrap();
+        let bad = gpu.num_sms();
+        assert_eq!(gpu.corrupt_pc(bad, 0, 1), None);
+        assert!(!gpu.corrupt_recovery_state(bad, 0));
+        assert!(!gpu.recovery_poisoned(bad));
+        assert_eq!(gpu.relaunch_sm_ctas(bad), 0);
     }
 
     #[test]

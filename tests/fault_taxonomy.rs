@@ -341,6 +341,20 @@ fn killed_campaign_resumes_byte_identically() {
         "resume is not byte-identical"
     );
 
+    // The resume must have repaired the truncated tail on disk: if the
+    // first appended record merged onto the partial line, the hybrid
+    // still parses as a record and a LATER invocation would dedup the
+    // correct re-run away. A third pass must re-run nothing and still
+    // match byte-for-byte.
+    let again = run_campaign_runner_with_jobs(&w, &spec, Some(&path), 2).unwrap();
+    assert_eq!(again.ran_now, 0, "all 12 seeds should be journaled");
+    assert_eq!(again.records, reference.records);
+    assert_eq!(
+        again.render(),
+        reference.render(),
+        "journal poisoned by the truncated tail"
+    );
+
     // A journal written by a different campaign must be refused.
     let other = CampaignSpec {
         coverage: 0.9,
@@ -350,6 +364,18 @@ fn killed_campaign_resumes_byte_identically() {
         Err(RunnerError::JournalMismatch { .. }) => {}
         other => panic!("expected JournalMismatch, got {other:?}"),
     }
+    let _ = std::fs::remove_file(&path);
+
+    // A journal that exists but is empty (killed between create and the
+    // header write) must get its header and stay resumable, not wedge
+    // every later invocation on a missing header.
+    std::fs::write(&path, "").unwrap();
+    let from_empty = run_campaign_runner_with_jobs(&w, &spec, Some(&path), 2).unwrap();
+    assert_eq!(from_empty.ran_now, 12);
+    assert_eq!(from_empty.render(), reference.render());
+    let reread = run_campaign_runner_with_jobs(&w, &spec, Some(&path), 2).unwrap();
+    assert_eq!(reread.ran_now, 0, "header missing from once-empty journal");
+    assert_eq!(reread.render(), reference.render());
     let _ = std::fs::remove_file(&path);
 }
 
