@@ -1,0 +1,73 @@
+//! Oracle differential fuzz smoke: generated kernels (divergence,
+//! shared memory, atomics, nested loops) simulated under rotating
+//! schemes and bit-compared against the architectural oracle.
+//!
+//! ```text
+//! fuzz_oracle                      # FLAME_FUZZ_RUNS seeds (default 200)
+//! FLAME_FUZZ_RUNS=2000 fuzz_oracle # longer local run
+//! FLAME_FUZZ_SEED=0xf1a30007 fuzz_oracle   # replay one failing seed
+//! fuzz_oracle --force-mismatch     # prove a divergence would surface:
+//!                                  # must exit nonzero with a
+//!                                  # FLAME_FUZZ_SEED=… reproducer line
+//! ```
+//!
+//! On any divergence the process prints the failing seed's report —
+//! including the one-line `FLAME_FUZZ_SEED=…` reproducer — and exits 1.
+
+use flame_workloads::fuzz::{check_seed, check_seed_with, fuzz_smoke, FUZZ_SEED_BASE};
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() {
+    let force = std::env::args().any(|a| a == "--force-mismatch");
+
+    if force {
+        // Sabotage the golden image for the first seed: the checker must
+        // fail and its report must carry the replayable reproducer.
+        match check_seed_with(FUZZ_SEED_BASE, true) {
+            Ok(()) => {
+                eprintln!("FORCED MISMATCH NOT DETECTED: sabotaged golden image passed");
+                std::process::exit(2);
+            }
+            Err(report) => {
+                eprintln!("{report}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(seed) = std::env::var("FLAME_FUZZ_SEED").ok().as_deref() {
+        let seed = parse_u64(seed).unwrap_or_else(|| {
+            eprintln!("FLAME_FUZZ_SEED must be a decimal or 0x-hex integer, got {seed:?}");
+            std::process::exit(2);
+        });
+        match check_seed(seed) {
+            Ok(()) => println!("seed {seed:#x}: oracle and simulator agree"),
+            Err(report) => {
+                eprintln!("{report}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let runs = std::env::var("FLAME_FUZZ_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200u64);
+    match fuzz_smoke(runs) {
+        Ok(()) => println!(
+            "fuzz smoke ok: {runs} seeds from {FUZZ_SEED_BASE:#x}, zero oracle/sim divergences"
+        ),
+        Err(report) => {
+            eprintln!("{report}");
+            std::process::exit(1);
+        }
+    }
+}

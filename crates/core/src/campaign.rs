@@ -144,6 +144,37 @@ pub fn classify(r: &FaultProtocolResult) -> Outcome {
     }
 }
 
+/// [`classify`] grounded in an architectural golden image instead of the
+/// workload's self-check.
+///
+/// Workload `check` closures sample their output (spot values, checksums)
+/// and can miss corruption that lands between the samples. Given the
+/// run's final device-memory image (from
+/// [`crate::experiment::run_with_protocol_capturing`]) and the golden
+/// image of a fault-free architectural execution (from `flame-oracle`),
+/// the SDC decision becomes exact: a completed run is SDC iff its image
+/// differs from the golden image *anywhere*, and Masked /
+/// DetectedRecovered demand bit-identity. Due and Hang keep their
+/// precedence — the machine declared those outcomes; memory contents
+/// don't override them.
+pub fn classify_against_golden(
+    r: &FaultProtocolResult,
+    final_image: &gpu_sim::memory::GlobalMemory,
+    golden: &gpu_sim::memory::GlobalMemory,
+) -> Outcome {
+    if r.due {
+        Outcome::Due
+    } else if r.watchdog_fired || r.timed_out {
+        Outcome::Hang
+    } else if final_image.words() != golden.words() {
+        Outcome::Sdc
+    } else if r.recoveries > 0 || r.cta_relaunches > 0 || r.kernel_relaunches > 0 {
+        Outcome::DetectedRecovered
+    } else {
+        Outcome::Masked
+    }
+}
+
 /// Outcome summary of a campaign run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignReport {
@@ -349,6 +380,61 @@ mod tests {
         r.due = true;
         r.watchdog_fired = true;
         assert_eq!(classify(&r), Outcome::Due);
+    }
+
+    #[test]
+    fn golden_classification_truth_table() {
+        use gpu_sim::memory::GlobalMemory;
+
+        let golden = {
+            let mut m = GlobalMemory::new(1024);
+            m.write(0, 0xDEAD_BEEF);
+            m.write(512, 42);
+            m
+        };
+        let matching = golden.clone();
+        let corrupt = {
+            let mut m = golden.clone();
+            // One flipped bit in a word no sampling self-check looks at.
+            m.write(256, 1);
+            m
+        };
+
+        // Bit-identical image, no interventions: masked.
+        let r = proto_fixture(true);
+        assert_eq!(
+            classify_against_golden(&r, &matching, &golden),
+            Outcome::Masked
+        );
+
+        // Bit-identical image after an intervention: recovered.
+        let mut r = proto_fixture(true);
+        r.recoveries = 2;
+        assert_eq!(
+            classify_against_golden(&r, &matching, &golden),
+            Outcome::DetectedRecovered
+        );
+
+        // Any image difference on a completed run is SDC — even when the
+        // workload's own (sampling) check was fooled into output_ok.
+        let mut r = proto_fixture(true);
+        r.recoveries = 2;
+        assert_eq!(classify_against_golden(&r, &corrupt, &golden), Outcome::Sdc);
+
+        // Due and Hang keep precedence over memory contents.
+        let mut r = proto_fixture(true);
+        r.timed_out = true;
+        assert_eq!(
+            classify_against_golden(&r, &corrupt, &golden),
+            Outcome::Hang
+        );
+        let mut r = proto_fixture(false);
+        r.due = true;
+        r.watchdog_fired = true;
+        assert_eq!(
+            classify_against_golden(&r, &matching, &golden),
+            Outcome::Due
+        );
     }
 
     #[test]

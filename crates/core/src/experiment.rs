@@ -464,6 +464,30 @@ pub fn run_with_protocol(
     strikes: &[Strike],
     proto: &ProtocolConfig,
 ) -> Result<FaultProtocolResult, ExperimentError> {
+    run_with_protocol_capturing(w, scheme, cfg, strikes, proto).map(|(r, _)| r)
+}
+
+/// [`run_with_protocol`], additionally yielding the final device-memory
+/// image of the run.
+///
+/// The image is what the workload's `check` closure judged, handed back
+/// by value (no copy — the GPU is consumed) so callers can hold it
+/// against an architectural golden image from `flame-oracle` instead of
+/// trusting the boolean: [`crate::campaign::classify_against_golden`]
+/// demands bit-identity for Masked/DetectedRecovered and a bit
+/// difference for SDC.
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] on compile or allocation/launch
+/// failure.
+pub fn run_with_protocol_capturing(
+    w: &WorkloadSpec,
+    scheme: Scheme,
+    cfg: &ExperimentConfig,
+    strikes: &[Strike],
+    proto: &ProtocolConfig,
+) -> Result<(FaultProtocolResult, GlobalMemory), ExperimentError> {
     let mut c = ProtoCounters::default();
     // Strikes are physical events: each is injected once, even across
     // kernel relaunches (the remaining suffix lands on the fresh clock).
@@ -477,7 +501,7 @@ pub fn run_with_protocol(
         }
         let stats = gpu.stats();
         let output_ok = (w.check)(gpu.global());
-        return Ok(FaultProtocolResult {
+        let result = FaultProtocolResult {
             run: RunResult {
                 stats,
                 compile,
@@ -496,7 +520,8 @@ pub fn run_with_protocol(
             watchdog_fired: c.watchdog_fired,
             timed_out: c.timed_out,
             due: c.due,
-        });
+        };
+        return Ok((result, gpu.into_global()));
     }
 }
 

@@ -69,6 +69,13 @@ pub mod workloads {
     pub use flame_workloads::*;
 }
 
+/// The timing-free architectural reference executor (re-export of
+/// `flame-oracle`): the golden model the conformance suite, the kernel
+/// fuzzer and the SDC classification compare against.
+pub mod oracle {
+    pub use flame_oracle::*;
+}
+
 /// The most common imports for running experiments.
 pub mod prelude {
     pub use flame_core::experiment::{

@@ -190,6 +190,14 @@ impl Gpu {
         &mut self.global
     }
 
+    /// Consumes the GPU, yielding its final device-memory image without
+    /// copying (the oracle-grounded classifiers bit-compare whole
+    /// images; cloning 256 MiB per injection run would dominate a
+    /// campaign).
+    pub fn into_global(self) -> GlobalMemory {
+        self.global
+    }
+
     /// Whether any work remains (CTAs to dispatch or in flight).
     pub fn running(&self) -> bool {
         self.next_cta < self.dims.num_ctas() || self.sms.iter().any(Sm::busy)

@@ -83,6 +83,13 @@ impl GlobalMemory {
             self.write(addr + i as u64 * WORD_BYTES, v);
         }
     }
+
+    /// The raw word array, for whole-image bit-comparison (the oracle
+    /// conformance suite memcmps entire 256 MiB images; going through
+    /// [`GlobalMemory::read`] word-by-word would dominate the test).
+    pub fn words(&self) -> &[Value] {
+        &self.words
+    }
 }
 
 /// Result of a cache probe.
@@ -195,6 +202,12 @@ impl SharedMemory {
     /// Zeroes the scratchpad (CTA slot reuse).
     pub fn clear(&mut self) {
         self.words.fill(0);
+    }
+
+    /// The raw word array, for whole-image comparison against an oracle
+    /// shared-memory image.
+    pub fn words(&self) -> &[Value] {
+        &self.words
     }
 }
 

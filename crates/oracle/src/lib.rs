@@ -1,0 +1,778 @@
+//! # flame-oracle — timing-free architectural reference executor
+//!
+//! A golden-model interpreter for the gpu-sim kernel ISA. It executes a
+//! [`Kernel`] in a *canonical deterministic order* — CTAs sequentially by
+//! linear index, warps within a CTA round-robin by slot, each warp running
+//! until it blocks at a barrier or finishes — with no scheduler, no
+//! latencies, no caches, and no resilience machinery (RBQ/RPT). What
+//! remains is exactly the architectural semantics: register arithmetic,
+//! SIMT reconvergence, memory contents, barrier release, and atomics
+//! applied in lane order.
+//!
+//! Because the cycle-level simulator deliberately separates functional
+//! state from timing state (stores and atomics update memory at issue;
+//! timing never affects values), a fault-free simulation must end with a
+//! global-memory image **bit-identical** to the oracle's for any kernel
+//! whose final memory is schedule-independent — which every workload in
+//! the suite is (disjoint per-thread stores, commutative atomics,
+//! barrier-separated shared-memory traffic). The conformance suite
+//! (`tests/oracle_conformance.rs`), the kernel fuzzer
+//! (`flame_workloads::fuzz`) and the campaign outcome classifier
+//! (`flame_core::campaign::classify_against_golden`) all lean on this.
+//!
+//! Where the simulator *panics* on malformed programs (out-of-range
+//! registers, missing destinations), the oracle returns a structured
+//! [`OracleError`] instead — it doubles as a validator for fuzzer-built
+//! kernels. Wild memory addresses do **not** error: both the simulator
+//! and the oracle wrap them modulo the memory size, by design.
+//!
+//! ```
+//! use flame_oracle::{execute, OracleConfig};
+//! use gpu_sim::builder::KernelBuilder;
+//! use gpu_sim::isa::{MemSpace, Special};
+//! use gpu_sim::sm::LaunchDims;
+//!
+//! let mut b = KernelBuilder::new("double");
+//! let tid = b.special(Special::TidX);
+//! let a = b.imul(tid, 8);
+//! let v = b.ld(MemSpace::Global, a, 0);
+//! let d = b.iadd(v, v);
+//! b.st(MemSpace::Global, a, d, 0);
+//! b.exit();
+//! let k = b.finish();
+//!
+//! let out = execute(&k, LaunchDims::linear(1, 32), &OracleConfig::default(), |m| {
+//!     for i in 0..32 {
+//!         m.write(i * 8, i + 1);
+//!     }
+//! })
+//! .unwrap();
+//! assert_eq!(out.global.read(0), 2);
+//! assert_eq!(out.global.read(31 * 8), 64);
+//! ```
+
+#![warn(missing_docs)]
+
+use gpu_sim::exec::{eval, eval_atom};
+use gpu_sim::isa::{Instruction, MemSpace, Opcode, Operand, Reg, Special};
+use gpu_sim::memory::{GlobalMemory, SharedMemory, WORD_BYTES};
+use gpu_sim::program::{FlatKernel, Kernel};
+use gpu_sim::regfile::{Value, WarpRegFile};
+use gpu_sim::sm::LaunchDims;
+use gpu_sim::warp::{SimtStack, WARP_SIZE};
+use std::fmt;
+
+/// Oracle execution parameters.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// Size of the device-memory image in bytes. Must match the
+    /// simulator's `GpuConfig::device_mem_bytes` for bit-identical
+    /// wrap-around of wild addresses (all shipped configs use 256 MiB).
+    pub global_mem_bytes: u64,
+    /// Upper bound on warp-level instructions executed across the whole
+    /// launch; exceeding it returns [`OracleError::StepBudgetExceeded`]
+    /// (the architectural analogue of the simulator's cycle timeout).
+    pub step_budget: u64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> OracleConfig {
+        OracleConfig {
+            global_mem_bytes: 256 * 1024 * 1024,
+            step_budget: 200_000_000,
+        }
+    }
+}
+
+/// Structured failure of an oracle run.
+///
+/// The cycle-level simulator panics on most of these (they indicate a
+/// compiler or generator bug, not a program input); the oracle reports
+/// them as values so the fuzzer can reject ill-formed kernels and tests
+/// can assert on the failure mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleError {
+    /// An instruction names a register outside the kernel's declared
+    /// register file (`regs_per_thread`).
+    RegisterOutOfRange {
+        /// Flat PC of the offending instruction.
+        pc: u32,
+        /// The out-of-range register index.
+        reg: u16,
+        /// The kernel's declared register count per thread.
+        regs_per_thread: u32,
+    },
+    /// Control flow ran off the end of the instruction stream (a kernel
+    /// path that does not terminate in `Exit`).
+    PcOutOfRange {
+        /// The out-of-range PC.
+        pc: u32,
+        /// Length of the flattened instruction stream.
+        len: u32,
+    },
+    /// An instruction is structurally invalid (e.g. a load or compute op
+    /// with no destination, a branch with no target).
+    MalformedInstruction {
+        /// Flat PC of the offending instruction.
+        pc: u32,
+    },
+    /// The launch has zero CTAs or zero threads per CTA.
+    EmptyLaunch,
+    /// The warp-instruction budget was exhausted (runaway loop).
+    StepBudgetExceeded {
+        /// The configured budget that was exceeded.
+        budget: u64,
+    },
+    /// No warp could make progress (cannot happen for barrier-correct
+    /// kernels; kept as a defensive alternative to spinning forever).
+    BarrierDeadlock {
+        /// Linear index of the deadlocked CTA.
+        cta: u32,
+    },
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            OracleError::RegisterOutOfRange {
+                pc,
+                reg,
+                regs_per_thread,
+            } => write!(
+                f,
+                "pc {pc}: register r{reg} out of range (kernel declares {regs_per_thread})"
+            ),
+            OracleError::PcOutOfRange { pc, len } => {
+                write!(f, "pc {pc} out of range (kernel has {len} instructions)")
+            }
+            OracleError::MalformedInstruction { pc } => {
+                write!(f, "pc {pc}: structurally invalid instruction")
+            }
+            OracleError::EmptyLaunch => write!(f, "launch has zero CTAs or zero threads"),
+            OracleError::StepBudgetExceeded { budget } => {
+                write!(f, "step budget of {budget} warp instructions exhausted")
+            }
+            OracleError::BarrierDeadlock { cta } => {
+                write!(f, "barrier deadlock in CTA {cta}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+/// Final architectural state of an oracle run.
+#[derive(Debug, Clone)]
+pub struct OracleOutcome {
+    /// Final global-memory image. Bit-comparable against
+    /// `Gpu::global()` after a fault-free simulation of the same kernel.
+    pub global: GlobalMemory,
+    /// Final shared-memory image of each CTA, in linear CTA order. The
+    /// simulator discards these at CTA retirement, so they are oracle-only
+    /// observables (useful for kernel debugging and oracle unit tests).
+    pub shared: Vec<SharedMemory>,
+    /// Warp-level instructions executed (region boundaries excluded, as
+    /// in the simulator's `SimStats::instructions`).
+    pub instructions: u64,
+    /// Thread-level instructions: each warp instruction weighted by its
+    /// active mask at issue.
+    pub thread_instructions: u64,
+}
+
+/// Warp execution status within its CTA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ready,
+    AtBarrier,
+    Finished,
+}
+
+/// Why a warp stopped running in [`run_warp`].
+enum Blocked {
+    Barrier,
+    Finished,
+}
+
+struct OracleWarp {
+    stack: SimtStack,
+    regs: WarpRegFile,
+    local: Vec<Value>,
+    base_thread: u64,
+}
+
+struct Counters {
+    instructions: u64,
+    thread_instructions: u64,
+}
+
+/// Executes `kernel` to completion in canonical order and returns the
+/// final architectural state.
+///
+/// # Errors
+///
+/// Returns an [`OracleError`] for structurally invalid kernels, empty
+/// launches, non-terminating paths, or budget exhaustion.
+pub fn execute(
+    kernel: &Kernel,
+    dims: LaunchDims,
+    cfg: &OracleConfig,
+    init: impl FnOnce(&mut GlobalMemory),
+) -> Result<OracleOutcome, OracleError> {
+    execute_flat(&kernel.flatten(), dims, cfg, init)
+}
+
+/// [`execute`] over an already-flattened kernel (what the simulator runs).
+///
+/// # Errors
+///
+/// Returns an [`OracleError`] for structurally invalid kernels, empty
+/// launches, non-terminating paths, or budget exhaustion.
+pub fn execute_flat(
+    flat: &FlatKernel,
+    dims: LaunchDims,
+    cfg: &OracleConfig,
+    init: impl FnOnce(&mut GlobalMemory),
+) -> Result<OracleOutcome, OracleError> {
+    if dims.num_ctas() == 0 || dims.threads_per_cta() == 0 {
+        return Err(OracleError::EmptyLaunch);
+    }
+    let mut global = GlobalMemory::new(cfg.global_mem_bytes);
+    init(&mut global);
+    let mut counters = Counters {
+        instructions: 0,
+        thread_instructions: 0,
+    };
+    let mut shared_images = Vec::with_capacity(dims.num_ctas() as usize);
+    for cta in 0..dims.num_ctas() {
+        shared_images.push(run_cta(flat, dims, cta, &mut global, &mut counters, cfg)?);
+    }
+    Ok(OracleOutcome {
+        global,
+        shared: shared_images,
+        instructions: counters.instructions,
+        thread_instructions: counters.thread_instructions,
+    })
+}
+
+/// Runs one CTA to completion; returns its final shared-memory image.
+fn run_cta(
+    flat: &FlatKernel,
+    dims: LaunchDims,
+    cta_linear: u32,
+    global: &mut GlobalMemory,
+    counters: &mut Counters,
+    cfg: &OracleConfig,
+) -> Result<SharedMemory, OracleError> {
+    let threads = dims.threads_per_cta();
+    let nwarps = dims.warps_per_cta() as usize;
+    let coords = dims.cta_coords(cta_linear);
+    let mut shared = SharedMemory::new(flat.shared_mem_bytes.max(8));
+    let local_words = (u64::from(flat.local_mem_bytes).div_ceil(WORD_BYTES) as usize).max(1);
+
+    // Warp construction mirrors `Sm::launch_cta` exactly: tail warps get
+    // partial masks, register files are zeroed, local memory is per-lane.
+    let mut warps: Vec<OracleWarp> = (0..nwarps)
+        .map(|w| {
+            let first_thread = w as u32 * WARP_SIZE as u32;
+            let lanes = (threads - first_thread).min(WARP_SIZE as u32);
+            let mask = if lanes == WARP_SIZE as u32 {
+                u32::MAX
+            } else {
+                (1u32 << lanes) - 1
+            };
+            OracleWarp {
+                stack: SimtStack::new(0, mask),
+                regs: WarpRegFile::new(flat.regs_per_thread),
+                local: vec![0; local_words * WARP_SIZE],
+                base_thread: u64::from(first_thread),
+            }
+        })
+        .collect();
+    let mut status = vec![Status::Ready; nwarps];
+    let mut live = nwarps;
+    let mut arrivals = 0usize;
+
+    while live > 0 {
+        let mut progressed = false;
+        for w in 0..nwarps {
+            if status[w] != Status::Ready {
+                continue;
+            }
+            progressed = true;
+            let blocked = run_warp(
+                flat,
+                dims,
+                coords,
+                &mut warps[w],
+                global,
+                &mut shared,
+                local_words,
+                counters,
+                cfg.step_budget,
+            )?;
+            match blocked {
+                Blocked::Barrier => {
+                    status[w] = Status::AtBarrier;
+                    arrivals += 1;
+                }
+                Blocked::Finished => {
+                    status[w] = Status::Finished;
+                    live -= 1;
+                }
+            }
+            // Barrier release mirrors `Sm::release_barrier_if_complete`:
+            // all *live* warps arrived (a warp exiting between barriers
+            // lowers the bar, re-checked on every arrival and exit).
+            if arrivals > 0 && arrivals >= live {
+                arrivals = 0;
+                for st in &mut status {
+                    if *st == Status::AtBarrier {
+                        *st = Status::Ready;
+                    }
+                }
+            }
+        }
+        if !progressed && live > 0 {
+            return Err(OracleError::BarrierDeadlock { cta: cta_linear });
+        }
+    }
+    Ok(shared)
+}
+
+/// Checks every register named by `inst` against the kernel's register
+/// file size (the simulator would panic on a violation).
+fn check_regs(inst: &Instruction, regs_per_thread: u32, pc: u32) -> Result<(), OracleError> {
+    let check = |r: Reg| {
+        if (r.index() as u32) < regs_per_thread {
+            Ok(())
+        } else {
+            Err(OracleError::RegisterOutOfRange {
+                pc,
+                reg: r.0,
+                regs_per_thread,
+            })
+        }
+    };
+    if let Some(d) = inst.dst {
+        check(d)?;
+    }
+    if let Some((p, _)) = inst.pred {
+        check(p)?;
+    }
+    for o in &inst.srcs {
+        if let Operand::Reg(r) = o {
+            check(*r)?;
+        }
+    }
+    Ok(())
+}
+
+/// Executes one warp until it blocks at a barrier or finishes.
+///
+/// Functional semantics are a line-for-line mirror of the functional
+/// half of `Sm::issue` — same special-value formulas, same predicate
+/// masking, same wrapping address arithmetic, same lane-order atomics —
+/// with all timing, cache, scoreboard and resilience code removed.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+fn run_warp(
+    flat: &FlatKernel,
+    dims: LaunchDims,
+    coords: (u32, u32),
+    warp: &mut OracleWarp,
+    global: &mut GlobalMemory,
+    shared: &mut SharedMemory,
+    local_words: usize,
+    counters: &mut Counters,
+    step_budget: u64,
+) -> Result<Blocked, OracleError> {
+    let block_x = u64::from(dims.block.0);
+    loop {
+        let Some(pc) = warp.stack.pc() else {
+            return Ok(Blocked::Finished);
+        };
+        if pc as usize >= flat.len() {
+            return Err(OracleError::PcOutOfRange {
+                pc,
+                len: flat.len() as u32,
+            });
+        }
+        let inst = flat.inst(pc);
+
+        // Region boundaries are a scheduler event, not an issued
+        // instruction: the simulator consumes them in its scan without
+        // counting them. Mirror that.
+        if inst.op == Opcode::RegionBoundary {
+            warp.stack.advance(pc + 1);
+            continue;
+        }
+
+        check_regs(inst, flat.regs_per_thread, pc)?;
+        let active = warp.stack.active_mask();
+        counters.instructions += 1;
+        counters.thread_instructions += u64::from(active.count_ones());
+        if counters.instructions > step_budget {
+            return Err(OracleError::StepBudgetExceeded {
+                budget: step_budget,
+            });
+        }
+
+        let base_thread = warp.base_thread;
+        let special = |sp: Special, lane: usize| -> Value {
+            let lin = base_thread + lane as u64;
+            match sp {
+                Special::TidX => lin % block_x,
+                Special::TidY => lin / block_x,
+                Special::CtaIdX => u64::from(coords.0),
+                Special::CtaIdY => u64::from(coords.1),
+                Special::NTidX => u64::from(dims.block.0),
+                Special::NTidY => u64::from(dims.block.1),
+                Special::NCtaIdX => u64::from(dims.grid.0),
+                Special::NCtaIdY => u64::from(dims.grid.1),
+                Special::LaneId => lane as u64,
+            }
+        };
+        let read_op = |regs: &WarpRegFile, o: &Operand, lane: usize| -> Value {
+            match *o {
+                Operand::Reg(r) => regs.read(r, lane),
+                Operand::Imm(v) => v as Value,
+                Operand::Special(sp) => special(sp, lane),
+            }
+        };
+
+        // Guard predicate (branches consume their predicate themselves).
+        let mut mask = active;
+        if let Some((p, sense)) = inst.pred {
+            if inst.op != Opcode::Bra {
+                let mut m = 0u32;
+                for lane in 0..WARP_SIZE {
+                    if active & (1 << lane) != 0 && (warp.regs.read(p, lane) != 0) == sense {
+                        m |= 1 << lane;
+                    }
+                }
+                mask = m;
+            }
+        }
+
+        match inst.op {
+            Opcode::Bra => {
+                if inst.target.is_none() {
+                    return Err(OracleError::MalformedInstruction { pc });
+                }
+                let target = flat.target_pc(pc);
+                let reconv = flat.reconv_for(pc);
+                let taken = match inst.pred {
+                    None => active,
+                    Some((p, sense)) => {
+                        let mut t = 0u32;
+                        for lane in 0..WARP_SIZE {
+                            if active & (1 << lane) != 0 && (warp.regs.read(p, lane) != 0) == sense
+                            {
+                                t |= 1 << lane;
+                            }
+                        }
+                        t
+                    }
+                };
+                warp.stack.branch(taken, target, pc + 1, reconv);
+            }
+            Opcode::Exit => {
+                warp.stack.exit_lanes(mask);
+                if warp.stack.finished() {
+                    return Ok(Blocked::Finished);
+                }
+            }
+            Opcode::Bar => {
+                warp.stack.advance(pc + 1);
+                return Ok(Blocked::Barrier);
+            }
+            Opcode::Ld(space) => {
+                let Some(dst) = inst.dst else {
+                    return Err(OracleError::MalformedInstruction { pc });
+                };
+                let Some(base) = inst.srcs.first() else {
+                    return Err(OracleError::MalformedInstruction { pc });
+                };
+                for lane in 0..WARP_SIZE {
+                    if mask & (1 << lane) != 0 {
+                        let addr = read_op(&warp.regs, base, lane).wrapping_add(inst.offset as u64);
+                        let v = match space {
+                            MemSpace::Global => global.read(addr),
+                            MemSpace::Shared => shared.read(addr),
+                            MemSpace::Local => {
+                                let w = (addr / WORD_BYTES) as usize % local_words;
+                                warp.local[lane * local_words + w]
+                            }
+                        };
+                        warp.regs.write(dst, lane, v);
+                    }
+                }
+                warp.stack.advance(pc + 1);
+            }
+            Opcode::St(space) => {
+                let (Some(base), Some(val)) = (inst.srcs.first(), inst.srcs.get(1)) else {
+                    return Err(OracleError::MalformedInstruction { pc });
+                };
+                for lane in 0..WARP_SIZE {
+                    if mask & (1 << lane) != 0 {
+                        let addr = read_op(&warp.regs, base, lane).wrapping_add(inst.offset as u64);
+                        let v = read_op(&warp.regs, val, lane);
+                        match space {
+                            MemSpace::Global => global.write(addr, v),
+                            MemSpace::Shared => shared.write(addr, v),
+                            MemSpace::Local => {
+                                let w = (addr / WORD_BYTES) as usize % local_words;
+                                warp.local[lane * local_words + w] = v;
+                            }
+                        }
+                    }
+                }
+                warp.stack.advance(pc + 1);
+            }
+            Opcode::Atom(space, aop) => {
+                let (Some(base), Some(operand_op)) = (inst.srcs.first(), inst.srcs.get(1)) else {
+                    return Err(OracleError::MalformedInstruction { pc });
+                };
+                // Read-modify-write serialized in lane order, exactly as
+                // the simulator applies it.
+                for lane in 0..WARP_SIZE {
+                    if mask & (1 << lane) != 0 {
+                        let addr = read_op(&warp.regs, base, lane).wrapping_add(inst.offset as u64);
+                        let operand = read_op(&warp.regs, operand_op, lane);
+                        let operand2 = inst.srcs.get(2).map_or(0, |o| read_op(&warp.regs, o, lane));
+                        let old = match space {
+                            MemSpace::Global => global.read(addr),
+                            MemSpace::Shared => shared.read(addr),
+                            MemSpace::Local => {
+                                let w = (addr / WORD_BYTES) as usize % local_words;
+                                warp.local[lane * local_words + w]
+                            }
+                        };
+                        let (old, new) = eval_atom(aop, old, operand, operand2);
+                        match space {
+                            MemSpace::Global => global.write(addr, new),
+                            MemSpace::Shared => shared.write(addr, new),
+                            MemSpace::Local => {
+                                let w = (addr / WORD_BYTES) as usize % local_words;
+                                warp.local[lane * local_words + w] = new;
+                            }
+                        }
+                        if let Some(d) = inst.dst {
+                            warp.regs.write(d, lane, old);
+                        }
+                    }
+                }
+                warp.stack.advance(pc + 1);
+            }
+            Opcode::Nop => {
+                warp.stack.advance(pc + 1);
+            }
+            Opcode::RegionBoundary => unreachable!("handled before counting"),
+            _ => {
+                let Some(dst) = inst.dst else {
+                    return Err(OracleError::MalformedInstruction { pc });
+                };
+                for lane in 0..WARP_SIZE {
+                    if mask & (1 << lane) != 0 {
+                        let mut srcs = [0; 3];
+                        for (i, o) in inst.srcs.iter().enumerate().take(3) {
+                            srcs[i] = read_op(&warp.regs, o, lane);
+                        }
+                        let v = eval(inst.op, srcs);
+                        warp.regs.write(dst, lane, v);
+                    }
+                }
+                warp.stack.advance(pc + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::builder::KernelBuilder;
+    use gpu_sim::isa::{AtomOp, Cmp};
+
+    fn cfg() -> OracleConfig {
+        OracleConfig {
+            global_mem_bytes: 1 << 20,
+            step_budget: 1_000_000,
+        }
+    }
+
+    /// Atomics with a destination observe the memory cell in canonical
+    /// order: lane order within a warp, warp order within a CTA, CTA
+    /// order across the launch. With `atom.add [0], 1` from every thread,
+    /// thread `t` (in canonical order) must read back exactly `t`.
+    #[test]
+    fn atomics_apply_in_canonical_lane_warp_cta_order() {
+        let mut b = KernelBuilder::new("atom_order");
+        let tid = b.special(Special::TidX);
+        let cta = b.special(Special::CtaIdX);
+        let ntid = b.special(Special::NTidX);
+        let gid = b.imad(cta, ntid, tid);
+        let zero = b.mov(0);
+        let old = b.atom(MemSpace::Global, AtomOp::Add, zero, 1, 0);
+        let slot = b.imad(gid, 8, 64);
+        b.st(MemSpace::Global, slot, old, 0);
+        b.exit();
+        let k = b.finish();
+
+        // 2 CTAs x 48 threads: full warp + partial warp per CTA.
+        let out = execute(&k, LaunchDims::linear(2, 48), &cfg(), |_| {}).unwrap();
+        assert_eq!(out.global.read(0), 96, "final counter = total threads");
+        for t in 0..96u64 {
+            assert_eq!(
+                out.global.read(64 + t * 8),
+                t,
+                "thread {t} observed out-of-order atomic"
+            );
+        }
+    }
+
+    /// Divergent lanes take both arms and reconverge: each lane gets the
+    /// arm picked by its own predicate, and post-reconvergence code runs
+    /// with the full mask again.
+    #[test]
+    fn divergence_reconverges_with_per_lane_results() {
+        let mut b = KernelBuilder::new("diverge");
+        let tid = b.special(Special::TidX);
+        let bit = b.and(tid, 1);
+        let p = b.setp(Cmp::Ne, bit, 0);
+        let acc = b.mov(100);
+        b.bra_if(p, true, "odd");
+        let even = b.iadd(acc, 1); // even lanes
+        b.mov_to(acc, even);
+        b.bra("join");
+        b.label("odd");
+        let odd = b.iadd(acc, 2); // odd lanes
+        b.mov_to(acc, odd);
+        b.label("join");
+        let a = b.imul(tid, 8);
+        b.st(MemSpace::Global, a, acc, 0);
+        b.exit();
+        let k = b.finish();
+
+        let out = execute(&k, LaunchDims::linear(1, 32), &cfg(), |_| {}).unwrap();
+        for t in 0..32u64 {
+            let want = if t % 2 == 1 { 102 } else { 101 };
+            assert_eq!(out.global.read(t * 8), want, "lane {t}");
+        }
+    }
+
+    /// Barriers order cross-warp shared-memory traffic even though warps
+    /// run one at a time: warp 1's pre-barrier store must be visible to
+    /// warp 0 after the barrier.
+    #[test]
+    fn barrier_orders_cross_warp_shared_traffic() {
+        let mut b = KernelBuilder::new("xwarp");
+        let sh = b.alloc_shared(64 * 8);
+        let tid = b.special(Special::TidX);
+        let a = b.imad(tid, 8, sh);
+        b.st(MemSpace::Shared, a, tid, 0);
+        b.barrier();
+        let other = b.xor(tid, 32); // partner lane in the other warp
+        let oa = b.imad(other, 8, sh);
+        let v = b.ld(MemSpace::Shared, oa, 0);
+        let ga = b.imul(tid, 8);
+        b.st(MemSpace::Global, ga, v, 0);
+        b.exit();
+        let k = b.finish();
+
+        let out = execute(&k, LaunchDims::linear(1, 64), &cfg(), |_| {}).unwrap();
+        for t in 0..64u64 {
+            assert_eq!(out.global.read(t * 8), t ^ 32, "thread {t}");
+        }
+        // The shared image survives in the outcome (per CTA).
+        assert_eq!(out.shared.len(), 1);
+        assert_eq!(out.shared[0].read(0), 0);
+        assert_eq!(out.shared[0].read(5 * 8), 5);
+    }
+
+    /// A register index past `regs_per_thread` is a structured error, not
+    /// a panic (the simulator would panic on the same kernel).
+    #[test]
+    fn out_of_range_register_is_a_structured_error() {
+        let mut b = KernelBuilder::new("oor");
+        let tid = b.special(Special::TidX);
+        let x = b.iadd(tid, 1);
+        let a = b.imul(x, 8);
+        b.st(MemSpace::Global, a, x, 0);
+        b.exit();
+        let mut k = b.finish();
+        k.regs_per_thread = 1; // declare fewer registers than the code uses
+        let err = execute(&k, LaunchDims::linear(1, 32), &cfg(), |_| {}).unwrap_err();
+        match err {
+            OracleError::RegisterOutOfRange {
+                regs_per_thread: 1, ..
+            } => {}
+            other => panic!("expected RegisterOutOfRange, got {other:?}"),
+        }
+    }
+
+    /// Wild addresses wrap modulo the memory size — matching the
+    /// simulator — rather than erroring.
+    #[test]
+    fn wild_addresses_wrap_like_the_simulator() {
+        let mut b = KernelBuilder::new("wrap");
+        let tid = b.special(Special::TidX);
+        let big = b.mov(i64::MAX);
+        let a = b.iadd(big, tid); // enormous byte address
+        b.st(MemSpace::Global, a, 7, 0);
+        b.exit();
+        let k = b.finish();
+        let out = execute(&k, LaunchDims::linear(1, 1), &cfg(), |_| {}).unwrap();
+        let bytes = cfg().global_mem_bytes;
+        let wrapped = ((i64::MAX as u64 / 8) % (bytes / 8)) * 8;
+        assert_eq!(out.global.read(wrapped), 7);
+    }
+
+    /// An infinite loop exhausts the step budget instead of hanging.
+    #[test]
+    fn runaway_loop_exhausts_step_budget() {
+        let mut b = KernelBuilder::new("spin");
+        b.label("top");
+        let one = b.mov(1);
+        let _ = b.iadd(one, 1);
+        b.bra("top");
+        b.exit();
+        let k = b.finish();
+        let err = execute(
+            &k,
+            LaunchDims::linear(1, 32),
+            &OracleConfig {
+                step_budget: 10_000,
+                ..cfg()
+            },
+            |_| {},
+        )
+        .unwrap_err();
+        assert_eq!(err, OracleError::StepBudgetExceeded { budget: 10_000 });
+    }
+
+    #[test]
+    fn empty_launch_is_rejected() {
+        let mut b = KernelBuilder::new("noop");
+        b.exit();
+        let k = b.finish();
+        let err = execute(&k, LaunchDims::linear(0, 32), &cfg(), |_| {}).unwrap_err();
+        assert_eq!(err, OracleError::EmptyLaunch);
+    }
+
+    /// Instruction counting matches the simulator's convention: one per
+    /// issued warp instruction, weighted by the active mask for the
+    /// thread-level count; partial tail warps count only their live lanes.
+    #[test]
+    fn instruction_counts_follow_simulator_convention() {
+        let mut b = KernelBuilder::new("count");
+        let tid = b.special(Special::TidX); // 1 warp inst
+        let a = b.imul(tid, 8); // 1
+        b.st(MemSpace::Global, a, tid, 0); // 1
+        b.exit(); // 1
+        let k = b.finish();
+        let out = execute(&k, LaunchDims::linear(1, 40), &cfg(), |_| {}).unwrap();
+        // Two warps (32 + 8 lanes), 4 instructions each.
+        assert_eq!(out.instructions, 8);
+        assert_eq!(out.thread_instructions, 4 * 32 + 4 * 8);
+    }
+}

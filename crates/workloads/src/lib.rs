@@ -22,6 +22,7 @@
 pub mod altis;
 pub mod common;
 pub mod cuda_samples;
+pub mod fuzz;
 pub mod npb;
 pub mod parboil;
 pub mod rodinia;

@@ -16,8 +16,23 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> fault-campaign smoke (pinned histogram + journal resume)"
+echo "==> fault-campaign smoke (golden report + journal resume)"
 cargo run --release -q -p flame-bench --bin fault_campaign -- smoke
+
+echo "==> oracle fuzz smoke (FLAME_FUZZ_RUNS=${FLAME_FUZZ_RUNS:-200} differential seeds)"
+cargo run --release -q -p flame-bench --bin fuzz_oracle
+
+echo "==> oracle fuzz forced mismatch (reproducer line must surface)"
+if out=$(cargo run --release -q -p flame-bench --bin fuzz_oracle -- --force-mismatch 2>&1); then
+    echo "$out"
+    echo "verify: forced mismatch was NOT detected" >&2
+    exit 1
+fi
+if ! grep -q "FLAME_FUZZ_SEED=" <<<"$out"; then
+    echo "$out"
+    echo "verify: mismatch report lacks a FLAME_FUZZ_SEED= reproducer" >&2
+    exit 1
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check

@@ -7,16 +7,18 @@
 //! byte-identical report.
 
 use flame::core::campaign::{
-    classify, run_campaign, run_campaign_with_baseline, Campaign, Outcome,
+    classify, classify_against_golden, run_campaign, run_campaign_with_baseline, Campaign, Outcome,
 };
 use flame::core::experiment::{
-    run_scheme, run_with_faults, run_with_protocol, ExperimentConfig, ProtocolConfig, WorkloadSpec,
+    run_scheme, run_with_faults, run_with_protocol, run_with_protocol_capturing, ExperimentConfig,
+    ProtocolConfig, WorkloadSpec,
 };
 use flame::core::runner::{
     run_campaign_runner_with_jobs, wilson_interval, CampaignSpec, RunnerError,
 };
 use flame::core::runtime::VerificationMode;
 use flame::core::scheme::Scheme;
+use flame::oracle::{execute, OracleConfig};
 use flame::sensors::fault::{FaultRates, Strike, StrikeGenerator, StrikeTarget};
 use flame::sim::builder::KernelBuilder;
 use flame::sim::isa::{MemSpace, Special};
@@ -377,6 +379,95 @@ fn killed_campaign_resumes_byte_identically() {
     assert_eq!(reread.ran_now, 0, "header missing from once-empty journal");
     assert_eq!(reread.render(), reference.render());
     let _ = std::fs::remove_file(&path);
+}
+
+/// Acceptance: the outcome taxonomy grounded in the architectural oracle.
+/// A run classified Masked or DetectedRecovered must reproduce the
+/// oracle's golden memory image bit for bit, and an SDC's image must
+/// differ from it — the workload's sampling self-check is no longer the
+/// arbiter.
+#[test]
+fn oracle_golden_grounds_the_taxonomy() {
+    let w = workload(16, 128);
+    let cfg = cfg();
+    let ocfg = OracleConfig {
+        global_mem_bytes: cfg.gpu.device_mem_bytes,
+        ..OracleConfig::default()
+    };
+    let init = w.init.clone();
+    let golden = execute(&w.kernel, w.dims, &ocfg, |m| init(m)).unwrap();
+    assert!(
+        (w.check)(&golden.global),
+        "oracle golden image fails the workload's own check"
+    );
+
+    // Full coverage: the protocol recovers, so the final image must be
+    // bit-identical to the oracle's and the grounded classifier must
+    // agree with the boolean one.
+    let clean = run_scheme(&w, Scheme::SensorRenaming, &cfg).unwrap();
+    let horizon = clean.stats.cycles * 3 / 4;
+    let campaign = Campaign::accelerated(
+        0xFEED,
+        4,
+        horizon,
+        cfg.wcdl,
+        cfg.gpu.num_sms,
+        cfg.gpu.core_clock_mhz,
+        &FaultRates::default(),
+    );
+    let (r, image) = run_with_protocol_capturing(
+        &w,
+        Scheme::SensorRenaming,
+        &cfg,
+        &campaign.strikes,
+        &ProtocolConfig::default(),
+    )
+    .unwrap();
+    let grounded = classify_against_golden(&r, &image, &golden.global);
+    assert!(
+        matches!(grounded, Outcome::Masked | Outcome::DetectedRecovered),
+        "full coverage must mask or recover, got {grounded:?}"
+    );
+    assert_eq!(grounded, classify(&r), "grounded and boolean paths split");
+    assert_eq!(
+        image.words(),
+        golden.global.words(),
+        "recovered run's image differs from the oracle"
+    );
+
+    // Zero coverage: hunt a seed whose undetected strike corrupts the
+    // output. That SDC's image must differ from the golden image, and
+    // the grounded classifier must call it.
+    let mut found = false;
+    for seed in 0..64u64 {
+        let strikes = StrikeGenerator::new(seed, cfg.wcdl, cfg.gpu.num_sms)
+            .with_coverage(0.0)
+            .schedule(3, horizon);
+        let (r, image) = run_with_protocol_capturing(
+            &w,
+            Scheme::SensorRenaming,
+            &cfg,
+            &strikes,
+            &ProtocolConfig::default(),
+        )
+        .unwrap();
+        if classify(&r) != Outcome::Sdc {
+            continue;
+        }
+        assert_ne!(
+            image.words(),
+            golden.global.words(),
+            "seed {seed}: SDC with a bit-identical image"
+        );
+        assert_eq!(
+            classify_against_golden(&r, &image, &golden.global),
+            Outcome::Sdc,
+            "seed {seed}: grounded classifier missed the corruption"
+        );
+        found = true;
+        break;
+    }
+    assert!(found, "no undetected strike produced an SDC in 64 seeds");
 }
 
 /// Default generator knobs must not perturb the legacy strike stream:

@@ -1,6 +1,11 @@
 //! Randomized-but-deterministic tests over generated kernels: the
 //! compiler pipeline must preserve semantics for every scheme, and the
 //! renaming pass must leave no uncovered register WARs.
+//!
+//! The kernel generator lives in `flame::workloads::fuzz` (shared with
+//! the oracle differential fuzzer); it emits divergent `bra_if` arms,
+//! barrier-separated shared-memory traffic, global atomics and nested
+//! loops on top of the original straight-line op soup.
 
 use flame::compiler::pipeline::{build, BuildOptions};
 use flame::compiler::regalloc::allocate;
@@ -8,69 +13,29 @@ use flame::compiler::region::{form_regions, Exemptions};
 use flame::compiler::renaming::{rename, RenameStats};
 use flame::prelude::*;
 use flame::sim::gpu::Gpu;
-use flame::sim::isa::{Cmp, MemSpace, Special};
 use flame::sim::rng::Rng64;
-use flame::sim::Kernel;
+use flame::workloads::common::arr_base;
+use flame::workloads::fuzz::{
+    build_kernel, launch_dims, random_kernel, seed_input, thread_count, FuzzKernel,
+};
 
-/// A random straight-line-plus-one-loop kernel over two arrays.
-#[derive(Debug, Clone)]
-struct RandomKernel {
-    ops: Vec<u8>,
-    loop_trips: i64,
-    budget: u32,
-}
-
-fn random_kernel(rng: &mut Rng64) -> RandomKernel {
-    let nops = rng.range(4, 24) as usize;
-    RandomKernel {
-        ops: (0..nops).map(|_| rng.below(6) as u8).collect(),
-        loop_trips: rng.range(1, 6) as i64,
-        budget: rng.range(8, 24) as u32,
-    }
-}
-
-fn build_random(rk: &RandomKernel) -> Kernel {
-    let mut b = KernelBuilder::new("prop");
-    let tid = b.special(Special::TidX);
-    let addr = b.imul(tid, 8);
-    let x = b.ld_arr(MemSpace::Global, 0, addr, 0);
-    let acc = b.mov(x);
-    let i = b.mov(0i64);
-    b.label("head");
-    for (j, op) in rk.ops.iter().enumerate() {
-        let v = match op % 6 {
-            0 => b.iadd(acc, j as i64 + 1),
-            1 => b.imul(acc, 3i64),
-            2 => b.xor(acc, 0x5Ai64),
-            3 => b.iadd(acc, i),
-            4 => b.imax(acc, j as i64),
-            _ => b.isub(acc, 1i64),
-        };
-        b.mov_to(acc, v);
-    }
-    let i2 = b.iadd(i, 1);
-    b.mov_to(i, i2);
-    let p = b.setp(Cmp::Lt, i, rk.loop_trips);
-    b.bra_if(p, true, "head");
-    // Same-class store: forces region formation to cut a memory WAR.
-    b.st_arr(MemSpace::Global, 0, addr, acc, 0);
-    b.exit();
-    b.finish()
-}
-
-fn run_kernel(flat: &flame::sim::FlatKernel) -> Vec<u64> {
+/// Runs a built kernel and returns its observable output: the per-thread
+/// class-0 output words plus the eight class-1 atomic counters.
+fn run_kernel(flat: &flame::sim::FlatKernel, rk: &FuzzKernel) -> Vec<u64> {
+    let n = thread_count(rk);
     let mut gpu = Gpu::launch(
         GpuConfig::gtx480(),
         flat.clone(),
-        LaunchDims::linear(2, 64),
+        launch_dims(rk),
         SchedulerKind::Gto,
     )
     .unwrap();
-    for i in 0..128u64 {
-        gpu.global_mut().write(i * 8, i * 31 + 7);
-    }
+    seed_input(gpu.global_mut(), n);
     gpu.run(10_000_000).unwrap();
-    (0..128u64).map(|i| gpu.global().read(i * 8)).collect()
+    let mut out: Vec<u64> = (0..n).map(|i| gpu.global().read(i * 8)).collect();
+    let counters = arr_base(1) as u64;
+    out.extend((0..8u64).map(|i| gpu.global().read(counters + i * 8)));
+    out
 }
 
 /// Every scheme's compiled kernel computes the same result as the
@@ -80,9 +45,9 @@ fn schemes_preserve_semantics() {
     let mut rng = Rng64::new(0x6E4E_0001);
     for case in 0..24 {
         let rk = random_kernel(&mut rng);
-        let k = build_random(&rk);
+        let k = build_kernel(&rk);
         let base = build(&k, &BuildOptions::baseline(63)).unwrap();
-        let expect = run_kernel(&base.flat);
+        let expect = run_kernel(&base.flat, &rk);
         for scheme in [
             Scheme::SensorRenaming,
             Scheme::SensorCheckpointing,
@@ -91,7 +56,7 @@ fn schemes_preserve_semantics() {
         ] {
             let built = build(&k, &scheme.build_options(63, 20)).unwrap();
             assert_eq!(
-                run_kernel(&built.flat),
+                run_kernel(&built.flat, &rk),
                 expect,
                 "case {case}: {scheme} diverged on {rk:?}"
             );
@@ -106,7 +71,7 @@ fn renaming_reaches_war_free_fixpoint() {
     let mut rng = Rng64::new(0x6E4E_0002);
     for case in 0..24 {
         let rk = random_kernel(&mut rng);
-        let k = build_random(&rk);
+        let k = build_kernel(&rk);
         let alloc = allocate(&k, rk.budget.max(9)).unwrap();
         let regioned = form_regions(&alloc.kernel, &Exemptions::none());
         let (renamed, _) = rename(&regioned, 63);
@@ -122,12 +87,12 @@ fn allocation_preserves_semantics() {
     let mut rng = Rng64::new(0x6E4E_0003);
     for case in 0..24 {
         let rk = random_kernel(&mut rng);
-        let k = build_random(&rk);
+        let k = build_kernel(&rk);
         let roomy = allocate(&k, 63).unwrap();
         let tight = allocate(&k, rk.budget.max(9)).unwrap();
         assert_eq!(
-            run_kernel(&roomy.kernel.flatten()),
-            run_kernel(&tight.kernel.flatten()),
+            run_kernel(&roomy.kernel.flatten(), &rk),
+            run_kernel(&tight.kernel.flatten(), &rk),
             "case {case} on {rk:?}"
         );
     }
