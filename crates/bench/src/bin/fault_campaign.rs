@@ -247,6 +247,10 @@ fn main() {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--list" => {
+                flame_bench::print_catalog();
+                return;
+            }
             "--runs" => {
                 runs = it
                     .next()

@@ -123,6 +123,10 @@ fn time_fast_forward(
 }
 
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("--list") {
+        flame_bench::print_catalog();
+        return;
+    }
     let abbrs = ["Triad", "GUPS", "NN", "BS"];
     let suite: Vec<_> = abbrs
         .iter()

@@ -16,6 +16,11 @@
 //! | `region_stats` | §IV — region sizes, false positives, §VI-A costs  |
 //! | `fig4_naive`   | Figure 4 — the naive-verification motivation      |
 //! | `perfstat`     | serial-vs-parallel engine throughput, as JSON     |
+//! | `trace`        | cycle-level event trace of any cell, Chrome JSON  |
+//!
+//! `perfstat`, `fault_campaign` and `trace` all accept `--list`, which
+//! prints the catalog of workloads, scheme keys, GPU models and
+//! scheduler policies ([`print_catalog`]).
 //!
 //! The shared code here expresses each figure as a set of [`Series`] over
 //! a workload suite, lowers them onto the parallel matrix engine
@@ -152,6 +157,33 @@ pub fn series_geomean(cells: &[Cell]) -> f64 {
 /// (GTX 480, GTO, WCDL = 20).
 pub fn paper_default() -> ExperimentConfig {
     ExperimentConfig::default()
+}
+
+/// Prints the experiment catalog — every workload, scheme key, GPU model
+/// and scheduler policy the binaries accept. Shared by the `--list` flag
+/// of `perfstat`, `fault_campaign` and `trace`, so the valid values of
+/// `--workload`/`--scheme`/`--gpu`/`--sched` are discoverable from any of
+/// them.
+pub fn print_catalog() {
+    println!("workloads (--workload ABBR):");
+    for w in flame_workloads::all() {
+        println!("  {:<10} {:<28} [{}]", w.abbr, w.name, w.suite);
+    }
+    println!("\nschemes (--scheme KEY):");
+    for s in Scheme::all() {
+        println!("  {:<22} {}", s.key(), s.name());
+    }
+    println!("\ngpus (--gpu NAME):");
+    for g in gpu_sim::config::GpuConfig::paper_architectures() {
+        println!(
+            "  {:<10} {} SMs, {} MHz, {} warps/SM",
+            g.name, g.num_sms, g.core_clock_mhz, g.max_warps_per_sm
+        );
+    }
+    println!("\nschedulers (--sched NAME):");
+    for k in gpu_sim::scheduler::SchedulerKind::all() {
+        println!("  {}", k.name());
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@ use crate::scheme::Scheme;
 use flame_compiler::pipeline::{build, CompileStats};
 use flame_compiler::regalloc::AllocError;
 use flame_sensors::fault::{Strike, StrikeTarget};
+use flame_trace::{Event as TraceEvent, SimTrace};
 use gpu_sim::config::GpuConfig;
 use gpu_sim::gpu::{Gpu, LaunchError, TimeoutError};
 use gpu_sim::memory::GlobalMemory;
@@ -210,6 +211,37 @@ pub fn run_scheme(
         compile,
         output_ok,
     })
+}
+
+/// [`run_scheme`] with event tracing enabled: every SM records into a
+/// ring of `capacity` events (see [`flame_trace::default_capacity`]) and
+/// the merged, cycle-ordered [`SimTrace`] is returned alongside the run.
+/// Tracing is observational — the returned stats are bit-identical to an
+/// untraced run (the invariance tests pin this).
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] on allocation/launch failure or cycle
+/// budget exhaustion.
+pub fn run_scheme_traced(
+    w: &WorkloadSpec,
+    scheme: Scheme,
+    cfg: &ExperimentConfig,
+    capacity: usize,
+) -> Result<(RunResult, SimTrace), ExperimentError> {
+    let (mut gpu, compile) = prepare(w, scheme, cfg)?;
+    gpu.set_tracing(capacity);
+    let stats = gpu.run(cfg.max_cycles)?;
+    let output_ok = (w.check)(gpu.global());
+    let trace = gpu.take_trace().expect("tracing was enabled");
+    Ok((
+        RunResult {
+            stats,
+            compile,
+            output_ok,
+        },
+        trace,
+    ))
 }
 
 /// Normalized execution time of `scheme` on `w`: `cycles(scheme) /
@@ -488,12 +520,51 @@ pub fn run_with_protocol_capturing(
     strikes: &[Strike],
     proto: &ProtocolConfig,
 ) -> Result<(FaultProtocolResult, GlobalMemory), ExperimentError> {
+    run_protocol_inner(w, scheme, cfg, strikes, proto, None).map(|(r, m, _)| (r, m))
+}
+
+/// [`run_with_protocol`] with event tracing enabled, yielding the merged
+/// [`SimTrace`] of the run so strike → detect → rollback arcs appear on
+/// the timeline alongside the warps they preempt.
+///
+/// If the escalation ladder reaches a kernel relaunch, earlier attempts'
+/// traces are discarded with their GPUs: the returned timeline describes
+/// the **final** kernel attempt only (matching the stats in `run`), plus
+/// the harness-level strike/detect events delivered during it.
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] on compile or allocation/launch
+/// failure.
+pub fn run_with_protocol_traced(
+    w: &WorkloadSpec,
+    scheme: Scheme,
+    cfg: &ExperimentConfig,
+    strikes: &[Strike],
+    proto: &ProtocolConfig,
+    capacity: usize,
+) -> Result<(FaultProtocolResult, SimTrace), ExperimentError> {
+    run_protocol_inner(w, scheme, cfg, strikes, proto, Some(capacity))
+        .map(|(r, _, t)| (r, t.expect("tracing was enabled")))
+}
+
+fn run_protocol_inner(
+    w: &WorkloadSpec,
+    scheme: Scheme,
+    cfg: &ExperimentConfig,
+    strikes: &[Strike],
+    proto: &ProtocolConfig,
+    trace_capacity: Option<usize>,
+) -> Result<(FaultProtocolResult, GlobalMemory, Option<SimTrace>), ExperimentError> {
     let mut c = ProtoCounters::default();
     // Strikes are physical events: each is injected once, even across
     // kernel relaunches (the remaining suffix lands on the fresh clock).
     let mut next = 0usize;
     loop {
         let (mut gpu, compile) = prepare(w, scheme, cfg)?;
+        if let Some(cap) = trace_capacity {
+            gpu.set_tracing(cap);
+        }
         let attempt = drive(&mut gpu, cfg, strikes, proto, &mut next, &mut c);
         if let Attempt::KernelRelaunch = attempt {
             c.kernel_relaunches += 1;
@@ -501,6 +572,7 @@ pub fn run_with_protocol_capturing(
         }
         let stats = gpu.stats();
         let output_ok = (w.check)(gpu.global());
+        let trace = gpu.take_trace();
         let result = FaultProtocolResult {
             run: RunResult {
                 stats,
@@ -521,7 +593,7 @@ pub fn run_with_protocol_capturing(
             timed_out: c.timed_out,
             due: c.due,
         };
-        return Ok((result, gpu.into_global()));
+        return Ok((result, gpu.into_global(), trace));
     }
 }
 
@@ -580,6 +652,19 @@ fn drive(
                 continue;
             }
             c.injected += 1;
+            if gpu.tracing() {
+                let target = match s.target {
+                    StrikeTarget::Pipeline => "pipeline",
+                    StrikeTarget::EccProtected => "ecc",
+                    StrikeTarget::ControlFlow => "control-flow",
+                    StrikeTarget::RecoveryHw => "recovery-hw",
+                };
+                gpu.trace_emit(TraceEvent::FaultStrike {
+                    sm: s.sm as u32,
+                    target,
+                    detected: s.detected,
+                });
+            }
             match s.target {
                 StrikeTarget::Pipeline => {
                     // Corrupt a value written by the pipeline this cycle.
@@ -626,6 +711,9 @@ fn drive(
                 continue;
             }
             let (_, sm) = pending.swap_remove(i);
+            if gpu.tracing() {
+                gpu.trace_emit(TraceEvent::FaultDetect { sm: sm as u32 });
+            }
             gpu.recover_sm(sm);
             c.detections += 1;
             c.recoveries += 1;
@@ -845,6 +933,80 @@ mod tests {
         assert_eq!(proto.kernel_relaunches, 0);
         assert!(!proto.due && !proto.watchdog_fired && !proto.timed_out);
         assert!(proto.run.output_ok);
+    }
+
+    #[test]
+    fn traced_run_is_invisible_and_attributes_every_stall() {
+        let w = test_workload();
+        let cfg = quick_cfg();
+        let plain = run_scheme(&w, Scheme::SensorRenaming, &cfg).unwrap();
+        let (traced, trace) = run_scheme_traced(&w, Scheme::SensorRenaming, &cfg, 1 << 14).unwrap();
+        assert_eq!(
+            plain.stats.diff(&traced.stats),
+            vec![],
+            "tracing perturbed the simulation"
+        );
+        assert!(!trace.is_empty());
+        // The streaming stall matrix survives ring eviction: its per-cause
+        // sums equal the simulator's own stall counters exactly.
+        let s = traced.stats.stalls;
+        let by_cause = trace.stall_counts();
+        assert_eq!(
+            by_cause,
+            [
+                s.no_warp,
+                s.scoreboard,
+                s.mshr_full,
+                s.barrier,
+                s.rbq_wait,
+                s.sched_blocked
+            ]
+        );
+        assert_eq!(trace.stall_total(), s.total());
+    }
+
+    #[test]
+    fn protocol_trace_shows_strike_detect_rollback_arc() {
+        use flame_sensors::fault::StrikeGenerator;
+        let w = test_workload();
+        let cfg = quick_cfg();
+        let base = run_scheme(&w, Scheme::SensorRenaming, &cfg).unwrap();
+        let mut gen =
+            StrikeGenerator::new(0xF1A3, cfg.wcdl, cfg.gpu.num_sms).with_ecc_fraction(0.0);
+        let strikes = gen.schedule(4, (base.stats.cycles * 3 / 4).max(10));
+        let (r, trace) = run_with_protocol_traced(
+            &w,
+            Scheme::SensorRenaming,
+            &cfg,
+            &strikes,
+            &ProtocolConfig::default(),
+            1 << 14,
+        )
+        .unwrap();
+        assert!(r.run.output_ok);
+        // Every injected strike and every delivered detection is on the
+        // timeline, and each struck SM eventually shows a rollback at or
+        // after its detection cycle.
+        let strikes_seen: Vec<_> = trace
+            .filtered(|e| matches!(e, flame_trace::Event::FaultStrike { .. }))
+            .collect();
+        let detects: Vec<_> = trace
+            .filtered(|e| matches!(e, flame_trace::Event::FaultDetect { .. }))
+            .collect();
+        assert_eq!(strikes_seen.len(), r.injected);
+        assert_eq!(detects.len(), r.detections);
+        for d in &detects {
+            let flame_trace::Event::FaultDetect { sm } = d.ev else {
+                unreachable!()
+            };
+            assert!(
+                trace
+                    .filtered(|e| matches!(e, flame_trace::Event::Rollback { .. }))
+                    .any(|e| e.sm == sm && e.cycle >= d.cycle),
+                "no rollback on SM {sm} at/after detect cycle {}",
+                d.cycle
+            );
+        }
     }
 
     #[test]

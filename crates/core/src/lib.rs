@@ -70,15 +70,16 @@ pub use campaign::{
     classify, run_campaign, run_campaign_with_baseline, Campaign, CampaignReport, Outcome,
 };
 pub use experiment::{
-    geomean, normalized_time, run_scheme, run_with_faults, run_with_protocol, ExperimentConfig,
-    ExperimentError, FaultProtocolResult, FaultRunResult, ProtocolConfig, RunResult, WorkloadSpec,
+    geomean, normalized_time, run_scheme, run_scheme_traced, run_with_faults, run_with_protocol,
+    run_with_protocol_traced, ExperimentConfig, ExperimentError, FaultProtocolResult,
+    FaultRunResult, ProtocolConfig, RunResult, WorkloadSpec,
 };
 pub use matrix::{run_matrix, run_matrix_with_jobs, CellResult, MatrixCell};
 pub use rbq::Rbq;
 pub use rpt::Rpt;
 pub use runner::{
-    run_campaign_runner, run_campaign_runner_with_jobs, run_one_seed, wilson_interval,
-    CampaignSpec, CampaignSummary, RunRecord, RunnerError,
+    run_campaign_runner, run_campaign_runner_with_jobs, run_one_seed, trace_one_seed,
+    wilson_interval, CampaignSpec, CampaignSummary, RunRecord, RunnerError,
 };
 pub use runtime::{FlameUnit, VerificationMode};
 pub use scheme::Scheme;

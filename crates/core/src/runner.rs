@@ -374,6 +374,44 @@ pub fn run_one_seed(w: &WorkloadSpec, spec: &CampaignSpec, seed: u64) -> RunReco
     }
 }
 
+/// Replays one seed of the spec with event tracing enabled, yielding the
+/// merged timeline alongside the protocol result. The strikes are the
+/// same deterministic schedule [`run_one_seed`] would inject, so a seed
+/// whose campaign record looks suspicious (an SDC, a watchdog hang) can
+/// be re-simulated under the tracer and inspected cycle by cycle in a
+/// Chrome-trace viewer. Unlike [`run_one_seed`] this does not absorb
+/// failures: a trace of a crashed run would be misleading.
+///
+/// # Errors
+///
+/// Returns an [`crate::experiment::ExperimentError`] on compile or
+/// allocation/launch failure.
+pub fn trace_one_seed(
+    w: &WorkloadSpec,
+    spec: &CampaignSpec,
+    seed: u64,
+    capacity: usize,
+) -> Result<
+    (
+        crate::experiment::FaultProtocolResult,
+        flame_trace::SimTrace,
+    ),
+    crate::experiment::ExperimentError,
+> {
+    let mut gen = StrikeGenerator::new(seed, spec.cfg.wcdl, spec.cfg.gpu.num_sms)
+        .with_coverage(spec.coverage)
+        .with_target_mix(spec.control_fraction, spec.recovery_fraction);
+    let strikes = gen.schedule(spec.strikes_per_run, spec.horizon.max(1));
+    crate::experiment::run_with_protocol_traced(
+        w,
+        spec.scheme,
+        &spec.cfg,
+        &strikes,
+        &spec.proto,
+        capacity,
+    )
+}
+
 /// Loads records from an existing journal. The header must match
 /// `expected`; malformed lines (a truncated tail) and records for seeds
 /// outside the spec are dropped.

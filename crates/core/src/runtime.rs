@@ -221,6 +221,10 @@ impl SmAttachment for FlameUnit {
     fn recovery_poisoned(&self) -> bool {
         (0..self.pending.len()).any(|s| self.poisoned[s] && self.rpt.get(s).is_some())
     }
+
+    fn queue_depth(&self) -> usize {
+        self.in_flight()
+    }
 }
 
 #[cfg(test)]

@@ -56,6 +56,48 @@ impl Scheme {
         ]
     }
 
+    /// Every scheme the simulator knows, baseline and ablations included,
+    /// in declaration order. The catalog the `--list` flags and the trace
+    /// tool's `--scheme` lookup enumerate.
+    pub fn all() -> [Scheme; 11] {
+        [
+            Scheme::Baseline,
+            Scheme::Renaming,
+            Scheme::Checkpointing,
+            Scheme::SensorRenaming,
+            Scheme::SensorRenamingNoOpt,
+            Scheme::SensorCheckpointing,
+            Scheme::DuplicationRenaming,
+            Scheme::DuplicationCheckpointing,
+            Scheme::HybridRenaming,
+            Scheme::HybridCheckpointing,
+            Scheme::NaiveSensorRenaming,
+        ]
+    }
+
+    /// Stable machine-readable key for command lines and file names
+    /// (lowercase, no spaces). [`Scheme::by_key`] is the inverse.
+    pub fn key(self) -> &'static str {
+        match self {
+            Scheme::Baseline => "baseline",
+            Scheme::Renaming => "renaming",
+            Scheme::Checkpointing => "checkpointing",
+            Scheme::SensorRenaming => "flame",
+            Scheme::SensorRenamingNoOpt => "flame-noopt",
+            Scheme::SensorCheckpointing => "sensor-checkpointing",
+            Scheme::DuplicationRenaming => "dup-renaming",
+            Scheme::DuplicationCheckpointing => "dup-checkpointing",
+            Scheme::HybridRenaming => "hybrid-renaming",
+            Scheme::HybridCheckpointing => "hybrid-checkpointing",
+            Scheme::NaiveSensorRenaming => "naive",
+        }
+    }
+
+    /// Looks a scheme up by its [`Scheme::key`].
+    pub fn by_key(key: &str) -> Option<Scheme> {
+        Scheme::all().into_iter().find(|s| s.key() == key)
+    }
+
     /// Display name following the paper's legend.
     pub fn name(self) -> &'static str {
         match self {
@@ -187,21 +229,20 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let mut all = vec![
-            Scheme::Baseline,
-            Scheme::Renaming,
-            Scheme::Checkpointing,
-            Scheme::SensorRenaming,
-            Scheme::SensorRenamingNoOpt,
-            Scheme::SensorCheckpointing,
-            Scheme::DuplicationRenaming,
-            Scheme::DuplicationCheckpointing,
-            Scheme::HybridRenaming,
-            Scheme::HybridCheckpointing,
-            Scheme::NaiveSensorRenaming,
-        ];
+        let all = Scheme::all();
         let names: std::collections::HashSet<_> = all.iter().map(|s| s.name()).collect();
         assert_eq!(names.len(), all.len());
-        all.dedup();
+    }
+
+    #[test]
+    fn keys_round_trip_and_are_unique() {
+        let all = Scheme::all();
+        let keys: std::collections::HashSet<_> = all.iter().map(|s| s.key()).collect();
+        assert_eq!(keys.len(), all.len());
+        for s in all {
+            assert_eq!(Scheme::by_key(s.key()), Some(s), "{s} key round-trip");
+        }
+        assert_eq!(Scheme::by_key("flame"), Some(Scheme::SensorRenaming));
+        assert_eq!(Scheme::by_key("no-such-scheme"), None);
     }
 }

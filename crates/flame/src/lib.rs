@@ -76,6 +76,15 @@ pub mod oracle {
     pub use flame_oracle::*;
 }
 
+/// Cycle-level event tracing, stall attribution and Chrome-trace export
+/// (re-export of `flame-trace`). Capture with
+/// [`crate::core::run_scheme_traced`] or the `flame-bench` `trace`
+/// binary; tracing is zero-cost when disabled and never perturbs the
+/// statistics.
+pub mod trace {
+    pub use flame_trace::*;
+}
+
 /// The most common imports for running experiments.
 pub mod prelude {
     pub use flame_core::experiment::{

@@ -10,6 +10,7 @@ use crate::scheduler::SchedulerKind;
 use crate::sm::{LaunchDims, Sm};
 use crate::stats::SimStats;
 use crate::warp::WARP_SIZE;
+use flame_trace::{Event as TraceEvent, SimTrace, Tracer};
 use std::fmt;
 
 /// Error returned when a kernel cannot be launched on a GPU configuration.
@@ -84,6 +85,10 @@ pub struct Gpu {
     /// [`GpuConfig::effective_fast_forward`] resolved once at launch, so
     /// the per-step hot path never consults the environment.
     fast_forward: bool,
+    /// Harness-level tracer for events no single SM emits (fault strikes
+    /// and detections injected by a campaign driver). Disabled unless
+    /// [`Gpu::set_tracing`] is called.
+    tracer: Tracer,
 }
 
 impl fmt::Debug for Gpu {
@@ -141,7 +146,50 @@ impl Gpu {
             cycle: 0,
             ctas_per_sm,
             fast_forward,
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Enables event tracing on every SM (and the harness track), each
+    /// with a ring of `capacity` events. Tracing never perturbs the
+    /// simulation: statistics stay bit-identical to an untraced run.
+    /// Usually called right after launch; enabling mid-run simply starts
+    /// recording from the current cycle.
+    pub fn set_tracing(&mut self, capacity: usize) {
+        for sm in &mut self.sms {
+            sm.set_tracer(Tracer::enabled(capacity));
+        }
+        self.tracer = Tracer::enabled(capacity);
+    }
+
+    /// Whether tracing is enabled. Campaign drivers consult this before
+    /// computing arguments for [`Gpu::trace_emit`].
+    pub fn tracing(&self) -> bool {
+        self.tracer.on()
+    }
+
+    /// Records a harness-level event (e.g. a fault strike) at the current
+    /// cycle; a no-op unless [`Gpu::set_tracing`] was called.
+    pub fn trace_emit(&mut self, ev: TraceEvent) {
+        let now = self.cycle;
+        self.tracer.emit(now, ev);
+    }
+
+    /// Detaches and merges every SM's trace buffer (plus the harness
+    /// buffer) into a cycle-ordered [`SimTrace`], disabling tracing.
+    /// Returns `None` when tracing was never enabled.
+    pub fn take_trace(&mut self) -> Option<SimTrace> {
+        let mut bufs = Vec::new();
+        for (i, sm) in self.sms.iter_mut().enumerate() {
+            if let Some(b) = sm.take_trace_buffer() {
+                bufs.push((i as u32, *b));
+            }
+        }
+        let harness = self.tracer.take().map(|b| *b);
+        if bufs.is_empty() && harness.is_none() {
+            return None;
+        }
+        Some(SimTrace::merge(bufs, harness))
     }
 
     /// Prepares a launch with no resilience attachment (baseline).

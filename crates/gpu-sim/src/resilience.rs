@@ -92,6 +92,15 @@ pub trait SmAttachment: fmt::Debug {
     fn recovery_poisoned(&self) -> bool {
         false
     }
+
+    /// Number of warps currently held for verification (RBQ occupancy
+    /// across the attachment's queues). Purely observational — consulted
+    /// only by the event tracer, and only when tracing is enabled, to
+    /// annotate enqueue/dequeue events with the occupancy sample.
+    /// Attachments without a queue report 0.
+    fn queue_depth(&self) -> usize {
+        0
+    }
 }
 
 /// Attachment used when no resilience scheme is active: boundaries are

@@ -15,6 +15,7 @@ use crate::resilience::{BoundaryAction, SmAttachment};
 use crate::scheduler::{Candidate, Scheduler, SchedulerKind};
 use crate::stats::SimStats;
 use crate::warp::{RecoveryPoint, Warp, WarpState, WARP_SIZE};
+use flame_trace::{Event as TraceEvent, TraceBuffer, Tracer};
 
 /// Grid and CTA dimensions of a kernel launch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,6 +135,22 @@ enum StallCause {
     SchedBlocked,
 }
 
+impl StallCause {
+    /// The tracer-facing cause, `None` for an issuing tick (which is
+    /// never a stall).
+    fn trace(self) -> Option<flame_trace::StallCause> {
+        match self {
+            StallCause::Issued => None,
+            StallCause::NoWarp => Some(flame_trace::StallCause::NoWarp),
+            StallCause::Scoreboard => Some(flame_trace::StallCause::Scoreboard),
+            StallCause::MshrFull => Some(flame_trace::StallCause::MshrFull),
+            StallCause::Barrier => Some(flame_trace::StallCause::Barrier),
+            StallCause::RbqWait => Some(flame_trace::StallCause::RbqWait),
+            StallCause::SchedBlocked => Some(flame_trace::StallCause::SchedBlocked),
+        }
+    }
+}
+
 /// A streaming multiprocessor.
 pub struct Sm {
     id: usize,
@@ -171,6 +188,9 @@ pub struct Sm {
     addr_buf: Vec<u64>,
     /// Scratch for coalesced 128-byte segment bases.
     seg_buf: Vec<u64>,
+    /// Event tracer; disabled (a never-taken branch per emission site) by
+    /// default, so the untraced hot path and `SimStats` are unchanged.
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for Sm {
@@ -212,7 +232,26 @@ impl Sm {
             eligible_buf: Vec::with_capacity(cfg.max_warps_per_sm),
             addr_buf: Vec::with_capacity(WARP_SIZE),
             seg_buf: Vec::with_capacity(WARP_SIZE),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Replaces this SM's tracer: `Tracer::enabled(capacity)` starts
+    /// recording, `Tracer::disabled()` stops it. Tracing never perturbs
+    /// simulation state or statistics.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Whether this SM is currently recording trace events.
+    pub fn tracing(&self) -> bool {
+        self.tracer.on()
+    }
+
+    /// Detaches the recorded trace buffer (if tracing was enabled),
+    /// leaving the tracer disabled.
+    pub fn take_trace_buffer(&mut self) -> Option<Box<TraceBuffer>> {
+        self.tracer.take()
     }
 
     /// This SM's index.
@@ -311,6 +350,13 @@ impl Sm {
             warp_slots,
         });
         self.resident_ctas += 1;
+        self.tracer.emit(
+            now,
+            TraceEvent::CtaLaunch {
+                cta: cta_linear,
+                warps,
+            },
+        );
     }
 
     /// Advances the SM by one cycle. Returns whether any scheduler issued
@@ -338,7 +384,7 @@ impl Sm {
         let mut wake = std::mem::take(&mut self.wake_buf);
         wake.clear();
         self.attachment.tick(now, &mut wake);
-        for &slot in &wake {
+        for (i, &slot) in wake.iter().enumerate() {
             if let Some(s) = self.slots[slot].as_mut() {
                 if s.warp.state == WarpState::InRbq {
                     s.warp.state = WarpState::Ready;
@@ -347,6 +393,21 @@ impl Sm {
                     // the logged atomics can never be replayed again.
                     s.atomic_log.clear();
                     s.replay_cursor = 0;
+                    if self.tracer.on() {
+                        // Occupancy after this pop: what the attachment
+                        // still holds, plus the woken warps not yet
+                        // processed in this loop.
+                        let depth = (self.attachment.queue_depth() + (wake.len() - 1 - i)) as u32;
+                        self.tracer.emit(
+                            now,
+                            TraceEvent::RbqDequeue {
+                                slot: slot as u32,
+                                depth,
+                            },
+                        );
+                        self.tracer
+                            .emit(now, TraceEvent::RegionVerify { slot: slot as u32 });
+                    }
                 }
             }
         }
@@ -356,6 +417,14 @@ impl Sm {
             if self.sched_blocked_until[sched] > now {
                 self.stats.stalls.sched_blocked += 1;
                 self.last_stall[sched] = StallCause::SchedBlocked;
+                self.tracer.emit(
+                    now,
+                    TraceEvent::IssueStall {
+                        sched: sched as u32,
+                        cause: flame_trace::StallCause::SchedBlocked,
+                        cycles: 1,
+                    },
+                );
                 continue;
             }
             let (tally, live) = self.scan(sched, now, kernel);
@@ -365,7 +434,7 @@ impl Sm {
             let eligible = std::mem::take(&mut self.eligible_buf);
             let picked = self.schedulers[sched].pick(&eligible);
             self.eligible_buf = eligible;
-            self.last_stall[sched] = if let Some(slot) = picked {
+            let cause = if let Some(slot) = picked {
                 self.issue(slot, now, kernel, dims, global, l2);
                 issued_any = true;
                 StallCause::Issued
@@ -390,6 +459,17 @@ impl Sm {
                     StallCause::Scoreboard
                 }
             };
+            self.last_stall[sched] = cause;
+            if let Some(tc) = cause.trace() {
+                self.tracer.emit(
+                    now,
+                    TraceEvent::IssueStall {
+                        sched: sched as u32,
+                        cause: tc,
+                        cycles: 1,
+                    },
+                );
+            }
         }
         self.frozen_until = if issued_any || !self.fast_forward {
             0
@@ -464,6 +544,18 @@ impl Sm {
                 StallCause::RbqWait => self.stats.stalls.rbq_wait += skipped,
                 StallCause::SchedBlocked => self.stats.stalls.sched_blocked += skipped,
             }
+            if let Some(tc) = cause.trace() {
+                // One bulk event stands in for `skipped` per-cycle ones:
+                // per-cause sums stay exact under the event-driven clock.
+                self.tracer.emit(
+                    now,
+                    TraceEvent::IssueStall {
+                        sched: sched as u32,
+                        cause: tc,
+                        cycles: skipped,
+                    },
+                );
+            }
         }
     }
 
@@ -492,21 +584,51 @@ impl Sm {
                 s.warp.stack.advance(pc + 1);
                 let resume = s.warp.recovery_point();
                 self.stats.resilience.boundaries += 1;
+                self.tracer.emit(
+                    now,
+                    TraceEvent::RegionEnter {
+                        slot: slot as u32,
+                        pc: pc + 1,
+                    },
+                );
                 match self.attachment.on_boundary(now, slot, resume, &s.regs) {
                     BoundaryAction::Continue => {
                         // The recovery point advanced past the region:
                         // its atomics are committed.
                         s.atomic_log.clear();
                         s.replay_cursor = 0;
+                        self.tracer
+                            .emit(now, TraceEvent::RegionCommit { slot: slot as u32 });
                     }
                     BoundaryAction::Deschedule => {
                         s.warp.state = WarpState::InRbq;
                         self.stats.resilience.deschedules += 1;
+                        if self.tracer.on() {
+                            let depth = self.attachment.queue_depth() as u32;
+                            self.tracer.emit(
+                                now,
+                                TraceEvent::RbqEnqueue {
+                                    slot: slot as u32,
+                                    depth,
+                                },
+                            );
+                        }
                     }
                     BoundaryAction::BlockScheduler(n) => {
                         self.sched_blocked_until[sched] = now + u64::from(n);
                         s.atomic_log.clear();
                         s.replay_cursor = 0;
+                        if self.tracer.on() {
+                            self.tracer.emit(
+                                now,
+                                TraceEvent::SchedBlock {
+                                    sched: sched as u32,
+                                    until: now + u64::from(n),
+                                },
+                            );
+                            self.tracer
+                                .emit(now, TraceEvent::RegionCommit { slot: slot as u32 });
+                        }
                     }
                 }
                 if self.sched_blocked_until[sched] > now {
@@ -652,6 +774,13 @@ impl Sm {
 
         self.stats.instructions += 1;
         self.stats.thread_instructions += u64::from(active.count_ones());
+        self.tracer.emit(
+            now,
+            TraceEvent::WarpIssue {
+                slot: slot as u32,
+                pc,
+            },
+        );
 
         match inst.op {
             Opcode::Bra => {
@@ -680,12 +809,14 @@ impl Sm {
                     self.attachment.on_warp_exit(slot);
                     cta.live_warps -= 1;
                     let cta_slot = s.warp.cta_slot;
+                    self.tracer
+                        .emit(now, TraceEvent::WarpRetire { slot: slot as u32 });
                     self.release_barrier_if_complete(cta_slot);
                     if self.ctas[cta_slot]
                         .as_ref()
                         .is_some_and(|c| c.live_warps == 0)
                     {
-                        self.retire_cta(cta_slot);
+                        self.retire_cta(cta_slot, now);
                     }
                 }
             }
@@ -742,6 +873,14 @@ impl Sm {
                         for _ in 0..self.seg_buf.len().min(self.port.free()) {
                             self.port.reserve(finish);
                         }
+                        self.tracer.emit(
+                            now,
+                            TraceEvent::MemIssue {
+                                slot: slot as u32,
+                                segments: self.seg_buf.len() as u32,
+                                finish,
+                            },
+                        );
                         finish
                     }
                     MemSpace::Shared => {
@@ -796,6 +935,14 @@ impl Sm {
                         for _ in 0..self.seg_buf.len().min(self.port.free()) {
                             self.port.reserve(finish);
                         }
+                        self.tracer.emit(
+                            now,
+                            TraceEvent::MemIssue {
+                                slot: slot as u32,
+                                segments: self.seg_buf.len() as u32,
+                                finish,
+                            },
+                        );
                     }
                     MemSpace::Shared => {
                         let degree = bank_conflict_degree(&self.addr_buf);
@@ -853,6 +1000,16 @@ impl Sm {
                 let finish = now + base_lat + max_mult - 1;
                 if space == MemSpace::Global && self.port.free() > 0 {
                     self.port.reserve(finish);
+                }
+                if space == MemSpace::Global {
+                    self.tracer.emit(
+                        now,
+                        TraceEvent::MemIssue {
+                            slot: slot as u32,
+                            segments: 1,
+                            finish,
+                        },
+                    );
                 }
                 // Replay path: this atomic already executed before a
                 // rollback — return the logged result without touching
@@ -973,13 +1130,19 @@ impl Sm {
         }
     }
 
-    fn retire_cta(&mut self, cta_slot: usize) {
+    fn retire_cta(&mut self, cta_slot: usize, now: u64) {
         let cta = self.ctas[cta_slot].take().expect("CTA resident");
         for slot in cta.warp_slots {
             self.slots[slot] = None;
         }
         self.resident_ctas -= 1;
         self.stats.ctas += 1;
+        self.tracer.emit(
+            now,
+            TraceEvent::CtaDrain {
+                cta_slot: cta_slot as u32,
+            },
+        );
     }
 
     /// XORs `xor_mask` into the value most recently written by the warp
@@ -1057,6 +1220,8 @@ impl Sm {
         self.sched_blocked_until.fill(0);
         self.stats.resilience.recoveries += 1;
         self.stats.resilience.warps_rolled_back += n as u64;
+        self.tracer
+            .emit(now, TraceEvent::Rollback { warps: n as u32 });
         n
     }
 
@@ -1132,6 +1297,8 @@ impl Sm {
         self.sched_blocked_until.fill(0);
         self.stats.resilience.cta_relaunches += 1;
         self.stats.resilience.warps_rolled_back += n as u64;
+        self.tracer
+            .emit(now, TraceEvent::CtaRelaunch { warps: n as u32 });
         n
     }
 }

@@ -138,90 +138,123 @@ impl SimStats {
     }
 
     /// Names and `(self, other)` values of every field that differs —
-    /// empty iff `self == other`. Written for the event-driven-clock
-    /// equivalence tests, where "fast-forward changed `stalls.rbq_wait`"
-    /// beats a 40-line struct dump in a failed assertion.
+    /// empty iff `self == other`. Written for the event-driven-clock and
+    /// tracing invariance tests, where "fast-forward changed
+    /// `stalls.rbq_wait`" beats a 40-line struct dump in a failed
+    /// assertion.
+    ///
+    /// Exhaustively destructures every statistics struct (no `..` rests),
+    /// so adding a counter anywhere without naming it here is a compile
+    /// error — the invariance tests can never silently ignore a new
+    /// field.
     pub fn diff(&self, other: &SimStats) -> Vec<(&'static str, u64, u64)> {
-        let fields: [(&'static str, u64, u64); 24] = [
-            ("cycles", self.cycles, other.cycles),
-            ("instructions", self.instructions, other.instructions),
+        // One side per binding set; any new field breaks both patterns.
+        let SimStats {
+            cycles,
+            instructions,
+            thread_instructions,
+            ctas,
+            stalls:
+                StallStats {
+                    no_warp,
+                    scoreboard,
+                    mshr_full,
+                    barrier,
+                    rbq_wait,
+                    sched_blocked,
+                },
+            mem:
+                MemStats {
+                    l1_hits,
+                    l1_misses,
+                    l2_hits,
+                    l2_misses,
+                    transactions,
+                    shared_accesses,
+                    bank_conflicts,
+                    atomics,
+                },
+            resilience:
+                ResilienceStats {
+                    boundaries,
+                    deschedules,
+                    verifications,
+                    recoveries,
+                    warps_rolled_back,
+                    cta_relaunches,
+                },
+        } = *self;
+        let SimStats {
+            cycles: o_cycles,
+            instructions: o_instructions,
+            thread_instructions: o_thread_instructions,
+            ctas: o_ctas,
+            stalls:
+                StallStats {
+                    no_warp: o_no_warp,
+                    scoreboard: o_scoreboard,
+                    mshr_full: o_mshr_full,
+                    barrier: o_barrier,
+                    rbq_wait: o_rbq_wait,
+                    sched_blocked: o_sched_blocked,
+                },
+            mem:
+                MemStats {
+                    l1_hits: o_l1_hits,
+                    l1_misses: o_l1_misses,
+                    l2_hits: o_l2_hits,
+                    l2_misses: o_l2_misses,
+                    transactions: o_transactions,
+                    shared_accesses: o_shared_accesses,
+                    bank_conflicts: o_bank_conflicts,
+                    atomics: o_atomics,
+                },
+            resilience:
+                ResilienceStats {
+                    boundaries: o_boundaries,
+                    deschedules: o_deschedules,
+                    verifications: o_verifications,
+                    recoveries: o_recoveries,
+                    warps_rolled_back: o_warps_rolled_back,
+                    cta_relaunches: o_cta_relaunches,
+                },
+        } = *other;
+        let fields = [
+            ("cycles", cycles, o_cycles),
+            ("instructions", instructions, o_instructions),
             (
                 "thread_instructions",
-                self.thread_instructions,
-                other.thread_instructions,
+                thread_instructions,
+                o_thread_instructions,
             ),
-            ("ctas", self.ctas, other.ctas),
-            ("stalls.no_warp", self.stalls.no_warp, other.stalls.no_warp),
-            (
-                "stalls.scoreboard",
-                self.stalls.scoreboard,
-                other.stalls.scoreboard,
-            ),
-            (
-                "stalls.mshr_full",
-                self.stalls.mshr_full,
-                other.stalls.mshr_full,
-            ),
-            ("stalls.barrier", self.stalls.barrier, other.stalls.barrier),
-            (
-                "stalls.rbq_wait",
-                self.stalls.rbq_wait,
-                other.stalls.rbq_wait,
-            ),
-            (
-                "stalls.sched_blocked",
-                self.stalls.sched_blocked,
-                other.stalls.sched_blocked,
-            ),
-            ("mem.l1_hits", self.mem.l1_hits, other.mem.l1_hits),
-            ("mem.l1_misses", self.mem.l1_misses, other.mem.l1_misses),
-            ("mem.l2_hits", self.mem.l2_hits, other.mem.l2_hits),
-            ("mem.l2_misses", self.mem.l2_misses, other.mem.l2_misses),
-            (
-                "mem.transactions",
-                self.mem.transactions,
-                other.mem.transactions,
-            ),
-            (
-                "mem.shared_accesses",
-                self.mem.shared_accesses,
-                other.mem.shared_accesses,
-            ),
-            (
-                "mem.bank_conflicts",
-                self.mem.bank_conflicts,
-                other.mem.bank_conflicts,
-            ),
-            ("mem.atomics", self.mem.atomics, other.mem.atomics),
-            (
-                "resilience.boundaries",
-                self.resilience.boundaries,
-                other.resilience.boundaries,
-            ),
-            (
-                "resilience.deschedules",
-                self.resilience.deschedules,
-                other.resilience.deschedules,
-            ),
-            (
-                "resilience.verifications",
-                self.resilience.verifications,
-                other.resilience.verifications,
-            ),
-            (
-                "resilience.recoveries",
-                self.resilience.recoveries,
-                other.resilience.recoveries,
-            ),
+            ("ctas", ctas, o_ctas),
+            ("stalls.no_warp", no_warp, o_no_warp),
+            ("stalls.scoreboard", scoreboard, o_scoreboard),
+            ("stalls.mshr_full", mshr_full, o_mshr_full),
+            ("stalls.barrier", barrier, o_barrier),
+            ("stalls.rbq_wait", rbq_wait, o_rbq_wait),
+            ("stalls.sched_blocked", sched_blocked, o_sched_blocked),
+            ("mem.l1_hits", l1_hits, o_l1_hits),
+            ("mem.l1_misses", l1_misses, o_l1_misses),
+            ("mem.l2_hits", l2_hits, o_l2_hits),
+            ("mem.l2_misses", l2_misses, o_l2_misses),
+            ("mem.transactions", transactions, o_transactions),
+            ("mem.shared_accesses", shared_accesses, o_shared_accesses),
+            ("mem.bank_conflicts", bank_conflicts, o_bank_conflicts),
+            ("mem.atomics", atomics, o_atomics),
+            ("resilience.boundaries", boundaries, o_boundaries),
+            ("resilience.deschedules", deschedules, o_deschedules),
+            ("resilience.verifications", verifications, o_verifications),
+            ("resilience.recoveries", recoveries, o_recoveries),
             (
                 "resilience.warps_rolled_back",
-                self.resilience.warps_rolled_back,
-                other.resilience.warps_rolled_back,
+                warps_rolled_back,
+                o_warps_rolled_back,
             ),
             (
                 "resilience.cta_relaunches",
-                self.resilience.cta_relaunches,
-                other.resilience.cta_relaunches,
+                cta_relaunches,
+                o_cta_relaunches,
             ),
         ];
         fields.into_iter().filter(|&(_, a, b)| a != b).collect()

@@ -1,0 +1,265 @@
+//! The merged whole-GPU trace: per-SM buffers folded into one
+//! cycle-ordered stream plus run-wide aggregates, ready for export.
+
+use crate::event::Event;
+use crate::record::{Histogram, RegionRecord, StallMatrix, TraceBuffer};
+
+/// Pseudo-SM id used for harness-level events (fault strikes and
+/// detections emitted by the campaign driver rather than an SM).
+pub const HARNESS_SM: u32 = u32::MAX;
+
+/// One event in the merged stream, tagged with its emitting SM
+/// ([`HARNESS_SM`] for harness events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmRecord {
+    /// GPU cycle of the event.
+    pub cycle: u64,
+    /// Emitting SM (or [`HARNESS_SM`]).
+    pub sm: u32,
+    /// The event.
+    pub ev: Event,
+}
+
+/// A whole-GPU trace assembled from every SM's [`TraceBuffer`] (plus an
+/// optional harness buffer) by [`SimTrace::merge`].
+#[derive(Debug, Clone)]
+pub struct SimTrace {
+    /// All retained events, stably sorted by cycle (within a cycle, SM
+    /// emission order is preserved).
+    pub events: Vec<SmRecord>,
+    /// Events evicted from the rings before merging (run-wide).
+    pub dropped: u64,
+    /// `(sm, per-scheduler stall matrix)` for every SM, in SM order.
+    pub sm_stalls: Vec<(u32, StallMatrix)>,
+    /// RBQ occupancy histogram merged across SMs (exact).
+    pub rbq_occupancy: Histogram,
+    /// Region-verification latency histogram merged across SMs (exact).
+    pub verify_latency: Histogram,
+    /// Every region boundary crossed, tagged with its SM.
+    pub regions: Vec<(u32, RegionRecord)>,
+    /// Region records dropped at the per-SM cap (run-wide).
+    pub regions_dropped: u64,
+}
+
+impl SimTrace {
+    /// Merge per-SM buffers (and an optional harness buffer) into one
+    /// cycle-ordered trace. `sm_bufs` entries are `(sm_index, buffer)`.
+    pub fn merge(sm_bufs: Vec<(u32, TraceBuffer)>, harness: Option<TraceBuffer>) -> SimTrace {
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        let mut sm_stalls = Vec::with_capacity(sm_bufs.len());
+        let mut rbq_occupancy = Histogram::new(64, 1);
+        let mut verify_latency = Histogram::new(4096, 1);
+        let mut regions = Vec::new();
+        let mut regions_dropped = 0;
+        for (sm, buf) in &sm_bufs {
+            events.extend(buf.ring.iter().map(|r| SmRecord {
+                cycle: r.cycle,
+                sm: *sm,
+                ev: r.ev,
+            }));
+            dropped += buf.dropped;
+            sm_stalls.push((*sm, buf.stalls.clone()));
+            rbq_occupancy.absorb(&buf.rbq_occupancy);
+            verify_latency.absorb(&buf.verify_latency);
+            regions.extend(buf.regions.iter().map(|r| (*sm, *r)));
+            regions_dropped += buf.regions_dropped;
+        }
+        if let Some(buf) = &harness {
+            events.extend(buf.ring.iter().map(|r| SmRecord {
+                cycle: r.cycle,
+                sm: HARNESS_SM,
+                ev: r.ev,
+            }));
+            dropped += buf.dropped;
+        }
+        events.sort_by_key(|r| r.cycle);
+        SimTrace {
+            events,
+            dropped,
+            sm_stalls,
+            rbq_occupancy,
+            verify_latency,
+            regions,
+            regions_dropped,
+        }
+    }
+
+    /// Per-cause stall cycles summed over every SM and scheduler, in
+    /// [`crate::StallCause::ALL`] order. Exact for the whole run (stall
+    /// attribution is aggregated before ring eviction), so this must
+    /// equal the simulator's `StallStats` — the trace tests assert it.
+    pub fn stall_counts(&self) -> [u64; 6] {
+        let mut out = [0u64; 6];
+        for (_, m) in &self.sm_stalls {
+            for (o, c) in out.iter_mut().zip(m.totals()) {
+                *o += c;
+            }
+        }
+        out
+    }
+
+    /// Total stall cycles across the GPU.
+    pub fn stall_total(&self) -> u64 {
+        self.stall_counts().iter().sum()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the merged stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The paper's WCDL claim, read off the retained timeline: does any
+    /// warp issue while another warp *of the same SM* sits descheduled in
+    /// the region boundary queue? True means verification latency was
+    /// hidden behind warp-level parallelism at least once.
+    pub fn deschedule_overlaps_issue(&self) -> bool {
+        // Count of currently-descheduled warps per SM, walked in stream
+        // order (the stream is cycle-sorted and order-preserving per SM).
+        let mut open: std::collections::HashMap<u32, i64> = std::collections::HashMap::new();
+        for r in &self.events {
+            match r.ev {
+                Event::RbqEnqueue { .. } => *open.entry(r.sm).or_insert(0) += 1,
+                Event::RbqDequeue { .. } => *open.entry(r.sm).or_insert(0) -= 1,
+                Event::WarpIssue { .. } if open.get(&r.sm).copied().unwrap_or(0) > 0 => {
+                    return true;
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Retained events of one kind-matching predicate, in stream order.
+    pub fn filtered<'a>(
+        &'a self,
+        pred: impl Fn(&Event) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a SmRecord> + 'a {
+        self.events.iter().filter(move |r| pred(&r.ev))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::StallCause;
+
+    fn buf_with(events: &[(u64, Event)]) -> TraceBuffer {
+        let mut b = TraceBuffer::new(1 << 10);
+        for (cycle, ev) in events {
+            b.push(*cycle, *ev);
+        }
+        b
+    }
+
+    #[test]
+    fn merge_orders_by_cycle_and_tags_sm() {
+        let a = buf_with(&[
+            (5, Event::WarpIssue { slot: 0, pc: 0 }),
+            (9, Event::WarpRetire { slot: 0 }),
+        ]);
+        let b = buf_with(&[(3, Event::WarpIssue { slot: 1, pc: 4 })]);
+        let h = buf_with(&[(
+            7,
+            Event::FaultStrike {
+                sm: 0,
+                target: "pipeline",
+                detected: true,
+            },
+        )]);
+        let t = SimTrace::merge(vec![(0, a), (1, b)], Some(h));
+        let cycles: Vec<u64> = t.events.iter().map(|r| r.cycle).collect();
+        assert_eq!(cycles, vec![3, 5, 7, 9]);
+        assert_eq!(t.events[0].sm, 1);
+        assert_eq!(t.events[2].sm, HARNESS_SM);
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn stall_counts_sum_across_sms() {
+        let mut a = TraceBuffer::new(64);
+        a.push(
+            1,
+            Event::IssueStall {
+                sched: 0,
+                cause: StallCause::NoWarp,
+                cycles: 4,
+            },
+        );
+        let mut b = TraceBuffer::new(64);
+        b.push(
+            2,
+            Event::IssueStall {
+                sched: 1,
+                cause: StallCause::RbqWait,
+                cycles: 6,
+            },
+        );
+        let t = SimTrace::merge(vec![(0, a), (1, b)], None);
+        let counts = t.stall_counts();
+        assert_eq!(counts[StallCause::NoWarp.index()], 4);
+        assert_eq!(counts[StallCause::RbqWait.index()], 6);
+        assert_eq!(t.stall_total(), 10);
+    }
+
+    #[test]
+    fn overlap_detection_is_per_sm() {
+        // SM 0: warp 1 issues while warp 0 is in the RBQ → overlap.
+        let a = buf_with(&[
+            (10, Event::RbqEnqueue { slot: 0, depth: 1 }),
+            (11, Event::WarpIssue { slot: 1, pc: 8 }),
+            (15, Event::RbqDequeue { slot: 0, depth: 0 }),
+        ]);
+        let t = SimTrace::merge(vec![(0, a)], None);
+        assert!(t.deschedule_overlaps_issue());
+
+        // Issue on a *different* SM during the deschedule is no overlap.
+        let a = buf_with(&[(10, Event::RbqEnqueue { slot: 0, depth: 1 })]);
+        let b = buf_with(&[(11, Event::WarpIssue { slot: 1, pc: 8 })]);
+        let t = SimTrace::merge(vec![(0, a), (1, b)], None);
+        assert!(!t.deschedule_overlaps_issue());
+
+        // Issue after the dequeue is no overlap either.
+        let a = buf_with(&[
+            (10, Event::RbqEnqueue { slot: 0, depth: 1 }),
+            (15, Event::RbqDequeue { slot: 0, depth: 0 }),
+            (16, Event::WarpIssue { slot: 0, pc: 8 }),
+        ]);
+        let t = SimTrace::merge(vec![(0, a)], None);
+        assert!(!t.deschedule_overlaps_issue());
+    }
+
+    #[test]
+    fn merge_carries_aggregates_and_regions() {
+        let a = buf_with(&[
+            (10, Event::RegionEnter { slot: 0, pc: 4 }),
+            (10, Event::RbqEnqueue { slot: 0, depth: 1 }),
+            (30, Event::RbqDequeue { slot: 0, depth: 0 }),
+            (30, Event::RegionVerify { slot: 0 }),
+        ]);
+        let b = buf_with(&[
+            (12, Event::RegionEnter { slot: 3, pc: 8 }),
+            (12, Event::RegionCommit { slot: 3 }),
+        ]);
+        let t = SimTrace::merge(vec![(0, a), (4, b)], None);
+        assert_eq!(t.regions.len(), 2);
+        assert_eq!(t.regions[0].0, 0);
+        assert_eq!(t.regions[1].0, 4);
+        assert_eq!(t.verify_latency.count(), 1);
+        assert_eq!(t.verify_latency.max(), 20);
+        assert_eq!(t.rbq_occupancy.count(), 2);
+        assert_eq!(t.dropped, 0);
+        assert_eq!(t.regions_dropped, 0);
+        assert_eq!(
+            t.filtered(|e| matches!(e, Event::RegionEnter { .. }))
+                .count(),
+            2
+        );
+    }
+}

@@ -34,6 +34,9 @@ if ! grep -q "FLAME_FUZZ_SEED=" <<<"$out"; then
     exit 1
 fi
 
+echo "==> trace smoke (capture + validate Chrome JSON + stall attribution)"
+cargo run --release -q -p flame-bench --bin trace -- smoke
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
