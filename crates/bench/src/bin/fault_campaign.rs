@@ -5,7 +5,10 @@
 //! fault_campaign                  # coverage sweep on the built-in kernel
 //! fault_campaign --workload LUD   # sweep a suite workload
 //! fault_campaign --runs 400       # more seeds per coverage point
+//! fault_campaign --fork-points 0  # disable fork-point acceleration
 //! fault_campaign smoke            # pinned-histogram + resume smoke test
+//! fault_campaign fork-smoke       # fork on/off histogram equality check
+//! fault_campaign bench-fork       # late-strike speedup -> BENCH_pr6.json
 //! ```
 //!
 //! The sweep bombards one workload at several sensor-coverage levels and
@@ -14,6 +17,13 @@
 //! three ways (in memory, journaled, and resumed from a truncated
 //! journal), asserts all three render byte-identically, and pins the
 //! outcome histogram; any mismatch exits nonzero.
+//!
+//! Fault runs fork from clean-prefix checkpoints by default (the runner
+//! snapshots the fault-free baseline at a grid of fork-point cycles and
+//! each seed resumes from the last checkpoint before its first strike);
+//! `--fork-points 0` or the `FLAME_NO_FORK` environment variable fall
+//! back to scratch simulation. Outcomes are bit-identical either way —
+//! `fork-smoke` asserts exactly that.
 
 use flame_core::experiment::{run_scheme, ExperimentConfig, ProtocolConfig, WorkloadSpec};
 use flame_core::runner::{run_campaign_runner, CampaignSpec, CampaignSummary};
@@ -56,12 +66,18 @@ fn smoke_workload() -> WorkloadSpec {
     }
 }
 
+/// Fork points checkpointed across the strike window unless overridden
+/// with `--fork-points`.
+const DEFAULT_FORK_POINTS: usize = 8;
+
 fn spec_for(cfg: &ExperimentConfig, horizon: u64, coverage: f64, runs: usize) -> CampaignSpec {
     CampaignSpec {
         base_seed: 0x5EED,
         runs,
         strikes_per_run: 3,
         horizon,
+        strike_window: (0.0, 1.0),
+        fork_points: DEFAULT_FORK_POINTS,
         coverage,
         control_fraction: 0.15,
         recovery_fraction: 0.10,
@@ -71,7 +87,7 @@ fn spec_for(cfg: &ExperimentConfig, horizon: u64, coverage: f64, runs: usize) ->
     }
 }
 
-fn sweep(w: &WorkloadSpec, runs: usize) {
+fn sweep(w: &WorkloadSpec, runs: usize, fork_points: usize) {
     let cfg = ExperimentConfig {
         max_cycles: 20_000_000,
         ..ExperimentConfig::default()
@@ -87,7 +103,10 @@ fn sweep(w: &WorkloadSpec, runs: usize) {
         "coverage", "masked", "recovered", "sdc", "due", "hang", "sdc rate [95% CI]"
     );
     for &coverage in &[1.0, 0.95, 0.85, 0.70, 0.50] {
-        let spec = spec_for(&cfg, horizon, coverage, runs);
+        let spec = CampaignSpec {
+            fork_points,
+            ..spec_for(&cfg, horizon, coverage, runs)
+        };
         let s = run_campaign_runner(w, &spec, None).expect("campaign failed");
         let k = s.count(Outcome::Sdc);
         let (lo, hi) = flame_core::wilson_interval(k, s.records.len(), 1.96);
@@ -230,19 +249,223 @@ fn smoke() {
     }
     check_same("journal poisoned by the truncated tail", &reference, &again);
     let _ = std::fs::remove_file(&path);
+
+    // 5. Fork determinism: the same campaign with forking disabled must
+    //    produce the same outcomes — only the telemetry fields differ.
+    let scratch = run_campaign_runner(
+        &w,
+        &CampaignSpec {
+            fork_points: 0,
+            ..spec.clone()
+        },
+        None,
+    )
+    .expect("fork-off campaign failed");
+    check_same_outcomes("fork-on and fork-off runs diverged", &reference, &scratch);
+
     println!(
         "smoke ok: histogram {:?}, resume re-ran {} seeds",
         reference.counts, resumed.ran_now
     );
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("smoke") {
-        smoke();
+/// Asserts two summaries agree on everything a fault campaign *means* —
+/// outcome histogram and every per-seed counter — ignoring only the fork
+/// telemetry fields (`fork_cycle`/`sim_cycles`/`fork_hit`), which are
+/// cost accounting and legitimately differ between a forked run and a
+/// scratch run of the same seed.
+fn check_same_outcomes(label: &str, a: &CampaignSummary, b: &CampaignSummary) {
+    let strip = |s: &CampaignSummary| -> Vec<flame_core::runner::RunRecord> {
+        s.records
+            .iter()
+            .map(|r| flame_core::runner::RunRecord {
+                fork_cycle: 0,
+                sim_cycles: 0,
+                fork_hit: false,
+                ..*r
+            })
+            .collect()
+    };
+    if a.counts != b.counts || strip(a) != strip(b) || a.clean_cycles != b.clean_cycles {
+        eprintln!(
+            "--- fork on ---\n{}\n--- fork off ---\n{}",
+            a.render(),
+            b.render()
+        );
+        fail(label);
+    }
+}
+
+/// Runs a small late-strike campaign twice — fork-point acceleration on
+/// and off — and asserts the outcome histograms and per-seed records are
+/// identical modulo telemetry. `scripts/verify.sh` runs this as the
+/// fork regression gate; on failure it dumps both journals for diffing.
+fn fork_smoke() {
+    let w = smoke_workload();
+    let cfg = ExperimentConfig {
+        max_cycles: 20_000_000,
+        ..ExperimentConfig::default()
+    };
+    let clean = run_scheme(&w, Scheme::SensorRenaming, &cfg).expect("clean run failed");
+    let spec = CampaignSpec {
+        strike_window: (0.5, 1.0),
+        ..spec_for(&cfg, clean.stats.cycles, SMOKE_COVERAGE, SMOKE_RUNS)
+    };
+    let forked = run_campaign_runner(&w, &spec, None).expect("forked campaign failed");
+    let scratch = run_campaign_runner(
+        &w,
+        &CampaignSpec {
+            fork_points: 0,
+            ..spec.clone()
+        },
+        None,
+    )
+    .expect("scratch campaign failed");
+    // Journals go to disk before the equality checks so CI can upload
+    // them as artifacts when a check aborts the process; removed on
+    // success so artifacts exist exactly when the gate failed.
+    dump_divergence(&forked, &scratch);
+    if forked.counts != scratch.counts {
+        fail("fork on/off outcome histograms differ");
+    }
+    check_same_outcomes("fork on/off records differ", &forked, &scratch);
+    let hits = forked.records.iter().filter(|r| r.fork_hit).count();
+    if hits == 0 {
+        fail("no run forked — checkpoint grid never hit");
+    }
+    let _ = std::fs::remove_dir_all(DIVERGENCE_DIR);
+    println!(
+        "fork-smoke ok: histogram {:?}, {hits}/{} runs forked",
+        forked.counts,
+        forked.records.len()
+    );
+}
+
+/// Directory fork-smoke writes both campaigns' journals to; CI uploads
+/// it as an artifact on failure so the diverging seed is diffable offline.
+const DIVERGENCE_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/fork-smoke");
+
+fn dump_divergence(forked: &CampaignSummary, scratch: &CampaignSummary) {
+    let dir = std::path::Path::new(DIVERGENCE_DIR);
+    if std::fs::create_dir_all(dir).is_err() {
         return;
     }
+    for (name, s) in [("forked", forked), ("scratch", scratch)] {
+        let path = dir.join(format!("flame_fork_divergence_{name}.jsonl"));
+        let mut text = String::new();
+        text.push_str(&s.header);
+        text.push('\n');
+        for r in &s.records {
+            text.push_str(&r.to_line());
+            text.push('\n');
+        }
+        let _ = std::fs::write(&path, text);
+    }
+}
+
+/// Path the late-strike fork benchmark writes its report to.
+const BENCH_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr6.json");
+
+/// Times a late-strike campaign (every strike in the last 20% of the
+/// horizon — the regime fork-point acceleration targets) with forking
+/// on and off, asserts bit-identical outcomes, and writes the speedup
+/// report to `BENCH_pr6.json`.
+fn bench_fork(runs: usize) {
+    // BP is the longest-running catalog workload (~100k clean cycles), so
+    // simulated-prefix savings dominate per-run fixed costs (GPU image
+    // allocation, kernel prepare) and the measurement reflects the fork
+    // machinery rather than constant overheads.
+    let w = flame_bench::workload_by_abbr("BP").expect("BP missing from catalog");
+    let cfg = ExperimentConfig {
+        max_cycles: 20_000_000,
+        ..ExperimentConfig::default()
+    };
+    let clean = run_scheme(&w, Scheme::SensorRenaming, &cfg).expect("clean run failed");
+    let spec = CampaignSpec {
+        strike_window: (0.8, 1.0),
+        ..spec_for(&cfg, clean.stats.cycles, SMOKE_COVERAGE, runs)
+    };
+    println!(
+        "bench-fork: {} runs, horizon {} cycles, strikes in [0.8, 1.0) of horizon",
+        runs, spec.horizon
+    );
+
+    let t0 = std::time::Instant::now();
+    let forked = run_campaign_runner(&w, &spec, None).expect("forked campaign failed");
+    let fork_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = std::time::Instant::now();
+    let scratch = run_campaign_runner(
+        &w,
+        &CampaignSpec {
+            fork_points: 0,
+            ..spec.clone()
+        },
+        None,
+    )
+    .expect("scratch campaign failed");
+    let scratch_secs = t0.elapsed().as_secs_f64();
+
+    check_same_outcomes("bench-fork runs diverged", &forked, &scratch);
+    let hits = forked.records.iter().filter(|r| r.fork_hit).count();
+    let saved: u64 = forked.records.iter().map(|r| r.fork_cycle).sum();
+    let fork_sim: u64 = forked.records.iter().map(|r| r.sim_cycles).sum();
+    let scratch_sim: u64 = scratch.records.iter().map(|r| r.sim_cycles).sum();
+    let speedup = scratch_secs / fork_secs.max(1e-9);
+    let json = format!(
+        "{{\n  \"workload\": \"{}\",\n  \"runs\": {},\n  \"strikes_per_run\": {},\n  \
+         \"horizon_cycles\": {},\n  \"strike_window\": [0.8, 1.0],\n  \"fork_points\": {},\n  \
+         \"forked_runs\": {},\n  \"prefix_cycles_saved\": {},\n  \
+         \"forked_cycles_simulated\": {},\n  \"scratch_cycles_simulated\": {},\n  \
+         \"forked_wall_secs\": {:.3},\n  \"scratch_wall_secs\": {:.3},\n  \
+         \"speedup\": {:.3},\n  \"bit_identical\": true\n}}\n",
+        w.name,
+        runs,
+        spec.strikes_per_run,
+        spec.horizon,
+        spec.fork_points,
+        hits,
+        saved,
+        fork_sim,
+        scratch_sim,
+        fork_secs,
+        scratch_secs,
+        speedup
+    );
+    std::fs::write(BENCH_PATH, &json)
+        .unwrap_or_else(|e| fail(&format!("cannot write {BENCH_PATH}: {e}")));
+    println!("{json}");
+    println!(
+        "bench-fork ok: {speedup:.2}x wall-clock, {hits}/{runs} runs forked, report at {BENCH_PATH}"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("smoke") => {
+            smoke();
+            return;
+        }
+        Some("fork-smoke") => {
+            fork_smoke();
+            return;
+        }
+        Some("bench-fork") => {
+            let runs = args
+                .get(1)
+                .map(|v| {
+                    v.parse()
+                        .unwrap_or_else(|_| fail("bench-fork takes an optional run count"))
+                })
+                .unwrap_or(40);
+            bench_fork(runs);
+            return;
+        }
+        _ => {}
+    }
     let mut runs = 100usize;
+    let mut fork_points = DEFAULT_FORK_POINTS;
     let mut workload: Option<WorkloadSpec> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -257,12 +480,18 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| fail("--runs needs a positive integer"));
             }
+            "--fork-points" => {
+                fork_points = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--fork-points needs a non-negative integer"));
+            }
             "--workload" => {
                 let abbr = it
                     .next()
                     .unwrap_or_else(|| fail("--workload needs an abbreviation"));
                 workload = Some(
-                    flame_workloads::by_abbr(abbr)
+                    flame_bench::workload_by_abbr(abbr)
                         .unwrap_or_else(|| fail(&format!("unknown workload {abbr:?}"))),
                 );
             }
@@ -270,5 +499,5 @@ fn main() {
         }
     }
     let w = workload.unwrap_or_else(smoke_workload);
-    sweep(&w, runs);
+    sweep(&w, runs, fork_points);
 }

@@ -130,7 +130,7 @@ fn main() {
     let abbrs = ["Triad", "GUPS", "NN", "BS"];
     let suite: Vec<_> = abbrs
         .iter()
-        .map(|a| flame_workloads::by_abbr(a).expect("known abbr"))
+        .map(|a| flame_bench::workload_by_abbr(a).expect("known abbr"))
         .collect();
     let schemes = [
         Scheme::SensorRenaming,

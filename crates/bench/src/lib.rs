@@ -186,10 +186,64 @@ pub fn print_catalog() {
     }
 }
 
+/// Looks up a workload by its catalog abbreviation (`--workload ABBR`),
+/// case-sensitively, exactly as [`print_catalog`] lists them. The bench
+/// binaries share these four lookups so a flag accepted by one resolves
+/// identically in all of them.
+pub fn workload_by_abbr(abbr: &str) -> Option<WorkloadSpec> {
+    flame_workloads::by_abbr(abbr)
+}
+
+/// Looks up a scheme by its catalog key (`--scheme KEY`).
+pub fn scheme_by_key(key: &str) -> Option<Scheme> {
+    Scheme::by_key(key)
+}
+
+/// Looks up a GPU model by name (`--gpu NAME`), case-insensitively.
+pub fn gpu_by_name(name: &str) -> Option<gpu_sim::config::GpuConfig> {
+    gpu_sim::config::GpuConfig::paper_architectures()
+        .into_iter()
+        .find(|g| g.name.eq_ignore_ascii_case(name))
+}
+
+/// Looks up a scheduler policy by name (`--sched NAME`),
+/// case-insensitively.
+pub fn sched_by_name(name: &str) -> Option<gpu_sim::scheduler::SchedulerKind> {
+    gpu_sim::scheduler::SchedulerKind::all()
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use flame_core::experiment::prepare_count;
+
+    #[test]
+    fn catalog_lookups_resolve_listed_entries() {
+        // Every entry print_catalog() lists must resolve through the
+        // shared lookups, and garbage must not.
+        for w in flame_workloads::all() {
+            assert_eq!(workload_by_abbr(w.abbr).map(|x| x.abbr), Some(w.abbr));
+        }
+        for s in Scheme::all() {
+            assert_eq!(scheme_by_key(s.key()), Some(s));
+        }
+        for g in gpu_sim::config::GpuConfig::paper_architectures() {
+            assert_eq!(gpu_by_name(g.name).map(|x| x.name), Some(g.name));
+            assert_eq!(
+                gpu_by_name(&g.name.to_uppercase()).map(|x| x.name),
+                Some(g.name)
+            );
+        }
+        for k in gpu_sim::scheduler::SchedulerKind::all() {
+            assert_eq!(sched_by_name(k.name()), Some(k));
+        }
+        assert!(workload_by_abbr("no-such-workload").is_none());
+        assert!(scheme_by_key("no-such-scheme").is_none());
+        assert!(gpu_by_name("no-such-gpu").is_none());
+        assert!(sched_by_name("no-such-sched").is_none());
+    }
 
     // A single test fn: the prepare counter is process-global, and a
     // sibling test running concurrently would skew the exact counts.

@@ -8,7 +8,7 @@ use flame_compiler::regalloc::AllocError;
 use flame_sensors::fault::{Strike, StrikeTarget};
 use flame_trace::{Event as TraceEvent, SimTrace};
 use gpu_sim::config::GpuConfig;
-use gpu_sim::gpu::{Gpu, LaunchError, TimeoutError};
+use gpu_sim::gpu::{Gpu, LaunchError, Snapshot, TimeoutError};
 use gpu_sim::memory::GlobalMemory;
 use gpu_sim::program::Kernel;
 use gpu_sim::scheduler::SchedulerKind;
@@ -520,7 +520,56 @@ pub fn run_with_protocol_capturing(
     strikes: &[Strike],
     proto: &ProtocolConfig,
 ) -> Result<(FaultProtocolResult, GlobalMemory), ExperimentError> {
-    run_protocol_inner(w, scheme, cfg, strikes, proto, None).map(|(r, m, _)| (r, m))
+    run_protocol_inner(w, scheme, cfg, strikes, proto, None, None).map(|(r, m, _, _)| (r, m))
+}
+
+/// Cost accounting of a (possibly) forked protocol run — what the
+/// campaign journal records per seed to report aggregate prefix cycles
+/// saved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ForkTelemetry {
+    /// Cycle of the checkpoint the first kernel attempt resumed from;
+    /// 0 when the run started from scratch (checkpoint miss / fork off).
+    pub fork_cycle: u64,
+    /// Cycles actually stepped by the simulator across every kernel
+    /// attempt of this run. For a forked run this is the post-checkpoint
+    /// suffix (plus any full relaunch attempts); for a scratch run it is
+    /// the whole simulation.
+    pub simulated_cycles: u64,
+}
+
+/// [`run_with_protocol_capturing`] that optionally *forks* the run from a
+/// clean-prefix checkpoint: when `checkpoint` is `Some`, the first kernel
+/// attempt restores the snapshot (captured from an identically-prepared
+/// clean run of the same workload/scheme/config) instead of simulating
+/// the prefix, and the fault protocol drives only the post-checkpoint
+/// suffix. Escalated kernel relaunches always start from scratch — a
+/// relaunch reinitializes memory, so the checkpoint no longer applies.
+///
+/// Determinism contract: provided every strike cycle is ≥ the checkpoint
+/// cycle, the forked run is bit-identical (stats, outcome, final memory
+/// image) to a from-scratch run — the event-driven clock's step-bound
+/// invariance guarantees the clean run's state at the checkpoint cycle
+/// equals the scratch run's state there. (The hang watchdog anchors at
+/// the checkpoint cycle instead of the last pre-checkpoint issue; the two
+/// anchors converge at the first post-checkpoint instruction issue, so
+/// divergence would need a clean prefix that issues nothing for a whole
+/// `hang_window` — no real workload stalls that long while healthy.)
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] on compile or allocation/launch
+/// failure.
+pub fn run_with_protocol_forked(
+    w: &WorkloadSpec,
+    scheme: Scheme,
+    cfg: &ExperimentConfig,
+    strikes: &[Strike],
+    proto: &ProtocolConfig,
+    checkpoint: Option<&Snapshot>,
+) -> Result<(FaultProtocolResult, GlobalMemory, ForkTelemetry), ExperimentError> {
+    run_protocol_inner(w, scheme, cfg, strikes, proto, None, checkpoint)
+        .map(|(r, m, _, t)| (r, m, t))
 }
 
 /// [`run_with_protocol`] with event tracing enabled, yielding the merged
@@ -544,10 +593,33 @@ pub fn run_with_protocol_traced(
     proto: &ProtocolConfig,
     capacity: usize,
 ) -> Result<(FaultProtocolResult, SimTrace), ExperimentError> {
-    run_protocol_inner(w, scheme, cfg, strikes, proto, Some(capacity))
-        .map(|(r, _, t)| (r, t.expect("tracing was enabled")))
+    run_protocol_inner(w, scheme, cfg, strikes, proto, Some(capacity), None)
+        .map(|(r, _, t, _)| (r, t.expect("tracing was enabled")))
 }
 
+/// [`run_with_protocol_traced`] forking from a clean-prefix checkpoint
+/// (see [`run_with_protocol_forked`]): the timeline starts with a
+/// `SnapshotRestore` instant at the checkpoint cycle, keeping the strike
+/// → detect → rollback arc causally ordered after the restore.
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] on compile or allocation/launch
+/// failure.
+pub fn run_with_protocol_traced_forked(
+    w: &WorkloadSpec,
+    scheme: Scheme,
+    cfg: &ExperimentConfig,
+    strikes: &[Strike],
+    proto: &ProtocolConfig,
+    capacity: usize,
+    checkpoint: Option<&Snapshot>,
+) -> Result<(FaultProtocolResult, SimTrace, ForkTelemetry), ExperimentError> {
+    run_protocol_inner(w, scheme, cfg, strikes, proto, Some(capacity), checkpoint)
+        .map(|(r, _, t, f)| (r, t.expect("tracing was enabled"), f))
+}
+
+#[allow(clippy::type_complexity)]
 fn run_protocol_inner(
     w: &WorkloadSpec,
     scheme: Scheme,
@@ -555,17 +627,41 @@ fn run_protocol_inner(
     strikes: &[Strike],
     proto: &ProtocolConfig,
     trace_capacity: Option<usize>,
-) -> Result<(FaultProtocolResult, GlobalMemory, Option<SimTrace>), ExperimentError> {
+    checkpoint: Option<&Snapshot>,
+) -> Result<
+    (
+        FaultProtocolResult,
+        GlobalMemory,
+        Option<SimTrace>,
+        ForkTelemetry,
+    ),
+    ExperimentError,
+> {
     let mut c = ProtoCounters::default();
+    let mut fork = ForkTelemetry::default();
     // Strikes are physical events: each is injected once, even across
     // kernel relaunches (the remaining suffix lands on the fresh clock).
     let mut next = 0usize;
+    let mut first_attempt = true;
     loop {
         let (mut gpu, compile) = prepare(w, scheme, cfg)?;
         if let Some(cap) = trace_capacity {
             gpu.set_tracing(cap);
         }
+        if first_attempt {
+            if let Some(snap) = checkpoint {
+                // The GPU was just prepared, so its memory is exactly
+                // the post-init image the snapshot delta-encodes
+                // against: the overlay-only restore applies the dirty
+                // chunks without recopying the whole address space.
+                gpu.restore_fresh(snap);
+                fork.fork_cycle = snap.cycle();
+            }
+            first_attempt = false;
+        }
+        let start_cycle = gpu.cycle();
         let attempt = drive(&mut gpu, cfg, strikes, proto, &mut next, &mut c);
+        fork.simulated_cycles += gpu.cycle() - start_cycle;
         if let Attempt::KernelRelaunch = attempt {
             c.kernel_relaunches += 1;
             continue;
@@ -593,7 +689,7 @@ fn run_protocol_inner(
             timed_out: c.timed_out,
             due: c.due,
         };
-        return Ok((result, gpu.into_global(), trace));
+        return Ok((result, gpu.into_global(), trace, fork));
     }
 }
 

@@ -71,15 +71,17 @@ pub use campaign::{
 };
 pub use experiment::{
     geomean, normalized_time, run_scheme, run_scheme_traced, run_with_faults, run_with_protocol,
-    run_with_protocol_traced, ExperimentConfig, ExperimentError, FaultProtocolResult,
-    FaultRunResult, ProtocolConfig, RunResult, WorkloadSpec,
+    run_with_protocol_forked, run_with_protocol_traced, run_with_protocol_traced_forked,
+    ExperimentConfig, ExperimentError, FaultProtocolResult, FaultRunResult, ForkTelemetry,
+    ProtocolConfig, RunResult, WorkloadSpec,
 };
 pub use matrix::{run_matrix, run_matrix_with_jobs, CellResult, MatrixCell};
 pub use rbq::Rbq;
 pub use rpt::Rpt;
 pub use runner::{
-    run_campaign_runner, run_campaign_runner_with_jobs, run_one_seed, trace_one_seed,
-    wilson_interval, CampaignSpec, CampaignSummary, RunRecord, RunnerError,
+    run_campaign_runner, run_campaign_runner_with_jobs, run_one_seed, run_one_seed_forked,
+    strikes_for_seed, trace_one_seed, wilson_interval, CampaignSpec, CampaignSummary, RunRecord,
+    RunnerError,
 };
 pub use runtime::{FlameUnit, VerificationMode};
 pub use scheme::Scheme;

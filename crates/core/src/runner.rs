@@ -27,9 +27,10 @@
 //! `f64::to_bits` so round-trips are exact.
 
 use crate::campaign::{classify, Outcome};
-use crate::experiment::{run_scheme, ExperimentConfig, ProtocolConfig, WorkloadSpec};
+use crate::experiment::{ExperimentConfig, ProtocolConfig, WorkloadSpec};
 use crate::scheme::Scheme;
-use flame_sensors::fault::StrikeGenerator;
+use flame_sensors::fault::{Strike, StrikeGenerator};
+use gpu_sim::gpu::Snapshot;
 use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Read as _, Seek, SeekFrom, Write as _};
@@ -51,6 +52,18 @@ pub struct CampaignSpec {
     pub strikes_per_run: usize,
     /// Cycle horizon the strikes are spread over.
     pub horizon: u64,
+    /// Fraction-of-horizon window `[lo, hi)` the strike cycles are drawn
+    /// from. The default `(0.0, 1.0)` keeps the legacy whole-horizon
+    /// schedule (and the legacy fingerprint — the window only enters the
+    /// journal header when it is non-default, so existing journals stay
+    /// readable). A late-strike campaign uses e.g. `(0.8, 1.0)`.
+    pub strike_window: (f64, f64),
+    /// Number of clean-prefix fork points to checkpoint across the
+    /// strike window; `0` disables forking. Forking is a pure
+    /// accelerator — results are bit-identical either way — so this
+    /// field is deliberately **not** part of the fingerprint, and the
+    /// `FLAME_NO_FORK` environment variable force-disables it.
+    pub fork_points: usize,
     /// Sensor coverage: fraction of strikes the mesh hears.
     pub coverage: f64,
     /// Fraction of strikes aimed at control-flow state (PC/SIMT stack).
@@ -67,9 +80,12 @@ pub struct CampaignSpec {
 
 impl CampaignSpec {
     /// The journal header line identifying this spec. Byte-stable: a
-    /// resumed campaign refuses a journal whose header differs.
+    /// resumed campaign refuses a journal whose header differs. The
+    /// strike window is appended only when non-default so pre-window
+    /// journals keep matching, and [`CampaignSpec::fork_points`] never
+    /// appears — forking cannot change the records.
     pub fn fingerprint(&self, workload: &str) -> String {
-        format!(
+        let mut s = format!(
             concat!(
                 "{{\"flame_campaign\":1,\"workload\":{:?},\"scheme\":{:?},",
                 "\"base_seed\":{},\"runs\":{},\"strikes\":{},\"horizon\":{},",
@@ -94,8 +110,45 @@ impl CampaignSpec {
             self.proto.max_kernel_relaunches,
             self.proto.hang_window,
             self.proto.rpt_parity,
-        )
+        );
+        if self.strike_window != (0.0, 1.0) {
+            s.pop(); // final '}'
+            let _ = write!(
+                s,
+                ",\"window\":[{},{}]}}",
+                self.strike_window.0.to_bits(),
+                self.strike_window.1.to_bits()
+            );
+        }
+        s
     }
+
+    /// The absolute cycle bounds `[lo, hi)` strikes are drawn from:
+    /// [`CampaignSpec::strike_window`] scaled onto the horizon. The
+    /// default window maps to `(0, horizon)` exactly, preserving the
+    /// legacy schedule bit-for-bit.
+    pub fn strike_bounds(&self) -> (u64, u64) {
+        let h = self.horizon.max(1);
+        let (lo_f, hi_f) = self.strike_window;
+        if (lo_f, hi_f) == (0.0, 1.0) {
+            return (0, h);
+        }
+        let lo = ((h as f64 * lo_f) as u64).min(h);
+        let hi = ((h as f64 * hi_f) as u64).clamp(lo, h);
+        (lo, hi)
+    }
+}
+
+/// The deterministic strike schedule seed `seed` injects under `spec` —
+/// the exact strikes [`run_one_seed`] and [`trace_one_seed`] use, public
+/// so tests and the fork layer can bucket a seed's first strike cycle
+/// without running it.
+pub fn strikes_for_seed(spec: &CampaignSpec, seed: u64) -> Vec<Strike> {
+    let mut gen = StrikeGenerator::new(seed, spec.cfg.wcdl, spec.cfg.gpu.num_sms)
+        .with_coverage(spec.coverage)
+        .with_target_mix(spec.control_fraction, spec.recovery_fraction);
+    let (lo, hi) = spec.strike_bounds();
+    gen.schedule_in(spec.strikes_per_run, lo, hi)
 }
 
 /// One finished seeded run, exactly as journaled.
@@ -121,6 +174,17 @@ pub struct RunRecord {
     pub cycles: u64,
     /// The run panicked or failed to launch; classified [`Outcome::Due`].
     pub crashed: bool,
+    /// Cycle of the clean-prefix checkpoint this run forked from; `0`
+    /// when it ran from scratch (fork disabled or checkpoint miss).
+    /// Telemetry only — never part of outcome classification.
+    pub fork_cycle: u64,
+    /// Cycles actually stepped across every kernel attempt of this run:
+    /// the post-checkpoint suffix for a forked run, the whole simulation
+    /// otherwise. `0` on records loaded from pre-fork journals.
+    pub sim_cycles: u64,
+    /// Whether a checkpoint at or before the first strike existed when
+    /// this run was scheduled (`fork_cycle > 0` implies `fork_hit`).
+    pub fork_hit: bool,
 }
 
 impl RunRecord {
@@ -131,7 +195,8 @@ impl RunRecord {
             concat!(
                 "{{\"seed\":{},\"outcome\":\"{}\",\"injected\":{},",
                 "\"undetected\":{},\"recoveries\":{},\"nested\":{},",
-                "\"cta\":{},\"kernel\":{},\"cycles\":{},\"crashed\":{}}}"
+                "\"cta\":{},\"kernel\":{},\"cycles\":{},\"crashed\":{},",
+                "\"fork_cycle\":{},\"sim_cycles\":{},\"fork_hit\":{}}}"
             ),
             self.seed,
             self.outcome.name(),
@@ -143,11 +208,16 @@ impl RunRecord {
             self.kernel_relaunches,
             self.cycles,
             self.crashed,
+            self.fork_cycle,
+            self.sim_cycles,
+            self.fork_hit,
         )
     }
 
     /// Parses a journal line. Returns `None` for anything malformed —
-    /// notably a truncated tail line from a killed campaign.
+    /// notably a truncated tail line from a killed campaign. The fork
+    /// telemetry keys default to zero/false when absent, so journals
+    /// written before fork acceleration still load and resume.
     pub fn parse(line: &str) -> Option<RunRecord> {
         let line = line.trim_end();
         if !line.ends_with('}') {
@@ -164,6 +234,9 @@ impl RunRecord {
             kernel_relaunches: json_u64(line, "kernel")?,
             cycles: json_u64(line, "cycles")?,
             crashed: json_bool(line, "crashed")?,
+            fork_cycle: json_u64(line, "fork_cycle").unwrap_or(0),
+            sim_cycles: json_u64(line, "sim_cycles").unwrap_or(0),
+            fork_hit: json_bool(line, "fork_hit").unwrap_or(false),
         })
     }
 }
@@ -296,6 +369,19 @@ impl CampaignSummary {
             out,
             "escalations: cta_relaunches={cta} kernel_relaunches={kernel} crashed_runs={crashed}"
         );
+        // Fork-acceleration telemetry, printed only when at least one run
+        // actually forked so fork-disabled (and pre-fork) renders stay
+        // byte-identical to the legacy format.
+        let forked = self.records.iter().filter(|r| r.fork_hit).count();
+        if forked > 0 {
+            let saved: u64 = self.records.iter().map(|r| r.fork_cycle).sum();
+            let suffix: u64 = self.records.iter().map(|r| r.sim_cycles).sum();
+            let _ = writeln!(
+                out,
+                "fork: forked_runs={forked} prefix_cycles_saved={saved} \
+                 suffix_cycles_simulated={suffix}"
+            );
+        }
         let good: Vec<&RunRecord> = self
             .records
             .iter()
@@ -334,18 +420,44 @@ pub fn wilson_interval(k: usize, n: usize, z: f64) -> (f64, f64) {
     )
 }
 
-/// Simulates one seed of the spec. Public so tests and the report binary
-/// can replay a single seed in isolation.
+/// Simulates one seed of the spec from scratch. Public so tests and the
+/// report binary can replay a single seed in isolation. Equivalent to
+/// [`run_one_seed_forked`] with no checkpoints — the records are
+/// bit-identical modulo the fork telemetry fields.
 pub fn run_one_seed(w: &WorkloadSpec, spec: &CampaignSpec, seed: u64) -> RunRecord {
+    run_one_seed_forked(w, spec, seed, &[])
+}
+
+/// Simulates one seed, forking from the best clean-prefix checkpoint:
+/// the highest-cycle snapshot at or below the seed's first strike cycle
+/// (a strikeless seed forks from the last checkpoint). With no usable
+/// checkpoint the run falls back to scratch. Outcome classification and
+/// all counter fields are bit-identical either way — only the
+/// `fork_cycle`/`sim_cycles`/`fork_hit` telemetry differs.
+pub fn run_one_seed_forked(
+    w: &WorkloadSpec,
+    spec: &CampaignSpec,
+    seed: u64,
+    checkpoints: &[Snapshot],
+) -> RunRecord {
     let result = catch_unwind(AssertUnwindSafe(|| {
-        let mut gen = StrikeGenerator::new(seed, spec.cfg.wcdl, spec.cfg.gpu.num_sms)
-            .with_coverage(spec.coverage)
-            .with_target_mix(spec.control_fraction, spec.recovery_fraction);
-        let strikes = gen.schedule(spec.strikes_per_run, spec.horizon.max(1));
-        crate::experiment::run_with_protocol(w, spec.scheme, &spec.cfg, &strikes, &spec.proto)
+        let strikes = strikes_for_seed(spec, seed);
+        let first = strikes.first().map_or(u64::MAX, |s| s.cycle);
+        let cp = checkpoints
+            .iter()
+            .filter(|c| c.cycle() <= first)
+            .max_by_key(|c| c.cycle());
+        crate::experiment::run_with_protocol_forked(
+            w,
+            spec.scheme,
+            &spec.cfg,
+            &strikes,
+            &spec.proto,
+            cp,
+        )
     }));
     match result {
-        Ok(Ok(r)) => RunRecord {
+        Ok(Ok((r, _mem, fork))) => RunRecord {
             seed,
             outcome: classify(&r),
             injected: r.injected as u64,
@@ -356,6 +468,9 @@ pub fn run_one_seed(w: &WorkloadSpec, spec: &CampaignSpec, seed: u64) -> RunReco
             kernel_relaunches: u64::from(r.kernel_relaunches),
             cycles: r.run.stats.cycles,
             crashed: false,
+            fork_cycle: fork.fork_cycle,
+            sim_cycles: fork.simulated_cycles,
+            fork_hit: fork.fork_cycle > 0,
         },
         // A launch/alloc error or a panic is a crash: the campaign
         // records it as a detected-unrecoverable run and moves on.
@@ -370,6 +485,9 @@ pub fn run_one_seed(w: &WorkloadSpec, spec: &CampaignSpec, seed: u64) -> RunReco
             kernel_relaunches: 0,
             cycles: 0,
             crashed: true,
+            fork_cycle: 0,
+            sim_cycles: 0,
+            fork_hit: false,
         },
     }
 }
@@ -398,10 +516,7 @@ pub fn trace_one_seed(
     ),
     crate::experiment::ExperimentError,
 > {
-    let mut gen = StrikeGenerator::new(seed, spec.cfg.wcdl, spec.cfg.gpu.num_sms)
-        .with_coverage(spec.coverage)
-        .with_target_mix(spec.control_fraction, spec.recovery_fraction);
-    let strikes = gen.schedule(spec.strikes_per_run, spec.horizon.max(1));
+    let strikes = strikes_for_seed(spec, seed);
     crate::experiment::run_with_protocol_traced(
         w,
         spec.scheme,
@@ -410,6 +525,57 @@ pub fn trace_one_seed(
         &spec.proto,
         capacity,
     )
+}
+
+/// The checkpoint grid for a spec: `fork_points` cycles evenly spaced
+/// across the strike window (where forking pays), deduplicated, with
+/// cycle 0 dropped — a fork from cycle 0 is just a scratch run.
+fn fork_grid(spec: &CampaignSpec) -> Vec<u64> {
+    if spec.fork_points == 0 {
+        return Vec::new();
+    }
+    let (lo, hi) = spec.strike_bounds();
+    let span = hi - lo;
+    let n = spec.fork_points as u64;
+    let mut grid: Vec<u64> = (0..n).map(|k| lo + span * k / n).collect();
+    grid.dedup();
+    grid.retain(|&c| c > 0);
+    grid
+}
+
+/// Simulates the fault-free baseline once, pausing at each `grid` cycle
+/// to capture a [`Snapshot`] (delta-encoded against the post-init memory
+/// image), then running to completion. Returns the clean cycle count —
+/// bit-identical to an unpaused run by the event clock's step-bound
+/// invariance — and the checkpoints actually reached (a grid cycle past
+/// kernel completion yields none). A launch failure or cycle-budget
+/// timeout yields `(0, [])`, matching the legacy baseline's behavior.
+fn clean_baseline(w: &WorkloadSpec, spec: &CampaignSpec, grid: &[u64]) -> (u64, Vec<Snapshot>) {
+    let Ok((mut gpu, _compile)) = crate::experiment::prepare_scheme(w, spec.scheme, &spec.cfg)
+    else {
+        return (0, Vec::new());
+    };
+    let base = gpu.memory_base();
+    let mut snaps = Vec::with_capacity(grid.len());
+    let mut running = gpu.running();
+    for &cp in grid {
+        while running && gpu.cycle() < cp {
+            if gpu.cycle() >= spec.cfg.max_cycles {
+                return (0, Vec::new());
+            }
+            running = gpu.step_window(cp);
+        }
+        if running && gpu.cycle() == cp {
+            snaps.push(gpu.snapshot_delta(&base));
+        }
+    }
+    while running {
+        if gpu.cycle() >= spec.cfg.max_cycles {
+            return (0, Vec::new());
+        }
+        running = gpu.step_window(spec.cfg.max_cycles);
+    }
+    (gpu.cycle(), snaps)
 }
 
 /// Loads records from an existing journal. The header must match
@@ -532,10 +698,18 @@ pub fn run_campaign_runner_with_jobs(
         .collect();
     let ran_now = todo.len();
 
-    // Single fault-free baseline for the whole campaign.
-    let clean_cycles = run_scheme(w, spec.scheme, &spec.cfg)
-        .map(|r| r.stats.cycles)
-        .unwrap_or(0);
+    // Single fault-free baseline for the whole campaign — one prepared
+    // GPU stepped to completion, pausing at each fork-point cycle to
+    // checkpoint the clean prefix. The checkpoints are shared read-only
+    // across the workers below; `FLAME_NO_FORK` (or `fork_points: 0`)
+    // degrades every seed to the scratch path without changing results.
+    let fork_enabled = spec.fork_points > 0 && std::env::var_os("FLAME_NO_FORK").is_none();
+    let grid = if fork_enabled {
+        fork_grid(spec)
+    } else {
+        Vec::new()
+    };
+    let (clean_cycles, checkpoints) = clean_baseline(w, spec, &grid);
 
     let next = AtomicUsize::new(0);
     let fresh: Mutex<Vec<RunRecord>> = Mutex::new(Vec::with_capacity(todo.len()));
@@ -549,7 +723,7 @@ pub fn run_campaign_runner_with_jobs(
                         if i >= todo.len() {
                             break;
                         }
-                        let rec = run_one_seed(w, spec, todo[i]);
+                        let rec = run_one_seed_forked(w, spec, todo[i], &checkpoints);
                         // Journal before counting: a kill between the two
                         // at worst re-runs a seed, never loses one.
                         if let Some(m) = &sink {
@@ -599,6 +773,9 @@ mod tests {
             kernel_relaunches: 0,
             cycles: 123_456,
             crashed: false,
+            fork_cycle: 40_000,
+            sim_cycles: 90_000,
+            fork_hit: true,
         }
     }
 
@@ -657,6 +834,8 @@ mod tests {
             runs: 10,
             strikes_per_run: 3,
             horizon: 1000,
+            strike_window: (0.0, 1.0),
+            fork_points: 8,
             coverage: 0.9,
             control_fraction: 0.1,
             recovery_fraction: 0.1,
@@ -671,5 +850,83 @@ mod tests {
         assert_eq!(a.fingerprint("w"), a.fingerprint("w"));
         assert_ne!(a.fingerprint("w"), b.fingerprint("w"));
         assert_ne!(a.fingerprint("w"), a.fingerprint("v"));
+        // The strike window enters the fingerprint only when non-default;
+        // fork_points never does (forking cannot change the records).
+        let windowed = CampaignSpec {
+            strike_window: (0.8, 1.0),
+            ..a.clone()
+        };
+        assert_ne!(a.fingerprint("w"), windowed.fingerprint("w"));
+        assert!(!a.fingerprint("w").contains("window"));
+        assert!(windowed.fingerprint("w").ends_with("]}"));
+        let forkless = CampaignSpec {
+            fork_points: 0,
+            ..a.clone()
+        };
+        assert_eq!(a.fingerprint("w"), forkless.fingerprint("w"));
+    }
+
+    #[test]
+    fn pre_fork_journal_lines_still_parse() {
+        // A record line written before fork acceleration existed: no
+        // telemetry keys. It must parse with zeroed telemetry so old
+        // journals resume.
+        let legacy = concat!(
+            "{\"seed\":7,\"outcome\":\"masked\",\"injected\":2,",
+            "\"undetected\":0,\"recoveries\":1,\"nested\":0,",
+            "\"cta\":0,\"kernel\":0,\"cycles\":999,\"crashed\":false}"
+        );
+        let r = RunRecord::parse(legacy).expect("legacy line must parse");
+        assert_eq!(r.seed, 7);
+        assert_eq!(r.cycles, 999);
+        assert_eq!(r.fork_cycle, 0);
+        assert_eq!(r.sim_cycles, 0);
+        assert!(!r.fork_hit);
+    }
+
+    #[test]
+    fn strike_bounds_and_fork_grid_cover_the_window() {
+        let base = CampaignSpec {
+            base_seed: 1,
+            runs: 10,
+            strikes_per_run: 3,
+            horizon: 100_000,
+            strike_window: (0.0, 1.0),
+            fork_points: 8,
+            coverage: 0.9,
+            control_fraction: 0.1,
+            recovery_fraction: 0.1,
+            scheme: Scheme::SensorRenaming,
+            cfg: ExperimentConfig::default(),
+            proto: ProtocolConfig::default(),
+        };
+        // Default window maps to the exact legacy bounds.
+        assert_eq!(base.strike_bounds(), (0, 100_000));
+        // Grid spans the window evenly, cycle 0 dropped.
+        let g = super::fork_grid(&base);
+        assert_eq!(g.len(), 7); // 8 points minus the dropped cycle 0
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+        assert!(*g.last().unwrap() < 100_000);
+        // A late-strike window starts its grid at the window floor, so
+        // the cheapest checkpoint already skips 80% of the clean run.
+        let late = CampaignSpec {
+            strike_window: (0.8, 1.0),
+            ..base.clone()
+        };
+        assert_eq!(late.strike_bounds(), (80_000, 100_000));
+        let g = super::fork_grid(&late);
+        assert_eq!(g.first(), Some(&80_000));
+        assert!(g.iter().all(|&c| (80_000..100_000).contains(&c)));
+        // fork_points: 0 disables the grid.
+        assert!(super::fork_grid(&CampaignSpec {
+            fork_points: 0,
+            ..base.clone()
+        })
+        .is_empty());
+        // Windowed strikes stay inside the window.
+        for seed in 0..20 {
+            let strikes = strikes_for_seed(&late, seed);
+            assert!(strikes.iter().all(|s| (80_000..100_000).contains(&s.cycle)));
+        }
     }
 }

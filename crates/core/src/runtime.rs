@@ -43,7 +43,10 @@ pub enum VerificationMode {
 }
 
 /// The Flame hardware attached to one SM: per-scheduler RBQs and the RPT.
-#[derive(Debug)]
+/// `Clone` exists for campaign checkpointing: `snapshot_box` hands a deep
+/// copy of the whole unit (queues, RPT, pending points, poison bits) to
+/// `Gpu::snapshot`.
+#[derive(Debug, Clone)]
 pub struct FlameUnit {
     mode: VerificationMode,
     rbqs: Vec<Rbq>,
@@ -224,6 +227,10 @@ impl SmAttachment for FlameUnit {
 
     fn queue_depth(&self) -> usize {
         self.in_flight()
+    }
+
+    fn snapshot_box(&self) -> Option<Box<dyn SmAttachment + Send + Sync>> {
+        Some(Box::new(self.clone()))
     }
 }
 

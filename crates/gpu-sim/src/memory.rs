@@ -25,6 +25,11 @@ pub const SHARED_BANKS: u64 = 32;
 #[derive(Debug, Clone)]
 pub struct GlobalMemory {
     words: Vec<Value>,
+    /// Exclusive upper bound of word indices ever written. Words at or
+    /// beyond this index are still their initial zero, so delta encoding
+    /// ([`GlobalMemory::delta_from`]) only scans the touched prefix
+    /// instead of the whole (typically 256 MiB) address space.
+    touched: usize,
 }
 
 impl GlobalMemory {
@@ -33,6 +38,7 @@ impl GlobalMemory {
         let words = (bytes.div_ceil(WORD_BYTES)).max(1) as usize;
         GlobalMemory {
             words: vec![0; words],
+            touched: 0,
         }
     }
 
@@ -57,6 +63,9 @@ impl GlobalMemory {
     pub fn write(&mut self, addr: u64, v: Value) {
         let i = self.index(addr);
         self.words[i] = v;
+        if i >= self.touched {
+            self.touched = i + 1;
+        }
     }
 
     /// Reads an `f32` stored by the workloads' convention (bit pattern in
@@ -89,6 +98,98 @@ impl GlobalMemory {
     /// [`GlobalMemory::read`] word-by-word would dominate the test).
     pub fn words(&self) -> &[Value] {
         &self.words
+    }
+
+    /// Records the difference of this image against `base` as a sparse
+    /// [`MemDelta`]: only the [`DELTA_CHUNK_WORDS`]-word chunks whose
+    /// contents diverge are stored. Campaign checkpoints delta-encode
+    /// against the post-init memory image, so memory-heavy workloads
+    /// (GUPS touches a large table, but each checkpoint has only written
+    /// a prefix of it) pay for dirty chunks, not the whole address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two images have different sizes — deltas are only
+    /// meaningful between snapshots of one launch.
+    pub fn delta_from(&self, base: &GlobalMemory) -> MemDelta {
+        assert_eq!(
+            self.words.len(),
+            base.words.len(),
+            "memory delta between differently-sized images"
+        );
+        // Words beyond both images' write high-water marks are still
+        // their initial zero on both sides, so only the touched prefix
+        // can diverge — the scan is O(touched), not O(address space).
+        let hw = self.touched.max(base.touched).min(self.words.len());
+        let mut chunks = Vec::new();
+        for (i, (cur, old)) in self.words[..hw]
+            .chunks(DELTA_CHUNK_WORDS)
+            .zip(base.words[..hw].chunks(DELTA_CHUNK_WORDS))
+            .enumerate()
+        {
+            if cur != old {
+                chunks.push((i as u32, cur.to_vec()));
+            }
+        }
+        MemDelta { chunks }
+    }
+
+    /// Rebuilds this image as `base` overlaid with `delta` (the inverse of
+    /// [`GlobalMemory::delta_from`]). The existing allocation is reused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image sizes differ.
+    pub fn restore_from(&mut self, base: &GlobalMemory, delta: &MemDelta) {
+        assert_eq!(
+            self.words.len(),
+            base.words.len(),
+            "memory restore between differently-sized images"
+        );
+        self.words.copy_from_slice(&base.words);
+        self.touched = base.touched;
+        self.overlay(delta);
+    }
+
+    /// Applies only `delta`'s dirty chunks, without first copying the
+    /// base image. Equivalent to [`GlobalMemory::restore_from`] **iff**
+    /// this image already equals the delta's base — the campaign fork
+    /// path restores onto a freshly-initialized memory that is exactly
+    /// the base image, and skipping the full-image copy keeps the
+    /// per-fork cost proportional to the dirty set, not the 256 MiB
+    /// address space.
+    pub fn overlay(&mut self, delta: &MemDelta) {
+        for (chunk, words) in &delta.chunks {
+            let start = *chunk as usize * DELTA_CHUNK_WORDS;
+            self.words[start..start + words.len()].copy_from_slice(words);
+            self.touched = self.touched.max(start + words.len());
+        }
+    }
+}
+
+/// Words per [`MemDelta`] chunk (32 KiB of payload per dirty chunk).
+pub const DELTA_CHUNK_WORDS: usize = 4096;
+
+/// Sparse difference between two equally-sized [`GlobalMemory`] images:
+/// the chunk-granular set of regions that changed. Produced by
+/// [`GlobalMemory::delta_from`], applied by [`GlobalMemory::restore_from`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemDelta {
+    /// `(chunk_index, chunk_contents)` for each diverging chunk, in
+    /// ascending chunk order. The final chunk may be short.
+    chunks: Vec<(u32, Vec<Value>)>,
+}
+
+impl MemDelta {
+    /// Number of diverging chunks (observability: lets checkpoint
+    /// telemetry report how sparse the encoding actually was).
+    pub fn dirty_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Total payload words held by the delta.
+    pub fn words(&self) -> usize {
+        self.chunks.iter().map(|(_, w)| w.len()).sum()
     }
 }
 
@@ -342,6 +443,27 @@ mod tests {
         assert_eq!(m.read_f32(16), 1.5);
         m.write_block(0, &[1, 2, 3]);
         assert_eq!(m.read_block(0, 3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn mem_delta_round_trips_and_stays_sparse() {
+        let words = DELTA_CHUNK_WORDS as u64 * 4 + 100; // ragged tail chunk
+        let mut base = GlobalMemory::new(words * WORD_BYTES);
+        for i in 0..64 {
+            base.write(i * WORD_BYTES, i + 1);
+        }
+        let mut cur = base.clone();
+        // Dirty one word in chunk 1 and one in the short tail chunk.
+        cur.write(DELTA_CHUNK_WORDS as u64 * WORD_BYTES + 8, 0xABCD);
+        cur.write((words - 1) * WORD_BYTES, 0xEF01);
+        let delta = cur.delta_from(&base);
+        assert_eq!(delta.dirty_chunks(), 2);
+        assert!(delta.words() < cur.words().len());
+        let mut rebuilt = base.clone();
+        rebuilt.restore_from(&base, &delta);
+        assert_eq!(rebuilt.words(), cur.words());
+        // Empty delta between identical images.
+        assert_eq!(base.delta_from(&base).dirty_chunks(), 0);
     }
 
     #[test]

@@ -101,6 +101,18 @@ pub trait SmAttachment: fmt::Debug {
     fn queue_depth(&self) -> usize {
         0
     }
+
+    /// A deep copy of the attachment's current state, boxed for storage in
+    /// a [`crate::gpu::Snapshot`]. Attachments that support checkpointed
+    /// campaign forking return `Some(clone)`; the default `None` marks the
+    /// attachment (e.g. test doubles with shared interior state) as
+    /// non-snapshotable, which makes `Gpu::snapshot` fail loudly instead of
+    /// silently capturing aliased state. The returned box must be `Send +
+    /// Sync` so one snapshot can seed forked runs on several campaign
+    /// worker threads at once.
+    fn snapshot_box(&self) -> Option<Box<dyn SmAttachment + Send + Sync>> {
+        None
+    }
 }
 
 /// Attachment used when no resilience scheme is active: boundaries are
@@ -139,6 +151,10 @@ impl SmAttachment for NullAttachment {
 
     fn on_error(&mut self, _now: u64) -> Vec<(usize, RecoveryPoint)> {
         Vec::new()
+    }
+
+    fn snapshot_box(&self) -> Option<Box<dyn SmAttachment + Send + Sync>> {
+        Some(Box::new(self.clone()))
     }
 }
 

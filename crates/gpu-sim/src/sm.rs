@@ -57,7 +57,7 @@ impl LaunchDims {
 }
 
 /// A resident CTA.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CtaState {
     coords: (u32, u32),
     live_warps: usize,
@@ -82,7 +82,7 @@ struct AtomicLogEntry {
 }
 
 /// A warp slot: execution state, registers and local memory.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Slot {
     warp: Warp,
     regs: WarpRegFile,
@@ -202,6 +202,36 @@ impl std::fmt::Debug for Sm {
     }
 }
 
+/// Frozen copy of one SM's mutable run state, captured by
+/// [`Sm::snapshot`] and reapplied by [`Sm::restore`].
+///
+/// Launch-time constants (`id`, scheduler count, latencies, fast-forward
+/// mode) and observation-only state (tracer, scratch buffers — cleared
+/// before every use) are deliberately excluded: a snapshot is only valid
+/// on an identically-configured SM, which is what the campaign fork path
+/// guarantees by re-preparing the same launch before restoring.
+pub struct SmSnapshot {
+    slots: Vec<Option<Slot>>,
+    ctas: Vec<Option<CtaState>>,
+    schedulers: Vec<Scheduler>,
+    sched_blocked_until: Vec<u64>,
+    last_stall: Vec<StallCause>,
+    frozen_until: u64,
+    port: MemPort,
+    l1: Cache,
+    attachment: Box<dyn SmAttachment + Send + Sync>,
+    stats: SimStats,
+    resident_ctas: usize,
+}
+
+impl std::fmt::Debug for SmSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmSnapshot")
+            .field("resident_ctas", &self.resident_ctas)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Sm {
     /// Creates an SM with `max_resident_ctas` CTA slots.
     pub fn new(
@@ -252,6 +282,65 @@ impl Sm {
     /// leaving the tracer disabled.
     pub fn take_trace_buffer(&mut self) -> Option<Box<TraceBuffer>> {
         self.tracer.take()
+    }
+
+    /// Captures this SM's mutable run state, or `None` if the resilience
+    /// attachment does not support snapshotting (see
+    /// [`SmAttachment::snapshot_box`]).
+    pub fn snapshot(&self) -> Option<SmSnapshot> {
+        Some(SmSnapshot {
+            slots: self.slots.clone(),
+            ctas: self.ctas.clone(),
+            schedulers: self.schedulers.clone(),
+            sched_blocked_until: self.sched_blocked_until.clone(),
+            last_stall: self.last_stall.clone(),
+            frozen_until: self.frozen_until,
+            port: self.port.clone(),
+            l1: self.l1.clone(),
+            attachment: self.attachment.snapshot_box()?,
+            stats: self.stats,
+            resident_ctas: self.resident_ctas,
+        })
+    }
+
+    /// Reapplies a snapshot previously captured from an
+    /// identically-configured SM. The snapshot stays usable: the stored
+    /// attachment is cloned again, not moved, so one checkpoint can seed
+    /// any number of forked runs. The tracer is left as-is (tracing never
+    /// perturbs simulation state), and scratch buffers need no reset —
+    /// every consumer clears them before use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's attachment clone fails (an attachment
+    /// whose `snapshot_box` returns `Some` must keep doing so) or if the
+    /// snapshot geometry does not match this SM's configuration.
+    pub fn restore(&mut self, snap: &SmSnapshot) {
+        assert_eq!(
+            self.slots.len(),
+            snap.slots.len(),
+            "SM snapshot restored onto a differently-configured SM"
+        );
+        assert_eq!(
+            self.schedulers.len(),
+            snap.schedulers.len(),
+            "SM snapshot restored onto a differently-configured SM"
+        );
+        self.slots.clone_from(&snap.slots);
+        self.ctas.clone_from(&snap.ctas);
+        self.schedulers.clone_from(&snap.schedulers);
+        self.sched_blocked_until
+            .clone_from(&snap.sched_blocked_until);
+        self.last_stall.clone_from(&snap.last_stall);
+        self.frozen_until = snap.frozen_until;
+        self.port = snap.port.clone();
+        self.l1 = snap.l1.clone();
+        self.attachment = snap
+            .attachment
+            .snapshot_box()
+            .expect("snapshot attachment must remain snapshotable");
+        self.stats = snap.stats;
+        self.resident_ctas = snap.resident_ctas;
     }
 
     /// This SM's index.

@@ -218,7 +218,18 @@ impl StrikeGenerator {
     /// sorted by cycle (a fixed-count stand-in for the Poisson arrivals
     /// of real strikes, convenient for reproducible tests).
     pub fn schedule(&mut self, n: usize, horizon: u64) -> Vec<Strike> {
-        let mut cycles: Vec<u64> = (0..n).map(|_| self.rng.below(horizon.max(1))).collect();
+        self.schedule_in(n, 0, horizon)
+    }
+
+    /// Draws `n` strikes uniformly spread over `[lo, hi)` cycles, sorted
+    /// by cycle — the windowed generalization of
+    /// [`StrikeGenerator::schedule`] used by late-strike campaigns (e.g.
+    /// strikes confined to the last 20 % of a run). With `lo == 0` the
+    /// RNG stream is exactly that of `schedule`, so existing seeded
+    /// schedules are unchanged.
+    pub fn schedule_in(&mut self, n: usize, lo: u64, hi: u64) -> Vec<Strike> {
+        let span = hi.saturating_sub(lo);
+        let mut cycles: Vec<u64> = (0..n).map(|_| lo + self.rng.below(span.max(1))).collect();
         cycles.sort_unstable();
         cycles.into_iter().map(|c| self.strike_at(c)).collect()
     }
@@ -301,6 +312,24 @@ mod tests {
             assert!(s.lane < 32);
             assert!(s.bit < 64);
         }
+    }
+
+    #[test]
+    fn windowed_schedule_confines_cycles_and_matches_legacy_at_zero() {
+        let mut g = StrikeGenerator::new(17, 20, 8);
+        let s = g.schedule_in(200, 80_000, 100_000);
+        assert!(s.iter().all(|s| (80_000..100_000).contains(&s.cycle)));
+        for w in s.windows(2) {
+            assert!(w[0].cycle <= w[1].cycle);
+        }
+        // `schedule_in(n, 0, h)` consumes the RNG exactly like
+        // `schedule(n, h)`.
+        let mut a = StrikeGenerator::new(42, 20, 16);
+        let mut b = StrikeGenerator::new(42, 20, 16);
+        assert_eq!(a.schedule(10, 100_000), b.schedule_in(10, 0, 100_000));
+        // Degenerate window: everything lands at `lo`.
+        let mut d = StrikeGenerator::new(1, 20, 4);
+        assert!(d.schedule_in(5, 500, 500).iter().all(|s| s.cycle == 500));
     }
 
     #[test]

@@ -184,6 +184,22 @@ pub enum Event {
         /// Warps restarted.
         warps: u32,
     },
+    /// The campaign harness captured a whole-GPU checkpoint
+    /// (`Gpu::snapshot_delta`) at this cycle.
+    SnapshotSave {
+        /// Device-memory chunks the checkpoint stored beyond the shared
+        /// delta base (the sparsity of the encoding).
+        dirty_chunks: u32,
+    },
+    /// The campaign harness rewound the GPU to a checkpoint
+    /// (`Gpu::restore`): a forked run resumes here. Emitted at the
+    /// restored cycle, so the subsequent strike → detect → rollback arc
+    /// stays causally ordered after it.
+    SnapshotRestore {
+        /// The checkpoint's capture cycle (equals the event's own cycle
+        /// stamp).
+        cycle: u64,
+    },
 }
 
 impl Event {

@@ -145,7 +145,9 @@ pub fn chrome_trace_json(t: &SimTrace) -> String {
             Event::CtaLaunch { .. }
             | Event::CtaDrain { .. }
             | Event::Rollback { .. }
-            | Event::CtaRelaunch { .. } => track(&mut pids, &mut tids, r.sm, EVENTS_TID),
+            | Event::CtaRelaunch { .. }
+            | Event::SnapshotSave { .. }
+            | Event::SnapshotRestore { .. } => track(&mut pids, &mut tids, r.sm, EVENTS_TID),
             Event::FaultStrike { sm, .. } | Event::FaultDetect { sm } => {
                 track(&mut pids, &mut tids, sm, EVENTS_TID);
             }
@@ -313,6 +315,22 @@ pub fn chrome_trace_json(t: &SimTrace) -> String {
                 EVENTS_TID,
                 r.cycle,
                 &format!("\"warps\":{warps}"),
+            ),
+            Event::SnapshotSave { dirty_chunks } => w.instant(
+                "snapshot-save",
+                "snapshot",
+                pid,
+                EVENTS_TID,
+                r.cycle,
+                &format!("\"dirty_chunks\":{dirty_chunks}"),
+            ),
+            Event::SnapshotRestore { cycle } => w.instant(
+                "snapshot-restore",
+                "snapshot",
+                pid,
+                EVENTS_TID,
+                r.cycle,
+                &format!("\"checkpoint_cycle\":{cycle}"),
             ),
             Event::RegionEnter { .. } | Event::RegionCommit { .. } | Event::RegionVerify { .. } => {
                 // Rendered as region slices above.

@@ -19,6 +19,9 @@ cargo test -q
 echo "==> fault-campaign smoke (golden report + journal resume)"
 cargo run --release -q -p flame-bench --bin fault_campaign -- smoke
 
+echo "==> fault-campaign fork-smoke (fork on/off histograms must match)"
+cargo run --release -q -p flame-bench --bin fault_campaign -- fork-smoke
+
 echo "==> oracle fuzz smoke (FLAME_FUZZ_RUNS=${FLAME_FUZZ_RUNS:-200} differential seeds)"
 cargo run --release -q -p flame-bench --bin fuzz_oracle
 

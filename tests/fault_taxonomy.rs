@@ -141,6 +141,8 @@ fn coverage_gap_drives_sdc_rate() {
         runs: 200,
         strikes_per_run: 3,
         horizon: clean.stats.cycles * 3 / 4,
+        strike_window: (0.0, 1.0),
+        fork_points: 8,
         coverage,
         control_fraction: 0.0,
         recovery_fraction: 0.0,
@@ -308,6 +310,8 @@ fn killed_campaign_resumes_byte_identically() {
         runs: 12,
         strikes_per_run: 3,
         horizon: 700,
+        strike_window: (0.0, 1.0),
+        fork_points: 8,
         coverage: 0.6,
         control_fraction: 0.2,
         recovery_fraction: 0.1,

@@ -197,6 +197,8 @@ fn campaign_seed_replay_shows_fault_arcs() {
         runs: 1,
         strikes_per_run: 3,
         horizon: (clean.stats.cycles * 3 / 4).max(10),
+        strike_window: (0.0, 1.0),
+        fork_points: 8,
         coverage: 1.0,
         control_fraction: 0.0,
         recovery_fraction: 0.0,
