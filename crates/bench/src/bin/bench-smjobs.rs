@@ -1,0 +1,160 @@
+//! Times a single simulation run in three engine modes — serial
+//! on-demand decoding (the pre-PR-7 baseline), serial with the
+//! pre-decoded micro-op cache, and SM-parallel stepping with the cache —
+//! verifies all three are bit-identical, and writes the wall-clock
+//! report to `BENCH_pr7.json`.
+//!
+//! Three workloads (Triad, GUPS, NN) at the WCDL-heavy sparse-sensor
+//! point (WCDL = 1000), one scheme column (SensorRenaming). The
+//! pre-decode win is expected on any box; the SM-parallel win needs
+//! real cores — on a single-core machine the workers time-slice and the
+//! parallel number lands at ≤1×, which the report states via
+//! `available_cores`.
+
+use flame_core::experiment::{prepare_scheme, ExperimentConfig, WorkloadSpec};
+use flame_core::scheme::Scheme;
+use gpu_sim::stats::SimStats;
+use std::time::Instant;
+
+/// Path the report is written to (repo root, next to BENCH_pr2/5/6).
+const BENCH_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr7.json");
+
+const WORKLOADS: [&str; 3] = ["Triad", "GUPS", "NN"];
+const WCDL: u32 = 1000;
+const PARALLEL_JOBS: usize = 4;
+const REPS: usize = 3;
+
+/// Times one run in the given engine mode: best-of-[`REPS`] wall-clock
+/// seconds (the minimum is the least-disturbed estimate on a loaded
+/// machine) plus the stats and output verdict of the final rep. Each rep
+/// prepares the cell untimed (compile, launch, memory seeding — all
+/// identical regardless of engine mode) so the timer sees only the
+/// simulation loop the two levers act on.
+fn timed_run(
+    w: &WorkloadSpec,
+    cfg: &ExperimentConfig,
+    sm_jobs: usize,
+    predecode: bool,
+) -> (SimStats, bool, f64) {
+    let mut cfg = cfg.clone();
+    cfg.gpu.sm_jobs = sm_jobs;
+    cfg.gpu.predecode = predecode;
+    let mut best = f64::INFINITY;
+    let mut outcome = None;
+    for _ in 0..REPS {
+        let (mut gpu, _) = prepare_scheme(w, Scheme::SensorRenaming, &cfg)
+            .unwrap_or_else(|e| panic!("{}: prepare: {e}", w.abbr));
+        let t = Instant::now();
+        let stats = gpu
+            .run(cfg.max_cycles)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.abbr));
+        best = best.min(t.elapsed().as_secs_f64());
+        outcome = Some((stats, (w.check)(gpu.global())));
+    }
+    let (stats, ok) = outcome.expect("reps >= 1");
+    (stats, ok, best)
+}
+
+struct Row {
+    workload: &'static str,
+    cycles: u64,
+    serial_secs: f64,
+    predecode_secs: f64,
+    parallel_secs: f64,
+}
+
+fn main() {
+    // The bench sets engine modes through the config; make sure the env
+    // hatches (which override the config) are not skewing a mode.
+    std::env::remove_var("FLAME_SM_JOBS");
+    std::env::remove_var("FLAME_NO_PREDECODE");
+
+    let cfg = ExperimentConfig {
+        wcdl: WCDL,
+        ..ExperimentConfig::default()
+    };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    eprintln!(
+        "bench-smjobs: {} workloads, wcdl {WCDL}, serial / predecode / {PARALLEL_JOBS}-worker \
+         ({cores} core(s) available)...",
+        WORKLOADS.len()
+    );
+
+    let mut rows = Vec::new();
+    for abbr in WORKLOADS {
+        let w = flame_bench::workload_by_abbr(abbr).expect("known abbr");
+        let (serial_stats, serial_ok, serial_secs) = timed_run(&w, &cfg, 1, false);
+        let (pre_stats, pre_ok, predecode_secs) = timed_run(&w, &cfg, 1, true);
+        let (par_stats, par_ok, parallel_secs) = timed_run(&w, &cfg, PARALLEL_JOBS, true);
+        let d1 = pre_stats.diff(&serial_stats);
+        let d2 = par_stats.diff(&serial_stats);
+        assert!(
+            d1.is_empty() && d2.is_empty(),
+            "{abbr}: engine mode changed stats (predecode {d1:?}, parallel {d2:?})"
+        );
+        assert!(
+            serial_ok && pre_ok && par_ok,
+            "{abbr}: output check failed in some mode"
+        );
+        rows.push(Row {
+            workload: w.abbr,
+            cycles: serial_stats.cycles,
+            serial_secs,
+            predecode_secs,
+            parallel_secs,
+        });
+    }
+
+    let (tot_serial, tot_pre, tot_par) = rows.iter().fold((0.0, 0.0, 0.0), |(s, p, q), r| {
+        (s + r.serial_secs, p + r.predecode_secs, q + r.parallel_secs)
+    });
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"wcdl\": {WCDL},\n"));
+    json.push_str("  \"scheme\": \"SensorRenaming\",\n");
+    json.push_str(&format!("  \"available_cores\": {cores},\n"));
+    json.push_str(&format!("  \"parallel_jobs\": {PARALLEL_JOBS},\n"));
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"cycles\": {}, \"serial_secs\": {:.4}, \
+             \"predecode_secs\": {:.4}, \"parallel_secs\": {:.4}, \
+             \"predecode_speedup\": {:.3}, \"parallel_speedup\": {:.3}}}{comma}\n",
+            r.workload,
+            r.cycles,
+            r.serial_secs,
+            r.predecode_secs,
+            r.parallel_secs,
+            r.serial_secs / r.predecode_secs.max(1e-9),
+            r.predecode_secs / r.parallel_secs.max(1e-9),
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"total_serial_secs\": {tot_serial:.4},\n  \"total_predecode_secs\": {tot_pre:.4},\n  \
+         \"total_parallel_secs\": {tot_par:.4},\n"
+    ));
+    json.push_str(&format!(
+        "  \"predecode_speedup\": {:.3},\n",
+        tot_serial / tot_pre.max(1e-9)
+    ));
+    json.push_str(&format!(
+        "  \"parallel_speedup_vs_predecode\": {:.3},\n",
+        tot_pre / tot_par.max(1e-9)
+    ));
+    json.push_str(&format!(
+        "  \"overall_speedup\": {:.3},\n",
+        tot_serial / tot_par.max(1e-9)
+    ));
+    json.push_str("  \"bit_identical\": true\n}\n");
+
+    std::fs::write(BENCH_PATH, &json).unwrap_or_else(|e| panic!("cannot write {BENCH_PATH}: {e}"));
+    println!("{json}");
+    println!(
+        "bench-smjobs ok: predecode {:.2}x, parallel-vs-predecode {:.2}x on {cores} core(s), \
+         report at {BENCH_PATH}",
+        tot_serial / tot_pre.max(1e-9),
+        tot_pre / tot_par.max(1e-9)
+    );
+}

@@ -735,7 +735,11 @@ fn drive(
         let insts = gpu.instructions_issued();
         if insts > progress_insts {
             progress_insts = insts;
-            progress_cycle = now;
+            // Anchor to the cycle the issue actually happened, not the end
+            // of the step: a multi-cycle window (SM-parallel engine) would
+            // otherwise report later progress than per-cycle stepping and
+            // shift the watchdog's deadline.
+            progress_cycle = gpu.last_issue_cycle() + 1;
         } else if now > progress_cycle + proto.hang_window && gpu.running() {
             c.watchdog_fired = true;
             return Attempt::Hung;

@@ -185,6 +185,55 @@ mod tests {
     }
 
     #[test]
+    fn f2i_saturates_instead_of_trapping() {
+        // `as` casts saturate: a corrupted float must never abort the
+        // simulator or produce an unstable value.
+        assert_eq!(eval(Opcode::F2I, [fb(f32::NAN), 0, 0]) as i64, 0);
+        assert_eq!(
+            eval(Opcode::F2I, [fb(f32::INFINITY), 0, 0]) as i64,
+            i64::MAX
+        );
+        assert_eq!(
+            eval(Opcode::F2I, [fb(f32::NEG_INFINITY), 0, 0]) as i64,
+            i64::MIN
+        );
+        assert_eq!(eval(Opcode::F2I, [fb(1e30), 0, 0]) as i64, i64::MAX);
+        assert_eq!(eval(Opcode::F2I, [fb(-1e30), 0, 0]) as i64, i64::MIN);
+    }
+
+    #[test]
+    fn fmin_fmax_ignore_nan_operand() {
+        // IEEE 754 minNum/maxNum semantics (and `f32::min`/`f32::max`):
+        // a single NaN operand is dropped, not propagated.
+        assert_eq!(ef(Opcode::FMin, f32::NAN, 2.0), 2.0);
+        assert_eq!(ef(Opcode::FMin, 2.0, f32::NAN), 2.0);
+        assert_eq!(ef(Opcode::FMax, f32::NAN, -2.0), -2.0);
+        assert_eq!(ef(Opcode::FMax, -2.0, f32::NAN), -2.0);
+        // Both NaN: the result stays NaN.
+        assert!(ef(Opcode::FMax, f32::NAN, f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn division_edge_cases_stay_finite() {
+        // 0/0 hits the divide-by-zero guard before it can produce NaN.
+        assert_eq!(ef(Opcode::FDiv, 0.0, 0.0), 0.0);
+        // A NaN dividend with a nonzero divisor propagates (the guard
+        // only protects the divisor).
+        assert!(ef(Opcode::FDiv, f32::NAN, 1.0).is_nan());
+        // i64::MIN / -1 overflows two's complement; wrapping_div keeps it
+        // in range instead of trapping.
+        assert_eq!(e(Opcode::IDiv, i64::MIN, -1), i64::MIN);
+        assert_eq!(e(Opcode::IRem, i64::MIN, -1), 0);
+    }
+
+    #[test]
+    fn shift_counts_mask_to_six_bits() {
+        assert_eq!(eval(Opcode::Shr, [16, 68, 0]), 1); // 68 & 63 == 4
+        assert_eq!(eval(Opcode::Shl, [1, 70, 0]), 64); // 70 & 63 == 6
+        assert_eq!(eval(Opcode::Shr, [1, 127, 0]), 0); // full-width shift
+    }
+
+    #[test]
     fn comparisons_and_select() {
         assert_eq!(eval(Opcode::SetP(Cmp::Lt), [1, 2, 0]), 1);
         assert_eq!(eval(Opcode::SetP(Cmp::Lt), [2, 1, 0]), 0);

@@ -63,6 +63,7 @@ pub mod rng;
 pub mod scheduler;
 pub mod sm;
 pub mod stats;
+pub mod uop;
 pub mod warp;
 
 pub use config::GpuConfig;

@@ -414,6 +414,31 @@ impl MemPort {
         self.inflight.push(finish);
     }
 
+    /// Reserves a slot with its finish cycle not yet known (marked
+    /// `u64::MAX`), returning its index for a later [`MemPort::patch`].
+    /// Used by the deferred global-memory path: the tick phase reserves
+    /// MSHRs before cache outcomes (and thus latencies) are known, and the
+    /// apply phase patches in the real finish cycle the same cycle —
+    /// placeholders never survive into [`MemPort::next_completion`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no slot is free; check [`MemPort::free`] first.
+    pub fn reserve_placeholder(&mut self) -> usize {
+        assert!(self.inflight.len() < self.capacity, "MSHRs exhausted");
+        self.inflight.push(u64::MAX);
+        self.inflight.len() - 1
+    }
+
+    /// Sets the finish cycle of the placeholder at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn patch(&mut self, idx: usize, finish: u64) {
+        self.inflight[idx] = finish;
+    }
+
     /// Earliest finish cycle among in-flight transactions, or `None` when
     /// the port is idle. An event source for the event-driven clock: an
     /// MSHR slot frees (and a warp blocked on `mshr_full` may become
@@ -551,6 +576,10 @@ mod tests {
         p.tick(10);
         assert_eq!(p.free(), 1);
         assert_eq!(p.next_completion(), Some(20));
+        let idx = p.reserve_placeholder();
+        assert_eq!(p.free(), 0);
+        p.patch(idx, 15);
+        assert_eq!(p.next_completion(), Some(15));
         p.flush();
         assert_eq!(p.free(), 2);
         assert_eq!(p.next_completion(), None);

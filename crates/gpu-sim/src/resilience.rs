@@ -29,8 +29,10 @@ pub enum BoundaryAction {
 /// Per-SM resilience hardware attached to the warp scheduler.
 ///
 /// All methods are called from the SM's cycle loop; `slot` is the SM warp
-/// slot index. Implementations must be deterministic.
-pub trait SmAttachment: fmt::Debug {
+/// slot index. Implementations must be deterministic. `Send` because the
+/// SM-parallel engine moves each SM (with its attachment) onto a scoped
+/// worker thread for the duration of a cycle window.
+pub trait SmAttachment: fmt::Debug + Send {
     /// A warp was installed in `slot`; `entry` is its initial recovery
     /// point (the beginning of the warp).
     fn on_warp_launch(&mut self, slot: usize, entry: RecoveryPoint);

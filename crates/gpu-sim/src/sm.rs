@@ -4,7 +4,7 @@
 
 use crate::config::GpuConfig;
 use crate::exec::{eval, eval_atom};
-use crate::isa::{MemSpace, Opcode, Operand, Reg, Special};
+use crate::isa::{AtomOp, MemSpace, Opcode, Operand, Reg, Special};
 use crate::memory::{
     bank_conflict_degree, coalesce_into, lane_addresses_into, Cache, CacheOutcome, GlobalMemory,
     MemPort, SharedMemory, WORD_BYTES,
@@ -14,6 +14,7 @@ use crate::regfile::{Value, WarpRegFile};
 use crate::resilience::{BoundaryAction, SmAttachment};
 use crate::scheduler::{Candidate, Scheduler, SchedulerKind};
 use crate::stats::SimStats;
+use crate::uop::KernelView;
 use crate::warp::{RecoveryPoint, Warp, WarpState, WARP_SIZE};
 use flame_trace::{Event as TraceEvent, TraceBuffer, Tracer};
 
@@ -79,6 +80,88 @@ struct AtomicLogEntry {
     pc: u32,
     mask: u32,
     old: Vec<Value>,
+}
+
+/// One global-memory operation issued this cycle whose shared-state
+/// effects (L2 probes, device-memory reads/writes, hit/miss statistics)
+/// are deferred to [`Sm::apply_global`]. The tick phase touches only
+/// per-SM state, which is what lets the SM-parallel engine run all ticks
+/// concurrently and then replay the shared accesses in fixed SM order —
+/// reproducing the serial interleaving exactly (see `DESIGN.md`).
+///
+/// Payloads live in the [`PendingGlobal`] arenas; each op records its own
+/// start index per arena it uses (the arenas advance at different rates —
+/// loads push lanes+addrs, stores push addrs+vals, atomics push all four).
+#[derive(Debug, Clone, Copy)]
+enum PendingOp {
+    /// A global load: cache walk, MSHR patch, functional read and
+    /// scoreboard completion all happen at apply.
+    Load {
+        slot: usize,
+        dst: Reg,
+        seg0: usize,
+        nseg: usize,
+        lane0: usize,
+        addr0: usize,
+        n: usize,
+        /// First reserved placeholder MSHR index and how many were
+        /// reserved (`min(nseg, free)` at tick time).
+        port0: usize,
+        nport: usize,
+    },
+    /// A global store: L1/L2 stats walk and functional writes at apply
+    /// (its finish cycle is latency-class-known, so MSHRs were reserved
+    /// for real at tick).
+    Store {
+        seg0: usize,
+        nseg: usize,
+        addr0: usize,
+        val0: usize,
+        n: usize,
+    },
+    /// A fresh (non-replayed) global atomic: the read-modify-write runs
+    /// at apply in lane order, logging old values for replay.
+    Atom {
+        slot: usize,
+        dst: Option<Reg>,
+        aop: AtomOp,
+        pc: u32,
+        mask: u32,
+        lane0: usize,
+        addr0: usize,
+        val0: usize,
+        val20: usize,
+        n: usize,
+    },
+}
+
+/// Deferred global-memory work for one SM, one cycle. Arena-style so the
+/// per-cycle hot path never allocates after warm-up: `ops` and the
+/// payload vectors keep their capacity across cycles.
+#[derive(Debug, Default)]
+struct PendingGlobal {
+    ops: Vec<PendingOp>,
+    /// Coalesced 128-byte segment bases.
+    segs: Vec<u64>,
+    /// Active lane indices, in ascending lane order per op.
+    lanes: Vec<usize>,
+    /// Per-lane byte addresses, parallel to `lanes` per op.
+    addrs: Vec<u64>,
+    /// Per-lane operand values (store data / atomic operand).
+    vals: Vec<Value>,
+    /// Per-lane second operand values (atomic CAS new-value).
+    vals2: Vec<Value>,
+}
+
+impl PendingGlobal {
+    fn clear(&mut self) {
+        self.ops.clear();
+        self.segs.clear();
+        self.lanes.clear();
+        self.addrs.clear();
+        self.vals.clear();
+        self.vals2.clear();
+    }
 }
 
 /// A warp slot: execution state, registers and local memory.
@@ -188,6 +271,10 @@ pub struct Sm {
     addr_buf: Vec<u64>,
     /// Scratch for coalesced 128-byte segment bases.
     seg_buf: Vec<u64>,
+    /// Global-memory effects issued by the current tick, drained by
+    /// [`Sm::apply_global`] in the same cycle. Always empty between
+    /// cycles, hence excluded from [`SmSnapshot`].
+    pending: PendingGlobal,
     /// Event tracer; disabled (a never-taken branch per emission site) by
     /// default, so the untraced hot path and `SimStats` are unchanged.
     tracer: Tracer,
@@ -262,6 +349,7 @@ impl Sm {
             eligible_buf: Vec::with_capacity(cfg.max_warps_per_sm),
             addr_buf: Vec::with_capacity(WARP_SIZE),
             seg_buf: Vec::with_capacity(WARP_SIZE),
+            pending: PendingGlobal::default(),
             tracer: Tracer::disabled(),
         }
     }
@@ -341,6 +429,9 @@ impl Sm {
             .expect("snapshot attachment must remain snapshotable");
         self.stats = snap.stats;
         self.resident_ctas = snap.resident_ctas;
+        // Deferred work never crosses a cycle, let alone a snapshot.
+        debug_assert!(self.pending.ops.is_empty());
+        self.pending.clear();
     }
 
     /// This SM's index.
@@ -451,14 +542,14 @@ impl Sm {
     /// Advances the SM by one cycle. Returns whether any scheduler issued
     /// an instruction — the signal the event-driven clock uses to decide
     /// whether the GPU is stalled and the next idle window can be skipped.
-    pub fn tick(
-        &mut self,
-        now: u64,
-        kernel: &FlatKernel,
-        dims: &LaunchDims,
-        global: &mut GlobalMemory,
-        l2: &mut Cache,
-    ) -> bool {
+    ///
+    /// The tick touches only per-SM state: effects on shared state (L2,
+    /// device memory) are queued and must be flushed by
+    /// [`Sm::apply_global`] in the same cycle, after every SM has ticked,
+    /// in ascending SM order. The engine in `Gpu::step_window` upholds
+    /// this for both the serial and the SM-parallel path, which is what
+    /// makes the two bit-identical.
+    pub fn tick<K: KernelView>(&mut self, now: u64, kernel: &K, dims: &LaunchDims) -> bool {
         if now < self.frozen_until {
             // Frozen window: the port retires nothing, the attachment
             // wakes nobody, every scan repeats itself and every empty
@@ -524,7 +615,7 @@ impl Sm {
             let picked = self.schedulers[sched].pick(&eligible);
             self.eligible_buf = eligible;
             let cause = if let Some(slot) = picked {
-                self.issue(slot, now, kernel, dims, global, l2);
+                self.issue(slot, now, kernel, dims);
                 issued_any = true;
                 StallCause::Issued
             } else if live == 0 {
@@ -653,7 +744,7 @@ impl Sm {
     /// eligible or blocked. Eligible candidates land in
     /// `self.eligible_buf` (reused scratch); blocked warps are tallied by
     /// cause. Runs every cycle per scheduler, so it never allocates.
-    fn scan(&mut self, sched: usize, now: u64, kernel: &FlatKernel) -> (BlockTally, usize) {
+    fn scan<K: KernelView>(&mut self, sched: usize, now: u64, kernel: &K) -> (BlockTally, usize) {
         let nsched = self.schedulers.len();
         self.eligible_buf.clear();
         let mut tally = BlockTally::default();
@@ -667,7 +758,7 @@ impl Sm {
                     break;
                 }
                 let Some(pc) = s.warp.stack.pc() else { break };
-                if kernel.inst(pc).op != Opcode::RegionBoundary {
+                if !kernel.is_boundary(pc) {
                     break;
                 }
                 s.warp.stack.advance(pc + 1);
@@ -749,24 +840,13 @@ impl Sm {
             let Some(pc) = s.warp.stack.pc() else {
                 continue;
             };
-            let inst = kernel.inst(pc);
             // Structural hazard: global memory ops need an MSHR.
-            let needs_mshr = matches!(
-                inst.op,
-                Opcode::Ld(MemSpace::Global)
-                    | Opcode::St(MemSpace::Global)
-                    | Opcode::Atom(MemSpace::Global, _)
-            );
-            if needs_mshr && self.port.free() == 0 {
+            if kernel.needs_mshr(pc) && self.port.free() == 0 {
                 tally.mshr_full += 1;
                 continue;
             }
             // Scoreboard: all read and written registers must be ready.
-            let ready = inst
-                .reads()
-                .chain(inst.writes())
-                .all(|r| s.regs.is_ready(r, now));
-            if !ready {
+            if !kernel.scoreboard_ready(pc, &s.regs, now) {
                 tally.scoreboard += 1;
                 continue;
             }
@@ -778,40 +858,17 @@ impl Sm {
         (tally, live)
     }
 
-    fn op_latency(l: &crate::config::LatencyConfig, op: Opcode) -> u64 {
-        match op {
-            Opcode::IMul | Opcode::IMad => l.imul,
-            Opcode::IDiv | Opcode::IRem => l.idiv,
-            Opcode::FDiv | Opcode::FSqrt | Opcode::FExp => l.fsfu,
-            Opcode::FAdd
-            | Opcode::FSub
-            | Opcode::FMul
-            | Opcode::FFma
-            | Opcode::FMin
-            | Opcode::FMax
-            | Opcode::I2F
-            | Opcode::F2I => l.falu,
-            _ => l.ialu,
-        }
-    }
-
     /// Issues and functionally executes one instruction from `slot`.
+    /// Effects on shared state (L2, device memory) are queued into
+    /// `self.pending` for [`Sm::apply_global`]; everything else happens
+    /// here.
     #[allow(clippy::too_many_lines)]
-    fn issue(
-        &mut self,
-        slot: usize,
-        now: u64,
-        kernel: &FlatKernel,
-        dims: &LaunchDims,
-        global: &mut GlobalMemory,
-        l2: &mut Cache,
-    ) {
-        let lat_cfg = self.latency;
+    fn issue<K: KernelView>(&mut self, slot: usize, now: u64, kernel: &K, dims: &LaunchDims) {
         let s = self.slots[slot].as_mut().expect("issued slot is live");
         let pc = s.warp.stack.pc().expect("issued warp has a pc");
-        let inst = kernel.inst(pc);
+        let u = kernel.uop(pc);
         let active = s.warp.stack.active_mask();
-        if let Some(d) = inst.dst {
+        if let Some(d) = u.dst {
             s.last_write = Some((d, now));
         }
         let cta = self.ctas[s.warp.cta_slot]
@@ -836,8 +893,8 @@ impl Sm {
                 Special::LaneId => lane as u64,
             }
         };
-        let read_op = |regs: &WarpRegFile, o: &Operand, lane: usize| -> Value {
-            match *o {
+        let read_op = |regs: &WarpRegFile, o: Operand, lane: usize| -> Value {
+            match o {
                 Operand::Reg(r) => regs.read(r, lane),
                 Operand::Imm(v) => v as Value,
                 Operand::Special(sp) => special(sp, lane),
@@ -846,8 +903,8 @@ impl Sm {
 
         // Guard predicate.
         let mut mask = active;
-        if let Some((p, sense)) = inst.pred {
-            if inst.op != Opcode::Bra {
+        if let Some((p, sense)) = u.pred {
+            if u.op != Opcode::Bra {
                 let mut m = 0u32;
                 for lane in 0..WARP_SIZE {
                     if active & (1 << lane) != 0 {
@@ -871,11 +928,11 @@ impl Sm {
             },
         );
 
-        match inst.op {
+        match u.op {
             Opcode::Bra => {
-                let target = kernel.target_pc(pc);
-                let reconv = kernel.reconv_for(pc);
-                let taken = match inst.pred {
+                let target = u.target_pc;
+                let reconv = u.reconv_pc;
+                let taken = match u.pred {
                     None => active,
                     Some((p, sense)) => {
                         let mut t = 0u32;
@@ -923,104 +980,104 @@ impl Sm {
                 }
             }
             Opcode::Ld(space) => {
-                let base_reg = &inst.srcs[0];
+                let base = u.srcs[0];
                 lane_addresses_into(
                     &mut self.addr_buf,
                     mask,
-                    |l| read_op(&s.regs, base_reg, l),
-                    inst.offset,
+                    |l| read_op(&s.regs, base, l),
+                    u.offset,
                 );
-                let dst = inst.dst.expect("load has a destination");
-                let finish = match space {
+                let dst = u.dst.expect("load has a destination");
+                match space {
                     MemSpace::Global => {
+                        // Cache walk, hit/miss statistics, the functional
+                        // read and the real finish cycle all defer to
+                        // apply_global. Here: count transactions, reserve
+                        // placeholder MSHRs (so same-cycle structural
+                        // checks by later schedulers see the true
+                        // occupancy) and sentinel the scoreboard.
                         coalesce_into(&self.addr_buf, &mut self.seg_buf);
-                        let mut max_lat = self.latency.l1_hit;
-                        for &seg in &self.seg_buf {
-                            let lat = match self.l1.access(seg, true) {
-                                CacheOutcome::Hit => {
-                                    self.stats.mem.l1_hits += 1;
-                                    self.latency.l1_hit
-                                }
-                                CacheOutcome::Miss => {
-                                    self.stats.mem.l1_misses += 1;
-                                    match l2.access(seg, true) {
-                                        CacheOutcome::Hit => {
-                                            self.stats.mem.l2_hits += 1;
-                                            self.latency.l2_hit
-                                        }
-                                        CacheOutcome::Miss => {
-                                            self.stats.mem.l2_misses += 1;
-                                            self.latency.dram
-                                        }
-                                    }
-                                }
-                            };
-                            max_lat = max_lat.max(lat);
-                        }
                         self.stats.mem.transactions += self.seg_buf.len() as u64;
-                        let finish = now + max_lat + self.seg_buf.len() as u64 - 1;
-                        for _ in 0..self.seg_buf.len().min(self.port.free()) {
-                            self.port.reserve(finish);
+                        let nport = self.seg_buf.len().min(self.port.free());
+                        let mut port0 = 0;
+                        for i in 0..nport {
+                            let idx = self.port.reserve_placeholder();
+                            if i == 0 {
+                                port0 = idx;
+                            }
                         }
-                        self.tracer.emit(
-                            now,
-                            TraceEvent::MemIssue {
-                                slot: slot as u32,
-                                segments: self.seg_buf.len() as u32,
-                                finish,
-                            },
-                        );
-                        finish
+                        let seg0 = self.pending.segs.len();
+                        self.pending.segs.extend_from_slice(&self.seg_buf);
+                        let lane0 = self.pending.lanes.len();
+                        let addr0 = self.pending.addrs.len();
+                        for lane in 0..WARP_SIZE {
+                            if mask & (1 << lane) != 0 {
+                                self.pending.lanes.push(lane);
+                            }
+                        }
+                        self.pending.addrs.extend_from_slice(&self.addr_buf);
+                        self.pending.ops.push(PendingOp::Load {
+                            slot,
+                            dst,
+                            seg0,
+                            nseg: self.seg_buf.len(),
+                            lane0,
+                            addr0,
+                            n: self.addr_buf.len(),
+                            port0,
+                            nport,
+                        });
+                        s.regs.set_pending(dst, u64::MAX);
                     }
                     MemSpace::Shared => {
                         let degree = bank_conflict_degree(&self.addr_buf);
                         self.stats.mem.shared_accesses += 1;
                         self.stats.mem.bank_conflicts += degree - 1;
-                        now + self.latency.shared + degree - 1
-                    }
-                    MemSpace::Local => now + self.latency.l1_hit,
-                };
-                // Functional read.
-                for lane in 0..WARP_SIZE {
-                    if mask & (1 << lane) != 0 {
-                        let addr =
-                            read_op(&s.regs, base_reg, lane).wrapping_add(inst.offset as u64);
-                        let v = match space {
-                            MemSpace::Global => global.read(addr),
-                            MemSpace::Shared => cta.shared.read(addr),
-                            MemSpace::Local => {
-                                let w = (addr / WORD_BYTES) as usize % s.local_words;
-                                s.local[lane * s.local_words + w]
+                        for lane in 0..WARP_SIZE {
+                            if mask & (1 << lane) != 0 {
+                                let addr =
+                                    read_op(&s.regs, base, lane).wrapping_add(u.offset as u64);
+                                let v = cta.shared.read(addr);
+                                s.regs.write(dst, lane, v);
                             }
-                        };
-                        s.regs.write(dst, lane, v);
+                        }
+                        s.regs
+                            .set_pending(dst, now + self.latency.shared + degree - 1);
+                    }
+                    MemSpace::Local => {
+                        for lane in 0..WARP_SIZE {
+                            if mask & (1 << lane) != 0 {
+                                let addr =
+                                    read_op(&s.regs, base, lane).wrapping_add(u.offset as u64);
+                                let w = (addr / WORD_BYTES) as usize % s.local_words;
+                                let v = s.local[lane * s.local_words + w];
+                                s.regs.write(dst, lane, v);
+                            }
+                        }
+                        s.regs.set_pending(dst, now + self.latency.l1_hit);
                     }
                 }
-                s.regs.set_pending(dst, finish);
                 s.warp.stack.advance(pc + 1);
             }
             Opcode::St(space) => {
-                let base_reg = &inst.srcs[0];
-                let val_op = &inst.srcs[1];
+                let base = u.srcs[0];
+                let val_op = u.srcs[1];
                 lane_addresses_into(
                     &mut self.addr_buf,
                     mask,
-                    |l| read_op(&s.regs, base_reg, l),
-                    inst.offset,
+                    |l| read_op(&s.regs, base, l),
+                    u.offset,
                 );
                 match space {
                     MemSpace::Global => {
                         coalesce_into(&self.addr_buf, &mut self.seg_buf);
                         self.stats.mem.transactions += self.seg_buf.len() as u64;
-                        // Write-through: charge L2 latency on MSHRs.
+                        // Write-through: charge L2 latency on MSHRs. The
+                        // finish cycle is latency-class-known (stores never
+                        // wait on the hit/miss outcome), so the MSHRs are
+                        // reserved for real here; the L1/L2 stats walk and
+                        // the functional writes defer to apply_global.
                         let finish = now + self.latency.l2_hit + self.seg_buf.len() as u64 - 1;
-                        for &seg in &self.seg_buf {
-                            let _ = self.l1.access(seg, false);
-                            match l2.access(seg, true) {
-                                CacheOutcome::Hit => self.stats.mem.l2_hits += 1,
-                                CacheOutcome::Miss => self.stats.mem.l2_misses += 1,
-                            }
-                        }
                         for _ in 0..self.seg_buf.len().min(self.port.free()) {
                             self.port.reserve(finish);
                         }
@@ -1032,23 +1089,43 @@ impl Sm {
                                 finish,
                             },
                         );
+                        let seg0 = self.pending.segs.len();
+                        self.pending.segs.extend_from_slice(&self.seg_buf);
+                        let addr0 = self.pending.addrs.len();
+                        self.pending.addrs.extend_from_slice(&self.addr_buf);
+                        let val0 = self.pending.vals.len();
+                        for lane in 0..WARP_SIZE {
+                            if mask & (1 << lane) != 0 {
+                                self.pending.vals.push(read_op(&s.regs, val_op, lane));
+                            }
+                        }
+                        self.pending.ops.push(PendingOp::Store {
+                            seg0,
+                            nseg: self.seg_buf.len(),
+                            addr0,
+                            val0,
+                            n: self.addr_buf.len(),
+                        });
                     }
                     MemSpace::Shared => {
                         let degree = bank_conflict_degree(&self.addr_buf);
                         self.stats.mem.shared_accesses += 1;
                         self.stats.mem.bank_conflicts += degree - 1;
+                        for lane in 0..WARP_SIZE {
+                            if mask & (1 << lane) != 0 {
+                                let addr =
+                                    read_op(&s.regs, base, lane).wrapping_add(u.offset as u64);
+                                let v = read_op(&s.regs, val_op, lane);
+                                cta.shared.write(addr, v);
+                            }
+                        }
                     }
-                    MemSpace::Local => {}
-                }
-                for lane in 0..WARP_SIZE {
-                    if mask & (1 << lane) != 0 {
-                        let addr =
-                            read_op(&s.regs, base_reg, lane).wrapping_add(inst.offset as u64);
-                        let v = read_op(&s.regs, val_op, lane);
-                        match space {
-                            MemSpace::Global => global.write(addr, v),
-                            MemSpace::Shared => cta.shared.write(addr, v),
-                            MemSpace::Local => {
+                    MemSpace::Local => {
+                        for lane in 0..WARP_SIZE {
+                            if mask & (1 << lane) != 0 {
+                                let addr =
+                                    read_op(&s.regs, base, lane).wrapping_add(u.offset as u64);
+                                let v = read_op(&s.regs, val_op, lane);
                                 let w = (addr / WORD_BYTES) as usize % s.local_words;
                                 s.local[lane * s.local_words + w] = v;
                             }
@@ -1058,12 +1135,12 @@ impl Sm {
                 s.warp.stack.advance(pc + 1);
             }
             Opcode::Atom(space, aop) => {
-                let base_reg = &inst.srcs[0];
+                let base = u.srcs[0];
                 lane_addresses_into(
                     &mut self.addr_buf,
                     mask,
-                    |l| read_op(&s.regs, base_reg, l),
-                    inst.offset,
+                    |l| read_op(&s.regs, base, l),
+                    u.offset,
                 );
                 // Serialization: the maximum number of lanes contending on
                 // one address. Quadratic over ≤32 lanes beats the old
@@ -1106,7 +1183,7 @@ impl Sm {
                 let replayed = if s.replay_cursor < s.atomic_log.len() {
                     let e = &s.atomic_log[s.replay_cursor];
                     if e.pc == pc && e.mask == mask {
-                        if let Some(d) = inst.dst {
+                        if let Some(d) = u.dst {
                             for lane in 0..WARP_SIZE {
                                 if mask & (1 << lane) != 0 {
                                     s.regs.write(d, lane, e.old[lane]);
@@ -1127,46 +1204,73 @@ impl Sm {
                     false
                 };
                 if !replayed {
-                    // Functional RMW in lane order, logged for replay.
-                    let mut entry = AtomicLogEntry {
-                        pc,
-                        mask,
-                        old: vec![0; WARP_SIZE],
-                    };
-                    for lane in 0..WARP_SIZE {
-                        if mask & (1 << lane) != 0 {
-                            let addr =
-                                read_op(&s.regs, base_reg, lane).wrapping_add(inst.offset as u64);
-                            let operand = read_op(&s.regs, &inst.srcs[1], lane);
-                            let operand2 =
-                                inst.srcs.get(2).map_or(0, |o| read_op(&s.regs, o, lane));
-                            let old = match space {
-                                MemSpace::Global => global.read(addr),
-                                MemSpace::Shared => cta.shared.read(addr),
-                                MemSpace::Local => {
+                    if space == MemSpace::Global {
+                        // Fresh global RMW: the memory reads/writes, the
+                        // log entry and the result writeback defer to
+                        // apply_global. Operand values are captured now so
+                        // the deferred RMW sees issue-time registers.
+                        let lane0 = self.pending.lanes.len();
+                        let addr0 = self.pending.addrs.len();
+                        let val0 = self.pending.vals.len();
+                        let val20 = self.pending.vals2.len();
+                        for lane in 0..WARP_SIZE {
+                            if mask & (1 << lane) != 0 {
+                                self.pending.lanes.push(lane);
+                                self.pending.vals.push(read_op(&s.regs, u.srcs[1], lane));
+                                self.pending.vals2.push(read_op(&s.regs, u.srcs[2], lane));
+                            }
+                        }
+                        self.pending.addrs.extend_from_slice(&self.addr_buf);
+                        self.pending.ops.push(PendingOp::Atom {
+                            slot,
+                            dst: u.dst,
+                            aop,
+                            pc,
+                            mask,
+                            lane0,
+                            addr0,
+                            val0,
+                            val20,
+                            n: self.addr_buf.len(),
+                        });
+                    } else {
+                        // Functional shared/local RMW in lane order, logged
+                        // for replay.
+                        let mut entry = AtomicLogEntry {
+                            pc,
+                            mask,
+                            old: vec![0; WARP_SIZE],
+                        };
+                        for lane in 0..WARP_SIZE {
+                            if mask & (1 << lane) != 0 {
+                                let addr =
+                                    read_op(&s.regs, base, lane).wrapping_add(u.offset as u64);
+                                let operand = read_op(&s.regs, u.srcs[1], lane);
+                                let operand2 = read_op(&s.regs, u.srcs[2], lane);
+                                let old = if space == MemSpace::Shared {
+                                    cta.shared.read(addr)
+                                } else {
                                     let w = (addr / WORD_BYTES) as usize % s.local_words;
                                     s.local[lane * s.local_words + w]
-                                }
-                            };
-                            let (old, new) = eval_atom(aop, old, operand, operand2);
-                            match space {
-                                MemSpace::Global => global.write(addr, new),
-                                MemSpace::Shared => cta.shared.write(addr, new),
-                                MemSpace::Local => {
+                                };
+                                let (old, new) = eval_atom(aop, old, operand, operand2);
+                                if space == MemSpace::Shared {
+                                    cta.shared.write(addr, new);
+                                } else {
                                     let w = (addr / WORD_BYTES) as usize % s.local_words;
                                     s.local[lane * s.local_words + w] = new;
                                 }
-                            }
-                            entry.old[lane] = old;
-                            if let Some(d) = inst.dst {
-                                s.regs.write(d, lane, old);
+                                entry.old[lane] = old;
+                                if let Some(d) = u.dst {
+                                    s.regs.write(d, lane, old);
+                                }
                             }
                         }
+                        s.atomic_log.push(entry);
+                        s.replay_cursor = s.atomic_log.len();
                     }
-                    s.atomic_log.push(entry);
-                    s.replay_cursor = s.atomic_log.len();
                 }
-                if let Some(d) = inst.dst {
+                if let Some(d) = u.dst {
                     s.regs.set_pending(d, finish);
                 }
                 s.warp.stack.advance(pc + 1);
@@ -1178,23 +1282,152 @@ impl Sm {
                 unreachable!("region boundaries are consumed by the scheduler scan")
             }
             _ => {
-                // Computational opcode.
-                let lat = Sm::op_latency(&lat_cfg, inst.op);
-                let dst = inst.dst.expect("compute op has a destination");
+                // Computational opcode. Unused source slots are padded with
+                // `Imm(0)` at lowering time, matching the zero-initialised
+                // operand array the evaluator has always seen.
+                let dst = u.dst.expect("compute op has a destination");
                 for lane in 0..WARP_SIZE {
                     if mask & (1 << lane) != 0 {
-                        let mut srcs = [0; 3];
-                        for (i, o) in inst.srcs.iter().enumerate().take(3) {
-                            srcs[i] = read_op(&s.regs, o, lane);
-                        }
-                        let v = eval(inst.op, srcs);
+                        let srcs = [
+                            read_op(&s.regs, u.srcs[0], lane),
+                            read_op(&s.regs, u.srcs[1], lane),
+                            read_op(&s.regs, u.srcs[2], lane),
+                        ];
+                        let v = eval(u.op, srcs);
                         s.regs.write(dst, lane, v);
                     }
                 }
-                s.regs.set_pending(dst, now + lat);
+                s.regs.set_pending(dst, now + u.lat);
                 s.warp.stack.advance(pc + 1);
             }
         }
+    }
+
+    /// Applies this cycle's deferred global-memory traffic: the L1/L2
+    /// walks with their hit/miss statistics, DRAM reads/writes, global
+    /// atomic RMWs, and load finish-cycle resolution (placeholder MSHR
+    /// patching plus scoreboard completion).
+    ///
+    /// Must be called exactly once after every [`Sm::tick`], in ascending
+    /// SM order across the GPU, before any SM ticks the next cycle. The
+    /// serial and SM-parallel engines share this code path, which is what
+    /// keeps the L2 access order — and therefore every latency, stall and
+    /// cache statistic — bit-identical between them.
+    pub(crate) fn apply_global(&mut self, now: u64, global: &mut GlobalMemory, l2: &mut Cache) {
+        if self.pending.ops.is_empty() {
+            return;
+        }
+        let mut p = std::mem::take(&mut self.pending);
+        for op in &p.ops {
+            match *op {
+                PendingOp::Load {
+                    slot,
+                    dst,
+                    seg0,
+                    nseg,
+                    lane0,
+                    addr0,
+                    n,
+                    port0,
+                    nport,
+                } => {
+                    let mut max_lat = self.latency.l1_hit;
+                    for &seg in &p.segs[seg0..seg0 + nseg] {
+                        let lat = match self.l1.access(seg, true) {
+                            CacheOutcome::Hit => {
+                                self.stats.mem.l1_hits += 1;
+                                self.latency.l1_hit
+                            }
+                            CacheOutcome::Miss => {
+                                self.stats.mem.l1_misses += 1;
+                                match l2.access(seg, true) {
+                                    CacheOutcome::Hit => {
+                                        self.stats.mem.l2_hits += 1;
+                                        self.latency.l2_hit
+                                    }
+                                    CacheOutcome::Miss => {
+                                        self.stats.mem.l2_misses += 1;
+                                        self.latency.dram
+                                    }
+                                }
+                            }
+                        };
+                        max_lat = max_lat.max(lat);
+                    }
+                    let finish = now + max_lat + nseg as u64 - 1;
+                    for i in 0..nport {
+                        self.port.patch(port0 + i, finish);
+                    }
+                    self.tracer.emit(
+                        now,
+                        TraceEvent::MemIssue {
+                            slot: slot as u32,
+                            segments: nseg as u32,
+                            finish,
+                        },
+                    );
+                    let s = self.slots[slot].as_mut().expect("warp live at apply");
+                    for i in 0..n {
+                        let lane = p.lanes[lane0 + i];
+                        let v = global.read(p.addrs[addr0 + i]);
+                        s.regs.write(dst, lane, v);
+                    }
+                    s.regs.complete(dst, finish);
+                }
+                PendingOp::Store {
+                    seg0,
+                    nseg,
+                    addr0,
+                    val0,
+                    n,
+                } => {
+                    for &seg in &p.segs[seg0..seg0 + nseg] {
+                        let _ = self.l1.access(seg, false);
+                        match l2.access(seg, true) {
+                            CacheOutcome::Hit => self.stats.mem.l2_hits += 1,
+                            CacheOutcome::Miss => self.stats.mem.l2_misses += 1,
+                        }
+                    }
+                    for i in 0..n {
+                        global.write(p.addrs[addr0 + i], p.vals[val0 + i]);
+                    }
+                }
+                PendingOp::Atom {
+                    slot,
+                    dst,
+                    aop,
+                    pc,
+                    mask,
+                    lane0,
+                    addr0,
+                    val0,
+                    val20,
+                    n,
+                } => {
+                    let s = self.slots[slot].as_mut().expect("warp live at apply");
+                    let mut entry = AtomicLogEntry {
+                        pc,
+                        mask,
+                        old: vec![0; WARP_SIZE],
+                    };
+                    for i in 0..n {
+                        let lane = p.lanes[lane0 + i];
+                        let addr = p.addrs[addr0 + i];
+                        let old = global.read(addr);
+                        let (old, new) = eval_atom(aop, old, p.vals[val0 + i], p.vals2[val20 + i]);
+                        global.write(addr, new);
+                        entry.old[lane] = old;
+                        if let Some(d) = dst {
+                            s.regs.write(d, lane, old);
+                        }
+                    }
+                    s.atomic_log.push(entry);
+                    s.replay_cursor = s.atomic_log.len();
+                }
+            }
+        }
+        p.clear();
+        self.pending = p;
     }
 
     /// Releases the CTA's barrier when all live warps have arrived.
@@ -1399,8 +1632,7 @@ mod tests {
     use crate::isa::{AtomOp, Cmp};
     use crate::resilience::NullAttachment;
     use crate::warp::RecoveryPoint;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     fn cfg() -> GpuConfig {
         GpuConfig::gtx480()
@@ -1423,6 +1655,22 @@ mod tests {
         )
     }
 
+    /// One full cycle as the engines run it: tick, then the same-cycle
+    /// global-traffic drain.
+    fn tick_full(
+        sm: &mut Sm,
+        now: u64,
+        kernel: &FlatKernel,
+        dims: &LaunchDims,
+        g: &mut GlobalMemory,
+        l2: &mut Cache,
+    ) -> bool {
+        let view = crate::uop::OnDemand::new(kernel, cfg().latency);
+        let r = sm.tick(now, &view, dims);
+        sm.apply_global(now, g, l2);
+        r
+    }
+
     fn run_sm(
         sm: &mut Sm,
         kernel: &FlatKernel,
@@ -1432,7 +1680,7 @@ mod tests {
     ) {
         let mut now = 0;
         while sm.busy() {
-            sm.tick(now, kernel, dims, g, l2);
+            tick_full(sm, now, kernel, dims, g, l2);
             now += 1;
             assert!(now < 1_000_000, "SM did not retire its CTA");
         }
@@ -1486,7 +1734,7 @@ mod tests {
         let k = b.finish().flatten();
         let dims = LaunchDims::linear(1, 32);
         let (mut sm, mut g, mut l2) = mk_sm(&k, &dims);
-        sm.tick(0, &k, &dims, &mut g, &mut l2);
+        tick_full(&mut sm, 0, &k, &dims, &mut g, &mut l2);
         // The slot issued its first instruction at cycle 0.
         assert!(sm.corrupt_recent_write(0, 0, 3, 1));
         assert!(
@@ -1517,11 +1765,11 @@ mod tests {
         // rollback of warp 0 to its entry (pre-barrier) mid-kernel.
         #[derive(Debug, Default)]
         struct Recorder {
-            entries: Rc<RefCell<Vec<(usize, RecoveryPoint)>>>,
+            entries: Arc<Mutex<Vec<(usize, RecoveryPoint)>>>,
         }
         impl SmAttachment for Recorder {
             fn on_warp_launch(&mut self, slot: usize, entry: RecoveryPoint) {
-                self.entries.borrow_mut().push((slot, entry));
+                self.entries.lock().unwrap().push((slot, entry));
             }
             fn on_warp_exit(&mut self, _slot: usize) {}
             fn on_boundary(
@@ -1537,14 +1785,15 @@ mod tests {
             fn on_error(&mut self, _now: u64) -> Vec<(usize, RecoveryPoint)> {
                 // Roll back only warp slot 0 to its entry point.
                 self.entries
-                    .borrow()
+                    .lock()
+                    .unwrap()
                     .iter()
                     .filter(|(s, _)| *s == 0)
                     .cloned()
                     .collect()
             }
         }
-        let entries = Rc::new(RefCell::new(Vec::new()));
+        let entries = Arc::new(Mutex::new(Vec::new()));
         let c = cfg();
         let mut sm = Sm::new(
             0,
@@ -1562,14 +1811,14 @@ mod tests {
         // in flight), then roll warp 0 back to its entry.
         let mut now = 0;
         while g.read(0) == 0 || now < 60 {
-            sm.tick(now, &k, &dims, &mut g, &mut l2);
+            tick_full(&mut sm, now, &k, &dims, &mut g, &mut l2);
             now += 1;
             assert!(now < 100_000);
         }
         sm.recover(now);
         // The CTA must still retire, and the outputs must be correct.
         while sm.busy() {
-            sm.tick(now, &k, &dims, &mut g, &mut l2);
+            tick_full(&mut sm, now, &k, &dims, &mut g, &mut l2);
             now += 1;
             assert!(now < 100_000, "deadlock after rollback across a barrier");
         }
@@ -1625,18 +1874,18 @@ mod tests {
         // Run past the atomic (counter == 32), then roll back to entry.
         let mut now = 0;
         while g.read(0) != 32 {
-            sm.tick(now, &k, &dims, &mut g, &mut l2);
+            tick_full(&mut sm, now, &k, &dims, &mut g, &mut l2);
             now += 1;
             assert!(now < 100_000);
         }
         // A few more cycles into the tail.
         for _ in 0..10 {
-            sm.tick(now, &k, &dims, &mut g, &mut l2);
+            tick_full(&mut sm, now, &k, &dims, &mut g, &mut l2);
             now += 1;
         }
         assert_eq!(sm.recover(now), 1);
         while sm.busy() {
-            sm.tick(now, &k, &dims, &mut g, &mut l2);
+            tick_full(&mut sm, now, &k, &dims, &mut g, &mut l2);
             now += 1;
             assert!(now < 100_000);
         }
@@ -1737,7 +1986,7 @@ mod tests {
             let (mut sm, mut g, mut l2) = mk_sm(k, &dims);
             let mut now = 0;
             while sm.busy() {
-                sm.tick(now, k, &dims, &mut g, &mut l2);
+                tick_full(&mut sm, now, k, &dims, &mut g, &mut l2);
                 now += 1;
             }
             (now, sm.stats().resilience.boundaries)

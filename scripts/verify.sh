@@ -16,6 +16,15 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q under FLAME_SM_JOBS=1 (forced-serial engine)"
+FLAME_SM_JOBS=1 cargo test -q
+
+echo "==> cargo test -q under FLAME_SM_JOBS=4 (forced-parallel engine)"
+FLAME_SM_JOBS=4 cargo test -q
+
+echo "==> bench-smjobs (serial vs predecode vs SM-parallel -> BENCH_pr7.json)"
+cargo run --release -q -p flame-bench --bin bench-smjobs
+
 echo "==> fault-campaign smoke (golden report + journal resume)"
 cargo run --release -q -p flame-bench --bin fault_campaign -- smoke
 

@@ -1,0 +1,156 @@
+//! Equivalence tests for SM-parallel stepping and the pre-decoded
+//! micro-op cache: both must be pure wall-clock levers. Every statistic
+//! the simulator produces — simulated cycles, every stall counter, every
+//! resilience counter — and the output verdict must be bit-identical for
+//! any `sm_jobs` worker count and with pre-decoding on or off.
+//!
+//! The tests set `GpuConfig::sm_jobs` / `GpuConfig::predecode` directly
+//! rather than through the `FLAME_SM_JOBS` / `FLAME_NO_PREDECODE` env
+//! hatches, so they need no process-global lock. (When the env hatches
+//! *are* set — `scripts/verify.sh` runs the whole suite under
+//! `FLAME_SM_JOBS=1` and `=4` — they override the config uniformly, and
+//! the invariants here still hold.)
+
+use flame::core::experiment::{run_scheme, run_with_faults, ExperimentConfig, RunResult};
+use flame::core::scheme::Scheme;
+use flame::sensors::fault::{Strike, StrikeTarget};
+use flame::sim::config::GpuConfig;
+use flame::sim::scheduler::SchedulerKind;
+use flame::workloads::by_abbr;
+
+const WORKLOADS: [&str; 3] = ["Triad", "GUPS", "NN"];
+
+/// Every scheme in the taxonomy: the paper's eight, the baseline, and
+/// the two ablations.
+fn all_schemes() -> Vec<Scheme> {
+    let mut s = vec![
+        Scheme::Baseline,
+        Scheme::SensorRenamingNoOpt,
+        Scheme::NaiveSensorRenaming,
+    ];
+    s.extend(Scheme::paper_schemes());
+    s
+}
+
+fn variant(base: &ExperimentConfig, sm_jobs: usize, predecode: bool) -> ExperimentConfig {
+    let mut cfg = base.clone();
+    cfg.gpu.sm_jobs = sm_jobs;
+    cfg.gpu.predecode = predecode;
+    cfg
+}
+
+fn run_cell(w: &str, scheme: Scheme, cfg: &ExperimentConfig) -> RunResult {
+    let spec = by_abbr(w).expect("known workload");
+    run_scheme(&spec, scheme, cfg).unwrap_or_else(|e| panic!("{w}/{scheme:?}: {e}"))
+}
+
+/// The tentpole invariant, over the full {workload × scheme} grid on the
+/// paper's default platform: `SimStats` bit-identical for
+/// `sm_jobs ∈ {1, 2, 4}` and with the micro-op cache on or off.
+#[test]
+fn stats_bit_identical_across_sm_jobs_and_predecode() {
+    let base = ExperimentConfig::default();
+    for w in WORKLOADS {
+        for scheme in all_schemes() {
+            let reference = run_cell(w, scheme, &variant(&base, 1, true));
+            assert!(
+                reference.output_ok,
+                "{w}/{scheme:?}: reference output check failed"
+            );
+            for (jobs, predecode, tag) in [
+                (1usize, false, "serial, on-demand decode"),
+                (2, true, "2 workers"),
+                (4, true, "4 workers"),
+                (4, false, "4 workers, on-demand decode"),
+            ] {
+                let got = run_cell(w, scheme, &variant(&base, jobs, predecode));
+                let diff = got.stats.diff(&reference.stats);
+                assert!(
+                    diff.is_empty(),
+                    "{w}/{scheme:?} [{tag}]: stats changed {diff:?}"
+                );
+                assert_eq!(got.output_ok, reference.output_ok, "{w}/{scheme:?} [{tag}]");
+            }
+        }
+    }
+}
+
+/// A second architecture, scheduler and a much longer WCDL, so the
+/// window shapes (CTA dispatch pattern, idle stretches the event clock
+/// skips, L2 pressure) are very different.
+#[test]
+fn stats_bit_identical_on_second_platform() {
+    let base = ExperimentConfig {
+        gpu: GpuConfig::rtx2060(),
+        sched: SchedulerKind::Lrr,
+        wcdl: 100,
+        ..ExperimentConfig::default()
+    };
+    for w in WORKLOADS {
+        for scheme in [Scheme::SensorRenaming, Scheme::SensorCheckpointing] {
+            let reference = run_cell(w, scheme, &variant(&base, 1, true));
+            for (jobs, predecode, tag) in [
+                (4usize, true, "4 workers"),
+                (1, false, "serial, on-demand decode"),
+            ] {
+                let got = run_cell(w, scheme, &variant(&base, jobs, predecode));
+                let diff = got.stats.diff(&reference.stats);
+                assert!(
+                    diff.is_empty(),
+                    "{w}/{scheme:?}/{} [{tag}]: stats changed {diff:?}",
+                    base.gpu.name
+                );
+                assert_eq!(got.output_ok, reference.output_ok, "{w}/{scheme:?} [{tag}]");
+            }
+        }
+    }
+}
+
+/// Fault campaigns interact with the GPU at externally scheduled cycles
+/// (strike arrival, detection deadline, watchdog anchor); parallel
+/// stepping must leave every protocol counter and the campaign outcome
+/// bit-identical to serial.
+#[test]
+fn fault_injection_unchanged_by_sm_parallelism() {
+    let base = ExperimentConfig::default();
+    let strikes: Vec<Strike> = (0..6)
+        .map(|i| Strike {
+            cycle: 40 + i * 173,
+            sm: (i as usize) % 2,
+            lane: (i as u8) % 32,
+            bit: (11 * i as u8) % 64,
+            target: if i % 2 == 0 {
+                StrikeTarget::Pipeline
+            } else {
+                StrikeTarget::EccProtected
+            },
+            detection_latency: base.wcdl,
+            detected: true,
+        })
+        .collect();
+    for scheme in [Scheme::SensorRenaming, Scheme::NaiveSensorRenaming] {
+        let spec = by_abbr("Triad").expect("known workload");
+        let serial =
+            run_with_faults(&spec, scheme, &variant(&base, 1, true), &strikes).expect("serial run");
+        let parallel = run_with_faults(&spec, scheme, &variant(&base, 2, true), &strikes)
+            .expect("parallel run");
+        let diff = parallel.run.stats.diff(&serial.run.stats);
+        assert!(diff.is_empty(), "{scheme:?}: parallelism changed {diff:?}");
+        assert_eq!(
+            parallel.corrupted, serial.corrupted,
+            "{scheme:?}: corrupted"
+        );
+        assert_eq!(
+            parallel.detections, serial.detections,
+            "{scheme:?}: detections"
+        );
+        assert_eq!(
+            parallel.recoveries, serial.recoveries,
+            "{scheme:?}: recoveries"
+        );
+        assert_eq!(
+            parallel.run.output_ok, serial.run.output_ok,
+            "{scheme:?}: output verdict"
+        );
+    }
+}
