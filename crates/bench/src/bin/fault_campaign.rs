@@ -9,6 +9,13 @@
 //! fault_campaign smoke            # pinned-histogram + resume smoke test
 //! fault_campaign fork-smoke       # fork on/off histogram equality check
 //! fault_campaign bench-fork       # late-strike speedup -> BENCH_pr6.json
+//! fault_campaign --shards 4 --kill-after 2
+//!                                 # crash drill: SIGKILL + abort shard
+//!                                 # workers mid-campaign, resume, diff
+//!                                 # the merged histogram vs serial
+//! fault_campaign shard-worker --dir D --shards N --worker-id ID
+//!                                 # one lease-claiming shard worker
+//!                                 # process (spawned by the drill)
 //! ```
 //!
 //! The sweep bombards one workload at several sensor-coverage levels and
@@ -26,8 +33,11 @@
 //! `fork-smoke` asserts exactly that.
 
 use flame_core::experiment::{run_scheme, ExperimentConfig, ProtocolConfig, WorkloadSpec};
-use flame_core::runner::{run_campaign_runner, CampaignSpec, CampaignSummary};
+use flame_core::runner::{
+    run_campaign_runner, CampaignSpec, CampaignSummary, RetryPolicy, SelfFault,
+};
 use flame_core::scheme::Scheme;
+use flame_core::shard::{merge_shards, run_shard_worker, run_sharded_campaign, ShardOptions};
 use flame_core::Outcome;
 use gpu_sim::builder::KernelBuilder;
 use gpu_sim::isa::{MemSpace, Special};
@@ -84,6 +94,9 @@ fn spec_for(cfg: &ExperimentConfig, horizon: u64, coverage: f64, runs: usize) ->
         scheme: Scheme::SensorRenaming,
         cfg: cfg.clone(),
         proto: ProtocolConfig::default(),
+        watchdog: 0,
+        retry: RetryPolicy::default(),
+        self_fault: SelfFault::default(),
     }
 }
 
@@ -440,11 +453,253 @@ fn bench_fork(runs: usize) {
     );
 }
 
+/// Directory the crash drill stages its shard journals, leases, and
+/// (on failure) divergence reports in; CI uploads it as an artifact
+/// when the gate fails.
+const DRILL_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/crash-drill");
+
+/// The spec every drill participant (serial reference, worker
+/// processes, resuming supervisor) independently reconstructs. The
+/// clean-run horizon and the `FLAME_POISON_SEEDS`/`FLAME_FLAKY_SEEDS`
+/// environment are deterministic inputs, so all processes agree on the
+/// spec — and therefore on the journal fingerprint.
+fn drill_spec(w: &WorkloadSpec) -> CampaignSpec {
+    let cfg = ExperimentConfig {
+        max_cycles: 20_000_000,
+        ..ExperimentConfig::default()
+    };
+    let clean = run_scheme(w, Scheme::SensorRenaming, &cfg).expect("clean run failed");
+    CampaignSpec {
+        self_fault: SelfFault::from_env(),
+        ..spec_for(&cfg, clean.stats.cycles * 3 / 4, SMOKE_COVERAGE, SMOKE_RUNS)
+    }
+}
+
+/// Silences the default panic hook for the panics the drill *injects*
+/// (`self-fault injection: ...`), which are caught by the runner and
+/// would otherwise spray backtraces over the drill output. Genuine
+/// panics keep the default hook behaviour.
+fn install_quiet_self_fault_hook() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .is_some_and(|m| m.contains("self-fault injection"));
+        if !injected {
+            default(info);
+        }
+    }));
+}
+
+/// Entry point for one lease-claiming shard-worker **process** — what
+/// the crash drill spawns (and kills). Runs the worker loop until the
+/// whole campaign is complete, honouring `FLAME_SHARD_CRASH_AFTER` (a
+/// drill knob that hard-aborts the process after that many seeds, like
+/// a `kill -9` it cannot see coming).
+fn shard_worker_main(dir: &std::path::Path, shards: usize, worker_id: &str, ttl_ms: u64) {
+    install_quiet_self_fault_hook();
+    let w = smoke_workload();
+    let spec = drill_spec(&w);
+    let ttl = std::time::Duration::from_millis(ttl_ms.max(1));
+    let opts = ShardOptions {
+        worker_id: worker_id.to_string(),
+        lease_ttl: ttl,
+        heartbeat: ttl / 4,
+        crash_after: std::env::var("FLAME_SHARD_CRASH_AFTER")
+            .ok()
+            .and_then(|v| v.parse().ok()),
+        ..ShardOptions::new(shards)
+    };
+    match run_shard_worker(&w, &spec, dir, &opts) {
+        Ok(rep) => println!(
+            "shard-worker {worker_id}: claimed {} shards, ran {} seeds, lost {} leases",
+            rep.shards_claimed, rep.seeds_run, rep.leases_lost
+        ),
+        Err(e) => fail(&format!("shard-worker {worker_id}: {e}")),
+    }
+}
+
+/// The crash-injection drill `scripts/verify.sh` gates on: runs the
+/// smoke campaign sharded across real worker **processes**, kills two
+/// of them mid-campaign two different ways — one `SIGKILL`ed by the
+/// parent, one hard-aborting itself after `kill_after` seeds — lets
+/// the survivors reclaim the orphaned leases, resumes/merges, and
+/// asserts the merged report is byte-identical to a single-process
+/// serial run of the same spec. One seed is poisoned throughout
+/// (`FLAME_POISON_SEEDS`), so the drill also proves a
+/// repeatedly-panicking seed is quarantined as `Due` on both paths
+/// instead of stalling its shard.
+fn crash_drill(shards: usize, kill_after: usize, ttl_ms: u64) {
+    install_quiet_self_fault_hook();
+    let dir = std::path::Path::new(DRILL_DIR);
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| fail(&format!("cannot create {DRILL_DIR}: {e}")));
+
+    // Poison one mid-campaign seed for every participant: the drill
+    // proves quarantine keeps sharded and serial runs bit-identical.
+    let poison_seed = 0x5EED + 5;
+    std::env::set_var("FLAME_POISON_SEEDS", poison_seed.to_string());
+
+    let w = smoke_workload();
+    let spec = drill_spec(&w);
+    println!(
+        "crash-drill: {SMOKE_RUNS} seeds over {shards} shards, ttl {ttl_ms} ms, \
+         abort worker after {kill_after} seeds, SIGKILL one worker, poison seed {poison_seed}"
+    );
+
+    // Serial reference in this process — the golden the merged sharded
+    // report must match byte for byte.
+    let reference = run_campaign_runner(&w, &spec, None).expect("serial reference failed");
+
+    // One worker process per shard. Worker 0 aborts itself after
+    // `kill_after` seeds (deterministic mid-shard death); worker 1 is
+    // SIGKILLed by us shortly after launch (asynchronous death).
+    let exe = std::env::current_exe().expect("current_exe");
+    let spawn = |i: usize, crash_after: Option<usize>| {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.args([
+            "shard-worker",
+            "--dir",
+            DRILL_DIR,
+            "--shards",
+            &shards.to_string(),
+            "--ttl-ms",
+            &ttl_ms.to_string(),
+            "--worker-id",
+            &format!("drill-w{i}"),
+        ]);
+        if let Some(n) = crash_after {
+            cmd.env("FLAME_SHARD_CRASH_AFTER", n.to_string());
+        }
+        cmd.spawn()
+            .unwrap_or_else(|e| fail(&format!("cannot spawn shard worker: {e}")))
+    };
+    let mut children: Vec<std::process::Child> = (0..shards)
+        .map(|i| spawn(i, (i == 0).then_some(kill_after)))
+        .collect();
+
+    // Give worker 1 time to claim a shard and start simulating, then
+    // SIGKILL it — no unwinding, no lease release, journal cut at the
+    // last fsynced line.
+    if children.len() > 1 {
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        let _ = children[1].kill();
+    }
+    let mut died = 0;
+    for (i, c) in children.iter_mut().enumerate() {
+        let status = c.wait().expect("wait on shard worker");
+        if !status.success() {
+            died += 1;
+        }
+        println!("crash-drill: worker {i} exited with {status}");
+    }
+    if died == 0 {
+        fail("crash-drill killed no worker — nothing was drilled");
+    }
+
+    // Resume on the same directory: the supervisor claims whatever the
+    // dead workers orphaned (waiting out still-fresh leases) and merges
+    // the shard journals into one summary.
+    let ttl = std::time::Duration::from_millis(ttl_ms.max(1));
+    let opts = ShardOptions {
+        worker_id: "drill-resume".to_string(),
+        lease_ttl: ttl,
+        heartbeat: ttl / 4,
+        ..ShardOptions::new(shards)
+    };
+    let merged = run_sharded_campaign(&w, &spec, dir, &opts, 2).expect("resume failed");
+
+    if reference.render() != merged.render() || reference.records != merged.records {
+        // Keep the journals and write both reports for the CI artifact.
+        let _ = std::fs::write(dir.join("serial_reference.txt"), reference.render());
+        let _ = std::fs::write(dir.join("sharded_merged.txt"), merged.render());
+        eprintln!(
+            "--- serial ---\n{}\n--- sharded ---\n{}",
+            reference.render(),
+            merged.render()
+        );
+        fail("sharded crash-drill report diverged from the serial run");
+    }
+    let q = merged
+        .records
+        .iter()
+        .find(|r| r.seed == poison_seed)
+        .unwrap_or_else(|| fail("poison seed missing from merged report"));
+    if !q.quarantined || q.outcome != Outcome::Due {
+        fail(&format!(
+            "poison seed {poison_seed} not quarantined as Due (got {:?}, quarantined={})",
+            q.outcome, q.quarantined
+        ));
+    }
+    let _ = std::fs::remove_dir_all(dir);
+    println!(
+        "crash-drill ok: {died}/{shards} workers died, histogram {:?}, \
+         merged report bit-identical to serial, seed {poison_seed} quarantined as Due",
+        merged.counts
+    );
+}
+
+/// Re-merges an existing drill directory without running anything —
+/// handy when inspecting a failed drill's artifacts.
+fn merge_only(shards: usize) {
+    let w = smoke_workload();
+    let spec = drill_spec(&w);
+    let (summary, missing) =
+        merge_shards(&w, &spec, std::path::Path::new(DRILL_DIR), shards).expect("merge failed");
+    println!("{}", summary.render());
+    if !missing.is_empty() {
+        println!("missing {} seeds: {missing:?}", missing.len());
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("smoke") => {
             smoke();
+            return;
+        }
+        Some("shard-worker") => {
+            let mut dir = None;
+            let mut shards = 4usize;
+            let mut worker_id = format!("pid{}", std::process::id());
+            let mut ttl_ms = 30_000u64;
+            let mut it = args.iter().skip(1);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--dir" => dir = it.next().cloned(),
+                    "--shards" => {
+                        shards = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| fail("--shards needs a positive integer"));
+                    }
+                    "--worker-id" => {
+                        worker_id = it
+                            .next()
+                            .cloned()
+                            .unwrap_or_else(|| fail("--worker-id needs a value"));
+                    }
+                    "--ttl-ms" => {
+                        ttl_ms = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| fail("--ttl-ms needs a positive integer"));
+                    }
+                    other => fail(&format!("unknown shard-worker argument {other:?}")),
+                }
+            }
+            let dir = dir.unwrap_or_else(|| fail("shard-worker needs --dir"));
+            shard_worker_main(std::path::Path::new(&dir), shards, &worker_id, ttl_ms);
+            return;
+        }
+        Some("merge") => {
+            let shards = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(4);
+            merge_only(shards);
             return;
         }
         Some("fork-smoke") => {
@@ -467,6 +722,9 @@ fn main() {
     let mut runs = 100usize;
     let mut fork_points = DEFAULT_FORK_POINTS;
     let mut workload: Option<WorkloadSpec> = None;
+    let mut shards: Option<usize> = None;
+    let mut kill_after = 2usize;
+    let mut ttl_ms = 2_000u64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -486,6 +744,26 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| fail("--fork-points needs a non-negative integer"));
             }
+            "--shards" => {
+                shards = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&s: &usize| s >= 2)
+                        .unwrap_or_else(|| fail("--shards needs an integer >= 2")),
+                );
+            }
+            "--kill-after" => {
+                kill_after = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--kill-after needs a positive integer"));
+            }
+            "--ttl-ms" => {
+                ttl_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("--ttl-ms needs a positive integer"));
+            }
             "--workload" => {
                 let abbr = it
                     .next()
@@ -497,6 +775,11 @@ fn main() {
             }
             other => fail(&format!("unknown argument {other:?} (try `smoke`)")),
         }
+    }
+    if let Some(shards) = shards {
+        // `--shards N --kill-after n` runs the crash-injection drill.
+        crash_drill(shards, kill_after, ttl_ms);
+        return;
     }
     let w = workload.unwrap_or_else(smoke_workload);
     sweep(&w, runs, fork_points);

@@ -1,0 +1,128 @@
+//! Process-level crash drills for the sharded campaign supervisor,
+//! driving the real `fault_campaign` binary: workers are separate OS
+//! processes that get `SIGKILL`ed and hard-abort mid-campaign, exactly
+//! like the verify.sh gate — nothing in-process to soften the blow.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn exe() -> &'static str {
+    env!("CARGO_BIN_EXE_fault_campaign")
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("flame_crash_drill_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Acceptance drill: `fault_campaign --shards 3 --kill-after 2` must
+/// SIGKILL/abort workers mid-campaign, resume, verify the merged
+/// histogram against its in-process serial run, and exit 0. All the
+/// bit-identity assertions live inside the drill; the test asserts the
+/// drill passes as a whole.
+#[test]
+fn crash_drill_passes_end_to_end() {
+    let out = Command::new(exe())
+        .args(["--shards", "3", "--kill-after", "2", "--ttl-ms", "1200"])
+        .output()
+        .expect("spawn fault_campaign drill");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "drill failed\n--- stdout ---\n{stdout}\n--- stderr ---\n{stderr}"
+    );
+    assert!(stdout.contains("crash-drill ok"), "{stdout}");
+    assert!(
+        stdout.contains("bit-identical to serial"),
+        "drill did not verify bit-identity:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("quarantined as Due"),
+        "drill did not verify quarantine:\n{stdout}"
+    );
+}
+
+/// A single shard-worker process on a fresh directory completes the
+/// whole campaign by itself (claims every shard in turn) and leaves one
+/// spec-fingerprinted journal per shard behind.
+#[test]
+fn lone_worker_process_completes_all_shards() {
+    let dir = tmp_dir("lone");
+    let out = Command::new(exe())
+        .args([
+            "shard-worker",
+            "--dir",
+            dir.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--worker-id",
+            "lone",
+            "--ttl-ms",
+            "5000",
+        ])
+        .output()
+        .expect("spawn shard worker");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(
+        stdout.contains("claimed 2 shards, ran 24 seeds"),
+        "{stdout}"
+    );
+    for k in 0..2 {
+        let journal = dir.join(format!("shard-{k:04}.jsonl"));
+        let text = std::fs::read_to_string(&journal).expect("shard journal missing");
+        assert!(
+            text.starts_with("{\"flame_campaign\":1,"),
+            "journal lacks the spec fingerprint header"
+        );
+        assert_eq!(text.lines().count(), 1 + 12, "shard {k} journal incomplete");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `FLAME_SHARD_CRASH_AFTER` hard-aborts the worker process (no
+/// unwinding, no lease release) after the given number of seeds — the
+/// knob the drill uses to die deterministically mid-shard.
+#[cfg(unix)]
+#[test]
+fn crash_after_knob_aborts_the_process() {
+    use std::os::unix::process::ExitStatusExt;
+    let dir = tmp_dir("abort");
+    let out = Command::new(exe())
+        .args([
+            "shard-worker",
+            "--dir",
+            dir.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--worker-id",
+            "doomed",
+            "--ttl-ms",
+            "60000",
+        ])
+        .env("FLAME_SHARD_CRASH_AFTER", "1")
+        .output()
+        .expect("spawn shard worker");
+    assert!(!out.status.success());
+    assert_eq!(
+        out.status.signal(),
+        Some(libc_sigabrt()),
+        "worker should die by abort, got {:?}",
+        out.status
+    );
+    // The journal holds exactly the seed fsynced before death, and the
+    // unreleased lease still names the dead worker.
+    let journal = std::fs::read_to_string(dir.join("shard-0000.jsonl")).unwrap();
+    assert_eq!(journal.lines().count(), 1 + 1, "header + one record");
+    let lease = std::fs::read_to_string(dir.join("shard-0000.lease")).unwrap();
+    assert!(lease.contains("\"owner\":\"doomed\""), "{lease}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(unix)]
+fn libc_sigabrt() -> i32 {
+    6
+}

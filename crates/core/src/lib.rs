@@ -20,6 +20,11 @@
 //! * [`matrix`] — the parallel experiment-matrix engine fanning
 //!   independent `(workload, scheme, config)` cells across scoped worker
 //!   threads, with per-matrix baseline memoization;
+//! * [`runner`] — the resumable multi-seed campaign runner (JSONL
+//!   journal, per-seed retry/backoff and poison-seed quarantine);
+//! * [`shard`] — the crash-tolerant sharded campaign supervisor:
+//!   lease-claimed seed shards, stale-lease reclamation with epoch
+//!   fencing, and deterministic merge back into one summary;
 //! * [`report`] — hardware-cost and region-size reporting (§VI-A, §IV).
 //!
 //! ```
@@ -65,6 +70,7 @@ pub mod rpt;
 pub mod runner;
 pub mod runtime;
 pub mod scheme;
+pub mod shard;
 
 pub use campaign::{
     classify, run_campaign, run_campaign_with_baseline, Campaign, CampaignReport, Outcome,
@@ -80,8 +86,12 @@ pub use rbq::Rbq;
 pub use rpt::Rpt;
 pub use runner::{
     run_campaign_runner, run_campaign_runner_with_jobs, run_one_seed, run_one_seed_forked,
-    strikes_for_seed, trace_one_seed, wilson_interval, CampaignSpec, CampaignSummary, RunRecord,
-    RunnerError,
+    run_one_seed_retrying, strikes_for_seed, trace_one_seed, wilson_interval, CampaignSpec,
+    CampaignSummary, RetryPolicy, RunRecord, RunnerError, SelfFault,
 };
 pub use runtime::{FlameUnit, VerificationMode};
 pub use scheme::Scheme;
+pub use shard::{
+    merge_shards, run_shard_worker, run_sharded_campaign, ShardClaim, ShardOptions, ShardPlan,
+    WorkerReport,
+};

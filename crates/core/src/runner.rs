@@ -39,6 +39,105 @@ use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
+use std::time::Duration;
+
+/// Bounded-retry policy for per-seed robustness: how many times a
+/// crashing seed is re-attempted (and a failed journal append is
+/// re-written) before giving up, and the base of the exponential
+/// backoff between attempts.
+///
+/// Retries are **telemetry-neutral by construction**: a genuine
+/// in-process panic is a deterministic function of the seed, so every
+/// attempt fails identically and the final record is the same whatever
+/// `max_attempts` is — which is why the policy is deliberately excluded
+/// from the journal fingerprint, like [`CampaignSpec::fork_points`].
+/// The policy earns its keep against *transient* failures (journal I/O
+/// hiccups, the self-fault-injection drills of [`SelfFault`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Attempts per seed (and per journal append) before quarantine.
+    /// Clamped to at least 1.
+    pub max_attempts: u32,
+    /// Base backoff in milliseconds; attempt `k` sleeps
+    /// `backoff_ms << (k-1)` (capped at 64× the base). `0` disables
+    /// sleeping, which tests use to keep retries instant.
+    pub backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_ms: 10,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before re-attempting after failure number `attempt`
+    /// (1-based): exponential in the attempt, capped at 64× the base.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        Duration::from_millis(
+            self.backoff_ms
+                .saturating_mul(1u64 << attempt.saturating_sub(1).min(6)),
+        )
+    }
+}
+
+/// Self-fault injection for the campaign runner itself: the repo's
+/// fault-injection philosophy applied to its own campaign machinery.
+/// Seeds listed here fail *inside the runner* (a deliberate panic in
+/// the per-seed `catch_unwind` scope), driving the retry/backoff and
+/// poison-quarantine paths that real crashes would otherwise exercise
+/// only by accident. Empty by default. Unlike the retry policy this
+/// **does** change records (a poisoned seed lands as `Due`), so a
+/// non-empty injection set enters the journal fingerprint — a drill
+/// journal can never be mistaken for (or resumed into) a clean one.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SelfFault {
+    /// Seeds that panic on **every** attempt — they exhaust the retry
+    /// budget and land in quarantine (`Due`, `quarantined: true`).
+    pub poison: Vec<u64>,
+    /// `(seed, failures)` pairs that panic on the first `failures`
+    /// attempts and then succeed — they exercise retry-then-recover.
+    pub flaky: Vec<(u64, u32)>,
+}
+
+impl SelfFault {
+    /// Whether attempt number `attempt` (1-based) of `seed` should be
+    /// made to fail.
+    pub fn should_fail(&self, seed: u64, attempt: u32) -> bool {
+        self.poison.contains(&seed)
+            || self
+                .flaky
+                .iter()
+                .any(|&(s, fails)| s == seed && attempt <= fails)
+    }
+
+    /// Whether any injection is configured.
+    pub fn is_empty(&self) -> bool {
+        self.poison.is_empty() && self.flaky.is_empty()
+    }
+
+    /// Builds the injection set from the environment, for process-level
+    /// drills: `FLAME_POISON_SEEDS="7,9"` (always-failing seeds) and
+    /// `FLAME_FLAKY_SEEDS="12:1,30:2"` (`seed:failures` pairs).
+    /// Unparseable entries are ignored.
+    pub fn from_env() -> SelfFault {
+        let mut out = SelfFault::default();
+        if let Ok(v) = std::env::var("FLAME_POISON_SEEDS") {
+            out.poison
+                .extend(v.split(',').filter_map(|s| s.trim().parse::<u64>().ok()));
+        }
+        if let Ok(v) = std::env::var("FLAME_FLAKY_SEEDS") {
+            out.flaky.extend(v.split(',').filter_map(|s| {
+                let (seed, fails) = s.trim().split_once(':')?;
+                Some((seed.parse::<u64>().ok()?, fails.parse::<u32>().ok()?))
+            }));
+        }
+        out
+    }
+}
 
 /// Everything that determines a campaign's results. Two specs with equal
 /// fields produce byte-identical summaries.
@@ -76,6 +175,21 @@ pub struct CampaignSpec {
     pub cfg: ExperimentConfig,
     /// Recovery-protocol budgets.
     pub proto: ProtocolConfig,
+    /// Forward-progress watchdog horizon override, in cycles. `0`
+    /// inherits [`ProtocolConfig::hang_window`] (the default, so legacy
+    /// specs are unchanged); a nonzero value — or the `FLAME_WATCHDOG`
+    /// environment variable, which wins over both — replaces it. The
+    /// effective value enters the journal fingerprint only when it
+    /// differs from the protocol default; see
+    /// [`CampaignSpec::effective_hang_window`].
+    pub watchdog: u64,
+    /// Per-seed retry/backoff policy. Telemetry-only (excluded from the
+    /// fingerprint): deterministic crashes re-crash identically, so the
+    /// records cannot depend on it.
+    pub retry: RetryPolicy,
+    /// Runner self-fault injection (drills only; empty by default,
+    /// fingerprinted only when non-empty).
+    pub self_fault: SelfFault,
 }
 
 impl CampaignSpec {
@@ -120,7 +234,63 @@ impl CampaignSpec {
                 self.strike_window.1.to_bits()
             );
         }
+        // The watchdog override enters only when it actually changes the
+        // effective horizon, so default campaigns keep the legacy header
+        // and old journals stay resumable.
+        let wd = self.effective_hang_window();
+        if wd != self.proto.hang_window {
+            s.pop();
+            let _ = write!(s, ",\"watchdog\":{wd}}}");
+        }
+        // A self-fault drill changes records; fence its journals off.
+        if !self.self_fault.is_empty() {
+            s.pop();
+            let _ = write!(s, ",\"self_fault\":\"");
+            for (i, seed) in self.self_fault.poison.iter().enumerate() {
+                let _ = write!(s, "{}p{seed}", if i > 0 { ";" } else { "" });
+            }
+            for (i, (seed, fails)) in self.self_fault.flaky.iter().enumerate() {
+                let sep = if i > 0 || !self.self_fault.poison.is_empty() {
+                    ";"
+                } else {
+                    ""
+                };
+                let _ = write!(s, "{sep}f{seed}:{fails}");
+            }
+            let _ = write!(s, "\"}}");
+        }
         s
+    }
+
+    /// The forward-progress watchdog horizon this campaign actually
+    /// runs with: the `FLAME_WATCHDOG` environment variable (cycles)
+    /// when set and nonzero, else [`CampaignSpec::watchdog`] when
+    /// nonzero, else [`ProtocolConfig::hang_window`]. Keep the
+    /// environment variable constant for the life of a campaign — it
+    /// participates in the journal fingerprint when non-default.
+    pub fn effective_hang_window(&self) -> u64 {
+        if let Some(v) = std::env::var("FLAME_WATCHDOG")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+        {
+            if v > 0 {
+                return v;
+            }
+        }
+        if self.watchdog > 0 {
+            self.watchdog
+        } else {
+            self.proto.hang_window
+        }
+    }
+
+    /// [`CampaignSpec::proto`] with the effective watchdog horizon
+    /// substituted — what every seeded run is actually driven with.
+    pub fn effective_proto(&self) -> ProtocolConfig {
+        ProtocolConfig {
+            hang_window: self.effective_hang_window(),
+            ..self.proto
+        }
     }
 
     /// The absolute cycle bounds `[lo, hi)` strikes are drawn from:
@@ -185,6 +355,13 @@ pub struct RunRecord {
     /// Whether a checkpoint at or before the first strike existed when
     /// this run was scheduled (`fork_cycle > 0` implies `fork_hit`).
     pub fork_hit: bool,
+    /// Attempts this seed took (1 = first try succeeded). Telemetry
+    /// only; `1` on records loaded from pre-retry journals.
+    pub attempts: u64,
+    /// The seed crashed on every attempt and was quarantined: recorded
+    /// as [`Outcome::Due`] so the shard keeps moving instead of
+    /// stalling on a poison seed. Telemetry flag; implies `crashed`.
+    pub quarantined: bool,
 }
 
 impl RunRecord {
@@ -196,7 +373,8 @@ impl RunRecord {
                 "{{\"seed\":{},\"outcome\":\"{}\",\"injected\":{},",
                 "\"undetected\":{},\"recoveries\":{},\"nested\":{},",
                 "\"cta\":{},\"kernel\":{},\"cycles\":{},\"crashed\":{},",
-                "\"fork_cycle\":{},\"sim_cycles\":{},\"fork_hit\":{}}}"
+                "\"fork_cycle\":{},\"sim_cycles\":{},\"fork_hit\":{},",
+                "\"attempts\":{},\"quarantined\":{}}}"
             ),
             self.seed,
             self.outcome.name(),
@@ -211,6 +389,8 @@ impl RunRecord {
             self.fork_cycle,
             self.sim_cycles,
             self.fork_hit,
+            self.attempts,
+            self.quarantined,
         )
     }
 
@@ -237,6 +417,8 @@ impl RunRecord {
             fork_cycle: json_u64(line, "fork_cycle").unwrap_or(0),
             sim_cycles: json_u64(line, "sim_cycles").unwrap_or(0),
             fork_hit: json_bool(line, "fork_hit").unwrap_or(false),
+            attempts: json_u64(line, "attempts").unwrap_or(1),
+            quarantined: json_bool(line, "quarantined").unwrap_or(false),
         })
     }
 }
@@ -247,7 +429,7 @@ fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     Some(&line[at..])
 }
 
-fn json_u64(line: &str, key: &str) -> Option<u64> {
+pub(crate) fn json_u64(line: &str, key: &str) -> Option<u64> {
     let rest = json_field(line, key)?;
     let end = rest
         .find(|c: char| !c.is_ascii_digit())
@@ -255,7 +437,7 @@ fn json_u64(line: &str, key: &str) -> Option<u64> {
     rest[..end].parse().ok()
 }
 
-fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let rest = json_field(line, key)?.strip_prefix('"')?;
     rest.split('"').next()
 }
@@ -369,6 +551,23 @@ impl CampaignSummary {
             out,
             "escalations: cta_relaunches={cta} kernel_relaunches={kernel} crashed_runs={crashed}"
         );
+        // Runner-robustness telemetry, printed only when a seed actually
+        // retried or was quarantined so clean campaigns render exactly
+        // as they always have.
+        let retried = self.records.iter().filter(|r| r.attempts > 1).count();
+        let quarantined = self.records.iter().filter(|r| r.quarantined).count();
+        if retried > 0 || quarantined > 0 {
+            let extra: u64 = self
+                .records
+                .iter()
+                .map(|r| r.attempts.saturating_sub(1))
+                .sum();
+            let _ = writeln!(
+                out,
+                "robustness: retried_runs={retried} extra_attempts={extra} \
+                 quarantined_runs={quarantined}"
+            );
+        }
         // Fork-acceleration telemetry, printed only when at least one run
         // actually forked so fork-disabled (and pre-fork) renders stay
         // byte-identical to the legacy format.
@@ -440,21 +639,35 @@ pub fn run_one_seed_forked(
     seed: u64,
     checkpoints: &[Snapshot],
 ) -> RunRecord {
+    run_one_seed_attempt(w, spec, seed, checkpoints, 1)
+}
+
+/// One attempt of one seed. Attempt numbers only matter to the
+/// [`SelfFault`] drill hook — a genuine simulation is identical on every
+/// attempt.
+fn run_one_seed_attempt(
+    w: &WorkloadSpec,
+    spec: &CampaignSpec,
+    seed: u64,
+    checkpoints: &[Snapshot],
+    attempt: u32,
+) -> RunRecord {
+    let proto = spec.effective_proto();
     let result = catch_unwind(AssertUnwindSafe(|| {
+        // Self-fault injection: the campaign layer drilling its own
+        // crash paths, inside the same catch_unwind isolation a real
+        // diseased seed would hit.
+        assert!(
+            !spec.self_fault.should_fail(seed, attempt),
+            "self-fault injection: seed {seed} attempt {attempt}"
+        );
         let strikes = strikes_for_seed(spec, seed);
         let first = strikes.first().map_or(u64::MAX, |s| s.cycle);
         let cp = checkpoints
             .iter()
             .filter(|c| c.cycle() <= first)
             .max_by_key(|c| c.cycle());
-        crate::experiment::run_with_protocol_forked(
-            w,
-            spec.scheme,
-            &spec.cfg,
-            &strikes,
-            &spec.proto,
-            cp,
-        )
+        crate::experiment::run_with_protocol_forked(w, spec.scheme, &spec.cfg, &strikes, &proto, cp)
     }));
     match result {
         Ok(Ok((r, _mem, fork))) => RunRecord {
@@ -471,6 +684,8 @@ pub fn run_one_seed_forked(
             fork_cycle: fork.fork_cycle,
             sim_cycles: fork.simulated_cycles,
             fork_hit: fork.fork_cycle > 0,
+            attempts: u64::from(attempt),
+            quarantined: false,
         },
         // A launch/alloc error or a panic is a crash: the campaign
         // records it as a detected-unrecoverable run and moves on.
@@ -488,7 +703,38 @@ pub fn run_one_seed_forked(
             fork_cycle: 0,
             sim_cycles: 0,
             fork_hit: false,
+            attempts: u64::from(attempt),
+            quarantined: false,
         },
+    }
+}
+
+/// Simulates one seed under the spec's [`RetryPolicy`]: a crashed
+/// attempt (panic or launch failure) is retried with exponential
+/// backoff; a seed still crashing after `max_attempts` tries is a
+/// **poison seed** and is quarantined — recorded as [`Outcome::Due`]
+/// with the `quarantined` telemetry flag so the campaign (or its shard)
+/// keeps moving instead of stalling on it. This is the entry point both
+/// the serial runner and the sharded workers use.
+pub fn run_one_seed_retrying(
+    w: &WorkloadSpec,
+    spec: &CampaignSpec,
+    seed: u64,
+    checkpoints: &[Snapshot],
+) -> RunRecord {
+    let max = spec.retry.max_attempts.max(1);
+    let mut attempt = 1u32;
+    loop {
+        let mut rec = run_one_seed_attempt(w, spec, seed, checkpoints, attempt);
+        if !rec.crashed {
+            return rec;
+        }
+        if attempt >= max {
+            rec.quarantined = true;
+            return rec;
+        }
+        thread::sleep(spec.retry.backoff(attempt));
+        attempt += 1;
     }
 }
 
@@ -522,7 +768,7 @@ pub fn trace_one_seed(
         spec.scheme,
         &spec.cfg,
         &strikes,
-        &spec.proto,
+        &spec.effective_proto(),
         capacity,
     )
 }
@@ -550,7 +796,11 @@ fn fork_grid(spec: &CampaignSpec) -> Vec<u64> {
 /// invariance — and the checkpoints actually reached (a grid cycle past
 /// kernel completion yields none). A launch failure or cycle-budget
 /// timeout yields `(0, [])`, matching the legacy baseline's behavior.
-fn clean_baseline(w: &WorkloadSpec, spec: &CampaignSpec, grid: &[u64]) -> (u64, Vec<Snapshot>) {
+pub(crate) fn clean_baseline(
+    w: &WorkloadSpec,
+    spec: &CampaignSpec,
+    grid: &[u64],
+) -> (u64, Vec<Snapshot>) {
     let Ok((mut gpu, _compile)) = crate::experiment::prepare_scheme(w, spec.scheme, &spec.cfg)
     else {
         return (0, Vec::new());
@@ -578,10 +828,81 @@ fn clean_baseline(w: &WorkloadSpec, spec: &CampaignSpec, grid: &[u64]) -> (u64, 
     (gpu.cycle(), snaps)
 }
 
+/// A destination journal lines are appended to. `File` is the real
+/// sink; tests substitute failure-injecting fakes to pin the bounded
+/// retry/backoff behaviour of [`append_with_retry`].
+pub(crate) trait JournalSink {
+    /// Appends raw bytes.
+    fn write_line(&mut self, payload: &str) -> std::io::Result<()>;
+    /// Forces the bytes to stable storage.
+    fn sync(&mut self) -> std::io::Result<()>;
+}
+
+impl JournalSink for File {
+    fn write_line(&mut self, payload: &str) -> std::io::Result<()> {
+        self.write_all(payload.as_bytes())
+    }
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.sync_data()
+    }
+}
+
+/// Appends `line` (no trailing newline) to the journal and fsyncs it,
+/// retrying transient write errors with the policy's bounded
+/// exponential backoff instead of giving up on the first hiccup. Every
+/// retry starts the record on a fresh line: a previous attempt may have
+/// landed partially, and a stray malformed fragment is harmlessly
+/// dropped at load time, whereas a merged fragment could parse as a
+/// wrong record. Callers only update their in-memory dedup state after
+/// this returns `Ok` — a crash at any point therefore at worst re-runs
+/// the seed, never loses or double-counts it.
+pub(crate) fn append_with_retry<S: JournalSink>(
+    sink: &mut S,
+    line: &str,
+    policy: RetryPolicy,
+) -> std::io::Result<()> {
+    let max = policy.max_attempts.max(1);
+    let mut payload = format!("{line}\n");
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        match sink.write_line(&payload).and_then(|()| sink.sync()) {
+            Ok(()) => return Ok(()),
+            Err(e) if attempt >= max => return Err(e),
+            Err(_) => {
+                payload = format!("\n{line}\n");
+                thread::sleep(policy.backoff(attempt));
+            }
+        }
+    }
+}
+
+/// Opens (or creates) a journal for appending, writing `header` when
+/// the file is fresh and newline-terminating a truncated tail left by a
+/// kill mid-write. Freshness is judged by content, not existence: a
+/// kill between create and the header write leaves an empty file that
+/// still needs its header.
+pub(crate) fn open_journal_append(path: &Path, header: &str) -> Result<File, RunnerError> {
+    let len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+    if len == 0 {
+        writeln!(f, "{header}")?;
+    } else if last_byte(path)? != b'\n' {
+        // A kill mid-write left a truncated tail with no newline.
+        // Terminate it so the first appended record starts its own line
+        // — otherwise the two can merge into one string that still
+        // parses as a (wrong) record and poisons every later resume.
+        writeln!(f)?;
+    }
+    f.flush()?;
+    f.sync_data()?;
+    Ok(f)
+}
+
 /// Loads records from an existing journal. The header must match
 /// `expected`; malformed lines (a truncated tail) and records for seeds
 /// outside the spec are dropped.
-fn load_journal(path: &Path, expected: &str) -> Result<Vec<RunRecord>, RunnerError> {
+pub(crate) fn load_journal(path: &Path, expected: &str) -> Result<Vec<RunRecord>, RunnerError> {
     let f = BufReader::new(File::open(path)?);
     let mut lines = f.lines();
     let header = match lines.next() {
@@ -601,6 +922,24 @@ fn load_journal(path: &Path, expected: &str) -> Result<Vec<RunRecord>, RunnerErr
         }
     }
     Ok(out)
+}
+
+/// The clean-run cycle count and fork-point checkpoints this spec's
+/// seeds fork from: the fork grid honoring `fork_points` and the
+/// `FLAME_NO_FORK` escape hatch, materialized by one baseline
+/// simulation. Shared by the serial runner and every sharded worker so
+/// forked records are bit-identical wherever a seed runs.
+pub(crate) fn baseline_and_checkpoints(
+    w: &WorkloadSpec,
+    spec: &CampaignSpec,
+) -> (u64, Vec<Snapshot>) {
+    let fork_enabled = spec.fork_points > 0 && std::env::var_os("FLAME_NO_FORK").is_none();
+    let grid = if fork_enabled {
+        fork_grid(spec)
+    } else {
+        Vec::new()
+    };
+    clean_baseline(w, spec, &grid)
 }
 
 /// The last byte of a non-empty file — used to detect a journal whose
@@ -669,26 +1008,8 @@ pub fn run_campaign_runner_with_jobs(
 
     // (Re)write or append the journal. A fresh file gets the header; an
     // existing one is appended in place so finished seeds survive kills.
-    // Freshness is judged by content, not existence: a kill between
-    // create and the header write leaves an empty file that still needs
-    // its header.
     let sink: Option<Mutex<File>> = match journal {
-        Some(path) => {
-            let len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-            let mut f = OpenOptions::new().create(true).append(true).open(path)?;
-            if len == 0 {
-                writeln!(f, "{header}")?;
-            } else if last_byte(path)? != b'\n' {
-                // A kill mid-write left a truncated tail with no
-                // newline. Terminate it so the first appended record
-                // starts its own line — otherwise the two can merge
-                // into one string that still parses as a (wrong)
-                // record and poisons every later resume.
-                writeln!(f)?;
-            }
-            f.flush()?;
-            Some(Mutex::new(f))
-        }
+        Some(path) => Some(Mutex::new(open_journal_append(path, &header)?)),
         None => None,
     };
 
@@ -703,13 +1024,7 @@ pub fn run_campaign_runner_with_jobs(
     // checkpoint the clean prefix. The checkpoints are shared read-only
     // across the workers below; `FLAME_NO_FORK` (or `fork_points: 0`)
     // degrades every seed to the scratch path without changing results.
-    let fork_enabled = spec.fork_points > 0 && std::env::var_os("FLAME_NO_FORK").is_none();
-    let grid = if fork_enabled {
-        fork_grid(spec)
-    } else {
-        Vec::new()
-    };
-    let (clean_cycles, checkpoints) = clean_baseline(w, spec, &grid);
+    let (clean_cycles, checkpoints) = baseline_and_checkpoints(w, spec);
 
     let next = AtomicUsize::new(0);
     let fresh: Mutex<Vec<RunRecord>> = Mutex::new(Vec::with_capacity(todo.len()));
@@ -723,13 +1038,22 @@ pub fn run_campaign_runner_with_jobs(
                         if i >= todo.len() {
                             break;
                         }
-                        let rec = run_one_seed_forked(w, spec, todo[i], &checkpoints);
-                        // Journal before counting: a kill between the two
-                        // at worst re-runs a seed, never loses one.
+                        let rec = run_one_seed_retrying(w, spec, todo[i], &checkpoints);
+                        // Journal — fsynced, with bounded retry — before
+                        // the record enters the in-memory set: a kill
+                        // between the two at worst re-runs a seed, never
+                        // loses one. A write that still fails after the
+                        // retry budget is reported but does not abort the
+                        // campaign; the seed simply re-runs on resume.
                         if let Some(m) = &sink {
                             let mut f = m.lock().unwrap();
-                            let _ = writeln!(f, "{}", rec.to_line());
-                            let _ = f.flush();
+                            if let Err(e) = append_with_retry(&mut *f, &rec.to_line(), spec.retry) {
+                                eprintln!(
+                                    "flame-campaign: journal append for seed {} failed \
+                                     after retries: {e}",
+                                    rec.seed
+                                );
+                            }
                         }
                         fresh.lock().unwrap().push(rec);
                     }
@@ -776,6 +1100,8 @@ mod tests {
             fork_cycle: 40_000,
             sim_cycles: 90_000,
             fork_hit: true,
+            attempts: 2,
+            quarantined: false,
         }
     }
 
@@ -842,6 +1168,9 @@ mod tests {
             scheme: Scheme::SensorRenaming,
             cfg: ExperimentConfig::default(),
             proto: ProtocolConfig::default(),
+            watchdog: 0,
+            retry: RetryPolicy::default(),
+            self_fault: SelfFault::default(),
         };
         let b = CampaignSpec {
             coverage: 0.8,
@@ -864,6 +1193,135 @@ mod tests {
             ..a.clone()
         };
         assert_eq!(a.fingerprint("w"), forkless.fingerprint("w"));
+        // The watchdog override enters the fingerprint only when it
+        // changes the effective horizon; the retry policy never does.
+        assert!(!a.fingerprint("w").contains("watchdog"));
+        let watched = CampaignSpec {
+            watchdog: 1234,
+            ..a.clone()
+        };
+        assert!(watched.fingerprint("w").contains("\"watchdog\":1234"));
+        assert_ne!(a.fingerprint("w"), watched.fingerprint("w"));
+        let same_as_default = CampaignSpec {
+            watchdog: a.proto.hang_window,
+            ..a.clone()
+        };
+        assert_eq!(a.fingerprint("w"), same_as_default.fingerprint("w"));
+        let eager_retry = CampaignSpec {
+            retry: RetryPolicy {
+                max_attempts: 9,
+                backoff_ms: 0,
+            },
+            ..a.clone()
+        };
+        assert_eq!(a.fingerprint("w"), eager_retry.fingerprint("w"));
+        // A self-fault drill changes records, so it is fenced off.
+        let sabotaged = CampaignSpec {
+            self_fault: SelfFault {
+                poison: vec![3],
+                flaky: vec![(5, 2)],
+            },
+            ..a.clone()
+        };
+        assert!(!a.fingerprint("w").contains("self_fault"));
+        assert!(sabotaged
+            .fingerprint("w")
+            .contains("\"self_fault\":\"p3;f5:2\""));
+        assert_ne!(a.fingerprint("w"), sabotaged.fingerprint("w"));
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_bounded_exponential() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            backoff_ms: 10,
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(40));
+        // Capped at 64x the base so a long retry chain never sleeps
+        // unboundedly.
+        assert_eq!(p.backoff(40), Duration::from_millis(640));
+        let zero = RetryPolicy {
+            max_attempts: 3,
+            backoff_ms: 0,
+        };
+        assert_eq!(zero.backoff(3), Duration::from_millis(0));
+    }
+
+    #[test]
+    fn self_fault_schedule_and_env_parsing() {
+        let f = SelfFault {
+            poison: vec![7],
+            flaky: vec![(9, 2)],
+        };
+        assert!(f.should_fail(7, 1) && f.should_fail(7, 99));
+        assert!(f.should_fail(9, 1) && f.should_fail(9, 2));
+        assert!(!f.should_fail(9, 3));
+        assert!(!f.should_fail(8, 1));
+        assert!(SelfFault::default().is_empty());
+        assert!(!f.is_empty());
+    }
+
+    /// A sink that fails its first `failures` writes, pinning the
+    /// bounded retry/backoff and the fresh-line-on-retry repair.
+    struct FlakySink {
+        failures: u32,
+        writes: u32,
+        data: String,
+    }
+
+    impl JournalSink for FlakySink {
+        fn write_line(&mut self, payload: &str) -> std::io::Result<()> {
+            self.writes += 1;
+            if self.writes <= self.failures {
+                // Half the record lands before the error, like a real
+                // short write.
+                self.data.push_str(&payload[..payload.len() / 2]);
+                return Err(std::io::Error::other("injected"));
+            }
+            self.data.push_str(payload);
+            Ok(())
+        }
+        fn sync(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn journal_append_retries_transient_errors_and_repairs_lines() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            backoff_ms: 0,
+        };
+        let line = record().to_line();
+
+        // Two transient failures, third attempt lands: Ok, and loading
+        // the resulting bytes yields exactly one copy of the record
+        // (the partial fragments are dropped as malformed lines).
+        let mut sink = FlakySink {
+            failures: 2,
+            writes: 0,
+            data: String::new(),
+        };
+        append_with_retry(&mut sink, &line, policy).expect("retries should succeed");
+        let parsed: Vec<RunRecord> = sink.data.lines().filter_map(RunRecord::parse).collect();
+        assert_eq!(parsed, vec![record()]);
+
+        // Failing more often than the budget surfaces the error.
+        let mut sink = FlakySink {
+            failures: 99,
+            writes: 0,
+            data: String::new(),
+        };
+        assert!(append_with_retry(&mut sink, &line, policy).is_err());
+        assert_eq!(sink.writes, 3, "bounded by max_attempts");
+        assert!(sink
+            .data
+            .lines()
+            .filter_map(RunRecord::parse)
+            .next()
+            .is_none());
     }
 
     #[test]
@@ -882,6 +1340,8 @@ mod tests {
         assert_eq!(r.fork_cycle, 0);
         assert_eq!(r.sim_cycles, 0);
         assert!(!r.fork_hit);
+        assert_eq!(r.attempts, 1, "pre-retry journals ran each seed once");
+        assert!(!r.quarantined);
     }
 
     #[test]
@@ -899,6 +1359,9 @@ mod tests {
             scheme: Scheme::SensorRenaming,
             cfg: ExperimentConfig::default(),
             proto: ProtocolConfig::default(),
+            watchdog: 0,
+            retry: RetryPolicy::default(),
+            self_fault: SelfFault::default(),
         };
         // Default window maps to the exact legacy bounds.
         assert_eq!(base.strike_bounds(), (0, 100_000));

@@ -31,6 +31,9 @@ cargo run --release -q -p flame-bench --bin fault_campaign -- smoke
 echo "==> fault-campaign fork-smoke (fork on/off histograms must match)"
 cargo run --release -q -p flame-bench --bin fault_campaign -- fork-smoke
 
+echo "==> fault-campaign crash-drill (SIGKILL/abort shard workers, resume, diff vs serial)"
+cargo run --release -q -p flame-bench --bin fault_campaign -- --shards 4 --kill-after 2
+
 echo "==> oracle fuzz smoke (FLAME_FUZZ_RUNS=${FLAME_FUZZ_RUNS:-200} differential seeds)"
 cargo run --release -q -p flame-bench --bin fuzz_oracle
 

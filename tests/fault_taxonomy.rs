@@ -14,7 +14,8 @@ use flame::core::experiment::{
     ProtocolConfig, WorkloadSpec,
 };
 use flame::core::runner::{
-    run_campaign_runner_with_jobs, wilson_interval, CampaignSpec, RunnerError,
+    run_campaign_runner_with_jobs, wilson_interval, CampaignSpec, RetryPolicy, RunnerError,
+    SelfFault,
 };
 use flame::core::runtime::VerificationMode;
 use flame::core::scheme::Scheme;
@@ -149,6 +150,9 @@ fn coverage_gap_drives_sdc_rate() {
         scheme: Scheme::SensorRenaming,
         cfg: cfg.clone(),
         proto: ProtocolConfig::default(),
+        watchdog: 0,
+        retry: RetryPolicy::default(),
+        self_fault: SelfFault::default(),
     };
 
     let full = run_campaign_runner_with_jobs(&w, &spec(1.0), None, 0).unwrap();
@@ -318,6 +322,9 @@ fn killed_campaign_resumes_byte_identically() {
         scheme: Scheme::SensorRenaming,
         cfg: cfg.clone(),
         proto: ProtocolConfig::default(),
+        watchdog: 0,
+        retry: RetryPolicy::default(),
+        self_fault: SelfFault::default(),
     };
     let reference = run_campaign_runner_with_jobs(&w, &spec, None, 2).unwrap();
     assert_eq!(reference.records.len(), 12);

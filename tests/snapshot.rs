@@ -22,7 +22,9 @@ use flame::core::experiment::{
     prepare_scheme, run_scheme, run_with_protocol_capturing, run_with_protocol_forked,
     ExperimentConfig, ProtocolConfig, WorkloadSpec,
 };
-use flame::core::runner::{run_campaign_runner_with_jobs, CampaignSpec, RunRecord};
+use flame::core::runner::{
+    run_campaign_runner_with_jobs, CampaignSpec, RetryPolicy, RunRecord, SelfFault,
+};
 use flame::core::scheme::Scheme;
 use flame::sensors::fault::StrikeGenerator;
 use flame::sim::rng::Rng64;
@@ -251,6 +253,9 @@ fn forked_campaign_matches_scratch_campaign() {
         scheme: Scheme::SensorRenaming,
         cfg: cfg.clone(),
         proto: ProtocolConfig::default(),
+        watchdog: 0,
+        retry: RetryPolicy::default(),
+        self_fault: SelfFault::default(),
     };
     let forked = run_campaign_runner_with_jobs(&w, &spec, None, 2).expect("forked campaign");
     let scratch = run_campaign_runner_with_jobs(

@@ -14,7 +14,7 @@
 use flame::core::experiment::{
     run_scheme, run_scheme_traced, ExperimentConfig, ProtocolConfig, RunResult,
 };
-use flame::core::runner::{trace_one_seed, CampaignSpec};
+use flame::core::runner::{trace_one_seed, CampaignSpec, RetryPolicy, SelfFault};
 use flame::core::scheme::Scheme;
 use flame::sim::stats::SimStats;
 use flame::trace::{chrome_trace_json, region_csv, stall_table, validate_json, Event, SimTrace};
@@ -205,6 +205,9 @@ fn campaign_seed_replay_shows_fault_arcs() {
         scheme: Scheme::SensorRenaming,
         cfg: cfg.clone(),
         proto: ProtocolConfig::default(),
+        watchdog: 0,
+        retry: RetryPolicy::default(),
+        self_fault: SelfFault::default(),
     };
     let (r, trace) =
         trace_one_seed(&spec, &campaign, campaign.base_seed, 1 << 16).expect("traced seed replay");

@@ -1,0 +1,141 @@
+//! The configurable forward-progress watchdog (`FLAME_WATCHDOG` env +
+//! `CampaignSpec::watchdog` field) lives in its **own test binary**: it
+//! mutates a process-global environment variable that every campaign
+//! fingerprint consults, which would race any other campaign test
+//! running in the same process.
+
+use flame::core::experiment::{ExperimentConfig, ProtocolConfig, WorkloadSpec};
+use flame::core::runner::{
+    run_campaign_runner_with_jobs, CampaignSpec, RetryPolicy, RunnerError, SelfFault,
+};
+use flame::core::scheme::Scheme;
+use flame::core::Outcome;
+use flame::sim::builder::KernelBuilder;
+use flame::sim::isa::{MemSpace, Special};
+use flame::sim::sm::LaunchDims;
+use std::sync::Arc;
+
+fn workload() -> WorkloadSpec {
+    const OUT: i64 = 4096 * 16;
+    let mut b = KernelBuilder::new("wdog");
+    let tid = b.special(Special::TidX);
+    let cta = b.special(Special::CtaIdX);
+    let ntid = b.special(Special::NTidX);
+    let gid = b.imad(cta, ntid, tid);
+    let a = b.imul(gid, 8);
+    let v = b.ld_arr(MemSpace::Global, 0, a, 0);
+    let w = b.iadd(v, 66);
+    b.st_arr(MemSpace::Global, 0, a, w, OUT);
+    b.exit();
+    WorkloadSpec {
+        name: "wdog",
+        abbr: "WDOG",
+        suite: "test",
+        kernel: b.finish(),
+        dims: LaunchDims::linear(8, 64),
+        init: Arc::new(|m| {
+            for i in 0..512u64 {
+                m.write(i * 8, i);
+            }
+        }),
+        check: Arc::new(|m| (0..512u64).all(|i| m.read(OUT as u64 + i * 8) == i + 66)),
+    }
+}
+
+fn spec(watchdog: u64) -> CampaignSpec {
+    CampaignSpec {
+        base_seed: 0xD06,
+        runs: 4,
+        strikes_per_run: 1,
+        horizon: 400,
+        strike_window: (0.0, 1.0),
+        fork_points: 0,
+        coverage: 1.0,
+        control_fraction: 0.0,
+        recovery_fraction: 0.0,
+        scheme: Scheme::SensorRenaming,
+        cfg: ExperimentConfig {
+            max_cycles: 20_000_000,
+            ..ExperimentConfig::default()
+        },
+        proto: ProtocolConfig::default(),
+        watchdog,
+        retry: RetryPolicy::default(),
+        self_fault: SelfFault::default(),
+    }
+}
+
+/// One test walks every watchdog configuration path in sequence — the
+/// environment variable is process-global, so the scenarios cannot be
+/// parallel `#[test]`s.
+#[test]
+fn watchdog_is_configurable_and_fingerprint_safe() {
+    std::env::remove_var("FLAME_WATCHDOG");
+    let w = workload();
+    let default_hw = ProtocolConfig::default().hang_window;
+
+    // Default: field 0 inherits the protocol hang window, and the
+    // fingerprint keeps the legacy header bytes (old journals resume).
+    let s0 = spec(0);
+    assert_eq!(s0.effective_hang_window(), default_hw);
+    assert!(
+        !s0.fingerprint(w.name).contains("watchdog"),
+        "default watchdog must not enter the fingerprint"
+    );
+    // An explicit field equal to the default is also fingerprint-silent.
+    let s_same = spec(default_hw);
+    assert_eq!(s_same.fingerprint(w.name), s0.fingerprint(w.name));
+
+    // A nonzero field replaces the horizon and enters the fingerprint.
+    let s_tight = spec(1);
+    assert_eq!(s_tight.effective_hang_window(), 1);
+    assert!(s_tight.fingerprint(w.name).contains("\"watchdog\":1"));
+    assert_ne!(s_tight.fingerprint(w.name), s0.fingerprint(w.name));
+
+    // Behaviour: a one-cycle watchdog trips on the first memory stall,
+    // so every run classifies as Hang.
+    let hung = run_campaign_runner_with_jobs(&w, &s_tight, None, 1).unwrap();
+    assert_eq!(hung.count(Outcome::Hang), 4, "{}", hung.render());
+    let calm = run_campaign_runner_with_jobs(&w, &s0, None, 1).unwrap();
+    assert_eq!(calm.count(Outcome::Hang), 0, "{}", calm.render());
+
+    // Journal a default campaign, then flip the env var: the resumed
+    // campaign must be *refused* (fingerprint mismatch), not silently
+    // reclassified under a different watchdog.
+    let path = std::env::temp_dir().join(format!("flame_wdog_env_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    run_campaign_runner_with_jobs(&w, &s0, Some(&path), 1).unwrap();
+
+    std::env::set_var("FLAME_WATCHDOG", "1");
+    // Env wins over both the field and the protocol default...
+    assert_eq!(s0.effective_hang_window(), 1);
+    assert_eq!(spec(7_777).effective_hang_window(), 1);
+    // ...and matches the equivalent spec-field fingerprint.
+    assert_eq!(s0.fingerprint(w.name), {
+        std::env::remove_var("FLAME_WATCHDOG");
+        let f = s_tight.fingerprint(w.name);
+        std::env::set_var("FLAME_WATCHDOG", "1");
+        f
+    });
+    match run_campaign_runner_with_jobs(&w, &s0, Some(&path), 1) {
+        Err(RunnerError::JournalMismatch { .. }) => {}
+        other => panic!("env-overridden resume must be refused, got {other:?}"),
+    }
+    // Under the env override the campaign hangs exactly like the field.
+    let env_hung = run_campaign_runner_with_jobs(&w, &s0, None, 1).unwrap();
+    assert_eq!(env_hung.count(Outcome::Hang), 4);
+
+    // Unset (or unparsable/zero) values fall back cleanly.
+    std::env::set_var("FLAME_WATCHDOG", "0");
+    assert_eq!(s0.effective_hang_window(), default_hw);
+    std::env::set_var("FLAME_WATCHDOG", "not-a-number");
+    assert_eq!(s0.effective_hang_window(), default_hw);
+    std::env::remove_var("FLAME_WATCHDOG");
+    assert_eq!(s0.effective_hang_window(), default_hw);
+
+    // Back at the default the original journal resumes untouched.
+    let resumed = run_campaign_runner_with_jobs(&w, &s0, Some(&path), 1).unwrap();
+    assert_eq!(resumed.ran_now, 0);
+    assert_eq!(resumed.render(), calm.render());
+    let _ = std::fs::remove_file(&path);
+}
