@@ -504,6 +504,10 @@ fn shard_worker_main(dir: &std::path::Path, shards: usize, worker_id: &str, ttl_
     let w = smoke_workload();
     let spec = drill_spec(&w);
     let ttl = std::time::Duration::from_millis(ttl_ms.max(1));
+    // SIGTERM/SIGINT drain this worker gracefully: it finishes the seed
+    // in flight, journals it, releases its lease, and exits — the
+    // campaign resumes from the journals with nothing lost.
+    let shutdown = flame_serve::shutdown::install();
     let opts = ShardOptions {
         worker_id: worker_id.to_string(),
         lease_ttl: ttl,
@@ -511,12 +515,20 @@ fn shard_worker_main(dir: &std::path::Path, shards: usize, worker_id: &str, ttl_
         crash_after: std::env::var("FLAME_SHARD_CRASH_AFTER")
             .ok()
             .and_then(|v| v.parse().ok()),
+        shutdown: Some(shutdown),
         ..ShardOptions::new(shards)
     };
     match run_shard_worker(&w, &spec, dir, &opts) {
         Ok(rep) => println!(
-            "shard-worker {worker_id}: claimed {} shards, ran {} seeds, lost {} leases",
-            rep.shards_claimed, rep.seeds_run, rep.leases_lost
+            "shard-worker {worker_id}: claimed {} shards, ran {} seeds, lost {} leases{}",
+            rep.shards_claimed,
+            rep.seeds_run,
+            rep.leases_lost,
+            if rep.stopped {
+                ", stopped by shutdown signal"
+            } else {
+                ""
+            }
         ),
         Err(e) => fail(&format!("shard-worker {worker_id}: {e}")),
     }
@@ -729,9 +741,18 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--list" => {
-                flame_bench::print_catalog();
+                // `--json` may appear on either side of `--list`; scan
+                // the full argv so both orders work.
+                if args.iter().any(|a| a == "--json") {
+                    // Same serialization the server's GET /catalog uses,
+                    // so scripts can target either interchangeably.
+                    println!("{}", flame_serve::catalog_json());
+                } else {
+                    flame_bench::print_catalog();
+                }
                 return;
             }
+            "--json" => {}
             "--runs" => {
                 runs = it
                     .next()

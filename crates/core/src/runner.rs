@@ -465,6 +465,12 @@ pub enum RunnerError {
     },
     /// Journal I/O failed.
     Io(std::io::Error),
+    /// A graceful shutdown (SIGTERM/SIGINT) stopped the campaign before
+    /// every seed ran; the payload is the number of seeds still
+    /// missing. The journals are flushed and the leases released —
+    /// re-running the same spec over the same directory resumes exactly
+    /// where the shutdown landed.
+    Interrupted(usize),
 }
 
 impl std::fmt::Display for RunnerError {
@@ -475,6 +481,10 @@ impl std::fmt::Display for RunnerError {
                 "journal belongs to a different campaign\n  found:    {found}\n  expected: {expected}"
             ),
             RunnerError::Io(e) => write!(f, "journal i/o failed: {e}"),
+            RunnerError::Interrupted(missing) => write!(
+                f,
+                "campaign interrupted by shutdown with {missing} seeds missing (resumable)"
+            ),
         }
     }
 }
@@ -518,101 +528,30 @@ impl CampaignSummary {
 
     /// Deterministic human-readable report. Byte-identical for equal
     /// record sets, however the campaign was scheduled or resumed.
+    /// Renders through the structured [`crate::report::SummaryJson`],
+    /// the same data the campaign server serializes — text and JSON
+    /// cannot drift.
     pub fn render(&self) -> String {
-        let n = self.records.len();
-        let mut out = String::new();
-        let _ = writeln!(out, "runs: {n}");
-        for o in Outcome::ALL {
-            let k = self.count(o);
-            let (lo, hi) = wilson_interval(k, n, 1.96);
-            let _ = writeln!(
-                out,
-                "  {:<20} {:>5}  rate {:.4}  [95% CI {:.4}, {:.4}]",
-                o.name(),
-                k,
-                self.rate(o),
-                lo,
-                hi
-            );
-        }
-        let injected: u64 = self.records.iter().map(|r| r.injected).sum();
-        let undetected: u64 = self.records.iter().map(|r| r.undetected).sum();
-        let recoveries: u64 = self.records.iter().map(|r| r.recoveries).sum();
-        let nested: u64 = self.records.iter().map(|r| r.nested).sum();
-        let cta: u64 = self.records.iter().map(|r| r.cta_relaunches).sum();
-        let kernel: u64 = self.records.iter().map(|r| r.kernel_relaunches).sum();
-        let crashed = self.records.iter().filter(|r| r.crashed).count();
-        let _ = writeln!(
-            out,
-            "strikes: injected={injected} undetected={undetected} \
-             recoveries={recoveries} nested={nested}"
-        );
-        let _ = writeln!(
-            out,
-            "escalations: cta_relaunches={cta} kernel_relaunches={kernel} crashed_runs={crashed}"
-        );
-        // Runner-robustness telemetry, printed only when a seed actually
-        // retried or was quarantined so clean campaigns render exactly
-        // as they always have.
-        let retried = self.records.iter().filter(|r| r.attempts > 1).count();
-        let quarantined = self.records.iter().filter(|r| r.quarantined).count();
-        if retried > 0 || quarantined > 0 {
-            let extra: u64 = self
-                .records
-                .iter()
-                .map(|r| r.attempts.saturating_sub(1))
-                .sum();
-            let _ = writeln!(
-                out,
-                "robustness: retried_runs={retried} extra_attempts={extra} \
-                 quarantined_runs={quarantined}"
-            );
-        }
-        // Fork-acceleration telemetry, printed only when at least one run
-        // actually forked so fork-disabled (and pre-fork) renders stay
-        // byte-identical to the legacy format.
-        let forked = self.records.iter().filter(|r| r.fork_hit).count();
-        if forked > 0 {
-            let saved: u64 = self.records.iter().map(|r| r.fork_cycle).sum();
-            let suffix: u64 = self.records.iter().map(|r| r.sim_cycles).sum();
-            let _ = writeln!(
-                out,
-                "fork: forked_runs={forked} prefix_cycles_saved={saved} \
-                 suffix_cycles_simulated={suffix}"
-            );
-        }
-        let good: Vec<&RunRecord> = self
-            .records
-            .iter()
-            .filter(|r| {
-                matches!(r.outcome, Outcome::Masked | Outcome::DetectedRecovered) && r.cycles > 0
-            })
-            .collect();
-        if !good.is_empty() && self.clean_cycles > 0 {
-            let mean = good.iter().map(|r| r.cycles as f64).sum::<f64>()
-                / (good.len() as f64 * self.clean_cycles as f64);
-            let _ = writeln!(
-                out,
-                "mean slowdown of surviving runs vs clean: {mean:.4} ({} runs)",
-                good.len()
-            );
-        }
-        out
+        crate::report::SummaryJson::from_summary(self).render_text()
     }
 }
 
 /// Wilson score interval for `k` successes in `n` trials at critical
 /// value `z` (1.96 for 95%). Clamped to `[0, 1]`; `(0, 1)` when `n = 0`.
+/// Always finite: `k` is clamped to `n` (a corrupt count cannot push
+/// the variance term negative and surface `NaN` in a JSON response),
+/// and the `n = 0` / `n = 1` degenerate campaigns get well-defined
+/// bounds instead of a division by zero.
 pub fn wilson_interval(k: usize, n: usize, z: f64) -> (f64, f64) {
     if n == 0 {
         return (0.0, 1.0);
     }
     let nf = n as f64;
-    let p = k as f64 / nf;
+    let p = (k.min(n)) as f64 / nf;
     let z2 = z * z;
     let denom = 1.0 + z2 / nf;
     let center = p + z2 / (2.0 * nf);
-    let half = z * (p * (1.0 - p) / nf + z2 / (4.0 * nf * nf)).sqrt();
+    let half = z * (p * (1.0 - p) / nf + z2 / (4.0 * nf * nf)).max(0.0).sqrt();
     (
         ((center - half) / denom).max(0.0),
         ((center + half) / denom).min(1.0),
@@ -922,6 +861,15 @@ pub(crate) fn load_journal(path: &Path, expected: &str) -> Result<Vec<RunRecord>
         }
     }
     Ok(out)
+}
+
+/// The fault-free baseline cycle count of a spec — one clean
+/// simulation, no checkpoints. What [`CampaignSummary::clean_cycles`]
+/// reports; public so the campaign server can compute (and cache) it
+/// once per campaign instead of re-simulating the baseline on every
+/// status poll.
+pub fn campaign_clean_cycles(w: &WorkloadSpec, spec: &CampaignSpec) -> u64 {
+    clean_baseline(w, spec, &[]).0
 }
 
 /// The clean-run cycle count and fork-point checkpoints this spec's

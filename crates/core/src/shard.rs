@@ -55,7 +55,8 @@ use std::fs::OpenOptions;
 use std::io::ErrorKind;
 use std::ops::Range;
 use std::path::{Path, PathBuf};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant, SystemTime};
 
@@ -182,12 +183,26 @@ pub struct ShardOptions {
     /// this many seeds *without* releasing the lease — an in-process
     /// stand-in for a killed worker thread. `None` in normal operation.
     pub abandon_after: Option<usize>,
+    /// Graceful-shutdown flag, typically set by a SIGTERM/SIGINT
+    /// handler. A worker observing it between seeds **releases its
+    /// lease and stops** — journals are already fsynced per record, so
+    /// nothing is lost and the next claimant resumes instantly instead
+    /// of waiting out the lease TTL (the stale-lease path remains the
+    /// backstop for workers that die without warning). `None` disables
+    /// the check.
+    pub shutdown: Option<Arc<AtomicBool>>,
+    /// Progress hook: incremented once per seed this worker journals.
+    /// The campaign server feeds its seeds/sec and per-campaign
+    /// progress metrics from it. `None` in normal operation.
+    pub progress: Option<Arc<AtomicU64>>,
 }
 
 impl ShardOptions {
     /// Default options for `shards` shards: a process-unique worker id,
-    /// TTL from `FLAME_LEASE_TTL_MS` (default 30 000 ms), heartbeat at
-    /// TTL/4, no drill hooks.
+    /// TTL from `FLAME_LEASE_TTL_MS` (default **30 000 ms** — the TTL
+    /// must comfortably exceed the slowest single-seed simulation,
+    /// because workers heartbeat between seeds, not during them),
+    /// heartbeat at TTL/4, no drill hooks, no shutdown/progress hooks.
     pub fn new(shards: usize) -> ShardOptions {
         let ttl_ms = std::env::var("FLAME_LEASE_TTL_MS")
             .ok()
@@ -202,7 +217,16 @@ impl ShardOptions {
             heartbeat: lease_ttl / 4,
             crash_after: None,
             abandon_after: None,
+            shutdown: None,
+            progress: None,
         }
+    }
+
+    /// Whether the graceful-shutdown flag is set.
+    fn shutdown_requested(&self) -> bool {
+        self.shutdown
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::SeqCst))
     }
 }
 
@@ -215,6 +239,9 @@ pub struct WorkerReport {
     pub seeds_run: usize,
     /// Times a held lease was lost to reclamation (the fence tripped).
     pub leases_lost: usize,
+    /// The worker stopped early because the graceful-shutdown flag was
+    /// set; its lease was released and its journal flushed.
+    pub stopped: bool,
 }
 
 /// The highest fencing epoch ever claimed for shard `k`: the epoch
@@ -423,6 +450,10 @@ fn run_shard_worker_inner(
     let plan = ShardPlan::new(spec.runs, opts.shards);
     let mut report = WorkerReport::default();
     loop {
+        if opts.shutdown_requested() {
+            report.stopped = true;
+            return Ok(report);
+        }
         // One scan over the shards: claim the first claimable
         // unfinished one, remember whether any work remains at all.
         let mut all_done = true;
@@ -458,6 +489,14 @@ fn run_shard_worker_inner(
             if done.contains(&seed) {
                 continue;
             }
+            if opts.shutdown_requested() {
+                // Graceful shutdown: release the lease so the next
+                // claimant resumes immediately (every finished seed is
+                // already fsynced in the shard journal), then stop.
+                release(dir, &claim);
+                report.stopped = true;
+                return Ok(report);
+            }
             if last_beat.elapsed() >= opts.heartbeat {
                 if heartbeat(dir, &claim, &opts.worker_id).is_err() {
                     // Fence tripped: the shard was reclaimed from us.
@@ -478,6 +517,9 @@ fn run_shard_worker_inner(
                 break;
             }
             report.seeds_run += 1;
+            if let Some(p) = &opts.progress {
+                p.fetch_add(1, Ordering::Relaxed);
+            }
             if opts.crash_after.is_some_and(|n| report.seeds_run >= n) {
                 // Drill: die like a kill -9 — no unwinding, no lease
                 // release, journal exactly as far as the last fsync.
@@ -513,7 +555,49 @@ pub fn merge_shards(
     dir: &Path,
     shards: usize,
 ) -> Result<(CampaignSummary, Vec<u64>), RunnerError> {
-    let header = spec.fingerprint(w.name);
+    let (records, counts, missing) = merge_shard_records(w.name, spec, dir, shards)?;
+    // The fork-point grid only accelerates; pausing at it cannot change
+    // the clean cycle count, so the plain baseline matches the serial
+    // runner's checkpointing one bit for bit.
+    let (clean_cycles, _) = crate::runner::clean_baseline(w, spec, &[]);
+    Ok((
+        CampaignSummary {
+            header: spec.fingerprint(w.name),
+            records,
+            counts,
+            clean_cycles,
+            ran_now: 0,
+        },
+        missing,
+    ))
+}
+
+/// What [`merge_shard_records`] folds out of the journals: the
+/// seed-sorted deduplicated records, their outcome histogram (in
+/// [`crate::campaign::Outcome::ALL`] order), and the seeds not yet
+/// journaled.
+pub type MergedRecords = (Vec<RunRecord>, [usize; 5], Vec<u64>);
+
+/// The record-merging half of [`merge_shards`]: folds the shard
+/// journals of `dir` into a seed-sorted, seed-deduplicated record set
+/// with its outcome histogram and the seeds still missing — **without**
+/// simulating the clean baseline. This is what the campaign server's
+/// stream tailer polls: re-merging journals is cheap file I/O, while
+/// the baseline is a whole simulation that would otherwise run once per
+/// poll. Only the workload *name* is needed (it enters the journal
+/// fingerprint); the records themselves come entirely from disk.
+///
+/// # Errors
+///
+/// [`RunnerError::JournalMismatch`] when any shard journal belongs to a
+/// different spec, plus I/O errors.
+pub fn merge_shard_records(
+    workload: &str,
+    spec: &CampaignSpec,
+    dir: &Path,
+    shards: usize,
+) -> Result<MergedRecords, RunnerError> {
+    let header = spec.fingerprint(workload);
     let plan = ShardPlan::new(spec.runs, shards);
     let mut records: Vec<RunRecord> = Vec::with_capacity(spec.runs);
     let mut seen = BTreeSet::new();
@@ -541,20 +625,7 @@ pub fn merge_shards(
             .position(|&o| o == r.outcome)
             .unwrap()] += 1;
     }
-    // The fork-point grid only accelerates; pausing at it cannot change
-    // the clean cycle count, so the plain baseline matches the serial
-    // runner's checkpointing one bit for bit.
-    let (clean_cycles, _) = crate::runner::clean_baseline(w, spec, &[]);
-    Ok((
-        CampaignSummary {
-            header,
-            records,
-            counts,
-            clean_cycles,
-            ran_now: 0,
-        },
-        missing,
-    ))
+    Ok((records, counts, missing))
 }
 
 /// Removes the coordination files (leases, epoch markers) of a
@@ -643,6 +714,13 @@ pub fn run_sharded_campaign(
 
     let (summary, missing) = merge_shards(w, spec, dir, opts.shards)?;
     let mut summary = summary;
+    if !missing.is_empty() && opts.shutdown_requested() {
+        // Graceful shutdown mid-campaign: the workers released their
+        // leases and stopped. Keep the coordination files — the next
+        // invocation on the same `dir` (or a reclaiming peer) resumes
+        // exactly where the journals left off.
+        return Err(RunnerError::Interrupted(missing.len()));
+    }
     if !missing.is_empty() {
         // Degradation sweep: every worker is gone but seeds remain.
         // The supervisor becomes the last worker and finishes serially
@@ -655,6 +733,9 @@ pub fn run_sharded_campaign(
         };
         ran_now += run_shard_worker_inner(w, spec, dir, &sweep, &baseline)?.seeds_run;
         let (swept, still_missing) = merge_shards(w, spec, dir, opts.shards)?;
+        if !still_missing.is_empty() && opts.shutdown_requested() {
+            return Err(RunnerError::Interrupted(still_missing.len()));
+        }
         if !still_missing.is_empty() {
             return Err(RunnerError::Io(std::io::Error::other(format!(
                 "{} seeds missing after degradation sweep",

@@ -85,6 +85,14 @@ pub mod trace {
     pub use flame_trace::*;
 }
 
+/// The campaign-as-a-service HTTP backend (re-export of `flame-serve`):
+/// submit campaigns over HTTP, stream partial histograms as NDJSON, and
+/// resume interrupted campaigns from their journal directories after a
+/// crash or restart. Run it with the `flame-bench` `serve` binary.
+pub mod serve {
+    pub use flame_serve::*;
+}
+
 /// The most common imports for running experiments.
 pub mod prelude {
     pub use flame_core::experiment::{

@@ -1,0 +1,142 @@
+//! Server counters for `GET /metrics`, rendered in the Prometheus
+//! text exposition format (`# HELP` / `# TYPE` / samples), hand-rolled
+//! like everything else in the workspace.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Process-wide server counters. All relaxed atomics — metrics are
+/// observability, not coordination.
+#[derive(Debug)]
+pub struct Metrics {
+    start: Instant,
+    /// Campaigns accepted over HTTP or rediscovered from disk.
+    pub campaigns_submitted: AtomicU64,
+    /// Campaigns currently executing on a runner thread.
+    pub campaigns_active: AtomicU64,
+    /// Campaigns whose final summary has been merged.
+    pub campaigns_completed: AtomicU64,
+    /// Campaigns that ended in an error.
+    pub campaigns_failed: AtomicU64,
+    /// Campaigns queued, waiting for a runner thread.
+    pub queue_depth: AtomicU64,
+    /// Seeds simulated and journaled since server start. Behind an
+    /// `Arc` so a clone can be wired straight into
+    /// `flame_core::ShardOptions::progress` as the per-seed hook.
+    pub seeds_run: Arc<AtomicU64>,
+    /// HTTP requests handled.
+    pub http_requests: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh counters anchored at "now" (the seeds/sec denominator).
+    pub fn new() -> Metrics {
+        Metrics {
+            start: Instant::now(),
+            campaigns_submitted: AtomicU64::new(0),
+            campaigns_active: AtomicU64::new(0),
+            campaigns_completed: AtomicU64::new(0),
+            campaigns_failed: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            seeds_run: Arc::new(AtomicU64::new(0)),
+            http_requests: AtomicU64::new(0),
+        }
+    }
+
+    /// The Prometheus text page.
+    pub fn render(&self) -> String {
+        let seeds = self.seeds_run.load(Ordering::Relaxed);
+        let uptime = self.start.elapsed().as_secs_f64().max(1e-9);
+        let rows: [(&str, &str, &str, f64); 8] = [
+            (
+                "flame_campaigns_submitted_total",
+                "counter",
+                "Campaigns accepted or rediscovered",
+                self.campaigns_submitted.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "flame_campaigns_active",
+                "gauge",
+                "Campaigns currently running",
+                self.campaigns_active.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "flame_campaigns_completed_total",
+                "counter",
+                "Campaigns finished successfully",
+                self.campaigns_completed.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "flame_campaigns_failed_total",
+                "counter",
+                "Campaigns that ended in an error",
+                self.campaigns_failed.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "flame_campaign_queue_depth",
+                "gauge",
+                "Campaigns waiting for a runner thread",
+                self.queue_depth.load(Ordering::Relaxed) as f64,
+            ),
+            (
+                "flame_seeds_run_total",
+                "counter",
+                "Seeds simulated and journaled since start",
+                seeds as f64,
+            ),
+            (
+                "flame_seeds_per_second",
+                "gauge",
+                "Mean seed throughput since server start",
+                seeds as f64 / uptime,
+            ),
+            (
+                "flame_http_requests_total",
+                "counter",
+                "HTTP requests handled",
+                self.http_requests.load(Ordering::Relaxed) as f64,
+            ),
+        ];
+        let mut out = String::new();
+        for (name, kind, help, value) in rows {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+            ));
+        }
+        out
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_every_counter_in_prometheus_format() {
+        let m = Metrics::new();
+        m.campaigns_submitted.store(3, Ordering::Relaxed);
+        m.seeds_run.store(120, Ordering::Relaxed);
+        let page = m.render();
+        for name in [
+            "flame_campaigns_submitted_total",
+            "flame_campaigns_active",
+            "flame_campaigns_completed_total",
+            "flame_campaigns_failed_total",
+            "flame_campaign_queue_depth",
+            "flame_seeds_run_total",
+            "flame_seeds_per_second",
+            "flame_http_requests_total",
+        ] {
+            assert!(page.contains(&format!("# TYPE {name} ")), "missing {name}");
+        }
+        assert!(page.contains("flame_campaigns_submitted_total 3\n"));
+        assert!(page.contains("flame_seeds_run_total 120\n"));
+    }
+}

@@ -34,6 +34,9 @@ cargo run --release -q -p flame-bench --bin fault_campaign -- fork-smoke
 echo "==> fault-campaign crash-drill (SIGKILL/abort shard workers, resume, diff vs serial)"
 cargo run --release -q -p flame-bench --bin fault_campaign -- --shards 4 --kill-after 2
 
+echo "==> serve smoke (HTTP campaign vs serial diff, SIGKILL+restart resume, SIGTERM drain)"
+cargo run --release -q -p flame-bench --bin serve -- smoke
+
 echo "==> oracle fuzz smoke (FLAME_FUZZ_RUNS=${FLAME_FUZZ_RUNS:-200} differential seeds)"
 cargo run --release -q -p flame-bench --bin fuzz_oracle
 

@@ -97,12 +97,10 @@ fn tmp_dir(tag: &str) -> PathBuf {
 fn opts(tag: &str, shards: usize, ttl_ms: u64) -> ShardOptions {
     let ttl = Duration::from_millis(ttl_ms);
     ShardOptions {
-        shards,
         worker_id: format!("it-{tag}"),
         lease_ttl: ttl,
         heartbeat: ttl / 4,
-        crash_after: None,
-        abandon_after: None,
+        ..ShardOptions::new(shards)
     }
 }
 
